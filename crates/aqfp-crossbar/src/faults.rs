@@ -1,0 +1,194 @@
+//! Fabrication-fault injection for crossbar arrays.
+//!
+//! The paper's Section 1 motivates AQFP's "immature manufacturing
+//! technology" as one reason crossbars cannot grow arbitrarily large.
+//! Fabricated superconducting dies exhibit defective Josephson junctions:
+//! a LiM cell whose storage loop is damaged behaves as a *stuck-at* weight,
+//! and a broken column merge or neuron reads as a stuck output. This module
+//! injects such defects deterministically from a seed so robustness
+//! experiments (accuracy vs defect rate) are reproducible.
+
+use crate::array::Crossbar;
+use aqfp_device::Bit;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fabrication-fault model for crossbar arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability that a LiM cell's stored weight is stuck (at a uniform
+    /// random polarity fixed at fabrication time).
+    pub stuck_cell_rate: f64,
+    /// Probability that an entire column's neuron is stuck (its output is a
+    /// fabrication-time constant regardless of the input current).
+    pub dead_column_rate: f64,
+}
+
+impl FaultModel {
+    /// A defect-free process.
+    pub fn pristine() -> Self {
+        Self {
+            stuck_cell_rate: 0.0,
+            dead_column_rate: 0.0,
+        }
+    }
+
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics unless both rates are in `[0, 1]`.
+    pub fn new(stuck_cell_rate: f64, dead_column_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&stuck_cell_rate),
+            "stuck-cell rate {stuck_cell_rate} out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&dead_column_rate),
+            "dead-column rate {dead_column_rate} out of range"
+        );
+        Self {
+            stuck_cell_rate,
+            dead_column_rate,
+        }
+    }
+}
+
+/// The faults drawn for one physical crossbar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFaults {
+    /// `(row, col, stuck_value)` stuck LiM cells.
+    pub stuck_cells: Vec<(usize, usize, Bit)>,
+    /// `(col, stuck_value)` dead columns.
+    pub dead_columns: Vec<(usize, Bit)>,
+}
+
+impl InjectedFaults {
+    /// Whether the die is defect-free.
+    pub fn is_clean(&self) -> bool {
+        self.stuck_cells.is_empty() && self.dead_columns.is_empty()
+    }
+
+    /// Total defect count.
+    pub fn count(&self) -> usize {
+        self.stuck_cells.len() + self.dead_columns.len()
+    }
+}
+
+/// Draws the fabrication faults of one `rows × cols` die.
+pub fn draw_faults<R: Rng + ?Sized>(
+    model: &FaultModel,
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> InjectedFaults {
+    let mut stuck_cells = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen::<f64>() < model.stuck_cell_rate {
+                stuck_cells.push((r, c, Bit::from_bool(rng.gen())));
+            }
+        }
+    }
+    let mut dead_columns = Vec::new();
+    for c in 0..cols {
+        if rng.gen::<f64>() < model.dead_column_rate {
+            dead_columns.push((c, Bit::from_bool(rng.gen())));
+        }
+    }
+    InjectedFaults {
+        stuck_cells,
+        dead_columns,
+    }
+}
+
+/// Applies stuck-cell faults to a crossbar by overwriting the stored
+/// weights (the physical effect of a damaged storage loop: the programmed
+/// weight is lost). Dead columns cannot be expressed through weights; the
+/// caller masks those outputs with
+/// [`InjectedFaults::dead_columns`] after read-out.
+pub fn apply_stuck_cells(xbar: &mut Crossbar, faults: &InjectedFaults) {
+    let rows = xbar.rows();
+    let cols = xbar.cols();
+    let mut weights: Vec<Vec<Bit>> = (0..rows)
+        .map(|r| (0..cols).map(|c| xbar.weight(r, c)).collect())
+        .collect();
+    for &(r, c, v) in &faults.stuck_cells {
+        if r < rows && c < cols {
+            weights[r][c] = v;
+        }
+    }
+    xbar.program(&weights).expect("same shape");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::CrossbarConfig;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn pristine_draws_nothing() {
+        let f = draw_faults(&FaultModel::pristine(), 16, 16, &mut rng());
+        assert!(f.is_clean());
+        assert_eq!(f.count(), 0);
+    }
+
+    #[test]
+    fn rates_control_defect_density() {
+        let model = FaultModel::new(0.1, 0.0);
+        let f = draw_faults(&model, 100, 100, &mut rng());
+        // 10 000 cells at 10 %: expect ~1 000, allow wide Monte-Carlo slack.
+        assert!(
+            (700..1300).contains(&f.stuck_cells.len()),
+            "{} stuck cells",
+            f.stuck_cells.len()
+        );
+        assert!(f.dead_columns.is_empty());
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let model = FaultModel::new(0.05, 0.02);
+        let a = draw_faults(&model, 32, 32, &mut rng());
+        let b = draw_faults(&model, 32, 32, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_cells_override_weights() {
+        let weights = vec![vec![Bit::One; 4]; 4];
+        let mut xbar = Crossbar::new(CrossbarConfig::default(), weights).unwrap();
+        let faults = InjectedFaults {
+            stuck_cells: vec![(1, 2, Bit::Zero), (3, 0, Bit::Zero)],
+            dead_columns: vec![],
+        };
+        apply_stuck_cells(&mut xbar, &faults);
+        assert_eq!(xbar.weight(1, 2), Bit::Zero);
+        assert_eq!(xbar.weight(3, 0), Bit::Zero);
+        assert_eq!(xbar.weight(0, 0), Bit::One); // untouched
+    }
+
+    #[test]
+    fn stuck_cell_changes_column_sum() {
+        let weights = vec![vec![Bit::One]; 4];
+        let mut xbar = Crossbar::new(CrossbarConfig::default(), weights).unwrap();
+        let input = vec![Bit::One; 4];
+        assert_eq!(xbar.raw_sum(0, &input).unwrap(), 4);
+        let faults = InjectedFaults {
+            stuck_cells: vec![(0, 0, Bit::Zero)],
+            dead_columns: vec![],
+        };
+        apply_stuck_cells(&mut xbar, &faults);
+        assert_eq!(xbar.raw_sum(0, &input).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_rate() {
+        FaultModel::new(1.5, 0.0);
+    }
+}

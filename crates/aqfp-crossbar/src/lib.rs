@@ -1,0 +1,52 @@
+//! AQFP crossbar synapse arrays (paper Section 4.1–4.2).
+//!
+//! The crossbar is the in-memory compute fabric of SupeRBNN: binary weights
+//! live in logic-in-memory (LiM) cells built from AQFP buffers, each cell
+//! XNORs its stored weight with the row activation, and the per-column
+//! output currents merge in the analog domain. The merged current is
+//! attenuated by the growing superconductive inductance of the merging
+//! network ([`attenuation`], paper Eq. 2) and digitized by an AQFP buffer
+//! acting as sign-function + ADC — the *neuron circuit* — whose gray-zone
+//! makes the column output stochastic near the decision threshold.
+//!
+//! Modules:
+//!
+//! * [`attenuation`] — the `I1(Cs) = A·Cs^−B` current-attenuation law and a
+//!   log-log least-squares fitter (the paper fits its measured curve the
+//!   same way);
+//! * [`lim`] — the logic-in-memory cell;
+//! * [`array`](mod@array) — the crossbar array with analog column summation and
+//!   stochastic neuron read-out;
+//! * [`cost`] — the hardware cost model that reproduces the paper's Table 1
+//!   *exactly* (`JJ = 12n² + 48n`, `latency = 15n ps`, `E = 5 zJ/JJ`);
+//! * [`tile`] — partitioning of large weight matrices onto multiple
+//!   crossbars (the paper's scalability answer, Challenge #2/#3).
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_crossbar::array::{Crossbar, CrossbarConfig};
+//! use aqfp_device::{Bit, DeviceRng, SeedableRng};
+//!
+//! let mut rng = DeviceRng::seed_from_u64(1);
+//! // A 4×2 crossbar with all-(+1) weights.
+//! let weights = vec![vec![Bit::One; 2]; 4];
+//! let xbar = Crossbar::new(CrossbarConfig::default(), weights).unwrap();
+//! // All-(+1) input: every column sums to +4 — far outside the gray-zone.
+//! let out = xbar.compute(&[Bit::One; 4], &mut rng).unwrap();
+//! assert_eq!(out, vec![Bit::One, Bit::One]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod attenuation;
+pub mod cost;
+pub mod faults;
+pub mod lim;
+pub mod tile;
+
+pub use array::{Crossbar, CrossbarConfig, CrossbarError};
+pub use attenuation::AttenuationModel;
+pub use cost::CrossbarCost;

@@ -1,0 +1,84 @@
+//! The logic-in-memory (LiM) cell.
+//!
+//! One LiM cell stores a binary weight in an AQFP buffer held at high
+//! excitation and multiplies it with the row activation via an in-cell XNOR
+//! macro (paper Section 4.1). Its output is a current pulse of ±I_in whose
+//! sign is the product of activation and weight.
+
+use aqfp_device::{Bit, BufferMemory};
+use serde::{Deserialize, Serialize};
+
+/// A logic-in-memory cell: 1-bit weight storage + XNOR multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LimCell {
+    weight: BufferMemory,
+}
+
+impl LimCell {
+    /// Creates a cell pre-storing `weight`.
+    pub fn new(weight: Bit) -> Self {
+        Self {
+            weight: BufferMemory::new(weight),
+        }
+    }
+
+    /// The stored weight.
+    pub fn weight(&self) -> Bit {
+        self.weight.read()
+    }
+
+    /// Reprograms the stored weight.
+    pub fn program(&mut self, weight: Bit) {
+        self.weight.write(weight);
+    }
+
+    /// Multiplies the row activation with the stored weight (XNOR) and
+    /// returns the product bit.
+    pub fn multiply(&self, activation: Bit) -> Bit {
+        activation.xnor(self.weight.read())
+    }
+
+    /// The signed current this cell contributes to its column before
+    /// attenuation, in µA: `±I_in` with the sign of the XNOR product.
+    pub fn output_current_ua(&self, activation: Bit) -> f64 {
+        self.multiply(activation).to_current_ua()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_is_sign_product() {
+        for w in [Bit::Zero, Bit::One] {
+            for a in [Bit::Zero, Bit::One] {
+                let cell = LimCell::new(w);
+                assert_eq!(
+                    cell.multiply(a).to_value(),
+                    a.to_value() * w.to_value(),
+                    "a={a:?} w={w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_current_is_signed_70ua() {
+        let cell = LimCell::new(Bit::One);
+        assert_eq!(cell.output_current_ua(Bit::One), 70.0);
+        assert_eq!(cell.output_current_ua(Bit::Zero), -70.0);
+        let cell = LimCell::new(Bit::Zero);
+        assert_eq!(cell.output_current_ua(Bit::One), -70.0);
+        assert_eq!(cell.output_current_ua(Bit::Zero), 70.0);
+    }
+
+    #[test]
+    fn reprogramming_changes_weight() {
+        let mut cell = LimCell::new(Bit::One);
+        assert_eq!(cell.weight(), Bit::One);
+        cell.program(Bit::Zero);
+        assert_eq!(cell.weight(), Bit::Zero);
+        assert_eq!(cell.multiply(Bit::One), Bit::Zero);
+    }
+}

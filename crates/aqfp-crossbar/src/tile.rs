@@ -1,0 +1,155 @@
+//! Partitioning weight matrices onto multiple crossbars.
+//!
+//! A BNN layer's weight matrix is `fan_in × out_channels`; the crossbar's
+//! limited scalability (Challenge #2) means `fan_in` rarely fits one array.
+//! The layer is split along the fan-in dimension into row tiles (each a
+//! crossbar holding a *partial* filter) and along the output dimension into
+//! column tiles. Partial results from row tiles of the same column are
+//! accumulated by the SC module (Challenge #3).
+
+use serde::{Deserialize, Serialize};
+
+/// One tile of a partitioned weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// First fan-in row covered by this tile.
+    pub row_start: usize,
+    /// Rows covered (≤ max crossbar rows).
+    pub rows: usize,
+    /// First output column covered.
+    pub col_start: usize,
+    /// Columns covered (≤ max crossbar cols).
+    pub cols: usize,
+}
+
+/// A tiling plan: how a `fan_in × out` matrix maps onto crossbars of at
+/// most `max_rows × max_cols`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilingPlan {
+    /// Total fan-in of the layer.
+    pub fan_in: usize,
+    /// Total output channels.
+    pub out: usize,
+    /// Maximum rows of one crossbar.
+    pub max_rows: usize,
+    /// Maximum columns of one crossbar.
+    pub max_cols: usize,
+    /// The tiles, row-tile-major: all row tiles of column group 0 first.
+    pub tiles: Vec<Tile>,
+}
+
+impl TilingPlan {
+    /// Computes the tiling of a `fan_in × out` matrix.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(fan_in: usize, out: usize, max_rows: usize, max_cols: usize) -> Self {
+        assert!(fan_in > 0 && out > 0, "matrix must be non-empty");
+        assert!(max_rows > 0 && max_cols > 0, "crossbar must be non-empty");
+        let mut tiles = Vec::new();
+        let mut col_start = 0;
+        while col_start < out {
+            let cols = max_cols.min(out - col_start);
+            let mut row_start = 0;
+            while row_start < fan_in {
+                let rows = max_rows.min(fan_in - row_start);
+                tiles.push(Tile {
+                    row_start,
+                    rows,
+                    col_start,
+                    cols,
+                });
+                row_start += rows;
+            }
+            col_start += cols;
+        }
+        Self {
+            fan_in,
+            out,
+            max_rows,
+            max_cols,
+            tiles,
+        }
+    }
+
+    /// Number of row tiles each output column's partial sums spread over —
+    /// the number of stochastic numbers the SC accumulation module must add
+    /// per output.
+    pub fn row_tiles(&self) -> usize {
+        self.fan_in.div_ceil(self.max_rows)
+    }
+
+    /// Number of column groups.
+    pub fn col_tiles(&self) -> usize {
+        self.out.div_ceil(self.max_cols)
+    }
+
+    /// Total crossbars used.
+    pub fn crossbar_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Checks full disjoint coverage of the matrix (used by property tests).
+    pub fn covers_exactly(&self) -> bool {
+        let mut covered = vec![false; self.fan_in * self.out];
+        for t in &self.tiles {
+            for r in t.row_start..t.row_start + t.rows {
+                for c in t.col_start..t.col_start + t.cols {
+                    let idx = r * self.out + c;
+                    if covered[idx] {
+                        return false; // overlap
+                    }
+                    covered[idx] = true;
+                }
+            }
+        }
+        covered.into_iter().all(|b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_single_tile() {
+        let plan = TilingPlan::new(16, 16, 16, 16);
+        assert_eq!(plan.crossbar_count(), 1);
+        assert_eq!(plan.row_tiles(), 1);
+        assert!(plan.covers_exactly());
+    }
+
+    #[test]
+    fn splits_rows_and_cols() {
+        let plan = TilingPlan::new(100, 40, 16, 16);
+        assert_eq!(plan.row_tiles(), 7); // ⌈100/16⌉
+        assert_eq!(plan.col_tiles(), 3); // ⌈40/16⌉
+        assert_eq!(plan.crossbar_count(), 21);
+        assert!(plan.covers_exactly());
+    }
+
+    #[test]
+    fn ragged_edges_are_smaller_tiles() {
+        let plan = TilingPlan::new(20, 20, 16, 16);
+        assert_eq!(plan.crossbar_count(), 4);
+        let sizes: Vec<(usize, usize)> = plan.tiles.iter().map(|t| (t.rows, t.cols)).collect();
+        assert!(sizes.contains(&(16, 16)));
+        assert!(sizes.contains(&(4, 4)));
+        assert!(plan.covers_exactly());
+    }
+
+    #[test]
+    fn tiny_matrix_single_small_tile() {
+        let plan = TilingPlan::new(3, 2, 16, 16);
+        assert_eq!(plan.crossbar_count(), 1);
+        assert_eq!(plan.tiles[0].rows, 3);
+        assert_eq!(plan.tiles[0].cols, 2);
+        assert!(plan.covers_exactly());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_matrix() {
+        TilingPlan::new(0, 4, 16, 16);
+    }
+}

@@ -1,0 +1,222 @@
+//! The AQFP buffer: current sensor, sign function, ADC and 1-bit memory.
+//!
+//! The buffer (Fig. 1 of the paper) is the workhorse of the whole design:
+//! as a *neuron circuit* it digitizes the analog column current of a
+//! crossbar; as a *memory cell* it retains one bit while its excitation is
+//! held high; chained, it forms the buffer-chain memory (BCM).
+
+use crate::{Bit, GrayZone};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`AqfpBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Decision threshold `Ith` in µA. Adjustable at design time; SupeRBNN
+    /// uses it to absorb the folded batch-norm offset (paper Eq. 16).
+    pub threshold_ua: f64,
+    /// Gray-zone width `ΔIin` in µA.
+    pub grayzone_ua: f64,
+}
+
+impl Default for BufferConfig {
+    /// The paper's operating point: `Ith = 0`, `ΔIin = 2.4 µA` at 4.2 K.
+    fn default() -> Self {
+        Self {
+            threshold_ua: 0.0,
+            grayzone_ua: crate::consts::DEFAULT_GRAYZONE_UA,
+        }
+    }
+}
+
+/// A stochastic AQFP buffer.
+///
+/// The buffer senses the direction of its input current and produces a logic
+/// value; within the gray-zone the output is random with the erf-shaped
+/// probability of paper Eq. 1. The struct itself is immutable and cheap to
+/// copy; randomness comes from the RNG passed to [`AqfpBuffer::sense`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AqfpBuffer {
+    law: GrayZone,
+}
+
+impl AqfpBuffer {
+    /// Creates a buffer from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the gray-zone width is not strictly positive; use
+    /// [`AqfpBuffer::ideal`] for a noiseless comparator.
+    pub fn new(config: BufferConfig) -> Self {
+        Self {
+            law: GrayZone::new(config.threshold_ua, config.grayzone_ua),
+        }
+    }
+
+    /// A noiseless sign comparator with the given threshold (the `ΔIin → 0`
+    /// limit), useful as the "ideal hardware" reference in experiments.
+    pub fn ideal(threshold_ua: f64) -> Self {
+        Self {
+            law: GrayZone::deterministic(threshold_ua),
+        }
+    }
+
+    /// The underlying gray-zone law.
+    pub fn law(&self) -> GrayZone {
+        self.law
+    }
+
+    /// The decision threshold `Ith` in µA.
+    pub fn threshold_ua(&self) -> f64 {
+        self.law.threshold
+    }
+
+    /// Returns a copy with the threshold replaced — how BN matching programs
+    /// a column's neuron (Eq. 16).
+    #[must_use]
+    pub fn with_threshold(self, threshold_ua: f64) -> Self {
+        Self {
+            law: GrayZone {
+                threshold: threshold_ua,
+                ..self.law
+            },
+        }
+    }
+
+    /// Probability of reading logic '1' for an input current in µA (Eq. 1).
+    pub fn probability_one(&self, input_ua: f64) -> f64 {
+        self.law.probability_one(input_ua)
+    }
+
+    /// Senses the input current once, sampling the stochastic output.
+    pub fn sense<R: rand::Rng + ?Sized>(&self, input_ua: f64, rng: &mut R) -> Bit {
+        Bit::from_bool(self.law.sample(input_ua, rng))
+    }
+
+    /// Senses the same held input over an observation window of `len` clock
+    /// cycles, producing the raw bit-stream that the SC accumulation module
+    /// consumes (paper Fig. 6a). Each cycle is an independent draw — the
+    /// paper relies on the true-randomness of thermal switching for the
+    /// i.i.d. property of stochastic numbers.
+    pub fn observe<R: rand::Rng + ?Sized>(
+        &self,
+        input_ua: f64,
+        len: usize,
+        rng: &mut R,
+    ) -> Vec<Bit> {
+        // One probability evaluation, `len` Bernoulli draws.
+        let p = self.law.probability_one(input_ua);
+        (0..len)
+            .map(|_| {
+                let v = if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    rng.gen::<f64>() < p
+                };
+                Bit::from_bool(v)
+            })
+            .collect()
+    }
+}
+
+impl Default for AqfpBuffer {
+    fn default() -> Self {
+        Self::new(BufferConfig::default())
+    }
+}
+
+/// A 1-bit memory built from an AQFP buffer held at high excitation
+/// (Section 2.2: "the logic state stored in the AQFP buffer can be
+/// retained"). Used for pre-storing BNN weights in LiM cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferMemory {
+    stored: Bit,
+}
+
+impl BufferMemory {
+    /// Creates a memory cell holding `bit`.
+    pub fn new(bit: Bit) -> Self {
+        Self { stored: bit }
+    }
+
+    /// Reads the retained bit. Reading is non-destructive.
+    pub fn read(&self) -> Bit {
+        self.stored
+    }
+
+    /// Rewrites the cell (weight reprogramming between layers/models).
+    pub fn write(&mut self, bit: Bit) {
+        self.stored = bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceRng, SeedableRng};
+
+    #[test]
+    fn strong_currents_are_deterministic() {
+        let buf = AqfpBuffer::default();
+        let mut rng = DeviceRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(buf.sense(70.0, &mut rng), Bit::One);
+            assert_eq!(buf.sense(-70.0, &mut rng), Bit::Zero);
+        }
+    }
+
+    #[test]
+    fn grayzone_output_is_stochastic() {
+        let buf = AqfpBuffer::default();
+        let mut rng = DeviceRng::seed_from_u64(1);
+        let bits: Vec<Bit> = (0..1000).map(|_| buf.sense(0.0, &mut rng)).collect();
+        let ones = bits.iter().filter(|b| b.as_bool()).count();
+        assert!(
+            (400..600).contains(&ones),
+            "zero input should flip ~50/50, got {ones}/1000"
+        );
+    }
+
+    #[test]
+    fn threshold_programming_shifts_decision() {
+        let buf = AqfpBuffer::default().with_threshold(10.0);
+        assert!((buf.probability_one(10.0) - 0.5).abs() < 1e-12);
+        assert!(buf.probability_one(0.0) < 1e-6);
+        assert_eq!(buf.threshold_ua(), 10.0);
+    }
+
+    #[test]
+    fn observation_window_estimates_probability() {
+        let buf = AqfpBuffer::default();
+        let mut rng = DeviceRng::seed_from_u64(2);
+        let input = 1.0; // inside the gray-zone
+        let stream = buf.observe(input, 20_000, &mut rng);
+        let freq = stream.iter().filter(|b| b.as_bool()).count() as f64 / stream.len() as f64;
+        let p = buf.probability_one(input);
+        assert!((freq - p).abs() < 0.015, "freq {freq} vs p {p}");
+    }
+
+    #[test]
+    fn ideal_buffer_is_step() {
+        let buf = AqfpBuffer::ideal(0.0);
+        let mut rng = DeviceRng::seed_from_u64(3);
+        assert_eq!(buf.sense(1e-9, &mut rng), Bit::One);
+        assert_eq!(buf.sense(-1e-9, &mut rng), Bit::Zero);
+    }
+
+    #[test]
+    fn memory_retains_and_rewrites() {
+        let mut m = BufferMemory::new(Bit::One);
+        assert_eq!(m.read(), Bit::One);
+        assert_eq!(m.read(), Bit::One); // non-destructive
+        m.write(Bit::Zero);
+        assert_eq!(m.read(), Bit::Zero);
+    }
+
+    #[test]
+    fn observe_empty_window() {
+        let buf = AqfpBuffer::default();
+        let mut rng = DeviceRng::seed_from_u64(4);
+        assert!(buf.observe(0.0, 0, &mut rng).is_empty());
+    }
+}

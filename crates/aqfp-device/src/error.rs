@@ -1,0 +1,48 @@
+//! Error type for device-level configuration.
+
+use std::fmt;
+
+/// Errors raised by device-level constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The clock phase count is below the AQFP minimum of 3.
+    InvalidClockPhases {
+        /// The rejected phase count.
+        phases: u32,
+    },
+    /// The clock frequency is non-positive or non-finite.
+    InvalidFrequency {
+        /// The rejected frequency in GHz.
+        frequency_ghz: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidClockPhases { phases } => write!(
+                f,
+                "AQFP requires at least 3 clock phases for data propagation, got {phases}"
+            ),
+            DeviceError::InvalidFrequency { frequency_ghz } => {
+                write!(f, "clock frequency must be positive and finite, got {frequency_ghz} GHz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::InvalidClockPhases { phases: 2 };
+        assert!(e.to_string().contains("at least 3"));
+        let e = DeviceError::InvalidFrequency { frequency_ghz: 0.0 };
+        assert!(e.to_string().contains("positive"));
+    }
+}

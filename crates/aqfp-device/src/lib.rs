@@ -1,0 +1,68 @@
+//! Device-level models of Adiabatic Quantum-Flux-Parametron (AQFP) logic.
+//!
+//! This crate is the lowest layer of the SupeRBNN reproduction. It models the
+//! behaviour the paper relies on at the device level:
+//!
+//! * the **gray-zone switching law** of an AQFP buffer (paper Eq. 1): an AQFP
+//!   buffer senses the *direction* of its input current, but when the
+//!   magnitude of the input falls inside a finite gray-zone `ΔIin` the output
+//!   becomes stochastic with probability
+//!   `P(Iin) = 0.5 + 0.5·erf(√π · (Iin − Ith) / ΔIin)`;
+//! * the **thermal/quantum noise model** that sets the gray-zone width as a
+//!   function of temperature (the paper operates at 4.2 K and considers only
+//!   thermal fluctuations);
+//! * the **minimalist AQFP cell library** (buffer, inverter, AND, OR,
+//!   3-input majority, splitter, read-out interface) with per-gate Josephson
+//!   junction (JJ) counts, switching energy and latency;
+//! * the **multi-phase excitation clock** that synchronizes every AQFP gate
+//!   and determines pipeline latency.
+//!
+//! Everything upstream (netlists, crossbars, stochastic computing, the
+//! SupeRBNN training loop) consumes these models rather than re-deriving
+//! device physics.
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_device::{AqfpBuffer, BufferConfig, DeviceRng, SeedableRng};
+//!
+//! // A buffer with the paper's default 2.4 µA gray-zone and zero threshold.
+//! let buffer = AqfpBuffer::new(BufferConfig::default());
+//! let mut rng = DeviceRng::seed_from_u64(42);
+//!
+//! // A strong positive current is always read as logic '1'.
+//! assert_eq!(buffer.sense(70.0, &mut rng).to_value(), 1.0);
+//! // Well inside the gray-zone the output probability is exactly 1/2.
+//! assert!((buffer.probability_one(0.0) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod clock;
+pub mod consts;
+pub mod erf;
+pub mod grayzone;
+pub mod logic;
+pub mod noise;
+
+mod buffer;
+mod error;
+
+pub use buffer::{AqfpBuffer, BufferConfig, BufferMemory};
+pub use cells::{CellLibrary, GateKind};
+pub use clock::ClockScheme;
+pub use error::DeviceError;
+pub use grayzone::GrayZone;
+pub use logic::Bit;
+
+/// Deterministic random-number generator used across the device layer.
+///
+/// All stochastic device behaviour in this workspace is driven through this
+/// alias so experiments are reproducible from a single seed.
+pub type DeviceRng = rand::rngs::StdRng;
+
+// Re-export the trait so callers can write `DeviceRng::seed_from_u64(..)`
+// without importing rand themselves.
+pub use rand::SeedableRng;

@@ -1,0 +1,138 @@
+//! Logic values and their current-domain encoding.
+//!
+//! AQFP encodes logic in the *polarity* of the output current pulse: a
+//! positive pulse is logic '1', a negative pulse is logic '0'. In the BNN
+//! mapping, logic '1' carries the value `+1` and logic '0' carries `−1`,
+//! which is what makes analog current summation compute a signed dot product.
+
+use serde::{Deserialize, Serialize};
+
+/// A single AQFP logic value.
+///
+/// `Bit` is deliberately not a `bool` alias: the BNN mapping cares about the
+/// signed value (±1) and the signed drive current (±70 µA), and conflating
+/// those with `true`/`false` has historically caused sign bugs in crossbar
+/// code. Conversions are explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bit {
+    /// Logic '0': negative current polarity, BNN value −1.
+    Zero,
+    /// Logic '1': positive current polarity, BNN value +1.
+    One,
+}
+
+impl Bit {
+    /// The signed BNN value carried by this bit: `+1.0` or `−1.0`.
+    #[inline]
+    pub fn to_value(self) -> f64 {
+        match self {
+            Bit::Zero => -1.0,
+            Bit::One => 1.0,
+        }
+    }
+
+    /// The drive current this bit injects into a crossbar row, in µA
+    /// (±70 µA per Section 4.2).
+    #[inline]
+    pub fn to_current_ua(self) -> f64 {
+        self.to_value() * crate::consts::INPUT_CURRENT_UA
+    }
+
+    /// Builds a bit from the sign of a real value; non-negative maps to
+    /// [`Bit::One`], matching the paper's `sign` convention (Eq. 6 maps
+    /// `xr ≥ 0` to `+1`).
+    #[inline]
+    pub fn from_sign(value: f64) -> Self {
+        if value >= 0.0 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Interprets the bit as a boolean (`One` → `true`).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// Builds a bit from a boolean (`true` → `One`).
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// XNOR of two bits — the BNN "multiplication" (paper Section 4.1):
+    /// equal signs multiply to `+1`.
+    #[inline]
+    pub fn xnor(self, other: Bit) -> Bit {
+        Bit::from_bool(self == other)
+    }
+
+    /// Logical negation (an AQFP inverter).
+    #[allow(clippy::should_implement_trait)] // `!bit` reads worse in crossbar code
+    #[inline]
+    pub fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::from_bool(b)
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> Self {
+        b.as_bool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_encoding_is_signed() {
+        assert_eq!(Bit::One.to_value(), 1.0);
+        assert_eq!(Bit::Zero.to_value(), -1.0);
+    }
+
+    #[test]
+    fn current_encoding_is_plus_minus_70ua() {
+        assert_eq!(Bit::One.to_current_ua(), 70.0);
+        assert_eq!(Bit::Zero.to_current_ua(), -70.0);
+    }
+
+    #[test]
+    fn xnor_is_sign_multiplication() {
+        for a in [Bit::Zero, Bit::One] {
+            for w in [Bit::Zero, Bit::One] {
+                let product = a.to_value() * w.to_value();
+                assert_eq!(a.xnor(w).to_value(), product);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_convention_matches_paper_eq6() {
+        assert_eq!(Bit::from_sign(0.0), Bit::One);
+        assert_eq!(Bit::from_sign(3.2), Bit::One);
+        assert_eq!(Bit::from_sign(-0.001), Bit::Zero);
+    }
+
+    #[test]
+    fn not_inverts() {
+        assert_eq!(Bit::One.not(), Bit::Zero);
+        assert_eq!(Bit::Zero.not(), Bit::One);
+        assert_eq!(Bit::One.not().not(), Bit::One);
+    }
+}

@@ -1,0 +1,615 @@
+//! Fan-out legalization (splitter insertion) and path-balancing buffer
+//! insertion.
+//!
+//! Two structural rules of AQFP that CMOS designers never meet:
+//!
+//! 1. **Fan-out one.** An AQFP gate's output transformer drives exactly one
+//!    consumer; driving `k` consumers requires a tree of 1-to-2 splitters.
+//! 2. **Path balance.** Data lives for only a bounded number of clock phases
+//!    at a gate output. Two signals converging on a gate must arrive within
+//!    the clock scheme's skew tolerance; otherwise buffers must be inserted
+//!    on the faster path. With the conventional 4-phase clock the tolerance
+//!    is a single stage — reconvergent paths must be balanced exactly —
+//!    which is what makes buffer overhead dominate real AQFP designs.
+
+use crate::graph::{Netlist, Node, NodeId};
+use aqfp_device::{ClockScheme, GateKind};
+use serde::{Deserialize, Serialize};
+
+/// Inserts splitter trees so every node drives at most one consumer.
+///
+/// Returns the number of splitters inserted. Output markings are preserved;
+/// a node that is both an output and a producer counts as having one extra
+/// consumer (the read-out interface taps a dedicated splitter leg).
+pub fn legalize_fanout(nl: &mut Netlist) -> usize {
+    let fanout = {
+        let mut f = nl.fanout_counts();
+        for &out in nl.outputs() {
+            f[out.index()] += 1;
+        }
+        f
+    };
+
+    let mut new = Netlist::new();
+    // For each old node: a stack of (new_id, remaining_uses) slots.
+    let mut slots: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); nl.len()];
+    let mut splitters = 0usize;
+
+    // Takes one available reference to old node `id`, growing a splitter
+    // *chain* lazily: a node with `k` pending consumers hands the current
+    // consumer a fresh splitter leg and leaves the chain tail (with `k − 1`
+    // uses) for the next taker. `k` consumers end up behind `k − 1`
+    // splitters, each driving exactly two things (one consumer + the next
+    // chain link, or two consumers at the very end).
+    fn take(
+        slots: &mut [Vec<(NodeId, u32)>],
+        new: &mut Netlist,
+        splitters: &mut usize,
+        id: NodeId,
+    ) -> NodeId {
+        let stack = &mut slots[id.index()];
+        let (node, uses) = stack.pop().expect("fan-out accounting exhausted");
+        if uses == 1 {
+            return node;
+        }
+        let sp = new
+            .add_gate(GateKind::Splitter, &[node])
+            .expect("splitter on defined node");
+        *splitters += 1;
+        stack.push((sp, uses - 1));
+        sp
+    }
+
+    for (old_id, node) in nl.iter() {
+        let new_id = match node {
+            Node::Input => new.add_input(),
+            Node::Const(v) => new.add_const(*v),
+            Node::Gate { kind, inputs } => {
+                let mapped: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|&i| take(&mut slots, &mut new, &mut splitters, i))
+                    .collect();
+                new.add_gate(*kind, &mapped).expect("valid rewrite")
+            }
+        };
+        let uses = fanout[old_id.index()].max(1);
+        slots[old_id.index()].push((new_id, uses));
+    }
+
+    for &out in nl.outputs().to_vec().iter() {
+        let leg = take(&mut slots, &mut new, &mut splitters, out);
+        new.mark_output(leg);
+    }
+
+    *nl = new;
+    splitters
+}
+
+/// Inserts *balanced* splitter trees so every node drives at most one
+/// consumer — the depth-optimal variant of [`legalize_fanout`].
+///
+/// The lazy chain of [`legalize_fanout`] puts a node's `k` consumers
+/// behind up to `k − 1` sequential splitters; this variant arranges the
+/// same `k − 1` splitters as a near-balanced binary tree of depth
+/// `⌈log₂ k⌉`. Which shape is cheaper is exactly the trade-off the
+/// buffer/splitter co-insertion literature (Fu et al.\[28\], Huang et
+/// al.\[35\]) optimizes over:
+///
+/// * consumers at the **same stage** (broadcast fan-out, e.g. a crossbar
+///   input row) favor the tree — sibling legs differ by at most one
+///   stage, so the follow-up [`balance`] pass inserts far fewer buffers,
+///   and the critical path through the fan-out shrinks from `k − 1` to
+///   `⌈log₂ k⌉` stages;
+/// * consumers at **staggered stages** (e.g. the successive adders of a
+///   Wallace tree) favor the chain — its progressively deeper legs act
+///   as free path-balancing buffers for the deeper consumers.
+///
+/// Both variants are exposed so the trade-off can be measured per
+/// netlist; `clocking_study`-style flows default to the chain.
+///
+/// Returns the number of splitters inserted (identical to the chain
+/// variant's count — only the tree shape differs).
+pub fn legalize_fanout_balanced(nl: &mut Netlist) -> usize {
+    use std::collections::VecDeque;
+
+    let fanout = {
+        let mut f = nl.fanout_counts();
+        for &out in nl.outputs() {
+            f[out.index()] += 1;
+        }
+        f
+    };
+
+    let mut new = Netlist::new();
+    // legs[old] = queue of splitter-tree legs still unassigned; a 1→2
+    // splitter node appears twice (once per leg).
+    let mut legs: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); nl.len()];
+    let mut splitters = 0usize;
+
+    for (old_id, node) in nl.iter() {
+        let new_id = match node {
+            Node::Input => new.add_input(),
+            Node::Const(v) => new.add_const(*v),
+            Node::Gate { kind, inputs } => {
+                let mapped: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|&i| legs[i.index()].pop_front().expect("fan-out accounting"))
+                    .collect();
+                new.add_gate(*kind, &mapped).expect("valid rewrite")
+            }
+        };
+        let uses = fanout[old_id.index()].max(1) as usize;
+        // Grow the leg set breadth-first: each expansion replaces one leg
+        // with a splitter providing two, so leg depths differ by ≤ 1.
+        let mut q = VecDeque::with_capacity(uses);
+        q.push_back(new_id);
+        while q.len() < uses {
+            let src = q.pop_front().expect("non-empty by construction");
+            let sp = new
+                .add_gate(GateKind::Splitter, &[src])
+                .expect("splitter on defined node");
+            splitters += 1;
+            q.push_back(sp);
+            q.push_back(sp);
+        }
+        legs[old_id.index()] = q;
+    }
+
+    for &out in nl.outputs().to_vec().iter() {
+        let leg = legs[out.index()].pop_front().expect("output leg reserved");
+        new.mark_output(leg);
+    }
+
+    *nl = new;
+    splitters
+}
+
+/// Result of path-balancing buffer insertion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// Skew tolerance (stages) the clock scheme permits on a single edge.
+    pub allowed_skew: u32,
+    /// Buffers inserted to balance all edges.
+    pub buffers_inserted: usize,
+    /// Pipeline depth (stages) after balancing.
+    pub depth: u32,
+    /// Stage assigned to every node of the rewritten netlist.
+    pub stages: Vec<u32>,
+}
+
+/// Stage-assignment policy for [`balance_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Each gate fires at its earliest possible stage (longest path from
+    /// the inputs) — the default.
+    Asap,
+    /// Each gate fires as late as its consumers allow.
+    Alap,
+}
+
+/// Inserts path-balancing buffers for the given clock scheme, rewriting the
+/// netlist in place. Uses ASAP scheduling; see [`balance_with`] for the
+/// ALAP variant.
+///
+/// The stage of each gate is its ASAP level; an edge spanning `d` stages
+/// needs `⌈d / s⌉ − 1` buffers, where `s` is the scheme's
+/// [`allowed_skew`](ClockScheme::allowed_skew) — data may coast up to `s`
+/// stages per hop. The 4-phase scheme has `s = 1`: every edge spanning more
+/// than one stage is fully buffered, the classical AQFP cost.
+///
+/// Call [`legalize_fanout`] first; balancing assumes (but does not require)
+/// legal fan-out, and inserted buffers never increase fan-out.
+pub fn balance(nl: &mut Netlist, clock: &ClockScheme) -> BalanceReport {
+    balance_with(nl, clock, Schedule::Asap)
+}
+
+/// [`balance`] with an explicit stage-assignment policy.
+pub fn balance_with(nl: &mut Netlist, clock: &ClockScheme, schedule: Schedule) -> BalanceReport {
+    let skew = clock.allowed_skew();
+    let levels = match schedule {
+        Schedule::Asap => nl.levels(),
+        Schedule::Alap => nl.levels_alap(),
+    };
+
+    let mut new = Netlist::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; nl.len()];
+    let mut stages: Vec<u32> = Vec::new();
+    let mut buffers = 0usize;
+
+    for (old_id, node) in nl.iter() {
+        let new_id = match node {
+            Node::Input => {
+                let id = new.add_input();
+                stages.push(0);
+                id
+            }
+            Node::Const(v) => {
+                let id = new.add_const(*v);
+                stages.push(0);
+                id
+            }
+            Node::Gate { kind, inputs } => {
+                let my_stage = levels[old_id.index()];
+                let mut mapped = Vec::with_capacity(inputs.len());
+                for &inp in inputs {
+                    let src_stage = levels[inp.index()];
+                    let gap = my_stage - src_stage;
+                    debug_assert!(gap >= 1);
+                    let needed = gap.div_ceil(skew) - 1; // ⌈gap/s⌉ − 1
+                    let mut cur = map[inp.index()].expect("topological order");
+                    for b in 1..=needed {
+                        cur = new
+                            .add_gate(GateKind::Buffer, &[cur])
+                            .expect("buffer on defined node");
+                        stages.push(src_stage + b * skew);
+                        buffers += 1;
+                    }
+                    mapped.push(cur);
+                }
+                let id = new.add_gate(*kind, &mapped).expect("valid rewrite");
+                stages.push(my_stage);
+                id
+            }
+        };
+        map[old_id.index()] = Some(new_id);
+    }
+
+    for &out in nl.outputs().to_vec().iter() {
+        new.mark_output(map[out.index()].expect("output defined"));
+    }
+
+    let depth = stages.iter().copied().max().unwrap_or(0);
+    *nl = new;
+    BalanceReport {
+        allowed_skew: skew,
+        buffers_inserted: buffers,
+        depth,
+        stages,
+    }
+}
+
+/// Checks that `stages` is a legal schedule for `nl` under skew tolerance
+/// `skew`: every edge spans between 1 and `skew` stages. Used by tests.
+pub fn is_balanced(nl: &Netlist, stages: &[u32], skew: u32) -> bool {
+    for (id, node) in nl.iter() {
+        if let Node::Gate { inputs, .. } = node {
+            for &inp in inputs {
+                let gap = stages[id.index()] as i64 - stages[inp.index()] as i64;
+                if gap < 1 || gap > skew as i64 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Maximum fan-out over all nodes (outputs count as one extra consumer).
+pub fn max_fanout(nl: &Netlist) -> u32 {
+    let mut f = nl.fanout_counts();
+    for &out in nl.outputs() {
+        f[out.index()] += 1;
+    }
+    f.into_iter().max().unwrap_or(0)
+}
+
+/// Checks the AQFP fan-out rule: every node drives at most as many
+/// consumers as its kind supports (2 for splitters, 1 for everything else;
+/// output markings count as one consumer).
+pub fn fanout_is_legal(nl: &Netlist) -> bool {
+    let mut f = nl.fanout_counts();
+    for &out in nl.outputs() {
+        f[out.index()] += 1;
+    }
+    nl.iter().all(|(id, node)| {
+        let capacity = match node {
+            Node::Gate { kind, .. } => kind.fanout() as u32,
+            _ => 1,
+        };
+        f[id.index()] <= capacity
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_device::GateKind;
+
+    /// a XOR b with reconvergent fan-out on both inputs.
+    fn xor_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Inverter, &[b]).unwrap();
+        let t1 = nl.add_gate(GateKind::And, &[a, nb]).unwrap();
+        let t2 = nl.add_gate(GateKind::And, &[na, b]).unwrap();
+        let o = nl.add_gate(GateKind::Or, &[t1, t2]).unwrap();
+        nl.mark_output(o);
+        nl
+    }
+
+    fn truth_table(nl: &Netlist, n: usize) -> Vec<Vec<bool>> {
+        (0..(1usize << n))
+            .map(|m| {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                nl.eval(&inputs).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn legalization_preserves_function() {
+        let mut nl = xor_netlist();
+        let before = truth_table(&nl, 2);
+        let splitters = legalize_fanout(&mut nl);
+        assert!(splitters > 0, "XOR has fan-out 2 on each input");
+        assert_eq!(truth_table(&nl, 2), before);
+    }
+
+    #[test]
+    fn legalization_bounds_fanout() {
+        let mut nl = xor_netlist();
+        assert!(!fanout_is_legal(&nl), "XOR netlist starts illegal");
+        legalize_fanout(&mut nl);
+        assert!(fanout_is_legal(&nl), "max fanout {} after", max_fanout(&nl));
+    }
+
+    #[test]
+    fn legalization_splitter_count_is_consumers_minus_one() {
+        // A single input with 4 consumers needs 3 splitters.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        for _ in 0..4 {
+            let g = nl.add_gate(GateKind::Buffer, &[a]).unwrap();
+            nl.mark_output(g);
+        }
+        let splitters = legalize_fanout(&mut nl);
+        assert_eq!(splitters, 3);
+    }
+
+    #[test]
+    fn balancing_preserves_function() {
+        let mut nl = xor_netlist();
+        legalize_fanout(&mut nl);
+        let before = truth_table(&nl, 2);
+        let clock = ClockScheme::four_phase_5ghz();
+        balance(&mut nl, &clock);
+        assert_eq!(truth_table(&nl, 2), before);
+    }
+
+    /// One input fanned out to `k` XOR-combined consumers: a worst case
+    /// for splitter chains.
+    fn high_fanout_netlist(k: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let mut acc = nl.add_gate(GateKind::Buffer, &[b]).unwrap();
+        for _ in 0..k {
+            acc = nl.add_gate(GateKind::And, &[acc, a]).unwrap();
+        }
+        nl.mark_output(acc);
+        nl
+    }
+
+    #[test]
+    fn balanced_legalization_preserves_function_and_legality() {
+        let mut nl = xor_netlist();
+        let before = truth_table(&nl, 2);
+        let splitters = legalize_fanout_balanced(&mut nl);
+        assert!(splitters > 0);
+        assert!(fanout_is_legal(&nl));
+        assert_eq!(truth_table(&nl, 2), before);
+    }
+
+    #[test]
+    fn balanced_and_chain_use_the_same_splitter_count() {
+        for k in [2usize, 5, 16, 33] {
+            let mut chain = high_fanout_netlist(k);
+            let mut tree = high_fanout_netlist(k);
+            assert_eq!(
+                legalize_fanout(&mut chain),
+                legalize_fanout_balanced(&mut tree),
+                "k={k}"
+            );
+            assert!(fanout_is_legal(&tree), "k={k}");
+        }
+    }
+
+    /// One input broadcast to `k` consumers that each pair it with a fresh
+    /// stage-0 primary input — the shape where splitter trees win: chain
+    /// legs arrive at depths 1..k against stage-0 partners, forcing a
+    /// quadratic number of balancing buffers.
+    fn broadcast_netlist(k: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let partners: Vec<NodeId> = (0..k).map(|_| nl.add_input()).collect();
+        for &b in &partners {
+            let c = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+            nl.mark_output(c);
+        }
+        nl
+    }
+
+    #[test]
+    fn splitter_trees_win_on_broadcast_chains_win_on_wallace() {
+        let clock = ClockScheme::four_phase_5ghz();
+        let run = |mut nl: Netlist, balanced: bool| {
+            if balanced {
+                legalize_fanout_balanced(&mut nl);
+            } else {
+                legalize_fanout(&mut nl);
+            }
+            let r = balance(&mut nl, &clock);
+            (r.buffers_inserted, r.depth, nl)
+        };
+
+        // Broadcast fan-out: every consumer is at the same stage, so the
+        // log-depth tree leaves much less skew than the linear chain.
+        let (chain_buf, chain_depth, _) = run(broadcast_netlist(32), false);
+        let (tree_buf, tree_depth, _) = run(broadcast_netlist(32), true);
+        assert!(
+            tree_buf < chain_buf,
+            "broadcast: tree {tree_buf} vs chain {chain_buf} buffers"
+        );
+        assert!(tree_depth < chain_depth, "broadcast: tree must be shallower");
+
+        // Wallace-tree popcount: consumers sit at staggered stages and the
+        // chain's deeper legs double as free balancing buffers.
+        let (chain_buf, _, chain_nl) = run(crate::builders::popcount(32).0, false);
+        let (tree_buf, _, tree_nl) = run(crate::builders::popcount(32).0, true);
+        assert!(
+            chain_buf <= tree_buf,
+            "wallace: chain {chain_buf} vs tree {tree_buf} buffers"
+        );
+        // Function survives both flows either way.
+        let inputs = vec![true; 32];
+        assert_eq!(chain_nl.eval(&inputs).unwrap(), tree_nl.eval(&inputs).unwrap());
+    }
+
+    #[test]
+    fn balanced_legalization_of_wide_fanout_is_logarithmic_depth() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        for _ in 0..16 {
+            let g = nl.add_gate(GateKind::Buffer, &[a]).unwrap();
+            nl.mark_output(g);
+        }
+        legalize_fanout_balanced(&mut nl);
+        // 17 legs (16 consumers + none extra): tree depth ⌈log2 17⌉ = 5,
+        // plus the buffer stage.
+        assert!(nl.depth() <= 6, "depth {}", nl.depth());
+        assert!(fanout_is_legal(&nl));
+    }
+
+    #[test]
+    fn balanced_netlist_is_balanced() {
+        let mut nl = xor_netlist();
+        legalize_fanout(&mut nl);
+        let clock = ClockScheme::four_phase_5ghz();
+        let report = balance(&mut nl, &clock);
+        assert!(is_balanced(&nl, &report.stages, report.allowed_skew));
+    }
+
+    #[test]
+    fn four_phase_inserts_more_buffers_than_sixteen_phase() {
+        let counts: Vec<usize> = [4u32, 8, 16]
+            .iter()
+            .map(|&p| {
+                let mut nl = xor_netlist();
+                legalize_fanout(&mut nl);
+                let clock = ClockScheme::new(p, 5.0).unwrap();
+                balance(&mut nl, &clock).buffers_inserted
+            })
+            .collect();
+        assert!(counts[0] >= counts[1]);
+        assert!(counts[1] >= counts[2]);
+    }
+
+    #[test]
+    fn four_phase_balances_exactly() {
+        // With skew 1, every edge must span exactly one stage.
+        let mut nl = xor_netlist();
+        legalize_fanout(&mut nl);
+        let clock = ClockScheme::four_phase_5ghz();
+        let report = balance(&mut nl, &clock);
+        assert!(is_balanced(&nl, &report.stages, 1));
+    }
+
+    #[test]
+    fn straight_chain_needs_no_buffers() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let mut cur = a;
+        for _ in 0..10 {
+            cur = nl.add_gate(GateKind::Inverter, &[cur]).unwrap();
+        }
+        nl.mark_output(cur);
+        let report = balance(&mut nl, &ClockScheme::four_phase_5ghz());
+        assert_eq!(report.buffers_inserted, 0);
+        assert_eq!(report.depth, 10);
+    }
+
+    #[test]
+    fn skewed_reconvergence_is_buffered() {
+        // in -> INV -> INV -> AND <- (direct edge from in): gap 3 vs 1.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let i1 = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let i2 = nl.add_gate(GateKind::Inverter, &[i1]).unwrap();
+        let o = nl.add_gate(GateKind::And, &[i2, b]).unwrap();
+        nl.mark_output(o);
+        let report = balance(&mut nl, &ClockScheme::four_phase_5ghz());
+        // b sits at stage 0, AND at stage 3: needs 2 buffers.
+        assert_eq!(report.buffers_inserted, 2);
+        assert!(is_balanced(&nl, &report.stages, 1));
+    }
+
+    #[test]
+    fn alap_schedule_is_legal_and_function_preserving() {
+        use crate::random::{random_dag, RandomDagConfig};
+        use rand::SeedableRng;
+        let cfg = RandomDagConfig {
+            inputs: 6,
+            gates: 60,
+            ..Default::default()
+        };
+        for seed in [0u64, 1, 2] {
+            let mut nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(seed));
+            let probe: Vec<bool> = (0..6).map(|i| (seed >> i) & 1 == 1).collect();
+            let before = nl.eval(&probe).unwrap();
+            legalize_fanout(&mut nl);
+            let clock = ClockScheme::four_phase_5ghz();
+            let report = balance_with(&mut nl, &clock, Schedule::Alap);
+            assert!(is_balanced(&nl, &report.stages, report.allowed_skew));
+            assert_eq!(nl.eval(&probe).unwrap(), before, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alap_helps_early_fanout_structures() {
+        // One input drives many gates that feed a deep chain: ASAP pins all
+        // of them at stage 1 (far from their consumers); ALAP slides each
+        // next to its consumer, removing the balancing buffers.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let mut chain = nl.add_gate(GateKind::Buffer, &[a]).unwrap();
+        let mut taps = Vec::new();
+        for _ in 0..6 {
+            chain = nl.add_gate(GateKind::Inverter, &[chain]).unwrap();
+            taps.push(nl.add_gate(GateKind::Buffer, &[a]).unwrap());
+        }
+        // Each tap joins the chain at a different depth.
+        let mut acc = chain;
+        for &t in &taps {
+            acc = nl.add_gate(GateKind::And, &[acc, t]).unwrap();
+        }
+        nl.mark_output(acc);
+        legalize_fanout(&mut nl);
+        let clock = ClockScheme::four_phase_5ghz();
+        let mut asap_nl = nl.clone();
+        let asap = balance_with(&mut asap_nl, &clock, Schedule::Asap);
+        let mut alap_nl = nl.clone();
+        let alap = balance_with(&mut alap_nl, &clock, Schedule::Alap);
+        assert!(
+            alap.buffers_inserted < asap.buffers_inserted,
+            "ALAP {} vs ASAP {}",
+            alap.buffers_inserted,
+            asap.buffers_inserted
+        );
+        assert!(is_balanced(&alap_nl, &alap.stages, 1));
+    }
+
+    #[test]
+    fn higher_phase_count_reduces_depth_never() {
+        // Balancing never changes the ASAP depth, only the buffer count.
+        for p in [4u32, 8, 16] {
+            let mut nl = xor_netlist();
+            legalize_fanout(&mut nl);
+            let depth_before = nl.depth();
+            let report = balance(&mut nl, &ClockScheme::new(p, 5.0).unwrap());
+            assert_eq!(report.depth, depth_before, "phases {p}");
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Arithmetic circuit builders in AQFP majority logic.
+//!
+//! These are the digital blocks of the SC-based accumulation module
+//! (paper Fig. 6b): popcount trees (the core of an approximate parallel
+//! counter), ripple-carry adders and threshold comparators. They are built
+//! from the minimalist cell library; the 3-input majority gate is the native
+//! primitive, so full adders use the classical MAJ/INV construction.
+
+use crate::graph::{Netlist, NodeId};
+use aqfp_device::GateKind;
+
+/// Adds a half adder; returns `(sum, carry)`.
+///
+/// `sum = XOR(a, b) = AND(OR(a, b), INV(AND(a, b)))`, `carry = AND(a, b)` —
+/// four gates.
+pub fn half_adder(nl: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let and_ab = nl.add_gate(GateKind::And, &[a, b]).expect("valid ids");
+    let or_ab = nl.add_gate(GateKind::Or, &[a, b]).expect("valid ids");
+    let nand_ab = nl.add_gate(GateKind::Inverter, &[and_ab]).expect("valid ids");
+    let sum = nl.add_gate(GateKind::And, &[or_ab, nand_ab]).expect("valid ids");
+    (sum, and_ab)
+}
+
+/// Adds a full adder; returns `(sum, carry)`.
+///
+/// Uses the majority-logic identity
+/// `carry = MAJ(a, b, c)`,
+/// `sum = MAJ(INV(carry), MAJ(a, b, INV(c)), c)` — five gates, the canonical
+/// AQFP adder cell.
+pub fn full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let carry = nl.add_gate(GateKind::Majority, &[a, b, c]).expect("valid ids");
+    let ncarry = nl.add_gate(GateKind::Inverter, &[carry]).expect("valid ids");
+    let nc = nl.add_gate(GateKind::Inverter, &[c]).expect("valid ids");
+    let m1 = nl.add_gate(GateKind::Majority, &[a, b, nc]).expect("valid ids");
+    let sum = nl
+        .add_gate(GateKind::Majority, &[ncarry, m1, c])
+        .expect("valid ids");
+    (sum, carry)
+}
+
+/// Builds a fresh netlist computing the population count of `n` inputs.
+///
+/// Returns `(netlist, input_ids, sum_bits)` with `sum_bits` little-endian;
+/// the result has `⌈log2(n+1)⌉` bits. The construction is a Wallace-style
+/// carry-save reduction: columns of equal bit-weight are reduced with full
+/// and half adders until each column holds a single wire.
+///
+/// This is the digital heart of the approximate parallel counter (APC) used
+/// by the SC accumulation module.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn popcount(n: usize) -> (Netlist, Vec<NodeId>, Vec<NodeId>) {
+    popcount_impl(n, 0)
+}
+
+/// Builds a popcount whose *first-level* reduction of the carry-save
+/// columns with bit-weight below `approx_below_weight` uses the 2-gate
+/// [`approx_full_adder`] instead of the exact 5-gate cell — the
+/// gate-saving trick of Kim et al.'s *approximate* parallel counter
+/// (paper Section 4.3 reference \[41\]).
+///
+/// Only the first level is approximated: that is where the column is
+/// widest (most adders, biggest saving) and where each ±1 error is
+/// smallest relative to the count; the compressed columns are then reduced
+/// exactly so errors do not compound through the tree.
+///
+/// With `approx_below_weight == 0` this is exactly [`popcount`]. Each
+/// approximate adder miscounts only the all-zeros (+1) and all-ones (−1)
+/// input patterns, which are equally likely for near-balanced stochastic
+/// bit-streams, so the counting error is small and approximately unbiased
+/// — the property that lets SC accumulation tolerate it.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn approx_popcount(n: usize, approx_below_weight: u32) -> (Netlist, Vec<NodeId>, Vec<NodeId>) {
+    popcount_impl(n, approx_below_weight)
+}
+
+fn popcount_impl(n: usize, approx_below_weight: u32) -> (Netlist, Vec<NodeId>, Vec<NodeId>) {
+    assert!(n > 0, "popcount needs at least one input");
+    let mut nl = Netlist::new();
+    let inputs: Vec<NodeId> = (0..n).map(|_| nl.add_input()).collect();
+
+    // columns[w] = wires of weight 2^w awaiting reduction.
+    let mut columns: Vec<Vec<NodeId>> = vec![inputs.clone()];
+    let mut level = 0u32;
+    loop {
+        let mut reduced = false;
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); columns.len() + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let approx = level == 0 && (w as u32) < approx_below_weight;
+            let mut wires = col.clone();
+            while wires.len() >= 3 {
+                let c = wires.pop().unwrap();
+                let b = wires.pop().unwrap();
+                let a = wires.pop().unwrap();
+                let (s, cy) = if approx {
+                    approx_full_adder(&mut nl, a, b, c)
+                } else {
+                    full_adder(&mut nl, a, b, c)
+                };
+                next[w].push(s);
+                next[w + 1].push(cy);
+                reduced = true;
+            }
+            if wires.len() == 2 {
+                let b = wires.pop().unwrap();
+                let a = wires.pop().unwrap();
+                let (s, cy) = half_adder(&mut nl, a, b);
+                next[w].push(s);
+                next[w + 1].push(cy);
+                reduced = true;
+            } else {
+                next[w].extend(wires);
+            }
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+        level += 1;
+        if !reduced {
+            break;
+        }
+    }
+
+    let sum_bits: Vec<NodeId> = columns
+        .iter()
+        .map(|col| {
+            debug_assert_eq!(col.len(), 1, "reduction left a multi-wire column");
+            col[0]
+        })
+        .collect();
+    for &b in &sum_bits {
+        nl.mark_output(b);
+    }
+    (nl, inputs, sum_bits)
+}
+
+/// Adds an *approximate* full adder; returns `(sum, carry)`.
+///
+/// `carry = MAJ(a, b, c)` is exact; `sum = INV(carry)` approximates the
+/// exact XOR3 — two gates instead of five. The sum is wrong only for the
+/// all-zeros input (reports 1, truth 0) and the all-ones input (reports 0,
+/// truth 1); both errors have magnitude one at the adder's bit weight and
+/// opposite signs.
+pub fn approx_full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let carry = nl.add_gate(GateKind::Majority, &[a, b, c]).expect("valid ids");
+    let sum = nl.add_gate(GateKind::Inverter, &[carry]).expect("valid ids");
+    (sum, carry)
+}
+
+/// Appends a ripple-carry adder of two little-endian operands already in
+/// `nl`; returns the sum bits (one longer than the wider operand, the top
+/// bit being the final carry).
+///
+/// # Panics
+/// Panics if either operand is empty.
+pub fn ripple_adder(nl: &mut Netlist, a_bits: &[NodeId], b_bits: &[NodeId]) -> Vec<NodeId> {
+    assert!(!a_bits.is_empty() && !b_bits.is_empty(), "adder operands must be non-empty");
+    let width = a_bits.len().max(b_bits.len());
+    let zero = nl.add_const(false);
+    let mut carry = nl.add_const(false);
+    let mut sum = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let a = a_bits.get(i).copied().unwrap_or(zero);
+        let b = b_bits.get(i).copied().unwrap_or(zero);
+        let (s, cy) = full_adder(nl, a, b, carry);
+        sum.push(s);
+        carry = cy;
+    }
+    sum.push(carry);
+    sum
+}
+
+/// Adds a full adder built only from AND/OR/INV cells — the shape a
+/// conventional (CMOS-oriented) synthesis flow produces before majority
+/// re-synthesis; returns `(sum, carry)`.
+///
+/// `sum` is a two-level XOR cascade (each XOR = 4 AOI gates) and
+/// `carry = OR(AND(a,b), AND(c, OR(a,b)))` — 12 gates against the native
+/// 5-gate MAJ construction of [`full_adder`]. [`crate::synth::optimize`]
+/// rewrites the carry back into one majority cell, which is the headline
+/// rewrite of AQFP majority-logic synthesis (paper Section 7's EDA
+/// discussion, Testa et al.).
+pub fn full_adder_aoi(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let (sum_ab, _) = half_adder(nl, a, b); // XOR(a, b) + an unused carry
+    let (sum, _) = half_adder(nl, sum_ab, c); // XOR(XOR(a, b), c)
+    let and_ab = nl.add_gate(GateKind::And, &[a, b]).expect("valid ids");
+    let or_ab = nl.add_gate(GateKind::Or, &[a, b]).expect("valid ids");
+    let c_or = nl.add_gate(GateKind::And, &[c, or_ab]).expect("valid ids");
+    let carry = nl.add_gate(GateKind::Or, &[and_ab, c_or]).expect("valid ids");
+    (sum, carry)
+}
+
+/// Builds a fresh `width`-bit ripple-carry adder from AOI-only full adders
+/// ([`full_adder_aoi`]); returns `(netlist, a_inputs, b_inputs, sum_bits)`
+/// with the final carry as the top sum bit.
+///
+/// The canonical before-netlist for demonstrating majority re-synthesis.
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn ripple_adder_aoi(width: usize) -> (Netlist, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+    assert!(width > 0, "adder needs at least one bit");
+    let mut nl = Netlist::new();
+    let a_bits: Vec<NodeId> = (0..width).map(|_| nl.add_input()).collect();
+    let b_bits: Vec<NodeId> = (0..width).map(|_| nl.add_input()).collect();
+    let mut carry = nl.add_const(false);
+    let mut sum = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let (s, cy) = full_adder_aoi(&mut nl, a_bits[i], b_bits[i], carry);
+        sum.push(s);
+        carry = cy;
+    }
+    sum.push(carry);
+    for &s in &sum {
+        nl.mark_output(s);
+    }
+    (nl, a_bits, b_bits, sum)
+}
+
+/// Builds one combinational cycle of the *conventional accumulative
+/// parallel counter* (Parhami & Yeh, paper Section 4.3 reference \[53\]):
+/// a popcount of the `n` fresh inputs plus a ripple-carry add into a
+/// running total of `acc_width` bits.
+///
+/// Returns `(netlist, data_inputs, acc_inputs, next_acc_bits)`. The
+/// accumulator register itself (buffer-chain memory, `acc_width + 1`
+/// cells) is charged separately by the cost comparison, since memory cells
+/// are clocked independently (Section 4.4).
+///
+/// This is the design the paper's APC choice is measured against: "This
+/// method consumes fewer logic gates compared with the conventional
+/// accumulative parallel counter".
+///
+/// # Panics
+/// Panics if `n == 0` or `acc_width == 0`.
+pub fn accumulative_counter(
+    n: usize,
+    acc_width: usize,
+) -> (Netlist, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+    assert!(n > 0, "counter needs at least one input");
+    assert!(acc_width > 0, "accumulator needs at least one bit");
+    let (mut nl, data_inputs, count_bits) = popcount(n);
+    let acc_inputs: Vec<NodeId> = (0..acc_width).map(|_| nl.add_input()).collect();
+    let next_acc = ripple_adder(&mut nl, &acc_inputs, &count_bits);
+    nl.clear_outputs();
+    for &b in &next_acc {
+        nl.mark_output(b);
+    }
+    (nl, data_inputs, acc_inputs, next_acc)
+}
+
+/// Appends a `value ≥ threshold` comparator for an unsigned little-endian
+/// binary number already present in `nl`.
+///
+/// Computes the borrow chain of `value − threshold`; the output is the
+/// negated final borrow. Threshold bits enter as constant bias lines (free).
+/// Returns the output node.
+///
+/// # Panics
+/// Panics if `threshold` does not fit in `bits.len()` bits.
+pub fn comparator_ge(nl: &mut Netlist, bits: &[NodeId], threshold: u64) -> NodeId {
+    assert!(
+        bits.len() >= 64 || threshold < (1u64 << bits.len()),
+        "threshold {threshold} does not fit in {} bits",
+        bits.len()
+    );
+    let mut borrow = nl.add_const(false);
+    for (i, &bit) in bits.iter().enumerate() {
+        let t = nl.add_const((threshold >> i) & 1 == 1);
+        let na = nl.add_gate(GateKind::Inverter, &[bit]).expect("valid ids");
+        // borrow_{i+1} = MAJ(¬a_i, t_i, borrow_i)
+        borrow = nl
+            .add_gate(GateKind::Majority, &[na, t, borrow])
+            .expect("valid ids");
+    }
+    nl.add_gate(GateKind::Inverter, &[borrow]).expect("valid ids")
+}
+
+/// Builds a fresh netlist computing `popcount(inputs) ≥ threshold` — the
+/// APC-plus-comparator pipeline of the SC accumulation module, used both for
+/// functional validation and JJ/energy costing.
+pub fn popcount_ge(n: usize, threshold: u64) -> (Netlist, Vec<NodeId>, NodeId) {
+    let (mut nl, inputs, sum_bits) = popcount(n);
+    let out = comparator_ge(&mut nl, &sum_bits, threshold);
+    nl.clear_outputs();
+    nl.mark_output(out);
+    (nl, inputs, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_bits(nl: &Netlist, inputs: &[bool]) -> u64 {
+        let outs = nl.eval(inputs).unwrap();
+        outs.iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut nl = Netlist::new();
+            let ia = nl.add_input();
+            let ib = nl.add_input();
+            let (s, c) = half_adder(&mut nl, ia, ib);
+            nl.mark_output(s);
+            nl.mark_output(c);
+            let out = nl.eval(&[a, b]).unwrap();
+            assert_eq!(out[0], a ^ b, "sum({a},{b})");
+            assert_eq!(out[1], a && b, "carry({a},{b})");
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for m in 0..8u32 {
+            let (a, b, c) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            let mut nl = Netlist::new();
+            let ia = nl.add_input();
+            let ib = nl.add_input();
+            let ic = nl.add_input();
+            let (s, cy) = full_adder(&mut nl, ia, ib, ic);
+            nl.mark_output(s);
+            nl.mark_output(cy);
+            let out = nl.eval(&[a, b, c]).unwrap();
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(out[0], total & 1 == 1, "sum at {m}");
+            assert_eq!(out[1], total >= 2, "carry at {m}");
+        }
+    }
+
+    #[test]
+    fn approx_full_adder_wrong_only_at_extremes() {
+        for m in 0..8u32 {
+            let (a, b, c) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            let mut nl = Netlist::new();
+            let ia = nl.add_input();
+            let ib = nl.add_input();
+            let ic = nl.add_input();
+            let (s, cy) = approx_full_adder(&mut nl, ia, ib, ic);
+            nl.mark_output(s);
+            nl.mark_output(cy);
+            let out = nl.eval(&[a, b, c]).unwrap();
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(out[1], total >= 2, "carry is always exact at {m}");
+            if m == 0 {
+                assert!(out[0], "000 miscounts +1");
+            } else if m == 7 {
+                assert!(!out[0], "111 miscounts −1");
+            } else {
+                assert_eq!(out[0], total & 1 == 1, "sum exact at {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_popcount_with_zero_levels_is_exact() {
+        for n in [1usize, 4, 7] {
+            let exact = popcount(n).0;
+            let approx = approx_popcount(n, 0).0;
+            assert_eq!(exact.len(), approx.len(), "n={n}");
+            for m in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                assert_eq!(exact.eval(&inputs).unwrap(), approx.eval(&inputs).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn approx_popcount_saves_gates_and_bounds_error() {
+        let n = 16usize;
+        let (exact_nl, _, _) = popcount(n);
+        let (approx_nl, _, _) = approx_popcount(n, 1);
+        assert!(
+            approx_nl.len() < exact_nl.len(),
+            "approximation should shed gates: {} vs {}",
+            approx_nl.len(),
+            exact_nl.len()
+        );
+        // Sampled error: each weight-0 approximate adder contributes ±1.
+        let adders_at_w0 = n / 3 + 1;
+        let mut worst = 0i64;
+        let mut total = 0i64;
+        let mut patterns = 0i64;
+        for m in (0..(1u32 << n)).step_by(131) {
+            let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let truth = inputs.iter().filter(|&&b| b).count() as i64;
+            let got = eval_bits(&approx_nl, &inputs) as i64;
+            worst = worst.max((got - truth).abs());
+            total += got - truth;
+            patterns += 1;
+        }
+        assert!(worst <= adders_at_w0 as i64, "error bound: worst {worst}");
+        // Unbiasedness over the (symmetric) sampled pattern set.
+        assert!(
+            (total as f64 / patterns as f64).abs() < 1.0,
+            "mean error should be small: {total}/{patterns}"
+        );
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_3_plus_2_bits() {
+        for a in 0..8u64 {
+            for b in 0..4u64 {
+                let mut nl = Netlist::new();
+                let a_bits: Vec<NodeId> = (0..3).map(|_| nl.add_input()).collect();
+                let b_bits: Vec<NodeId> = (0..2).map(|_| nl.add_input()).collect();
+                let sum = ripple_adder(&mut nl, &a_bits, &b_bits);
+                for &s in &sum {
+                    nl.mark_output(s);
+                }
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push((a >> i) & 1 == 1);
+                }
+                for i in 0..2 {
+                    inputs.push((b >> i) & 1 == 1);
+                }
+                assert_eq!(eval_bits(&nl, &inputs), a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulative_counter_steps_running_total() {
+        let n = 5usize;
+        let acc_width = 6usize;
+        let (nl, _, _, _) = accumulative_counter(n, acc_width);
+        // Simulate three cycles: feed back next_acc into acc inputs.
+        let words = [0b10110u32, 0b00111, 0b11111];
+        let mut acc = 0u64;
+        for w in words {
+            let mut inputs: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+            for i in 0..acc_width {
+                inputs.push((acc >> i) & 1 == 1);
+            }
+            let next = eval_bits(&nl, &inputs);
+            acc += u64::from(w.count_ones());
+            assert_eq!(next, acc);
+        }
+    }
+
+    #[test]
+    fn aoi_adder_is_functionally_an_adder() {
+        let (nl, _, _, _) = ripple_adder_aoi(3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    inputs.push((b >> i) & 1 == 1);
+                }
+                assert_eq!(eval_bits(&nl, &inputs), a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn aoi_adder_costs_more_gates_than_majority_form() {
+        let (aoi, _, _, _) = ripple_adder_aoi(4);
+        let mut maj = Netlist::new();
+        let a_bits: Vec<NodeId> = (0..4).map(|_| maj.add_input()).collect();
+        let b_bits: Vec<NodeId> = (0..4).map(|_| maj.add_input()).collect();
+        let sum = ripple_adder(&mut maj, &a_bits, &b_bits);
+        for &s in &sum {
+            maj.mark_output(s);
+        }
+        assert!(aoi.len() > maj.len(), "{} vs {}", aoi.len(), maj.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ripple_adder_rejects_empty_operand() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        ripple_adder(&mut nl, &[a], &[]);
+    }
+
+    #[test]
+    fn popcount_exhaustive_small() {
+        for n in 1..=6usize {
+            let (nl, _, sum_bits) = popcount(n);
+            // The carry-save reduction may emit one structurally-zero top
+            // bit (a half-adder carry that can never fire).
+            let needed = (usize::BITS - n.leading_zeros()) as usize;
+            assert!(
+                sum_bits.len() >= needed && sum_bits.len() <= needed + 1,
+                "n={n}: {} bits, need {needed}",
+                sum_bits.len()
+            );
+            for m in 0..(1usize << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                let want = inputs.iter().filter(|&&b| b).count() as u64;
+                assert_eq!(eval_bits(&nl, &inputs), want, "n={n} m={m:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_16_spot_checks() {
+        let (nl, _, _) = popcount(16);
+        let all = vec![true; 16];
+        assert_eq!(eval_bits(&nl, &all), 16);
+        let none = vec![false; 16];
+        assert_eq!(eval_bits(&nl, &none), 0);
+        let mut half = vec![false; 16];
+        for i in (0..16).step_by(2) {
+            half[i] = true;
+        }
+        assert_eq!(eval_bits(&nl, &half), 8);
+    }
+
+    #[test]
+    fn comparator_exhaustive() {
+        for threshold in 0..=8u64 {
+            let (nl, _, _) = popcount_ge(8, threshold);
+            for m in 0..256usize {
+                let inputs: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+                let ones = inputs.iter().filter(|&&b| b).count() as u64;
+                let out = nl.eval(&inputs).unwrap();
+                assert_eq!(out, vec![ones >= threshold], "m={m:08b} T={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn popcount_zero_panics() {
+        popcount(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn comparator_threshold_overflow_panics() {
+        let (mut nl, _, sum) = popcount(3); // 2 bits
+        comparator_ge(&mut nl, &sum, 4);
+    }
+}

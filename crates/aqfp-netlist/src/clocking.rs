@@ -1,0 +1,293 @@
+//! The Section 4.4 experiment: clocking-scheme adjustment as a circuit
+//! optimization.
+//!
+//! Two independent knobs:
+//!
+//! 1. **Computing part.** Raising the clock from 4 to 8/16 phases lets data
+//!    coast across more stages per hop, removing path-balancing buffers.
+//!    The paper: "the total Josephson junction (JJ) count can be reduced by
+//!    at least 20.8 % and 27.3 %, assuming 8-phase and 16-phase clocking".
+//! 2. **Memory (BCM).** The buffer-chain memory is fully balanced by
+//!    construction and clocked independently of the logic; each stored bit
+//!    circulates through one buffer per clock phase, so dropping the memory
+//!    clock from 4 to 3 phases removes a quarter of the storage buffers —
+//!    "a 20 % reduction in the total JJ count of the memory component" once
+//!    the phase-independent read-out overhead is included.
+
+use crate::balance::{balance, legalize_fanout};
+use crate::graph::Netlist;
+use crate::report::{cost_report, CostReport};
+use aqfp_device::{CellLibrary, ClockScheme};
+use serde::{Deserialize, Serialize};
+
+/// Result of re-balancing one netlist under one phase count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseResult {
+    /// Clock phases used.
+    pub phases: u32,
+    /// Buffers inserted for path balancing.
+    pub buffers: usize,
+    /// Full cost report of the balanced netlist.
+    pub cost: CostReport,
+    /// JJ reduction relative to the 4-phase baseline (0.208 = 20.8 %).
+    pub jj_reduction_vs_4phase: f64,
+}
+
+/// Runs the computing-part clocking study on `base`: legalizes fan-out once,
+/// then balances a fresh copy under each phase count and reports JJ savings
+/// relative to the 4-phase baseline.
+///
+/// # Panics
+/// Panics if `phase_counts` does not contain 4 (the baseline) or contains a
+/// value below 3.
+pub fn clocking_study(
+    base: &Netlist,
+    phase_counts: &[u32],
+    lib: &CellLibrary,
+) -> Vec<PhaseResult> {
+    assert!(
+        phase_counts.contains(&4),
+        "the study needs the 4-phase baseline"
+    );
+    let mut legal = base.clone();
+    legalize_fanout(&mut legal);
+
+    let mut results: Vec<(u32, usize, CostReport)> = Vec::new();
+    for &phases in phase_counts {
+        let clock = ClockScheme::new(phases, aqfp_device::consts::CLOCK_FREQUENCY_GHZ)
+            .expect("phase count >= 3");
+        let mut nl = legal.clone();
+        let report = balance(&mut nl, &clock);
+        let cost = cost_report(&nl, lib, &clock);
+        results.push((phases, report.buffers_inserted, cost));
+    }
+
+    let baseline_jj = results
+        .iter()
+        .find(|(p, _, _)| *p == 4)
+        .map(|(_, _, c)| c.jj_total)
+        .expect("baseline present") as f64;
+
+    results
+        .into_iter()
+        .map(|(phases, buffers, cost)| PhaseResult {
+            phases,
+            buffers,
+            jj_reduction_vs_4phase: 1.0 - cost.jj_total as f64 / baseline_jj,
+            cost,
+        })
+        .collect()
+}
+
+/// Result of the delay-line clocking comparison (paper Section 6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayLineResult {
+    /// Cost of the netlist balanced for the conventional 4-phase scheme.
+    pub conventional: CostReport,
+    /// Cost of the netlist balanced for the delay-line scheme (effective
+    /// 40 phases, 5 ps stage-to-stage delay).
+    pub delay_line: CostReport,
+}
+
+impl DelayLineResult {
+    /// End-to-end latency speed-up of the delay-line scheme.
+    pub fn latency_speedup(&self) -> f64 {
+        self.conventional.latency_ps / self.delay_line.latency_ps
+    }
+
+    /// JJ reduction of the delay-line scheme (its 40 effective phases also
+    /// relax path balancing), `0.25` = 25 %.
+    pub fn jj_reduction(&self) -> f64 {
+        1.0 - self.delay_line.jj_total as f64 / self.conventional.jj_total as f64
+    }
+}
+
+/// Compares conventional 4-phase clocking with the delay-line
+/// (micro-stripline) scheme of Section 6.1: "This approach effectively
+/// increases the total clock phases to 40 by delaying the sinusoidal
+/// current by 5 ps between each adjacent logic stage", cutting the
+/// stage-to-stage delay from 50 ps to 5 ps *and* relaxing path balancing.
+pub fn delay_line_study(base: &Netlist, lib: &CellLibrary) -> DelayLineResult {
+    let mut legal = base.clone();
+    legalize_fanout(&mut legal);
+
+    let run = |clock: &ClockScheme| {
+        let mut nl = legal.clone();
+        balance(&mut nl, clock);
+        cost_report(&nl, lib, clock)
+    };
+    DelayLineResult {
+        conventional: run(&ClockScheme::four_phase_5ghz()),
+        delay_line: run(&ClockScheme::delay_line_5ghz()),
+    }
+}
+
+/// Buffer-chain memory (BCM) model.
+///
+/// Each stored bit occupies one buffer per clock phase (the bit circulates
+/// once per clock period). Read-out, addressing and excitation interfaces
+/// are phase-independent; their JJ cost is modelled as a fixed fraction of
+/// the 4-phase storage cost, calibrated so the paper's 4→3-phase saving is
+/// exactly 20 %.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BcmMemory {
+    /// Storage capacity in bits.
+    pub bits: usize,
+    /// Clock phases of the (independent) memory clock.
+    pub phases: u32,
+}
+
+/// Phase-independent overhead as a fraction of the 4-phase storage JJ.
+/// With overhead `v·B₄` and storage `(p/4)·B₄`, the 4→3-phase saving is
+/// `(1/4)/(1 + v)`; `v = 1/4` yields the paper's 20 %.
+const BCM_OVERHEAD_FRACTION: f64 = 0.25;
+
+impl BcmMemory {
+    /// JJs per buffer cell.
+    const JJ_PER_BUFFER: f64 = 2.0;
+
+    /// Creates a BCM.
+    ///
+    /// # Errors
+    /// Returns [`aqfp_device::DeviceError::InvalidClockPhases`] for fewer
+    /// than 3 phases.
+    pub fn new(bits: usize, phases: u32) -> Result<Self, aqfp_device::DeviceError> {
+        if phases < ClockScheme::MIN_PHASES {
+            return Err(aqfp_device::DeviceError::InvalidClockPhases { phases });
+        }
+        Ok(Self { bits, phases })
+    }
+
+    /// Storage-buffer JJ count at this phase count.
+    pub fn storage_jj(&self) -> f64 {
+        self.bits as f64 * self.phases as f64 * Self::JJ_PER_BUFFER
+    }
+
+    /// Total JJ count including the phase-independent overhead.
+    pub fn total_jj(&self) -> f64 {
+        let four_phase_storage = self.bits as f64 * 4.0 * Self::JJ_PER_BUFFER;
+        self.storage_jj() + BCM_OVERHEAD_FRACTION * four_phase_storage
+    }
+
+    /// Energy per clock cycle in aJ.
+    pub fn energy_per_cycle_aj(&self, lib: &CellLibrary) -> f64 {
+        self.total_jj() * lib.energy_per_jj_aj
+    }
+
+    /// JJ reduction of moving this memory from 4 phases to `phases`.
+    pub fn reduction_from_4phase(bits: usize, phases: u32) -> f64 {
+        let four = BcmMemory { bits, phases: 4 }.total_jj();
+        let new = BcmMemory { bits, phases }.total_jj();
+        1.0 - new / four
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_dag, RandomDagConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn bcm_4_to_3_phase_saves_exactly_20_percent() {
+        let r = BcmMemory::reduction_from_4phase(1024, 3);
+        assert!((r - 0.20).abs() < 1e-12, "got {r}");
+        // Independent of capacity.
+        let r2 = BcmMemory::reduction_from_4phase(7, 3);
+        assert!((r - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bcm_rejects_two_phases() {
+        assert!(BcmMemory::new(16, 2).is_err());
+        assert!(BcmMemory::new(16, 3).is_ok());
+    }
+
+    #[test]
+    fn bcm_storage_scales_linearly() {
+        let a = BcmMemory { bits: 100, phases: 4 };
+        let b = BcmMemory { bits: 200, phases: 4 };
+        assert!((b.total_jj() / a.total_jj() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_line_cuts_latency_and_buffers() {
+        let cfg = RandomDagConfig::default();
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(99));
+        let lib = CellLibrary::hstp();
+        let r = delay_line_study(&base, &lib);
+        // 50 ps → 5 ps stage delay: ≥ 10× latency cut even before the
+        // shallower (less-buffered) pipeline is counted.
+        assert!(
+            r.latency_speedup() >= 10.0,
+            "speed-up {}",
+            r.latency_speedup()
+        );
+        assert!(r.jj_reduction() > 0.0, "40 phases must relax balancing");
+        assert!(r.delay_line.depth <= r.conventional.depth);
+    }
+
+    #[test]
+    fn study_shows_monotone_jj_reduction() {
+        let cfg = RandomDagConfig::default();
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(2023));
+        let lib = CellLibrary::hstp();
+        let results = clocking_study(&base, &[4, 8, 16], &lib);
+        assert_eq!(results.len(), 3);
+        let by_phase = |p: u32| results.iter().find(|r| r.phases == p).unwrap();
+        assert_eq!(by_phase(4).jj_reduction_vs_4phase, 0.0);
+        let r8 = by_phase(8).jj_reduction_vs_4phase;
+        let r16 = by_phase(16).jj_reduction_vs_4phase;
+        assert!(r8 > 0.0, "8-phase should save JJs, got {r8}");
+        assert!(r16 > r8, "16-phase should save more: {r16} vs {r8}");
+    }
+
+    #[test]
+    fn study_matches_paper_magnitudes() {
+        // Paper: ≥ 20.8 % (8-phase) and ≥ 27.3 % (16-phase) on its designs.
+        // Our random benchmark DAGs are not the paper's netlists, so we
+        // assert the same ballpark rather than the exact figures.
+        let cfg = RandomDagConfig::default();
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(7));
+        let lib = CellLibrary::hstp();
+        let results = clocking_study(&base, &[4, 8, 16], &lib);
+        let r8 = results.iter().find(|r| r.phases == 8).unwrap();
+        let r16 = results.iter().find(|r| r.phases == 16).unwrap();
+        assert!(
+            r8.jj_reduction_vs_4phase > 0.15,
+            "8-phase reduction {} below ballpark",
+            r8.jj_reduction_vs_4phase
+        );
+        assert!(
+            r16.jj_reduction_vs_4phase > 0.20,
+            "16-phase reduction {} below ballpark",
+            r16.jj_reduction_vs_4phase
+        );
+    }
+
+    #[test]
+    fn balanced_baseline_has_most_buffers() {
+        let cfg = RandomDagConfig {
+            inputs: 16,
+            gates: 200,
+            ..Default::default()
+        };
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let lib = CellLibrary::hstp();
+        let results = clocking_study(&base, &[4, 8, 16], &lib);
+        let buffers: Vec<usize> = results.iter().map(|r| r.buffers).collect();
+        assert!(buffers[0] > buffers[1] && buffers[1] > buffers[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn study_requires_baseline() {
+        let cfg = RandomDagConfig {
+            inputs: 4,
+            gates: 10,
+            ..Default::default()
+        };
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(0));
+        clocking_study(&base, &[8, 16], &CellLibrary::hstp());
+    }
+}

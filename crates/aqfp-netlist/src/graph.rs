@@ -1,0 +1,427 @@
+//! The netlist DAG: nodes, construction invariants, simulation, levelization.
+
+use aqfp_device::cells::eval_gate;
+use aqfp_device::GateKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one [`Netlist`].
+///
+/// Ids are dense indices; they are only meaningful for the netlist that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One node of the netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// A primary input.
+    Input,
+    /// A constant bias line (no JJ cost; realized by a DC offset).
+    Const(bool),
+    /// A standard-cell gate reading earlier nodes.
+    Gate {
+        /// The cell kind.
+        kind: GateKind,
+        /// Producer nodes, length = `kind.arity()`.
+        inputs: Vec<NodeId>,
+    },
+}
+
+/// Errors raised by netlist construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate referenced a node id not yet defined (would create a cycle or
+    /// dangling edge).
+    ForwardReference {
+        /// The offending reference.
+        referenced: usize,
+        /// Number of nodes defined so far.
+        defined: usize,
+    },
+    /// A gate was given the wrong number of inputs.
+    WrongArity {
+        /// The cell kind.
+        kind: GateKind,
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+    /// Simulation was invoked with the wrong number of primary input values.
+    WrongInputCount {
+        /// Expected primary input count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { referenced, defined } => write!(
+                f,
+                "gate references node {referenced} but only {defined} nodes are defined \
+                 (netlists are built in topological order)"
+            ),
+            NetlistError::WrongArity { kind, expected, got } => {
+                write!(f, "gate {kind:?} expects {expected} inputs, got {got}")
+            }
+            NetlistError::WrongInputCount { expected, got } => {
+                write!(f, "netlist has {expected} primary inputs, got {got} values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A combinational AQFP netlist (a DAG of standard cells).
+///
+/// Nodes must be appended in topological order: a gate may only reference
+/// already-defined nodes. This makes cycles unrepresentable and turns both
+/// simulation and levelization into single forward passes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes (inputs + constants + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates over `(id, node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Ids of the primary inputs, in creation order.
+    pub fn input_ids(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n, Node::Input))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Input)).count()
+    }
+
+    /// The designated output nodes, in the order they were marked.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn add_input(&mut self) -> NodeId {
+        self.nodes.push(Node::Input);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a constant bias line.
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        self.nodes.push(Node::Const(value));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a gate reading `inputs` and returns its id.
+    ///
+    /// # Errors
+    /// [`NetlistError::WrongArity`] if `inputs.len() != kind.arity()`;
+    /// [`NetlistError::ForwardReference`] if any input id is not yet defined.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, NetlistError> {
+        if inputs.len() != kind.arity() {
+            return Err(NetlistError::WrongArity {
+                kind,
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        for &inp in inputs {
+            if inp.0 >= self.nodes.len() {
+                return Err(NetlistError::ForwardReference {
+                    referenced: inp.0,
+                    defined: self.nodes.len(),
+                });
+            }
+        }
+        self.nodes.push(Node::Gate {
+            kind,
+            inputs: inputs.to_vec(),
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Marks a node as a primary output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        self.outputs.push(id);
+    }
+
+    /// Removes all output markings (the nodes themselves remain).
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+    }
+
+    /// Simulates the netlist on boolean input values (given in primary-input
+    /// creation order) and returns the values of the designated outputs.
+    ///
+    /// Buffers, splitters and read-outs are identities; the simulation is
+    /// purely functional (no gray-zone noise — stochastic behaviour belongs
+    /// to the analog crossbar layer, not to digital AQFP logic, whose drive
+    /// currents sit far outside the gray-zone).
+    ///
+    /// # Errors
+    /// [`NetlistError::WrongInputCount`] on input-count mismatch.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval_all(inputs)?;
+        Ok(self.outputs.iter().map(|&id| values[id.0]).collect())
+    }
+
+    /// Like [`Netlist::eval`] but returns the value of *every* node.
+    pub fn eval_all(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let expected = self.input_count();
+        if inputs.len() != expected {
+            return Err(NetlistError::WrongInputCount {
+                expected,
+                got: inputs.len(),
+            });
+        }
+        let mut values = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        let mut scratch: Vec<bool> = Vec::with_capacity(3);
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                Node::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Node::Const(v) => *v,
+                Node::Gate { kind, inputs } => {
+                    scratch.clear();
+                    scratch.extend(inputs.iter().map(|&id| values[id.0]));
+                    eval_gate(*kind, &scratch)
+                }
+            };
+        }
+        Ok(values)
+    }
+
+    /// Logic level of every node: inputs and constants sit at level 0, a
+    /// gate at `1 + max(level of producers)`. This is the ASAP pipeline
+    /// stage of the gate before any buffering.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Gate { inputs, .. } = node {
+                levels[i] = 1 + inputs.iter().map(|&id| levels[id.0]).max().unwrap_or(0);
+            }
+        }
+        levels
+    }
+
+    /// The pipeline depth (maximum level over all nodes).
+    pub fn depth(&self) -> u32 {
+        self.levels().into_iter().max().unwrap_or(0)
+    }
+
+    /// As-late-as-possible stage of every node: gates are pushed toward the
+    /// pipeline depth as far as their consumers allow; inputs and constants
+    /// stay at stage 0 (they physically arrive there). A gate with no
+    /// consumers sits at the full depth.
+    ///
+    /// ALAP scheduling trades where balancing buffers go: it shortens the
+    /// early edges of high-fanout sources at the cost of longer input
+    /// edges — the classic ASAP/ALAP buffer-count trade-off explored by the
+    /// scheduling ablation bench.
+    pub fn levels_alap(&self) -> Vec<u32> {
+        let depth = self.depth();
+        let mut levels = vec![depth; self.nodes.len()];
+        // Reverse topological order: consumers are processed before
+        // producers, so `levels[producer]` can take the min over consumers.
+        for (i, node) in self.nodes.iter().enumerate().rev() {
+            if let Node::Gate { inputs, .. } = node {
+                for &inp in inputs {
+                    levels[inp.0] = levels[inp.0].min(levels[i].saturating_sub(1));
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !matches!(node, Node::Gate { .. }) {
+                levels[i] = 0;
+            }
+        }
+        levels
+    }
+
+    /// Number of consumers of each node (graph fan-out).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let Node::Gate { inputs, .. } = node {
+                for &id in inputs {
+                    counts[id.0] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Count of gates of each kind currently in the netlist.
+    pub fn gate_histogram(&self) -> std::collections::HashMap<GateKind, usize> {
+        let mut hist = std::collections::HashMap::new();
+        for node in &self.nodes {
+            if let Node::Gate { kind, .. } = node {
+                *hist.entry(*kind).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_via_majority(nl: &mut Netlist, a: NodeId, b: NodeId) -> NodeId {
+        // XOR(a,b) = OR(AND(a, !b), AND(!a, b))
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Inverter, &[b]).unwrap();
+        let t1 = nl.add_gate(GateKind::And, &[a, nb]).unwrap();
+        let t2 = nl.add_gate(GateKind::And, &[na, b]).unwrap();
+        nl.add_gate(GateKind::Or, &[t1, t2]).unwrap()
+    }
+
+    #[test]
+    fn builds_and_evaluates_xor() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = xor_via_majority(&mut nl, a, b);
+        nl.mark_output(x);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = nl.eval(&[va, vb]).unwrap();
+            assert_eq!(out, vec![va ^ vb], "XOR({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn constants_participate() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let one = nl.add_const(true);
+        let o = nl.add_gate(GateKind::And, &[a, one]).unwrap();
+        nl.mark_output(o);
+        assert_eq!(nl.eval(&[true]).unwrap(), vec![true]);
+        assert_eq!(nl.eval(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let err = nl.add_gate(GateKind::Majority, &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::WrongArity { .. }));
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let bogus = NodeId(99);
+        let err = nl.add_gate(GateKind::And, &[a, bogus]).unwrap_err();
+        assert!(matches!(err, NetlistError::ForwardReference { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let mut nl = Netlist::new();
+        nl.add_input();
+        nl.add_input();
+        let err = nl.eval(&[true]).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::WrongInputCount {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn levels_are_longest_paths() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let buf = nl.add_gate(GateKind::Buffer, &[a]).unwrap(); // level 1
+        let and = nl.add_gate(GateKind::And, &[buf, b]).unwrap(); // level 2
+        let levels = nl.levels();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[buf.index()], 1);
+        assert_eq!(levels[and.index()], 2);
+        assert_eq!(nl.depth(), 2);
+    }
+
+    #[test]
+    fn fanout_counts_consumers() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let fo = nl.fanout_counts();
+        assert_eq!(fo[a.index()], 3);
+        assert_eq!(fo[b.index()], 2);
+    }
+
+    #[test]
+    fn histogram_counts_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_gate(GateKind::And, &[b, a]).unwrap();
+        nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let h = nl.gate_histogram();
+        assert_eq!(h[&GateKind::And], 2);
+        assert_eq!(h[&GateKind::Inverter], 1);
+        assert!(!h.contains_key(&GateKind::Majority));
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let nl = Netlist::new();
+        assert!(nl.is_empty());
+        assert_eq!(nl.depth(), 0);
+        assert_eq!(nl.eval(&[]).unwrap(), Vec::<bool>::new());
+    }
+}

@@ -1,0 +1,56 @@
+//! Gate-level AQFP netlists: construction, simulation, fan-out legalization,
+//! path balancing and n-phase clocking optimization.
+//!
+//! AQFP is a *fully pipelined* logic family: every gate is clocked, data
+//! advances one logic stage per clock phase, and any two signals converging
+//! on a gate must arrive in (nearly) the same stage. Conventional 4-phase
+//! designs therefore spend a large fraction of their Josephson junctions on
+//! *path-balancing buffers*. Section 4.4 of the SupeRBNN paper observes that
+//! raising the clock phase count (8, 16) lets signals legally skip stages,
+//! removing ≥ 20.8 % / ≥ 27.3 % of the total JJ count, and that dropping the
+//! buffer-chain memory from 4 to 3 phases saves 20 % of the memory JJs.
+//!
+//! This crate provides the machinery to *measure* those claims on concrete
+//! netlists:
+//!
+//! * [`Netlist`] — a DAG of AQFP standard cells with functional simulation;
+//! * [`legalize_fanout`](balance::legalize_fanout) — splitter-tree insertion
+//!   (AQFP gates drive exactly one consumer);
+//! * [`balance`](balance::balance) — path-balancing buffer insertion under a
+//!   [`ClockScheme`](aqfp_device::ClockScheme) skew tolerance;
+//! * [`builders`] — ripple-carry adders, popcount trees and comparators used
+//!   by the stochastic-computing layer;
+//! * [`random`] — reproducible random benchmark DAGs;
+//! * [`clocking`] — the Section 4.4 experiment (computing part + BCM memory);
+//! * [`synth`] — technology-independent optimization passes (constant
+//!   folding, algebraic rules, majority re-synthesis, structural hashing,
+//!   dead-gate sweep) in the spirit of the AQFP EDA flow the paper's
+//!   discussion section describes.
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_netlist::{builders, balance};
+//! use aqfp_device::ClockScheme;
+//!
+//! // An 8-input popcount tree, legalized and balanced for 4-phase clocking.
+//! let (mut nl, inputs, _sum) = builders::popcount(8);
+//! balance::legalize_fanout(&mut nl);
+//! let report = balance::balance(&mut nl, &ClockScheme::four_phase_5ghz());
+//! assert!(report.buffers_inserted > 0);
+//! assert_eq!(inputs.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod builders;
+pub mod clocking;
+pub mod random;
+pub mod report;
+pub mod synth;
+
+mod graph;
+
+pub use graph::{Netlist, NetlistError, Node, NodeId};

@@ -1,0 +1,162 @@
+//! Reproducible random benchmark DAGs.
+//!
+//! The Section 4.4 clocking study needs circuits whose depth profile
+//! resembles synthesized logic: mostly-local wiring with occasional long
+//! skips (the skips are what path balancing pays for). This generator
+//! produces such DAGs deterministically from a seed, so every experiment
+//! and bench is repeatable.
+
+use crate::graph::{Netlist, NodeId};
+use aqfp_device::GateKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`random_dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomDagConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of logic gates to create.
+    pub gates: usize,
+    /// Probability that a gate operand is drawn from the most recent
+    /// `locality_window` nodes (creating deep chains); otherwise the operand
+    /// is uniform over all existing nodes (creating the long skips that
+    /// require balancing buffers).
+    pub locality: f64,
+    /// Size of the recent-node window for local operands.
+    pub locality_window: usize,
+    /// Maximum lookback (in nodes) for non-local operands. Real synthesized
+    /// logic has bounded wire reach; unbounded skips would make balancing
+    /// buffers dominate the JJ budget far beyond realistic designs.
+    pub global_window: usize,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self {
+            inputs: 32,
+            gates: 600,
+            locality: 0.95,
+            locality_window: 8,
+            global_window: 60,
+        }
+    }
+}
+
+/// Generates a random combinational netlist.
+///
+/// Gate kinds are drawn as 40 % AND, 30 % OR, 20 % MAJ, 10 % INV —
+/// a mix typical of majority-synthesized AQFP logic. All sink nodes
+/// (fan-out 0) are marked outputs so nothing is dead.
+///
+/// # Panics
+/// Panics if `inputs == 0` or `gates == 0`.
+pub fn random_dag<R: Rng + ?Sized>(config: &RandomDagConfig, rng: &mut R) -> Netlist {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.gates > 0, "need at least one gate");
+    let mut nl = Netlist::new();
+    for _ in 0..config.inputs {
+        nl.add_input();
+    }
+
+    let pick = |nl: &Netlist, rng: &mut R| -> NodeId {
+        let len = nl.len();
+        let idx = if rng.gen::<f64>() < config.locality {
+            let w = config.locality_window.min(len);
+            len - 1 - rng.gen_range(0..w)
+        } else {
+            let w = config.global_window.min(len);
+            len - 1 - rng.gen_range(0..w)
+        };
+        NodeId(idx)
+    };
+
+    for _ in 0..config.gates {
+        let roll: f64 = rng.gen();
+        let kind = if roll < 0.40 {
+            GateKind::And
+        } else if roll < 0.70 {
+            GateKind::Or
+        } else if roll < 0.90 {
+            GateKind::Majority
+        } else {
+            GateKind::Inverter
+        };
+        let operands: Vec<NodeId> = (0..kind.arity()).map(|_| pick(&nl, rng)).collect();
+        nl.add_gate(kind, &operands).expect("operands are defined");
+    }
+
+    // Mark all sinks as outputs.
+    let fanout = nl.fanout_counts();
+    let sinks: Vec<NodeId> = nl
+        .iter()
+        .filter(|(id, _)| fanout[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    for s in sinks {
+        nl.mark_output(s);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let cfg = RandomDagConfig::default();
+        let a = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(11));
+        let b = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+        let c = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let cfg = RandomDagConfig {
+            inputs: 8,
+            gates: 100,
+            ..Default::default()
+        };
+        let nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(0));
+        assert_eq!(nl.input_count(), 8);
+        assert_eq!(nl.len(), 108);
+        assert!(!nl.outputs().is_empty());
+    }
+
+    #[test]
+    fn has_nontrivial_depth_and_skips() {
+        let cfg = RandomDagConfig::default();
+        let nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(3));
+        assert!(nl.depth() > 10, "depth {}", nl.depth());
+        // Long skips exist: some edge spans more than one level.
+        let levels = nl.levels();
+        let mut has_skip = false;
+        for (id, node) in nl.iter() {
+            if let crate::graph::Node::Gate { inputs, .. } = node {
+                for &inp in inputs {
+                    if levels[id.index()] - levels[inp.index()] > 1 {
+                        has_skip = true;
+                    }
+                }
+            }
+        }
+        assert!(has_skip, "generator produced a fully balanced DAG");
+    }
+
+    #[test]
+    fn evaluates_without_error() {
+        let cfg = RandomDagConfig {
+            inputs: 8,
+            gates: 64,
+            ..Default::default()
+        };
+        let nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(5));
+        let inputs = vec![true; 8];
+        let out = nl.eval(&inputs).unwrap();
+        assert_eq!(out.len(), nl.outputs().len());
+    }
+}

@@ -1,0 +1,120 @@
+//! JJ, energy and latency accounting for netlists.
+
+use crate::graph::{Netlist, Node};
+use aqfp_device::{CellLibrary, ClockScheme, GateKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hardware cost summary of one netlist under one clock scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total Josephson junction count.
+    pub jj_total: u64,
+    /// JJ count per gate kind.
+    pub jj_by_kind: HashMap<GateKind, u64>,
+    /// Total gate count (excluding inputs/constants).
+    pub gate_count: usize,
+    /// Pipeline depth in stages.
+    pub depth: u32,
+    /// End-to-end latency in ps.
+    pub latency_ps: f64,
+    /// Energy dissipated per clock cycle, in aJ (every AQFP gate switches
+    /// every cycle — the excitation powers all of them).
+    pub energy_per_cycle_aj: f64,
+}
+
+impl CostReport {
+    /// Energy per completed computation in aJ, assuming the pipeline is kept
+    /// full: each result occupies every stage once, so the energy per result
+    /// equals the energy per cycle.
+    pub fn energy_per_result_aj(&self) -> f64 {
+        self.energy_per_cycle_aj
+    }
+
+    /// Power at the given clock frequency, in nW
+    /// (aJ/cycle × GHz = 1e-18 J × 1e9 /s = nW).
+    pub fn power_nw(&self, frequency_ghz: f64) -> f64 {
+        self.energy_per_cycle_aj * frequency_ghz
+    }
+}
+
+/// Computes the cost report of a netlist.
+pub fn cost_report(nl: &Netlist, lib: &CellLibrary, clock: &ClockScheme) -> CostReport {
+    let mut jj_total = 0u64;
+    let mut jj_by_kind: HashMap<GateKind, u64> = HashMap::new();
+    let mut gate_count = 0usize;
+    for (_, node) in nl.iter() {
+        if let Node::Gate { kind, .. } = node {
+            let jj = lib.cost(*kind).jj_count as u64;
+            jj_total += jj;
+            *jj_by_kind.entry(*kind).or_insert(0) += jj;
+            gate_count += 1;
+        }
+    }
+    let depth = nl.depth();
+    CostReport {
+        jj_total,
+        jj_by_kind,
+        gate_count,
+        depth,
+        latency_ps: clock.pipeline_latency_ps(depth),
+        energy_per_cycle_aj: jj_total as f64 * lib.energy_per_jj_aj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_one_gate() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let o = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(o);
+        let rep = cost_report(&nl, &CellLibrary::hstp(), &ClockScheme::four_phase_5ghz());
+        assert_eq!(rep.jj_total, 6);
+        assert_eq!(rep.gate_count, 1);
+        assert_eq!(rep.depth, 1);
+        assert!((rep.latency_ps - 50.0).abs() < 1e-12);
+        assert!((rep.energy_per_cycle_aj - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inputs_and_constants_cost_nothing() {
+        let mut nl = Netlist::new();
+        nl.add_input();
+        nl.add_const(true);
+        let rep = cost_report(&nl, &CellLibrary::hstp(), &ClockScheme::four_phase_5ghz());
+        assert_eq!(rep.jj_total, 0);
+        assert_eq!(rep.gate_count, 0);
+        assert_eq!(rep.energy_per_cycle_aj, 0.0);
+    }
+
+    #[test]
+    fn power_conversion() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let o = nl.add_gate(GateKind::Buffer, &[a]).unwrap();
+        nl.mark_output(o);
+        let rep = cost_report(&nl, &CellLibrary::hstp(), &ClockScheme::four_phase_5ghz());
+        // 2 JJ × 0.005 aJ = 0.01 aJ/cycle; at 5 GHz → 0.05 nW.
+        assert!((rep.power_nw(5.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jj_by_kind_partitions_total() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Inverter, &[x]).unwrap();
+        nl.mark_output(y);
+        let rep = cost_report(&nl, &CellLibrary::hstp(), &ClockScheme::four_phase_5ghz());
+        let sum: u64 = rep.jj_by_kind.values().sum();
+        assert_eq!(sum, rep.jj_total);
+        assert_eq!(rep.jj_by_kind[&GateKind::And], 6);
+        assert_eq!(rep.jj_by_kind[&GateKind::Inverter], 2);
+    }
+}

@@ -1,0 +1,617 @@
+//! Logic-synthesis optimization passes for AQFP netlists.
+//!
+//! The paper's discussion section points at the AQFP EDA stack — majority
+//! -logic synthesis (Testa et al.\[71\]), algebraic rewriting and the
+//! cell-based flows of \[74\]/\[28\] — as what makes AQFP systems buildable
+//! beyond hand-designed blocks. This module implements the classical
+//! technology-independent core of such a flow on [`Netlist`]s:
+//!
+//! * **constant folding** — gates with constant operands collapse
+//!   (including the majority identities `MAJ(a,b,1) = OR(a,b)` and
+//!   `MAJ(a,b,0) = AND(a,b)` that make AND/OR "majority gates with a bias
+//!   input" in AQFP);
+//! * **algebraic rules** — idempotence (`AND(a,a) = a`,
+//!   `MAJ(a,a,b) = a`), complementation (`AND(a,¬a) = 0`,
+//!   `MAJ(a,¬a,b) = b`), double-inverter elimination and buffer bypass;
+//! * **majority re-synthesis** — the carry pattern
+//!   `OR(AND(a,b), AND(c, OR(a,b)))` and its input orderings rewrite to a
+//!   single native `MAJ(a,b,c)` cell (the key rewrite of majority-logic
+//!   synthesis);
+//! * **structural hashing** — common-subexpression sharing;
+//! * **dead-gate elimination** — unreachable logic is dropped (primary
+//!   inputs are always kept so the interface is unchanged).
+//!
+//! Passes run to a fixpoint. The result is functionally equivalent to the
+//! input (property-tested in this module and in `tests/props.rs`) and
+//! never costs more JJs.
+
+use crate::graph::{Netlist, Node, NodeId};
+use crate::report::{self, CostReport};
+use aqfp_device::{CellLibrary, ClockScheme, GateKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Before/after metrics of one [`optimize`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthReport {
+    /// Gate count before optimization (excluding inputs/constants).
+    pub gates_before: usize,
+    /// Gate count after.
+    pub gates_after: usize,
+    /// JJ count before (unbalanced netlist, 4-phase costing).
+    pub jj_before: u64,
+    /// JJ count after.
+    pub jj_after: u64,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+impl SynthReport {
+    /// Fraction of JJs removed, in `[0, 1]`.
+    pub fn jj_saving(&self) -> f64 {
+        if self.jj_before == 0 {
+            0.0
+        } else {
+            1.0 - self.jj_after as f64 / self.jj_before as f64
+        }
+    }
+}
+
+/// Optimizes `nl`, returning the rewritten netlist and a report.
+///
+/// The output netlist has the same primary inputs (same order) and the
+/// same outputs (same order, same functions). Gate and JJ counts never
+/// increase.
+pub fn optimize(nl: &Netlist, lib: &CellLibrary) -> (Netlist, SynthReport) {
+    let clock = ClockScheme::four_phase_5ghz();
+    let before = report::cost_report(nl, lib, &clock);
+
+    let mut current = nl.clone();
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let (next, changed) = rewrite_once(&current);
+        let (next, demorganed) = demorgan_once(&next);
+        let next = eliminate_dead(&next);
+        let stable = !changed && !demorganed && next.len() == current.len();
+        current = next;
+        if stable || iterations >= 16 {
+            break;
+        }
+    }
+
+    let after = report::cost_report(&current, lib, &clock);
+    let report = SynthReport {
+        gates_before: gate_count(&before),
+        gates_after: gate_count(&after),
+        jj_before: before.jj_total,
+        jj_after: after.jj_total,
+        iterations,
+    };
+    (current, report)
+}
+
+fn gate_count(r: &CostReport) -> usize {
+    r.gate_count
+}
+
+/// One forward rewrite pass with hash-consing. Returns the rewritten
+/// netlist and whether any rule fired.
+fn rewrite_once(nl: &Netlist) -> (Netlist, bool) {
+    let mut out = Netlist::new();
+    // remap[old] = new node standing for the old node's function.
+    let mut remap: Vec<NodeId> = Vec::with_capacity(nl.len());
+    let mut cache: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut consts: HashMap<bool, NodeId> = HashMap::new();
+    let mut changed = false;
+
+    for (_, node) in nl.iter() {
+        let new_id = match node {
+            Node::Input => out.add_input(),
+            Node::Const(v) => *consts.entry(*v).or_insert_with(|| out.add_const(*v)),
+            Node::Gate { kind, inputs } => {
+                let mapped: Vec<NodeId> = inputs.iter().map(|&i| remap[i.index()]).collect();
+                let (id, fired) = simplify(*kind, &mapped, &mut out, &mut cache, &mut consts);
+                changed |= fired;
+                id
+            }
+        };
+        remap.push(new_id);
+    }
+
+    for &o in nl.outputs() {
+        out.mark_output(remap[o.index()]);
+    }
+    (out, changed)
+}
+
+/// Emits a gate computing `kind(inputs)` into `out`, applying local rules.
+/// Returns the resulting node and whether a simplification fired.
+fn simplify(
+    kind: GateKind,
+    inputs: &[NodeId],
+    out: &mut Netlist,
+    cache: &mut HashMap<(GateKind, Vec<NodeId>), NodeId>,
+    consts: &mut HashMap<bool, NodeId>,
+) -> (NodeId, bool) {
+    let const_of = |id: NodeId, out: &Netlist| -> Option<bool> {
+        match out.node(id) {
+            Node::Const(v) => Some(*v),
+            _ => None,
+        }
+    };
+    let mut make_const = |v: bool, out: &mut Netlist| -> NodeId {
+        *consts.entry(v).or_insert_with(|| out.add_const(v))
+    };
+
+    match kind {
+        GateKind::Buffer => {
+            // Synthesis-time buffers are transparent; path balancing
+            // reinserts what timing needs.
+            return (inputs[0], true);
+        }
+        GateKind::Inverter => {
+            if let Some(v) = const_of(inputs[0], out) {
+                return (make_const(!v, out), true);
+            }
+            // INV(INV(a)) = a
+            if let Node::Gate { kind: GateKind::Inverter, inputs: inner } = out.node(inputs[0]) {
+                return (inner[0], true);
+            }
+        }
+        GateKind::And | GateKind::Or => {
+            let (a, b) = (inputs[0], inputs[1]);
+            let absorbing = kind == GateKind::Or; // OR: 1 absorbs; AND: 0 absorbs
+            for (x, y) in [(a, b), (b, a)] {
+                if let Some(v) = const_of(x, out) {
+                    return if v == absorbing {
+                        (make_const(absorbing, out), true)
+                    } else {
+                        (y, true) // identity element
+                    };
+                }
+            }
+            if a == b {
+                return (a, true);
+            }
+            if inverts(out, a, b) {
+                return (make_const(absorbing, out), true);
+            }
+            if kind == GateKind::Or {
+                if let Some(id) = match_carry_pattern(out, a, b) {
+                    return (id, true);
+                }
+            }
+        }
+        GateKind::Majority => {
+            let (a, b, c) = (inputs[0], inputs[1], inputs[2]);
+            // Duplicate inputs dominate.
+            if a == b || a == c {
+                return (a, true);
+            }
+            if b == c {
+                return (b, true);
+            }
+            // A complementary pair cancels: MAJ(a, ¬a, x) = x.
+            for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
+                if inverts(out, x, y) {
+                    return (z, true);
+                }
+            }
+            // Constant biases lower MAJ to OR/AND.
+            for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
+                if let Some(v) = const_of(z, out) {
+                    let lowered = if v { GateKind::Or } else { GateKind::And };
+                    let (id, _) = simplify(lowered, &[x, y], out, cache, consts);
+                    return (id, true);
+                }
+            }
+        }
+        GateKind::Splitter | GateKind::Readout => {}
+    }
+
+    // Hash-cons: commutative kinds use sorted operand keys.
+    let key_inputs = match kind {
+        GateKind::And | GateKind::Or | GateKind::Majority => {
+            let mut v = inputs.to_vec();
+            v.sort_unstable();
+            v
+        }
+        _ => inputs.to_vec(),
+    };
+    if let Some(&hit) = cache.get(&(kind, key_inputs.clone())) {
+        return (hit, true);
+    }
+    let id = out.add_gate(kind, inputs).expect("inputs precede this gate");
+    cache.insert((kind, key_inputs), id);
+    (id, false)
+}
+
+/// De Morgan / self-duality pass: `AND(¬a, ¬b) = ¬OR(a, b)`,
+/// `OR(¬a, ¬b) = ¬AND(a, b)` and — using the majority gate's self-duality
+/// — `MAJ(¬a, ¬b, ¬c) = ¬MAJ(a, b, c)`.
+///
+/// Each rewrite replaces `k` input inverters plus one gate with one gate
+/// plus one output inverter. It fires only when every input inverter has
+/// no other consumer (checked against the whole netlist), so the gate
+/// count strictly drops for `k ≥ 2` and never rises — keeping
+/// [`optimize`]'s monotonicity guarantee. The output inverter frequently
+/// cancels against a downstream `INV` on the next fixpoint iteration.
+fn demorgan_once(nl: &Netlist) -> (Netlist, bool) {
+    // Uses of each node: gate consumers plus output markings.
+    let mut uses = nl.fanout_counts();
+    for &o in nl.outputs() {
+        uses[o.index()] += 1;
+    }
+    let inverter_operand = |id: NodeId| -> Option<NodeId> {
+        match nl.node(id) {
+            Node::Gate { kind: GateKind::Inverter, inputs } if uses[id.index()] == 1 => {
+                Some(inputs[0])
+            }
+            _ => None,
+        }
+    };
+
+    let mut out = Netlist::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(nl.len());
+    let mut changed = false;
+    for (_, node) in nl.iter() {
+        let new_id = match node {
+            Node::Input => out.add_input(),
+            Node::Const(v) => out.add_const(*v),
+            Node::Gate { kind, inputs } => {
+                let dual = match kind {
+                    GateKind::And => Some(GateKind::Or),
+                    GateKind::Or => Some(GateKind::And),
+                    GateKind::Majority => Some(GateKind::Majority),
+                    _ => None,
+                };
+                let operands: Option<Vec<NodeId>> = dual
+                    .is_some()
+                    .then(|| inputs.iter().map(|&i| inverter_operand(i)).collect())
+                    .flatten();
+                match (dual, operands) {
+                    (Some(dual_kind), Some(ops)) => {
+                        let mapped: Vec<NodeId> =
+                            ops.iter().map(|&i| remap[i.index()]).collect();
+                        let gate = out
+                            .add_gate(dual_kind, &mapped)
+                            .expect("operands precede the rewrite site");
+                        changed = true;
+                        out.add_gate(GateKind::Inverter, &[gate]).expect("gate just added")
+                    }
+                    _ => {
+                        let mapped: Vec<NodeId> =
+                            inputs.iter().map(|&i| remap[i.index()]).collect();
+                        out.add_gate(*kind, &mapped).expect("valid rewrite")
+                    }
+                }
+            }
+        };
+        remap.push(new_id);
+    }
+    for &o in nl.outputs() {
+        out.mark_output(remap[o.index()]);
+    }
+    (out, changed)
+}
+
+/// Whether `a` and `b` are structural complements (one is INV of the other).
+fn inverts(nl: &Netlist, a: NodeId, b: NodeId) -> bool {
+    let is_inv_of = |x: NodeId, y: NodeId| -> bool {
+        matches!(nl.node(x), Node::Gate { kind: GateKind::Inverter, inputs } if inputs[0] == y)
+    };
+    is_inv_of(a, b) || is_inv_of(b, a)
+}
+
+/// Matches `OR(AND(a,b), AND(c, OR(a,b)))` (any operand order) and emits
+/// `MAJ(a, b, c)` — the majority-synthesis carry rewrite.
+fn match_carry_pattern(out: &mut Netlist, x: NodeId, y: NodeId) -> Option<NodeId> {
+    let and_inputs = |id: NodeId| -> Option<(NodeId, NodeId)> {
+        match out.node(id) {
+            Node::Gate { kind: GateKind::And, inputs } => Some((inputs[0], inputs[1])),
+            _ => None,
+        }
+    };
+    let or_inputs = |id: NodeId| -> Option<(NodeId, NodeId)> {
+        match out.node(id) {
+            Node::Gate { kind: GateKind::Or, inputs } => Some((inputs[0], inputs[1])),
+            _ => None,
+        }
+    };
+    for (p, q) in [(x, y), (y, x)] {
+        let Some((a, b)) = and_inputs(p) else { continue };
+        let Some((u, v)) = and_inputs(q) else { continue };
+        // One operand of the second AND must be OR(a, b); the other is c.
+        for (or_cand, c) in [(u, v), (v, u)] {
+            if let Some((oa, ob)) = or_inputs(or_cand) {
+                let same = (oa == a && ob == b) || (oa == b && ob == a);
+                if same {
+                    let id = out
+                        .add_gate(GateKind::Majority, &[a, b, c])
+                        .expect("operands precede the rewrite site");
+                    return Some(id);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Drops gates unreachable from the outputs; inputs are always kept.
+fn eliminate_dead(nl: &Netlist) -> Netlist {
+    let mut live = vec![false; nl.len()];
+    let mut stack: Vec<usize> = nl.outputs().iter().map(|o| o.index()).collect();
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        if let Node::Gate { inputs, .. } = nl.node(NodeId(i)) {
+            stack.extend(inputs.iter().map(|x| x.index()));
+        }
+    }
+
+    let mut out = Netlist::new();
+    let mut remap: Vec<Option<NodeId>> = vec![None; nl.len()];
+    for (id, node) in nl.iter() {
+        let i = id.index();
+        let keep = live[i] || matches!(node, Node::Input);
+        if !keep {
+            continue;
+        }
+        let new_id = match node {
+            Node::Input => out.add_input(),
+            Node::Const(v) => out.add_const(*v),
+            Node::Gate { kind, inputs } => {
+                let mapped: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|x| remap[x.index()].expect("live gate input is live"))
+                    .collect();
+                out.add_gate(*kind, &mapped).expect("topological order preserved")
+            }
+        };
+        remap[i] = Some(new_id);
+    }
+    for &o in nl.outputs() {
+        out.mark_output(remap[o.index()].expect("outputs are live"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_dag, RandomDagConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::hstp()
+    }
+
+    fn assert_equivalent(a: &Netlist, b: &Netlist, trials: usize, seed: u64) {
+        assert_eq!(a.input_count(), b.input_count());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials {
+            let inputs: Vec<bool> = (0..a.input_count()).map(|_| rng.gen()).collect();
+            assert_eq!(
+                a.eval(&inputs).unwrap(),
+                b.eval(&inputs).unwrap(),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_constants_through_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let one = nl.add_const(true);
+        let zero = nl.add_const(false);
+        let and1 = nl.add_gate(GateKind::And, &[a, one]).unwrap(); // = a
+        let or0 = nl.add_gate(GateKind::Or, &[and1, zero]).unwrap(); // = a
+        let maj = nl.add_gate(GateKind::Majority, &[or0, a, zero]).unwrap(); // = AND(a,a) = a
+        nl.mark_output(maj);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 4, 1);
+        assert_eq!(report.gates_after, 0, "everything folds to the input");
+    }
+
+    #[test]
+    fn eliminates_double_inverters_and_buffers() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b1 = nl.add_gate(GateKind::Buffer, &[a]).unwrap();
+        let i1 = nl.add_gate(GateKind::Inverter, &[b1]).unwrap();
+        let i2 = nl.add_gate(GateKind::Inverter, &[i1]).unwrap();
+        let b2 = nl.add_gate(GateKind::Buffer, &[i2]).unwrap();
+        nl.mark_output(b2);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 2, 2);
+        assert_eq!(report.gates_after, 0);
+    }
+
+    #[test]
+    fn complementary_inputs_collapse() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let and = nl.add_gate(GateKind::And, &[a, na]).unwrap(); // 0
+        let or = nl.add_gate(GateKind::Or, &[a, na]).unwrap(); // 1
+        let maj = nl.add_gate(GateKind::Majority, &[a, na, b]).unwrap(); // b
+        let all = nl.add_gate(GateKind::Majority, &[and, or, maj]).unwrap(); // b
+        nl.mark_output(all);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 4, 3);
+        assert_eq!(report.gates_after, 0, "collapses to input b");
+    }
+
+    #[test]
+    fn shares_common_subexpressions() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[b, a]).unwrap(); // commutative dup
+        let o = nl.add_gate(GateKind::Or, &[x, y]).unwrap(); // OR(x,x) = x
+        nl.mark_output(o);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 4, 4);
+        assert_eq!(report.gates_after, 1, "one AND remains");
+    }
+
+    #[test]
+    fn rewrites_carry_pattern_to_majority() {
+        // carry = OR(AND(a,b), AND(c, OR(a,b))) — 4 gates — must become
+        // one MAJ cell.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let c = nl.add_input();
+        let ab = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let oab = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let coab = nl.add_gate(GateKind::And, &[c, oab]).unwrap();
+        let carry = nl.add_gate(GateKind::Or, &[ab, coab]).unwrap();
+        nl.mark_output(carry);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 8, 5);
+        assert_eq!(report.gates_after, 1, "single majority cell");
+        assert!(matches!(
+            opt.node(opt.outputs()[0]),
+            Node::Gate { kind: GateKind::Majority, .. }
+        ));
+        assert!(report.jj_saving() > 0.5);
+    }
+
+    #[test]
+    fn demorgan_rewrites_nand_of_inverters() {
+        // AND(¬a, ¬b) — 3 gates — becomes OR + INV — 2 gates.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Inverter, &[b]).unwrap();
+        let g = nl.add_gate(GateKind::And, &[na, nb]).unwrap();
+        nl.mark_output(g);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 4, 31);
+        assert_eq!(report.gates_after, 2, "OR + INV");
+    }
+
+    #[test]
+    fn demorgan_respects_shared_inverters() {
+        // ¬a feeds two consumers: rewriting would duplicate logic, so the
+        // pass must leave the AND alone.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Inverter, &[b]).unwrap();
+        let g = nl.add_gate(GateKind::And, &[na, nb]).unwrap();
+        let other = nl.add_gate(GateKind::Or, &[na, b]).unwrap();
+        nl.mark_output(g);
+        nl.mark_output(other);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 4, 32);
+        assert!(report.jj_after <= report.jj_before);
+    }
+
+    #[test]
+    fn majority_self_duality_fires_and_cancels_downstream_inverter() {
+        // ¬MAJ(¬a, ¬b, ¬c) — 5 gates — collapses to MAJ(a, b, c): the
+        // self-duality rewrite plus INV(INV) cancellation.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let c = nl.add_input();
+        let na = nl.add_gate(GateKind::Inverter, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Inverter, &[b]).unwrap();
+        let nc = nl.add_gate(GateKind::Inverter, &[c]).unwrap();
+        let m = nl.add_gate(GateKind::Majority, &[na, nb, nc]).unwrap();
+        let nm = nl.add_gate(GateKind::Inverter, &[m]).unwrap();
+        nl.mark_output(nm);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 8, 33);
+        assert_eq!(report.gates_after, 1, "one majority cell: {report:?}");
+    }
+
+    #[test]
+    fn recovers_majority_carries_from_aoi_adder() {
+        let (nl, _, _, _) = crate::builders::ripple_adder_aoi(8);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_equivalent(&nl, &opt, 64, 21);
+        // Every carry collapses from 4 AOI gates to one MAJ cell.
+        let majs = opt
+            .gate_histogram()
+            .get(&GateKind::Majority)
+            .copied()
+            .unwrap_or(0);
+        assert!(majs >= 7, "expected rewritten majority carries, got {majs}");
+        assert!(
+            report.jj_saving() > 0.15,
+            "majority re-synthesis should save JJs: {report:?}"
+        );
+    }
+
+    #[test]
+    fn random_dags_stay_equivalent_and_never_grow() {
+        for seed in 0..6u64 {
+            let cfg = RandomDagConfig {
+                inputs: 12,
+                gates: 160,
+                ..Default::default()
+            };
+            let nl = random_dag(&cfg, &mut StdRng::seed_from_u64(seed));
+            let (opt, report) = optimize(&nl, &lib());
+            assert_equivalent(&nl, &opt, 32, seed ^ 99);
+            assert!(
+                report.jj_after <= report.jj_before,
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let cfg = RandomDagConfig {
+            inputs: 8,
+            gates: 80,
+            ..Default::default()
+        };
+        let nl = random_dag(&cfg, &mut StdRng::seed_from_u64(13));
+        let (once, _) = optimize(&nl, &lib());
+        let (twice, report) = optimize(&once, &lib());
+        assert_eq!(once.len(), twice.len());
+        assert_eq!(report.jj_saving(), 0.0);
+    }
+
+    #[test]
+    fn dead_gates_are_swept_but_inputs_remain() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let _dead = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let live = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        nl.mark_output(live);
+        let (opt, report) = optimize(&nl, &lib());
+        assert_eq!(opt.input_count(), 2);
+        assert_eq!(report.gates_after, 1);
+        assert_equivalent(&nl, &opt, 4, 6);
+    }
+
+    #[test]
+    fn report_tracks_savings_fraction() {
+        let r = SynthReport {
+            gates_before: 10,
+            gates_after: 5,
+            jj_before: 100,
+            jj_after: 25,
+            iterations: 2,
+        };
+        assert!((r.jj_saving() - 0.75).abs() < 1e-12);
+        let zero = SynthReport { jj_before: 0, jj_after: 0, ..r };
+        assert_eq!(zero.jj_saving(), 0.0);
+    }
+}

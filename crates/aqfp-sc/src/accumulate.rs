@@ -1,0 +1,359 @@
+//! The SC-based accumulation module (paper Fig. 6b).
+//!
+//! A BNN filter tiled over `k` crossbars produces `k` stochastic numbers per
+//! output column (one per crossbar, each an observation window of `L` bits).
+//! The module:
+//!
+//! 1. feeds the `k` parallel column bits of each clock cycle into an APC,
+//! 2. accumulates the APC counts over the window (total ones `T ∈ [0, kL]`),
+//! 3. compares the total against a reference to emit the 1-bit activation
+//!    for the next layer: in bipolar encoding the accumulated value is
+//!    `v = 2T/L − k`, so the default reference is the midpoint `T ≥ kL/2`
+//!    (ties binarize to '1', matching the paper's `sign(0) = +1`).
+//!
+//! The folded batch-norm threshold (Eq. 16) is divided evenly over the `k`
+//! crossbars' neuron thresholds (Section 5.2), so the module's own
+//! reference stays at the midpoint unless explicitly overridden.
+
+use crate::apc::Apc;
+use crate::number::Bitstream;
+use aqfp_device::{Bit, CellLibrary, ClockScheme};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by the accumulation module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScAccumError {
+    /// The number of input streams did not match the configured width.
+    WrongStreamCount {
+        /// Configured number of crossbar inputs.
+        expected: usize,
+        /// Provided stream count.
+        got: usize,
+    },
+    /// A stream's length did not match the configured window.
+    WrongWindow {
+        /// Configured observation window.
+        expected: usize,
+        /// Index of the offending stream.
+        stream: usize,
+        /// Its length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ScAccumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScAccumError::WrongStreamCount { expected, got } => {
+                write!(f, "accumulation module has {expected} inputs, got {got} streams")
+            }
+            ScAccumError::WrongWindow { expected, stream, got } => write!(
+                f,
+                "stream {stream} has length {got}, expected the {expected}-bit window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScAccumError {}
+
+/// Which parallel counter the module instantiates (paper Section 4.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Exact Wallace-tree popcount.
+    #[default]
+    Exact,
+    /// Kim et al.'s approximate parallel counter: the weight-0 column uses
+    /// 2-gate approximate adders — fewer JJs, with a small unbiased
+    /// counting error that SC accumulation tolerates.
+    Approximate,
+}
+
+/// The SC-based accumulation module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumulationModule {
+    inputs: usize,
+    window: usize,
+    /// Ones-count reference of the comparator; output is '1' iff the total
+    /// count is ≥ this value. Stored doubled internally to keep the exact
+    /// `kL/2` midpoint representable for odd `k·L`.
+    threshold_doubled: u64,
+    counter: CounterKind,
+}
+
+impl AccumulationModule {
+    /// Creates a module accumulating `inputs` crossbar outputs over a
+    /// `window`-bit observation window, with the midpoint reference.
+    ///
+    /// # Panics
+    /// Panics if `inputs == 0` or `window == 0`.
+    pub fn new(inputs: usize, window: usize) -> Self {
+        assert!(inputs > 0, "need at least one crossbar input");
+        assert!(window > 0, "observation window must be at least 1 bit");
+        Self {
+            inputs,
+            window,
+            threshold_doubled: (inputs * window) as u64,
+            counter: CounterKind::Exact,
+        }
+    }
+
+    /// Overrides the comparator reference: output '1' iff `T ≥ threshold`
+    /// (in ones counts).
+    #[must_use]
+    pub fn with_threshold_counts(mut self, threshold: u64) -> Self {
+        self.threshold_doubled = threshold * 2;
+        self
+    }
+
+    /// Selects the counter implementation (default [`CounterKind::Exact`]).
+    #[must_use]
+    pub fn with_counter(mut self, counter: CounterKind) -> Self {
+        self.counter = counter;
+        self
+    }
+
+    /// The configured counter kind.
+    pub fn counter(&self) -> CounterKind {
+        self.counter
+    }
+
+    /// Number of crossbar inputs `k`.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Observation window `L`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn check(&self, streams: &[Bitstream]) -> Result<(), ScAccumError> {
+        if streams.len() != self.inputs {
+            return Err(ScAccumError::WrongStreamCount {
+                expected: self.inputs,
+                got: streams.len(),
+            });
+        }
+        for (i, s) in streams.iter().enumerate() {
+            if s.len() != self.window {
+                return Err(ScAccumError::WrongWindow {
+                    expected: self.window,
+                    stream: i,
+                    got: s.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total ones count `T` over all streams and cycles — what the APC +
+    /// accumulator register compute in hardware. Evaluated cycle-by-cycle
+    /// through the functional APC to mirror the datapath.
+    pub fn total_count(&self, streams: &[Bitstream]) -> Result<u64, ScAccumError> {
+        self.check(streams)?;
+        let apc = Apc::new(self.inputs);
+        let mut total = 0u64;
+        let mut word = vec![Bit::Zero; self.inputs];
+        for t in 0..self.window {
+            for (i, s) in streams.iter().enumerate() {
+                word[i] = s.bits()[t];
+            }
+            total += match self.counter {
+                CounterKind::Exact => apc.count(&word),
+                CounterKind::Approximate => apc.count_approx(&word),
+            } as u64;
+        }
+        Ok(total)
+    }
+
+    /// The accumulated bipolar value estimate `v = 2T/L − k ∈ [−k, +k]`,
+    /// in per-crossbar units.
+    pub fn accumulate_value(&self, streams: &[Bitstream]) -> Result<f64, ScAccumError> {
+        let total = self.total_count(streams)?;
+        Ok(2.0 * total as f64 / self.window as f64 - self.inputs as f64)
+    }
+
+    /// The module's 1-bit output: '1' iff `T ≥ threshold` (default: the
+    /// bipolar midpoint, i.e. the sign of the accumulated value with ties
+    /// resolving to '1').
+    pub fn binarize(&self, streams: &[Bitstream]) -> Result<Bit, ScAccumError> {
+        let total = self.total_count(streams)?;
+        Ok(Bit::from_bool(2 * total >= self.threshold_doubled))
+    }
+
+    /// Hardware JJ count of the module: the gate-level APC, a `w`-bit
+    /// accumulator (full-adder chain with feedback), and a `w`-bit
+    /// comparator, where `w = ⌈log2(kL + 1)⌉`.
+    pub fn hardware_jj(&self, lib: &CellLibrary, clock: &ClockScheme) -> u64 {
+        let apc = match self.counter {
+            CounterKind::Exact => Apc::new(self.inputs).hardware_cost(lib, clock),
+            CounterKind::Approximate => Apc::new(self.inputs).approx_hardware_cost(lib, clock),
+        };
+        let w = 64 - ((self.inputs * self.window) as u64).leading_zeros() as u64;
+        // Full adder: 3 MAJ + 2 INV = 22 JJ. Comparator bit: MAJ + INV = 8.
+        let accumulator = w * 22;
+        let comparator = w * 8 + 2;
+        apc.jj_total + accumulator + comparator
+    }
+
+    /// Latency of one accumulation in clock stages: the APC tree depth plus
+    /// the window (one APC word per cycle) plus accumulator/comparator.
+    pub fn latency_stages(&self) -> u32 {
+        let apc_depth = Apc::new(self.inputs).netlist().depth();
+        let w = 64 - ((self.inputs * self.window) as u64).leading_zeros();
+        apc_depth + self.window as u32 + w + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::number::parse_stream;
+    use rand::SeedableRng;
+
+    #[test]
+    fn approximate_counter_is_cheaper_and_usually_agrees() {
+        use aqfp_device::{CellLibrary, ClockScheme};
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        let exact = AccumulationModule::new(8, 16);
+        let approx = exact.with_counter(CounterKind::Approximate);
+        assert!(approx.hardware_jj(&lib, &clock) < exact.hardware_jj(&lib, &clock));
+
+        // Functional agreement of the 1-bit decision on random stream
+        // batches with random values (typical decisions have margin; only
+        // near-midpoint totals can flip under the ±1-per-adder unbiased
+        // counting error).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut agree = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let streams: Vec<Bitstream> = (0..8)
+                .map(|_| {
+                    let p = rand::Rng::gen_range(&mut rng, 0.0..1.0);
+                    Bitstream::generate_unipolar(p, 16, &mut rng)
+                })
+                .collect();
+            if exact.binarize(&streams).unwrap() == approx.binarize(&streams).unwrap() {
+                agree += 1;
+            }
+        }
+        // Uniform-random stream values over-represent near-midpoint totals
+        // (the sum of 8 uniform values concentrates at the threshold), so
+        // a few near-tie flips are expected; real deployments have
+        // BN-matched margins.
+        assert!(agree >= trials * 17 / 20, "only {agree}/{trials} agreed");
+    }
+
+    #[test]
+    fn counter_kind_defaults_to_exact() {
+        assert_eq!(AccumulationModule::new(2, 2).counter(), CounterKind::Exact);
+        assert_eq!(CounterKind::default(), CounterKind::Exact);
+    }
+
+    #[test]
+    fn total_count_sums_all_ones() {
+        let m = AccumulationModule::new(3, 4);
+        let streams = vec![
+            parse_stream("1010"), // 2 ones
+            parse_stream("1111"), // 4
+            parse_stream("0000"), // 0
+        ];
+        assert_eq!(m.total_count(&streams).unwrap(), 6);
+    }
+
+    #[test]
+    fn accumulated_value_is_sum_of_bipolar_values() {
+        let m = AccumulationModule::new(2, 4);
+        let streams = vec![parse_stream("1111"), parse_stream("0100")];
+        // values: +1 and (2·1/4 − 1) = −0.5 → sum 0.5
+        let v = m.accumulate_value(&streams).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarize_signs_the_sum() {
+        let m = AccumulationModule::new(2, 4);
+        let pos = vec![parse_stream("1111"), parse_stream("0100")];
+        assert_eq!(m.binarize(&pos).unwrap(), Bit::One);
+        let neg = vec![parse_stream("0000"), parse_stream("0111")];
+        assert_eq!(m.binarize(&neg).unwrap(), Bit::Zero);
+    }
+
+    #[test]
+    fn tie_resolves_to_one() {
+        let m = AccumulationModule::new(2, 2);
+        // T = 2 = kL/2 exactly.
+        let tie = vec![parse_stream("10"), parse_stream("01")];
+        assert_eq!(m.binarize(&tie).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn custom_threshold_shifts_decision() {
+        let m = AccumulationModule::new(2, 4).with_threshold_counts(7);
+        let streams = vec![parse_stream("1111"), parse_stream("0100")]; // T=5
+        assert_eq!(m.binarize(&streams).unwrap(), Bit::Zero);
+        let m = m.with_threshold_counts(5);
+        assert_eq!(m.binarize(&streams).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn longer_windows_reduce_estimate_noise() {
+        // Estimate Σ erf values from sampled streams; the long-window
+        // estimate must be closer on average (law of large numbers).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let ps = [0.7, 0.3, 0.55];
+        let truth: f64 = ps.iter().map(|p| 2.0 * p - 1.0).sum();
+        let mut err_short = 0.0;
+        let mut err_long = 0.0;
+        for _ in 0..200 {
+            for (window, err) in [(4usize, &mut err_short), (64, &mut err_long)] {
+                let m = AccumulationModule::new(3, window);
+                let streams: Vec<Bitstream> = ps
+                    .iter()
+                    .map(|&p| Bitstream::generate_unipolar(p, window, &mut rng))
+                    .collect();
+                *err += (m.accumulate_value(&streams).unwrap() - truth).abs();
+            }
+        }
+        assert!(
+            err_long < err_short * 0.6,
+            "64-bit window error {err_long} not ≪ 4-bit {err_short}"
+        );
+    }
+
+    #[test]
+    fn shape_errors() {
+        let m = AccumulationModule::new(2, 4);
+        let e = m.total_count(&[parse_stream("1111")]).unwrap_err();
+        assert!(matches!(e, ScAccumError::WrongStreamCount { expected: 2, got: 1 }));
+        let e = m
+            .total_count(&[parse_stream("1111"), parse_stream("11")])
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            ScAccumError::WrongWindow { expected: 4, stream: 1, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn hardware_cost_scales() {
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        let small = AccumulationModule::new(2, 8).hardware_jj(&lib, &clock);
+        let big = AccumulationModule::new(8, 32).hardware_jj(&lib, &clock);
+        assert!(big > small);
+        assert!(small > 0);
+    }
+
+    #[test]
+    fn latency_includes_window() {
+        let m8 = AccumulationModule::new(4, 8);
+        let m32 = AccumulationModule::new(4, 32);
+        assert!(m32.latency_stages() > m8.latency_stages());
+        assert!(m32.latency_stages() as usize >= 32);
+    }
+}

@@ -1,0 +1,263 @@
+//! Stochastic-computing error analysis (paper Section 5.4).
+//!
+//! Two error sources govern the hardware-configuration co-optimization:
+//!
+//! * the **average mismatch error** AME (Eq. 18) — the AQFP buffer's erf
+//!   law is not the linear probability an ideal bipolar SN generator would
+//!   use, so the expected carried value `y = erf(√π(x − Vth)/ΔVin(Cs))·Cs`
+//!   deviates from the true latent value `x`;
+//! * the **SN estimator noise** — a length-`L` Bernoulli estimate of a
+//!   probability `p` has variance `p(1−p)/L`, which is what makes accuracy
+//!   climb with bit-stream length and saturate around `L = 16–32`
+//!   (Fig. 10).
+
+use aqfp_device::GrayZone;
+
+/// Probability density of `N(mean, std²)` at `x`.
+fn gaussian_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    (-0.5 * z * z).exp() / (std * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// Average mismatch error of paper Eq. 18.
+///
+/// `value_law` is the *value-domain* gray-zone law of the neuron
+/// (threshold `Vth`, width `ΔVin(Cs)`); `cs` is the crossbar size; the
+/// latent pre-activation is modelled as `N(cs·act_mean, cs·act_var)`
+/// following the paper ("f(x|Cs) ∼ N(Cs·µ, Cs·σ²)"). The expected carried
+/// value is `y(x) = erf(√π(x − Vth)/ΔVin)·cs`, and
+///
+/// ```text
+/// AME = (1/Cs) ∫_{−Cs}^{+Cs} f(x|Cs) · (x − y(x))² dx
+/// ```
+///
+/// evaluated by Simpson's rule on 2001 points.
+///
+/// # Panics
+/// Panics if `cs == 0` or `act_std <= 0`.
+pub fn average_mismatch_error(
+    value_law: &GrayZone,
+    cs: usize,
+    act_mean: f64,
+    act_std: f64,
+) -> f64 {
+    assert!(cs > 0, "crossbar size must be positive");
+    assert!(act_std > 0.0, "activation std must be positive");
+    let csf = cs as f64;
+    let mean = csf * act_mean;
+    let std = (csf).sqrt() * act_std;
+
+    let lo = -csf;
+    let hi = csf;
+    let n = 2000usize; // even, Simpson
+    let h = (hi - lo) / n as f64;
+    let integrand = |x: f64| {
+        let y = value_law.expected_value(x) * csf;
+        gaussian_pdf(x, mean, std) * (x - y) * (x - y)
+    };
+    let mut acc = integrand(lo) + integrand(hi);
+    for i in 1..n {
+        let x = lo + i as f64 * h;
+        acc += integrand(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (acc * h / 3.0) / csf
+}
+
+/// Expected stochastic-computing decision-noise power (the second error
+/// term of Section 5.4: "the stochastic computing error including SN
+/// quantization error and random fluctuation").
+///
+/// A column holding latent value `x` emits ones with `p = Pv(x)`; its
+/// length-`len` bipolar estimate carries value `(2T/len − 1)·Cs` with
+/// variance `Cs²·4p(1−p)/len`. Averaging over the activation distribution
+/// and normalizing by `Cs` (matching [`average_mismatch_error`]'s units):
+///
+/// ```text
+/// SCN = (1/Cs) ∫ f(x|Cs) · Cs² · 4·p(x)(1−p(x)) / len · dx
+/// ```
+///
+/// AME falls and SCN rises as the gray-zone widens, so their sum has the
+/// interior optimum the paper's Fig. 11 landscape exhibits.
+///
+/// # Panics
+/// Panics if `cs == 0`, `act_std <= 0` or `len == 0`.
+pub fn sc_decision_noise(
+    value_law: &GrayZone,
+    cs: usize,
+    act_mean: f64,
+    act_std: f64,
+    len: usize,
+) -> f64 {
+    assert!(cs > 0, "crossbar size must be positive");
+    assert!(act_std > 0.0, "activation std must be positive");
+    assert!(len > 0, "stream length must be positive");
+    let csf = cs as f64;
+    let mean = csf * act_mean;
+    let std = csf.sqrt() * act_std;
+    let (lo, hi) = (-csf, csf);
+    let n = 2000usize;
+    let h = (hi - lo) / n as f64;
+    let integrand = |x: f64| {
+        let p = value_law.probability_one(x);
+        gaussian_pdf(x, mean, std) * csf * csf * 4.0 * p * (1.0 - p) / len as f64
+    };
+    let mut acc = integrand(lo) + integrand(hi);
+    for i in 1..n {
+        let x = lo + i as f64 * h;
+        acc += integrand(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (acc * h / 3.0) / csf
+}
+
+/// The combined computing-error objective of the Section 5.4
+/// co-optimization: `AME + SCN`.
+pub fn total_computing_error(
+    value_law: &GrayZone,
+    cs: usize,
+    act_mean: f64,
+    act_std: f64,
+    len: usize,
+) -> f64 {
+    average_mismatch_error(value_law, cs, act_mean, act_std)
+        + sc_decision_noise(value_law, cs, act_mean, act_std, len)
+}
+
+/// Variance of the bipolar value estimate of a length-`len` stochastic
+/// number with ones-probability `p`: `Var(2k/L − 1) = 4·p(1−p)/L`.
+///
+/// # Panics
+/// Panics if `len == 0` or `p ∉ [0, 1]`.
+pub fn sn_estimator_variance(p: f64, len: usize) -> f64 {
+    assert!(len > 0, "stream length must be positive");
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    4.0 * p * (1.0 - p) / len as f64
+}
+
+/// Standard deviation of the accumulated value of `k` independent streams
+/// of length `len` with ones-probabilities `ps` — the noise floor of the
+/// SC accumulation module output.
+pub fn accumulated_value_std(ps: &[f64], len: usize) -> f64 {
+    ps.iter()
+        .map(|&p| sn_estimator_variance(p, len))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_device::GrayZone;
+
+    fn law(width: f64) -> GrayZone {
+        GrayZone::new(0.0, width)
+    }
+
+    #[test]
+    fn gaussian_pdf_normalizes() {
+        let n = 4000;
+        let (lo, hi) = (-8.0, 8.0);
+        let h = (hi - lo) / n as f64;
+        let total: f64 = (0..=n)
+            .map(|i| {
+                let x = lo + i as f64 * h;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * gaussian_pdf(x, 0.0, 1.0)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ame_is_nonnegative_and_finite() {
+        let a = average_mismatch_error(&law(0.5), 16, 0.0, 1.0);
+        assert!(a.is_finite() && a >= 0.0);
+    }
+
+    #[test]
+    fn ame_grows_with_crossbar_size_in_sign_regime() {
+        // With a narrow gray-zone the buffer behaves as a sign function;
+        // the mismatch (x − Cs·sign(x))² grows with Cs — the analytic root
+        // of the paper's limited-scalability argument.
+        let a16 = average_mismatch_error(&law(0.3), 16, 0.0, 1.0);
+        let a64 = average_mismatch_error(&law(0.3), 64, 0.0, 1.0);
+        assert!(a64 > a16, "AME must grow: {a64} vs {a16}");
+    }
+
+    #[test]
+    fn wider_grayzone_reduces_ame_at_fixed_size() {
+        // A wider gray-zone makes the erf more linear over the activation
+        // mass, tracking x better than a hard sign.
+        let narrow = average_mismatch_error(&law(0.2), 16, 0.0, 1.0);
+        let wide = average_mismatch_error(&law(4.0), 16, 0.0, 1.0);
+        assert!(wide < narrow, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn ame_penalizes_threshold_offset() {
+        // An off-center threshold biases y against the activation mass.
+        let centered = average_mismatch_error(&law(1.0), 16, 0.0, 1.0);
+        let offset = average_mismatch_error(&GrayZone::new(3.0, 1.0), 16, 0.0, 1.0);
+        assert!(offset > centered);
+    }
+
+    #[test]
+    fn estimator_variance_shrinks_as_one_over_l() {
+        let v16 = sn_estimator_variance(0.5, 16);
+        let v64 = sn_estimator_variance(0.5, 64);
+        assert!((v16 / v64 - 4.0).abs() < 1e-12);
+        // Saturated probabilities carry no noise.
+        assert_eq!(sn_estimator_variance(1.0, 16), 0.0);
+        assert_eq!(sn_estimator_variance(0.0, 16), 0.0);
+    }
+
+    #[test]
+    fn accumulated_std_combines_in_quadrature() {
+        let s = accumulated_value_std(&[0.5, 0.5], 16);
+        let single = sn_estimator_variance(0.5, 16);
+        assert!((s - (2.0 * single).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn ame_rejects_zero_size() {
+        average_mismatch_error(&law(1.0), 0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn sc_noise_grows_with_grayzone_width() {
+        // Wider gray-zone → probabilities nearer 1/2 → more Bernoulli noise.
+        let narrow = sc_decision_noise(&law(0.5), 16, 0.0, 1.0, 16);
+        let wide = sc_decision_noise(&law(8.0), 16, 0.0, 1.0, 16);
+        assert!(wide > narrow, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn sc_noise_shrinks_with_stream_length() {
+        let l16 = sc_decision_noise(&law(2.0), 16, 0.0, 1.0, 16);
+        let l64 = sc_decision_noise(&law(2.0), 16, 0.0, 1.0, 64);
+        assert!((l16 / l64 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_error_has_interior_optimum_in_width() {
+        // AME falls, SCN rises: their sum is minimized at a finite width —
+        // the mechanism behind Fig. 11's accuracy peaks.
+        let cs = 32;
+        let widths = [0.1f64, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0];
+        let errs: Vec<f64> = widths
+            .iter()
+            .map(|&w| total_computing_error(&law(w), cs, 0.0, 1.0, 16))
+            .collect();
+        let (best, _) = errs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert!(
+            best > 0 && best < widths.len() - 1,
+            "optimum at the grid edge: width {} (errors {errs:?})",
+            widths[best]
+        );
+    }
+}

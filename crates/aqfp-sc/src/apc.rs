@@ -1,0 +1,373 @@
+//! The approximate parallel counter (APC).
+//!
+//! The APC "counts the number of 1s in the inputs and represents the result
+//! with a binary number" (paper Section 4.3, citing Kim et al.). We provide
+//! a fast functional model used by the inference engine and a gate-level
+//! build (a Wallace-tree popcount from [`aqfp_netlist::builders`]) used for
+//! validation and for JJ/energy costing of the accumulation module.
+
+use aqfp_device::{Bit, CellLibrary, ClockScheme};
+use aqfp_netlist::{balance, builders, report};
+use serde::{Deserialize, Serialize};
+
+/// An `n`-input parallel counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Apc {
+    inputs: usize,
+}
+
+impl Apc {
+    /// Creates an APC with `inputs` parallel input lines.
+    ///
+    /// # Panics
+    /// Panics if `inputs == 0`.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs > 0, "APC needs at least one input");
+        Self { inputs }
+    }
+
+    /// Number of parallel input lines.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Functional count of ones in one parallel input word.
+    ///
+    /// # Panics
+    /// Panics if `word.len() != self.inputs()`.
+    pub fn count(&self, word: &[Bit]) -> u32 {
+        assert_eq!(word.len(), self.inputs, "APC width mismatch");
+        word.iter().filter(|b| b.as_bool()).count() as u32
+    }
+
+    /// Builds the gate-level popcount netlist of this APC.
+    pub fn netlist(&self) -> aqfp_netlist::Netlist {
+        let (nl, _, _) = builders::popcount(self.inputs);
+        nl
+    }
+
+    /// Builds the gate-level netlist of the *approximate* APC variant
+    /// (weight-0 column reduced with 2-gate approximate adders — Kim et
+    /// al.\[41\]; see [`builders::approx_popcount`]).
+    pub fn approx_netlist(&self) -> aqfp_netlist::Netlist {
+        let (nl, _, _) = builders::approx_popcount(self.inputs, 1);
+        nl
+    }
+
+    /// Functional count of the approximate APC — a cycle-accurate mirror
+    /// of [`Self::approx_netlist`] (validated bit-exactly in tests), fast
+    /// enough for the inference datapath.
+    ///
+    /// The result differs from the true count by at most ±1 per weight-0
+    /// approximate adder, and the error is unbiased for balanced streams.
+    ///
+    /// # Panics
+    /// Panics if `word.len() != self.inputs()`.
+    pub fn count_approx(&self, word: &[Bit]) -> u32 {
+        assert_eq!(word.len(), self.inputs, "APC width mismatch");
+        // Mirror of builders::popcount_impl(n, 1): carry-save column
+        // reduction where the *first-level* weight-0 column uses
+        // carry = MAJ, sum = ¬carry.
+        let mut columns: Vec<Vec<bool>> = vec![word.iter().map(|b| b.as_bool()).collect()];
+        let mut level = 0u32;
+        loop {
+            let mut reduced = false;
+            let mut next: Vec<Vec<bool>> = vec![Vec::new(); columns.len() + 1];
+            for (w, col) in columns.iter().enumerate() {
+                let approx = level == 0 && w == 0;
+                let mut wires = col.clone();
+                while wires.len() >= 3 {
+                    let c = wires.pop().unwrap();
+                    let b = wires.pop().unwrap();
+                    let a = wires.pop().unwrap();
+                    let carry = (a as u8 + b as u8 + c as u8) >= 2;
+                    let sum = if approx { !carry } else { a ^ b ^ c };
+                    next[w].push(sum);
+                    next[w + 1].push(carry);
+                    reduced = true;
+                }
+                if wires.len() == 2 {
+                    let b = wires.pop().unwrap();
+                    let a = wires.pop().unwrap();
+                    next[w].push(a ^ b);
+                    next[w + 1].push(a && b);
+                    reduced = true;
+                } else {
+                    next[w].extend(wires);
+                }
+            }
+            while next.last().is_some_and(Vec::is_empty) {
+                next.pop();
+            }
+            columns = next;
+            level += 1;
+            if !reduced {
+                break;
+            }
+        }
+        columns
+            .iter()
+            .enumerate()
+            .map(|(w, col)| (col[0] as u32) << w)
+            .sum()
+    }
+
+    /// Hardware cost of the approximate APC variant (legalized and
+    /// balanced, like [`Self::hardware_cost`]).
+    pub fn approx_hardware_cost(
+        &self,
+        lib: &CellLibrary,
+        clock: &ClockScheme,
+    ) -> report::CostReport {
+        let mut nl = self.approx_netlist();
+        balance::legalize_fanout(&mut nl);
+        balance::balance(&mut nl, clock);
+        report::cost_report(&nl, lib, clock)
+    }
+
+    /// Evaluates the gate-level netlist on one input word (slow; for
+    /// validation).
+    ///
+    /// # Panics
+    /// Panics if `word.len() != self.inputs()`.
+    pub fn count_gate_level(&self, word: &[Bit]) -> u32 {
+        assert_eq!(word.len(), self.inputs, "APC width mismatch");
+        let nl = self.netlist();
+        let inputs: Vec<bool> = word.iter().map(|b| b.as_bool()).collect();
+        let outs = nl.eval(&inputs).expect("width checked above");
+        outs.iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u32) << i)
+            .sum()
+    }
+
+    /// Hardware cost of the APC after fan-out legalization and 4-phase path
+    /// balancing — what the accumulation-module energy model charges.
+    pub fn hardware_cost(&self, lib: &CellLibrary, clock: &ClockScheme) -> report::CostReport {
+        let mut nl = self.netlist();
+        balance::legalize_fanout(&mut nl);
+        balance::balance(&mut nl, clock);
+        report::cost_report(&nl, lib, clock)
+    }
+}
+
+/// Gate-level cost of the three candidate SN accumulators for one
+/// `n`-input column group (paper Section 4.3's design choice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterComparison {
+    /// Parallel input lines `n`.
+    pub inputs: usize,
+    /// Observation-window length the accumulative design must cover.
+    pub window: usize,
+    /// JJ count of the exact APC (Wallace-tree popcount).
+    pub exact_apc_jj: u64,
+    /// JJ count of the approximate APC (weight-0 column uses 2-gate
+    /// approximate adders — Kim et al.\[41\]).
+    pub approx_apc_jj: u64,
+    /// JJ count of the conventional accumulative parallel counter
+    /// (Parhami & Yeh \[53\]): popcount + ripple-carry accumulate add.
+    pub accumulative_logic_jj: u64,
+    /// JJ count of the accumulative design's running-total register
+    /// (buffer-chain memory cells, clocked separately per Section 4.4).
+    pub accumulative_memory_jj: u64,
+}
+
+impl CounterComparison {
+    /// Total JJ of the conventional accumulative design (logic + memory).
+    pub fn accumulative_total_jj(&self) -> u64 {
+        self.accumulative_logic_jj + self.accumulative_memory_jj
+    }
+}
+
+/// Compares the APC the paper chose against the conventional accumulative
+/// parallel counter it cites, for `n` inputs observed over `window` clock
+/// cycles: "The APC ... consumes fewer logic gates compared with the
+/// conventional accumulative parallel counter" (Section 4.3).
+///
+/// All three designs are built gate-for-gate from the minimalist cell
+/// library and costed after fan-out legalization and path balancing.
+///
+/// # Panics
+/// Panics if `n == 0` or `window == 0`.
+pub fn counter_comparison(
+    n: usize,
+    window: usize,
+    lib: &CellLibrary,
+    clock: &ClockScheme,
+) -> CounterComparison {
+    assert!(n > 0, "counter needs at least one input");
+    assert!(window > 0, "window must cover at least one cycle");
+
+    let cost_of = |mut nl: aqfp_netlist::Netlist| {
+        balance::legalize_fanout(&mut nl);
+        balance::balance(&mut nl, clock);
+        report::cost_report(&nl, lib, clock).jj_total
+    };
+
+    let exact_apc_jj = cost_of(builders::popcount(n).0);
+    let approx_apc_jj = cost_of(builders::approx_popcount(n, 1).0);
+
+    // The accumulative design's running total must hold n·window.
+    let max_total = (n * window) as u64;
+    let acc_width = (64 - max_total.leading_zeros()).max(1) as usize;
+    let accumulative_logic_jj = cost_of(builders::accumulative_counter(n, acc_width).0);
+    let buffer_jj = u64::from(lib.cost(aqfp_device::GateKind::Buffer).jj_count);
+    let accumulative_memory_jj = (acc_width as u64 + 1) * buffer_jj;
+
+    CounterComparison {
+        inputs: n,
+        window,
+        exact_apc_jj,
+        approx_apc_jj,
+        accumulative_logic_jj,
+        accumulative_memory_jj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(pattern: u32, n: usize) -> Vec<Bit> {
+        (0..n).map(|i| Bit::from_bool((pattern >> i) & 1 == 1)).collect()
+    }
+
+    #[test]
+    fn functional_counts_ones() {
+        let apc = Apc::new(8);
+        assert_eq!(apc.count(&word(0b0000_0000, 8)), 0);
+        assert_eq!(apc.count(&word(0b1111_1111, 8)), 8);
+        assert_eq!(apc.count(&word(0b1010_0110, 8)), 4);
+    }
+
+    #[test]
+    fn gate_level_matches_functional_exhaustively() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let apc = Apc::new(n);
+            for m in 0..(1u32 << n) {
+                let w = word(m, n);
+                assert_eq!(
+                    apc.count_gate_level(&w),
+                    apc.count(&w),
+                    "n={n} pattern={m:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_matches_functional_sampled_16() {
+        let apc = Apc::new(16);
+        for m in [0u32, 0xFFFF, 0x5555, 0xAAAA, 0x1234, 0x8001] {
+            let w = word(m, 16);
+            assert_eq!(apc.count_gate_level(&w), apc.count(&w), "pattern={m:x}");
+        }
+    }
+
+    #[test]
+    fn hardware_cost_grows_with_width() {
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        let c4 = Apc::new(4).hardware_cost(&lib, &clock);
+        let c16 = Apc::new(16).hardware_cost(&lib, &clock);
+        assert!(c16.jj_total > c4.jj_total);
+        assert!(c16.depth >= c4.depth);
+        assert!(c4.jj_total > 0);
+    }
+
+    #[test]
+    fn functional_approx_mirrors_gate_level_exhaustively() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8] {
+            let apc = Apc::new(n);
+            let nl = apc.approx_netlist();
+            for m in 0..(1u32 << n) {
+                let w = word(m, n);
+                let inputs: Vec<bool> = w.iter().map(|b| b.as_bool()).collect();
+                let outs = nl.eval(&inputs).unwrap();
+                let gate: u32 = outs.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+                assert_eq!(apc.count_approx(&w), gate, "n={n} pattern={m:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_count_error_is_bounded_and_small_on_average() {
+        let apc = Apc::new(16);
+        let mut total_err = 0i64;
+        let mut cases = 0i64;
+        for m in (0..(1u32 << 16)).step_by(97) {
+            let w = word(m, 16);
+            let err = apc.count_approx(&w) as i64 - apc.count(&w) as i64;
+            assert!(err.abs() <= 6, "pattern {m:x}: error {err}");
+            total_err += err;
+            cases += 1;
+        }
+        assert!(
+            (total_err as f64 / cases as f64).abs() < 0.5,
+            "mean error {total_err}/{cases}"
+        );
+    }
+
+    #[test]
+    fn approx_hardware_is_cheaper() {
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        let apc = Apc::new(16);
+        assert!(
+            apc.approx_hardware_cost(&lib, &clock).jj_total
+                < apc.hardware_cost(&lib, &clock).jj_total
+        );
+    }
+
+    #[test]
+    fn papers_gate_count_claim_holds() {
+        // Section 4.3: the APC consumes fewer logic gates than the
+        // conventional accumulative parallel counter.
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        for n in [8usize, 16, 32] {
+            let cmp = counter_comparison(n, 32, &lib, &clock);
+            assert!(
+                cmp.exact_apc_jj < cmp.accumulative_logic_jj,
+                "n={n}: APC {} vs accumulative logic {}",
+                cmp.exact_apc_jj,
+                cmp.accumulative_logic_jj
+            );
+            assert!(
+                cmp.approx_apc_jj < cmp.exact_apc_jj,
+                "n={n}: approximation should save JJs"
+            );
+            assert!(cmp.accumulative_memory_jj > 0);
+        }
+    }
+
+    #[test]
+    fn comparison_window_widens_the_accumulator() {
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        let short = counter_comparison(16, 2, &lib, &clock);
+        let long = counter_comparison(16, 2048, &lib, &clock);
+        assert!(long.accumulative_total_jj() > short.accumulative_total_jj());
+        assert_eq!(long.exact_apc_jj, short.exact_apc_jj, "APC is window-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must cover")]
+    fn comparison_rejects_zero_window() {
+        let lib = CellLibrary::hstp();
+        let clock = ClockScheme::four_phase_5ghz();
+        counter_comparison(4, 0, &lib, &clock);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_width_panics() {
+        Apc::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_word_width_panics() {
+        Apc::new(4).count(&[Bit::One; 3]);
+    }
+}

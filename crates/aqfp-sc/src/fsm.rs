@@ -1,0 +1,146 @@
+//! Finite-state-machine SC elements: the saturating-counter `Stanh`
+//! activation used by pure stochastic-computing DNNs.
+//!
+//! SupeRBNN itself never needs these — its activations are the AQFP
+//! buffer's own randomized sign (paper Eq. 7). They exist here to build the
+//! *pure-SC* baseline (SC-AQFP, paper Section 2.3), where every layer's
+//! activation must be computed in the stream domain. The classic
+//! construction is Brown & Card's K-state saturating up/down counter, whose
+//! output stream approximates `tanh(K·x/2)` of the input stream's bipolar
+//! value `x`.
+//!
+//! The FSM is inherently sequential (state carries across stream bits), so
+//! it runs bit-serially even on [`PackedStream`]s — this is exactly the
+//! latency cost pure-SC designs pay and one reason SupeRBNN's short-window
+//! architecture wins.
+
+use crate::packed::PackedStream;
+use serde::{Deserialize, Serialize};
+
+/// Brown–Card stochastic `tanh` FSM.
+///
+/// A `K`-state saturating counter: each input `1` increments, each `0`
+/// decrements, and the output bit is `1` while the state sits in the upper
+/// half. For a bipolar input stream of value `x` the stationary output
+/// value approximates `tanh(K·x/2)`; large `K` therefore approaches the
+/// hard sign/HardTanh used by BNN layers.
+///
+/// ```
+/// use aqfp_sc::fsm::StanhFsm;
+/// use aqfp_sc::packed::PackedStream;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = PackedStream::generate_bipolar(0.5, 8192, &mut rng);
+/// let y = StanhFsm::new(8).run(&x);
+/// // tanh(8 * 0.5 / 2) = tanh(2) ≈ 0.96
+/// assert!((y.bipolar_value() - 0.96).abs() < 0.06);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StanhFsm {
+    states: u32,
+}
+
+impl StanhFsm {
+    /// Creates a `states`-state FSM. The gain of the approximated `tanh`
+    /// is `states / 2`.
+    ///
+    /// # Panics
+    /// Panics if `states < 2` or `states` is odd (the threshold must sit
+    /// between two states).
+    pub fn new(states: u32) -> Self {
+        assert!(states >= 2, "Stanh needs at least two states");
+        assert!(states.is_multiple_of(2), "Stanh state count must be even");
+        Self { states }
+    }
+
+    /// Picks the state count whose `tanh(K·x/2)` best matches a desired
+    /// linear gain `g` around zero, i.e. `K = 2·g` rounded up to even.
+    ///
+    /// # Panics
+    /// Panics if `gain` is not a positive finite number.
+    pub fn with_gain(gain: f64) -> Self {
+        assert!(gain.is_finite() && gain > 0.0, "gain must be positive");
+        let k = (2.0 * gain).round().max(2.0) as u32;
+        Self::new(k + (k % 2))
+    }
+
+    /// Number of FSM states `K`.
+    pub fn states(&self) -> u32 {
+        self.states
+    }
+
+    /// Runs the FSM over `input`, returning the output stream.
+    ///
+    /// The counter starts in the lowest upper-half state so a zero-valued
+    /// input produces a near-zero-valued output from the start.
+    pub fn run(&self, input: &PackedStream) -> PackedStream {
+        let mut out = PackedStream::zeros(input.len());
+        let mut state = self.states / 2; // first state of the upper half
+        let half = self.states / 2;
+        for t in 0..input.len() {
+            if input.bit(t) {
+                state = (state + 1).min(self.states - 1);
+            } else {
+                state = state.saturating_sub(1);
+            }
+            if state >= half {
+                out.set(t, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eval(states: u32, x: f64, len: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = PackedStream::generate_bipolar(x, len, &mut rng);
+        StanhFsm::new(states).run(&s).bipolar_value()
+    }
+
+    #[test]
+    fn approximates_tanh_at_moderate_gain() {
+        for &x in &[-0.8, -0.3, 0.0, 0.3, 0.8] {
+            let y = eval(8, x, 65_536);
+            let want = (8.0 * x / 2.0_f64).tanh();
+            assert!((y - want).abs() < 0.08, "x={x}: got {y}, want {want}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_large_inputs() {
+        assert!(eval(16, 0.9, 16_384) > 0.95);
+        assert!(eval(16, -0.9, 16_384) < -0.95);
+    }
+
+    #[test]
+    fn is_monotone_in_input_value() {
+        let ys: Vec<f64> = [-0.6, -0.2, 0.2, 0.6].iter().map(|&x| eval(6, x, 32_768)).collect();
+        assert!(ys.windows(2).all(|w| w[0] < w[1]), "{ys:?}");
+    }
+
+    #[test]
+    fn with_gain_rounds_to_even_states() {
+        assert_eq!(StanhFsm::with_gain(3.0).states(), 6);
+        assert_eq!(StanhFsm::with_gain(3.4).states(), 8); // 6.8 → 7 → +1
+        assert_eq!(StanhFsm::with_gain(0.1).states(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_degenerate_state_count() {
+        StanhFsm::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_state_count() {
+        StanhFsm::new(5);
+    }
+}

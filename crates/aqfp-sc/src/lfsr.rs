@@ -1,0 +1,192 @@
+//! LFSR-based stochastic-number generation — the conventional-SC baseline.
+//!
+//! Classical stochastic-computing hardware generates bit-streams by
+//! comparing a linear-feedback shift register against the target value.
+//! The paper (Section 4.3) emphasizes that AQFP gets i.i.d. streams *for
+//! free* from thermal switching ("thanks to the true randomness property of
+//! the AQFP buffer"), whereas LFSR streams are pseudo-random and mutually
+//! correlated unless every generator is carefully seeded/offset — a real
+//! cost and accuracy concern in CMOS SC designs. This module provides the
+//! LFSR generator and the cross-correlation metric used to quantify that
+//! difference.
+
+use crate::number::Bitstream;
+use aqfp_device::Bit;
+use serde::{Deserialize, Serialize};
+
+/// A 16-bit Fibonacci LFSR (taps 16, 15, 13, 4 — maximal length 2¹⁶ − 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Creates an LFSR; a zero seed is mapped to 1 (the all-zero state is a
+    /// fixed point of the recurrence).
+    pub fn new(seed: u16) -> Self {
+        Self {
+            state: if seed == 0 { 1 } else { seed },
+        }
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn next_state(&mut self) -> u16 {
+        let bit = (self.state >> 15) ^ (self.state >> 14) ^ (self.state >> 12) ^ (self.state >> 3);
+        self.state = (self.state << 1) | (bit & 1);
+        self.state
+    }
+
+    /// Generates a unipolar stream of `len` bits encoding probability `p`:
+    /// each cycle emits 1 iff the LFSR state (as a fraction of 2¹⁶) is
+    /// below `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn generate_unipolar(&mut self, p: f64, len: usize) -> Bitstream {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let threshold = (p * 65536.0) as u32;
+        (0..len)
+            .map(|_| Bit::from_bool((self.next_state() as u32) < threshold))
+            .collect()
+    }
+
+    /// Generates a bipolar stream encoding `x ∈ [−1, 1]`.
+    ///
+    /// # Panics
+    /// Panics unless `x ∈ [−1, 1]`.
+    pub fn generate_bipolar(&mut self, x: f64, len: usize) -> Bitstream {
+        assert!((-1.0..=1.0).contains(&x), "bipolar value {x} out of range");
+        self.generate_unipolar((x + 1.0) / 2.0, len)
+    }
+}
+
+/// Pearson correlation between two equal-length bit-streams (±1 values).
+/// Returns 0 for constant streams (no variance ⇒ no linear dependence to
+/// measure).
+///
+/// # Panics
+/// Panics on length mismatch or empty streams.
+pub fn stream_correlation(a: &Bitstream, b: &Bitstream) -> f64 {
+    assert_eq!(a.len(), b.len(), "stream length mismatch");
+    assert!(!a.is_empty(), "empty streams have no correlation");
+    let n = a.len() as f64;
+    let va: Vec<f64> = a.bits().iter().map(|b| b.to_value()).collect();
+    let vb: Vec<f64> = b.bits().iter().map(|b| b.to_value()).collect();
+    let ma = va.iter().sum::<f64>() / n;
+    let mb = vb.iter().sum::<f64>() / n;
+    let cov: f64 = va.iter().zip(&vb).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+    let sa = (va.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n).sqrt();
+    let sb = (vb.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n).sqrt();
+    if sa == 0.0 || sb == 0.0 {
+        return 0.0;
+    }
+    cov / (sa * sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lfsr_is_maximal_length() {
+        let mut l = Lfsr16::new(1);
+        let start = l.next_state();
+        let mut period = 1u32;
+        while l.next_state() != start {
+            period += 1;
+            assert!(period <= 65535, "period exceeded 2^16 − 1");
+        }
+        assert_eq!(period, 65535);
+    }
+
+    #[test]
+    fn zero_seed_is_rescued() {
+        let mut l = Lfsr16::new(0);
+        // Must not be stuck at zero.
+        assert_ne!(l.next_state(), 0);
+    }
+
+    #[test]
+    fn unipolar_value_concentrates() {
+        let mut l = Lfsr16::new(0xACE1);
+        let s = l.generate_unipolar(0.3, 4096);
+        assert!((s.unipolar_value() - 0.3).abs() < 0.02, "{}", s.unipolar_value());
+    }
+
+    #[test]
+    fn shared_lfsr_streams_are_strongly_correlated() {
+        // The classical SC pitfall: two values generated from the SAME
+        // LFSR sequence (as in a shared-RNG design) are highly correlated,
+        // while AQFP thermal streams are independent.
+        let mut shared = Lfsr16::new(0xBEEF);
+        let states: Vec<u16> = (0..2048).map(|_| shared.next_state()).collect();
+        let from_states = |p: f64| -> Bitstream {
+            let threshold = (p * 65536.0) as u32;
+            states
+                .iter()
+                .map(|&s| Bit::from_bool((s as u32) < threshold))
+                .collect()
+        };
+        let a = from_states(0.5);
+        let b = from_states(0.55);
+        let corr_lfsr = stream_correlation(&a, &b).abs();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Bitstream::generate_unipolar(0.5, 2048, &mut rng);
+        let y = Bitstream::generate_unipolar(0.55, 2048, &mut rng);
+        let corr_aqfp = stream_correlation(&x, &y).abs();
+
+        assert!(corr_lfsr > 0.8, "shared-LFSR correlation {corr_lfsr}");
+        assert!(corr_aqfp < 0.1, "thermal-stream correlation {corr_aqfp}");
+    }
+
+    #[test]
+    fn correlation_of_identical_and_inverted_streams() {
+        let mut l = Lfsr16::new(7);
+        let a = l.generate_unipolar(0.5, 512);
+        assert!((stream_correlation(&a, &a) - 1.0).abs() < 1e-9);
+        let inv: Bitstream = a.bits().iter().map(|b| b.not()).collect();
+        assert!((stream_correlation(&a, &inv) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_streams_report_zero() {
+        let ones: Bitstream = (0..64).map(|_| Bit::One).collect();
+        let mut l = Lfsr16::new(5);
+        let s = l.generate_unipolar(0.5, 64);
+        assert_eq!(stream_correlation(&ones, &s), 0.0);
+    }
+
+    #[test]
+    fn correlated_inputs_break_sc_multiplication() {
+        // XNOR multiplication assumes independence; feeding it two streams
+        // from the same LFSR produces a badly biased product, while
+        // independent thermal streams multiply correctly. This is the
+        // quantitative version of the paper's "true randomness" advantage.
+        let mut shared = Lfsr16::new(0x1234);
+        let states: Vec<u16> = (0..8192).map(|_| shared.next_state()).collect();
+        let from_states = |x: f64| -> Bitstream {
+            let threshold = (((x + 1.0) / 2.0) * 65536.0) as u32;
+            states
+                .iter()
+                .map(|&s| Bit::from_bool((s as u32) < threshold))
+                .collect()
+        };
+        let a = from_states(0.6);
+        let b = from_states(-0.4);
+        let bad = a.xnor(&b).bipolar_value();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let x = Bitstream::generate_bipolar(0.6, 8192, &mut rng);
+        let y = Bitstream::generate_bipolar(-0.4, 8192, &mut rng);
+        let good = x.xnor(&y).bipolar_value();
+
+        let truth = 0.6 * -0.4;
+        assert!((good - truth).abs() < 0.05, "independent product {good}");
+        assert!(
+            (bad - truth).abs() > 0.2,
+            "shared-LFSR product {bad} should be visibly biased"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! MUX-based scaled addition — the classic pure-SC accumulator.
+//!
+//! A stochastic multiplexer selects one of its `n` input streams uniformly
+//! at random each cycle; the output stream's bipolar value is the *mean* of
+//! the input values, i.e. the sum scaled by `1/n`. This keeps every wire a
+//! valid stochastic number (unlike an APC, whose output is binary), which
+//! is why pure-SC DNNs such as SC-AQFP (paper Section 2.3) use it — and
+//! also why they need very long streams: a sum whose useful signal is
+//! `y` becomes a stream value `y/n`, and resolving it against stream
+//! quantization noise of order `1/√L` demands `L ≫ (n/y)²`.
+//!
+//! SupeRBNN avoids this wall by accumulating with APCs in the binary
+//! domain (paper Fig. 6b); this module exists to quantify the wall for the
+//! baseline comparison.
+
+use crate::packed::PackedStream;
+use rand::Rng;
+
+/// Scaled addition of bipolar streams via a random-select multiplexer.
+///
+/// Returns a stream whose bipolar value estimates
+/// `(Σᵢ xᵢ) / n` for input values `xᵢ`.
+///
+/// ```
+/// use aqfp_sc::mux::mux_scaled_add;
+/// use aqfp_sc::packed::PackedStream;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let a = PackedStream::generate_bipolar(0.8, 262_144, &mut rng);
+/// let b = PackedStream::generate_bipolar(-0.4, 262_144, &mut rng);
+/// let s = mux_scaled_add(&[&a, &b], &mut rng);
+/// assert!((s.bipolar_value() - 0.2).abs() < 0.02); // (0.8 − 0.4) / 2
+/// ```
+///
+/// # Panics
+/// Panics if `streams` is empty or the streams have unequal lengths.
+pub fn mux_scaled_add<R: Rng + ?Sized>(streams: &[&PackedStream], rng: &mut R) -> PackedStream {
+    assert!(!streams.is_empty(), "MUX addition needs at least one input");
+    let len = streams[0].len();
+    assert!(
+        streams.iter().all(|s| s.len() == len),
+        "MUX inputs must share one stream length"
+    );
+    let mut out = PackedStream::zeros(len);
+    for t in 0..len {
+        let pick = rng.gen_range(0..streams.len());
+        if streams[pick].bit(t) {
+            out.set(t, true);
+        }
+    }
+    out
+}
+
+/// Per-cycle MUX selection driven by a caller-supplied select function —
+/// used by the SC inference engine, which cannot afford to materialize all
+/// product streams. `select(t)` returns the chosen input's bit at cycle
+/// `t`.
+pub fn mux_collect(len: usize, mut select: impl FnMut(usize) -> bool) -> PackedStream {
+    let mut out = PackedStream::zeros(len);
+    for t in 0..len {
+        if select(t) {
+            out.set(t, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_of_many_inputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let values = [0.9, -0.2, 0.5, -0.8, 0.1, 0.3, -0.4, 0.6];
+        let streams: Vec<PackedStream> = values
+            .iter()
+            .map(|&v| PackedStream::generate_bipolar(v, 300_000, &mut rng))
+            .collect();
+        let refs: Vec<&PackedStream> = streams.iter().collect();
+        let got = mux_scaled_add(&refs, &mut rng).bipolar_value();
+        let want = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((got - want).abs() < 0.02, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn single_input_passes_value_through() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = PackedStream::generate_bipolar(-0.35, 200_000, &mut rng);
+        let got = mux_scaled_add(&[&a], &mut rng).bipolar_value();
+        assert!((got - a.bipolar_value()).abs() < 0.01);
+    }
+
+    #[test]
+    fn output_variance_shrinks_with_length() {
+        // The 1/√L convergence that forces pure-SC designs to long streams.
+        let mut errs = Vec::new();
+        for &len in &[256usize, 4096, 65_536] {
+            let mut rng = StdRng::seed_from_u64(13);
+            let a = PackedStream::generate_bipolar(0.3, len, &mut rng);
+            let b = PackedStream::generate_bipolar(-0.1, len, &mut rng);
+            let got = mux_scaled_add(&[&a, &b], &mut rng).bipolar_value();
+            errs.push((got - 0.1).abs());
+        }
+        assert!(errs[2] < errs[0], "error did not shrink: {errs:?}");
+    }
+
+    #[test]
+    fn mux_collect_matches_manual_selection() {
+        let out = mux_collect(130, |t| t % 3 == 0);
+        assert_eq!(out.ones(), (0..130).filter(|t| t % 3 == 0).count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_empty_input_set() {
+        let mut rng = StdRng::seed_from_u64(14);
+        mux_scaled_add(&[], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one stream length")]
+    fn rejects_mismatched_lengths() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = PackedStream::zeros(8);
+        let b = PackedStream::zeros(16);
+        mux_scaled_add(&[&a, &b], &mut rng);
+    }
+}

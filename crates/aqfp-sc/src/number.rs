@@ -1,0 +1,195 @@
+//! Stochastic numbers: bit-streams whose ones-density encodes a value.
+//!
+//! Two encodings (paper Fig. 2):
+//!
+//! * **unipolar** — a stream `X` of length `L` with `k` ones carries
+//!   `x = k / L ∈ [0, 1]`;
+//! * **bipolar** — the same stream carries `x = 2k/L − 1 ∈ [−1, 1]`,
+//!   i.e. `P(X = 1) = (x + 1) / 2`. BNN activations are bipolar.
+
+use aqfp_device::Bit;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic bit-stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream(Vec<Bit>);
+
+impl Bitstream {
+    /// Wraps raw bits (e.g. an AQFP neuron observation window).
+    pub fn from_bits(bits: Vec<Bit>) -> Self {
+        Self(bits)
+    }
+
+    /// Stream length `L`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> &[Bit] {
+        &self.0
+    }
+
+    /// Number of ones `k`.
+    pub fn ones(&self) -> usize {
+        self.0.iter().filter(|b| b.as_bool()).count()
+    }
+
+    /// Unipolar value `k / L`.
+    ///
+    /// # Panics
+    /// Panics on an empty stream (a zero-length SN carries no value).
+    pub fn unipolar_value(&self) -> f64 {
+        assert!(!self.is_empty(), "empty stochastic number has no value");
+        self.ones() as f64 / self.len() as f64
+    }
+
+    /// Bipolar value `2k/L − 1`.
+    ///
+    /// # Panics
+    /// Panics on an empty stream.
+    pub fn bipolar_value(&self) -> f64 {
+        2.0 * self.unipolar_value() - 1.0
+    }
+
+    /// Samples a stream of length `len` with i.i.d. `P(1) = p`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn generate_unipolar<R: Rng + ?Sized>(p: f64, len: usize, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        Self((0..len).map(|_| Bit::from_bool(rng.gen::<f64>() < p)).collect())
+    }
+
+    /// Samples a bipolar stream encoding `x ∈ [−1, 1]`.
+    ///
+    /// # Panics
+    /// Panics unless `x ∈ [−1, 1]`.
+    pub fn generate_bipolar<R: Rng + ?Sized>(x: f64, len: usize, rng: &mut R) -> Self {
+        assert!((-1.0..=1.0).contains(&x), "bipolar value {x} out of range");
+        Self::generate_unipolar((x + 1.0) / 2.0, len, rng)
+    }
+
+    /// Bit-wise AND with another stream — unipolar SC multiplication.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &Bitstream) -> Bitstream {
+        assert_eq!(self.len(), other.len(), "stream length mismatch");
+        Bitstream(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&a, &b)| Bit::from_bool(a.as_bool() && b.as_bool()))
+                .collect(),
+        )
+    }
+
+    /// Bit-wise XNOR with another stream — bipolar SC multiplication.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor(&self, other: &Bitstream) -> Bitstream {
+        assert_eq!(self.len(), other.len(), "stream length mismatch");
+        Bitstream(self.0.iter().zip(&other.0).map(|(&a, &b)| a.xnor(b)).collect())
+    }
+}
+
+impl FromIterator<Bit> for Bitstream {
+    fn from_iter<T: IntoIterator<Item = Bit>>(iter: T) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+/// Parses a compact `"0100110100"` literal, useful in tests and docs.
+///
+/// # Panics
+/// Panics on characters other than '0'/'1'.
+pub fn parse_stream(s: &str) -> Bitstream {
+    s.chars()
+        .map(|c| match c {
+            '0' => Bit::Zero,
+            '1' => Bit::One,
+            other => panic!("invalid stream character {other:?}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_unipolar_example() {
+        // Section 2.3: 0100110100 carries 4/10 = 0.4.
+        let x = parse_stream("0100110100");
+        assert_eq!(x.ones(), 4);
+        assert!((x.unipolar_value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_bipolar_examples() {
+        // 0.4 ↔ P(1) = 7/10: 1011011101.
+        let x = parse_stream("1011011101");
+        assert!((x.bipolar_value() - 0.4).abs() < 1e-12);
+        // −0.6 ↔ P(1) = 2/10: 0100100000.
+        let y = parse_stream("0100100000");
+        assert!((y.bipolar_value() + 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_concentrates_on_target() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let s = Bitstream::generate_bipolar(0.3, 50_000, &mut rng);
+        assert!((s.bipolar_value() - 0.3).abs() < 0.02, "{}", s.bipolar_value());
+    }
+
+    #[test]
+    fn xnor_multiplies_bipolar_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = Bitstream::generate_bipolar(0.6, 100_000, &mut rng);
+        let b = Bitstream::generate_bipolar(-0.5, 100_000, &mut rng);
+        let prod = a.xnor(&b);
+        assert!(
+            (prod.bipolar_value() - (0.6 * -0.5)).abs() < 0.02,
+            "{}",
+            prod.bipolar_value()
+        );
+    }
+
+    #[test]
+    fn and_multiplies_unipolar_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Bitstream::generate_unipolar(0.8, 100_000, &mut rng);
+        let b = Bitstream::generate_unipolar(0.25, 100_000, &mut rng);
+        let prod = a.and(&b);
+        assert!((prod.unipolar_value() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn saturated_probabilities_are_deterministic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        assert_eq!(Bitstream::generate_unipolar(1.0, 64, &mut rng).ones(), 64);
+        assert_eq!(Bitstream::generate_unipolar(0.0, 64, &mut rng).ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stochastic number")]
+    fn empty_stream_has_no_value() {
+        Bitstream::from_bits(vec![]).unipolar_value();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        Bitstream::generate_unipolar(1.5, 8, &mut rng);
+    }
+}

@@ -1,0 +1,360 @@
+//! Bit-packed stochastic streams for throughput-critical SC simulation.
+//!
+//! [`Bitstream`] stores one [`Bit`] per element,
+//! which is convenient for the short observation windows SupeRBNN needs
+//! (L = 16–32) but far too slow for simulating the *pure* stochastic
+//! computing baseline (SC-AQFP, paper Section 2.3), whose streams run to
+//! 2048 bits and whose multiplies happen once per weight. [`PackedStream`]
+//! packs 64 stream bits per `u64` word so XNOR multiplication and
+//! popcount-style accumulation run as word operations.
+//!
+//! The packing is little-endian in time: stream position `t` lives in word
+//! `t / 64`, bit `t % 64`. Unused high bits of the last word are kept zero
+//! so [`PackedStream::ones`] is a plain popcount — every constructor and
+//! operation maintains that invariant.
+
+use crate::number::Bitstream;
+use aqfp_device::Bit;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic bit-stream packed 64 bits per word.
+///
+/// Supports the same unipolar/bipolar value readouts as
+/// [`Bitstream`] plus word-parallel logic ops.
+///
+/// ```
+/// use aqfp_sc::packed::PackedStream;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let a = PackedStream::generate_bipolar(0.5, 4096, &mut rng);
+/// let b = PackedStream::generate_bipolar(-0.8, 4096, &mut rng);
+/// let prod = a.xnor(&b); // bipolar SC multiplication
+/// assert!((prod.bipolar_value() - (-0.4)).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedStream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedStream {
+    /// An all-zero (`-1`-valued in bipolar terms) stream of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-one (`+1`-valued in bipolar terms) stream of length `len`.
+    pub fn ones_stream(len: usize) -> Self {
+        let mut s = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Samples a unipolar stream with `P(bit = 1) = p`.
+    ///
+    /// # Panics
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn generate_unipolar<R: Rng + ?Sized>(p: f64, len: usize, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // One u64 draw per bit, compared against a fixed threshold: exact
+        // Bernoulli to within 2^-64 and branch-free inside the word loop.
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else {
+            (p * u64::MAX as f64) as u64
+        };
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let mut w = 0u64;
+            for bit in 0..take {
+                let draw: u64 = rng.gen();
+                // `p >= 1.0` must yield all-ones; `<=` keeps that exact.
+                if draw <= threshold && p > 0.0 {
+                    w |= 1 << bit;
+                }
+            }
+            words.push(w);
+            remaining -= take;
+        }
+        Self { words, len }
+    }
+
+    /// Samples a bipolar stream carrying the value `x ∈ [−1, 1]` via
+    /// `P(1) = (x + 1)/2` (paper Section 2.3).
+    ///
+    /// # Panics
+    /// Panics if `x ∉ [−1, 1]`.
+    pub fn generate_bipolar<R: Rng + ?Sized>(x: f64, len: usize, rng: &mut R) -> Self {
+        assert!((-1.0..=1.0).contains(&x), "bipolar value {x} outside [−1, 1]");
+        Self::generate_unipolar((x + 1.0) / 2.0, len, rng)
+    }
+
+    /// Packs an unpacked [`Bitstream`].
+    pub fn from_bitstream(bits: &Bitstream) -> Self {
+        let mut s = Self::zeros(bits.len());
+        for (t, b) in bits.bits().iter().enumerate() {
+            if b.as_bool() {
+                s.words[t / 64] |= 1 << (t % 64);
+            }
+        }
+        s
+    }
+
+    /// Unpacks into a [`Bitstream`].
+    pub fn to_bitstream(&self) -> Bitstream {
+        Bitstream::from_bits((0..self.len).map(|t| Bit::from_bool(self.bit(t))).collect())
+    }
+
+    /// Stream length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at stream position `t`.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.len()`.
+    pub fn bit(&self, t: usize) -> bool {
+        assert!(t < self.len, "stream position {t} out of range (len {})", self.len);
+        (self.words[t / 64] >> (t % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at stream position `t`.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.len()`.
+    pub fn set(&mut self, t: usize, value: bool) {
+        assert!(t < self.len, "stream position {t} out of range (len {})", self.len);
+        if value {
+            self.words[t / 64] |= 1 << (t % 64);
+        } else {
+            self.words[t / 64] &= !(1 << (t % 64));
+        }
+    }
+
+    /// Number of ones in the stream.
+    pub fn ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of ones among the first `prefix` bits.
+    ///
+    /// # Panics
+    /// Panics if `prefix > self.len()`.
+    pub fn ones_prefix(&self, prefix: usize) -> usize {
+        assert!(prefix <= self.len, "prefix {prefix} exceeds length {}", self.len);
+        let full = prefix / 64;
+        let mut n: usize = self.words[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let rem = prefix % 64;
+        if rem > 0 {
+            n += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Unipolar value `ones / len`.
+    ///
+    /// # Panics
+    /// Panics on an empty stream.
+    pub fn unipolar_value(&self) -> f64 {
+        assert!(!self.is_empty(), "empty stochastic number has no value");
+        self.ones() as f64 / self.len as f64
+    }
+
+    /// Bipolar value `2·ones/len − 1`.
+    ///
+    /// # Panics
+    /// Panics on an empty stream.
+    pub fn bipolar_value(&self) -> f64 {
+        2.0 * self.unipolar_value() - 1.0
+    }
+
+    /// Bipolar multiplication: bitwise XNOR (paper Section 2.3).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor(&self, other: &PackedStream) -> PackedStream {
+        assert_eq!(self.len, other.len, "stream length mismatch");
+        let mut out = Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| !(a ^ b))
+                .collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Number of ones of `self XNOR other` without materializing the
+    /// product stream — the inner loop of SC matrix–vector products.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor_ones(&self, other: &PackedStream) -> usize {
+        assert_eq!(self.len, other.len, "stream length mismatch");
+        let mut n = 0usize;
+        let last = self.words.len().saturating_sub(1);
+        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = !(a ^ b);
+            if i == last {
+                let rem = self.len % 64;
+                if rem > 0 {
+                    w &= (1u64 << rem) - 1;
+                }
+            }
+            n += w.count_ones() as usize;
+        }
+        n
+    }
+
+    /// Unipolar multiplication: bitwise AND.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &PackedStream) -> PackedStream {
+        assert_eq!(self.len, other.len, "stream length mismatch");
+        Self {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise complement (bipolar negation).
+    pub fn not(&self) -> PackedStream {
+        let mut out = Self {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packing_round_trips_through_bitstream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Bitstream::generate_bipolar(0.3, 1000, &mut rng);
+        let p = PackedStream::from_bitstream(&b);
+        assert_eq!(p.to_bitstream(), b);
+        assert_eq!(p.ones(), b.ones());
+    }
+
+    #[test]
+    fn values_match_unpacked_definition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = PackedStream::generate_bipolar(-0.6, 200_000, &mut rng);
+        assert!((p.bipolar_value() + 0.6).abs() < 0.01);
+        let q = PackedStream::generate_unipolar(0.4, 200_000, &mut rng);
+        assert!((q.unipolar_value() - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn xnor_multiplies_bipolar_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = PackedStream::generate_bipolar(0.6, 400_000, &mut rng);
+        let b = PackedStream::generate_bipolar(-0.5, 400_000, &mut rng);
+        assert!((a.xnor(&b).bipolar_value() + 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn xnor_ones_agrees_with_materialized_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in [1usize, 63, 64, 65, 130, 1000] {
+            let a = PackedStream::generate_bipolar(0.2, len, &mut rng);
+            let b = PackedStream::generate_bipolar(-0.7, len, &mut rng);
+            assert_eq!(a.xnor_ones(&b), a.xnor(&b).ones(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn and_multiplies_unipolar_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = PackedStream::generate_unipolar(0.8, 400_000, &mut rng);
+        let b = PackedStream::generate_unipolar(0.25, 400_000, &mut rng);
+        assert!((a.and(&b).unipolar_value() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn not_negates_bipolar_value_and_keeps_tail_clean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = PackedStream::generate_bipolar(0.4, 999, &mut rng);
+        let n = a.not();
+        assert_eq!(n.ones(), 999 - a.ones());
+        assert!((n.bipolar_value() + a.bipolar_value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_probabilities_are_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(PackedStream::generate_unipolar(1.0, 200, &mut rng).ones(), 200);
+        assert_eq!(PackedStream::generate_unipolar(0.0, 200, &mut rng).ones(), 0);
+        assert_eq!(PackedStream::generate_bipolar(1.0, 65, &mut rng).ones(), 65);
+        assert_eq!(PackedStream::generate_bipolar(-1.0, 65, &mut rng).ones(), 0);
+    }
+
+    #[test]
+    fn ones_prefix_counts_partial_windows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = PackedStream::generate_unipolar(0.5, 300, &mut rng);
+        let b = p.to_bitstream();
+        for prefix in [0usize, 1, 63, 64, 65, 128, 299, 300] {
+            let expect = b.bits()[..prefix].iter().filter(|x| x.as_bool()).count();
+            assert_eq!(p.ones_prefix(prefix), expect, "prefix {prefix}");
+        }
+    }
+
+    #[test]
+    fn constants_have_expected_values() {
+        assert_eq!(PackedStream::ones_stream(70).ones(), 70);
+        assert_eq!(PackedStream::zeros(70).ones(), 0);
+        assert!(PackedStream::zeros(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        PackedStream::generate_unipolar(1.5, 8, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let a = PackedStream::zeros(8);
+        let b = PackedStream::zeros(9);
+        a.xnor(&b);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cryogenic scaling arithmetic (paper Sections 6.5–6.6, Fig. 12).
+//!
+//! * 77 K Cryo-CMOS: device efficiency ×1.5 over room temperature; cooling
+//!   consumes 9.65× the device power, so cooled efficiency divides by 9.65.
+//! * 4.2 K superconducting: cooling is ~400× the chip dissipation, so
+//!   cooled efficiency divides by 400.
+//! * AQFP frequency scaling: adiabatic switching loss per operation grows
+//!   linearly with clock frequency, so efficiency scales as `f₀ / f`
+//!   relative to the 5 GHz calibration point — "lower frequency can
+//!   generally achieve higher energy efficiency" (Section 6.5).
+//! * CMOS dynamic energy per operation is frequency-independent to first
+//!   order (`E = C·V²` per switch), so CMOS curves are flat in Fig. 12.
+
+use aqfp_device::consts::{COOLING_OVERHEAD_4K, COOLING_OVERHEAD_77K, CRYO_CMOS_GAIN};
+
+/// Efficiency of a 77 K Cryo-CMOS version of a room-temperature design,
+/// excluding cooling.
+pub fn cryo_cmos_efficiency(room_tops_per_watt: f64) -> f64 {
+    room_tops_per_watt * CRYO_CMOS_GAIN
+}
+
+/// Applies the 77 K cooling overhead.
+pub fn with_77k_cooling(tops_per_watt: f64) -> f64 {
+    tops_per_watt / COOLING_OVERHEAD_77K
+}
+
+/// Applies the 4.2 K cooling overhead (superconducting electronics).
+pub fn with_4k_cooling(tops_per_watt: f64) -> f64 {
+    tops_per_watt / COOLING_OVERHEAD_4K
+}
+
+/// AQFP efficiency at clock `f_ghz` given the efficiency calibrated at
+/// `f0_ghz` (adiabatic `E/op ∝ f`).
+///
+/// # Panics
+/// Panics unless both frequencies are positive and finite.
+pub fn aqfp_efficiency_at(f_ghz: f64, eff_at_f0: f64, f0_ghz: f64) -> f64 {
+    assert!(
+        f_ghz > 0.0 && f_ghz.is_finite() && f0_ghz > 0.0 && f0_ghz.is_finite(),
+        "frequencies must be positive and finite"
+    );
+    eff_at_f0 * f0_ghz / f_ghz
+}
+
+/// One point of the Fig. 12 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Point {
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Ours, no cooling.
+    pub ours: f64,
+    /// Ours, with 4.2 K cooling.
+    pub ours_cooled: f64,
+    /// Room-temperature CMOS reference.
+    pub cmos: f64,
+    /// 77 K Cryo-CMOS, no cooling.
+    pub cryo_cmos: f64,
+    /// 77 K Cryo-CMOS with cooling.
+    pub cryo_cmos_cooled: f64,
+}
+
+/// Generates the Fig. 12 series: ours vs a CMOS reference across
+/// frequencies, with and without cooling.
+pub fn fig12_series(
+    frequencies_ghz: &[f64],
+    ours_at_5ghz: f64,
+    cmos_reference: f64,
+) -> Vec<Fig12Point> {
+    frequencies_ghz
+        .iter()
+        .map(|&f| {
+            let ours = aqfp_efficiency_at(f, ours_at_5ghz, 5.0);
+            let cryo = cryo_cmos_efficiency(cmos_reference);
+            Fig12Point {
+                frequency_ghz: f,
+                ours,
+                ours_cooled: with_4k_cooling(ours),
+                cmos: cmos_reference,
+                cryo_cmos: cryo,
+                cryo_cmos_cooled: with_77k_cooling(cryo),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooling_overheads_match_paper_constants() {
+        assert!((with_4k_cooling(400.0) - 1.0).abs() < 1e-12);
+        assert!((with_77k_cooling(9.65) - 1.0).abs() < 1e-12);
+        assert!((cryo_cmos_efficiency(100.0) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table2_cooling_row_reproduces() {
+        // Table 2: 1.9e5 TOPS/W → 4.8e2 with cooling.
+        let cooled = with_4k_cooling(1.9e5);
+        assert!((cooled - 4.75e2).abs() < 5.0, "got {cooled}");
+    }
+
+    #[test]
+    fn aqfp_gains_at_low_frequency() {
+        let at_5 = 1.9e5;
+        assert!(aqfp_efficiency_at(0.5, at_5, 5.0) > at_5 * 9.9);
+        assert!(aqfp_efficiency_at(10.0, at_5, 5.0) < at_5);
+        // Calibration point is a fixed point.
+        assert_eq!(aqfp_efficiency_at(5.0, at_5, 5.0), at_5);
+    }
+
+    #[test]
+    fn fig12_margins_match_paper_claims() {
+        // "approximately four orders of magnitude superior energy efficiency
+        // when solely accounting for device consumption, and … two to three
+        // orders … when factoring in cooling consumption" vs Cryo-CMOS.
+        let pts = fig12_series(&[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0], 1.9e5, 617.0);
+        for p in &pts {
+            let device_margin = p.ours / p.cryo_cmos;
+            let cooled_margin = p.ours_cooled / p.cryo_cmos_cooled;
+            assert!(
+                device_margin > 50.0,
+                "device margin {device_margin} at {} GHz",
+                p.frequency_ghz
+            );
+            // Even against the best-case 617 TOPS/W CMOS-BNN corner at
+            // 10 GHz, ours stays ahead with cooling; at typical operating
+            // points the margin is orders of magnitude (checked below).
+            assert!(
+                cooled_margin > 2.0,
+                "cooled margin {cooled_margin} at {} GHz",
+                p.frequency_ghz
+            );
+        }
+        // At the low-frequency end the device margin reaches ~4 orders and
+        // the cooled margin 2+ orders, matching Section 6.5's claim.
+        assert!(pts[0].ours / pts[0].cryo_cmos > 1e3);
+        assert!(pts[0].ours_cooled / pts[0].cryo_cmos_cooled > 1e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_frequency() {
+        aqfp_efficiency_at(0.0, 1.0, 5.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline accelerator models for the paper's comparison tables.
+//!
+//! The paper compares SupeRBNN against *published* numbers of CMOS, ReRAM,
+//! MRAM and RSFQ/ERSFQ accelerators (Tables 2–3) and against Cryo-CMOS
+//! scaling rules (Fig. 12); it does not rerun those systems. This crate
+//! encodes the same numbers and the same cooling arithmetic, plus a
+//! bit-exact software XNOR/popcount BNN reference used as the accuracy
+//! yardstick for hardware-faithful inference.
+//!
+//! One baseline is rebuilt rather than quoted: [`sc_dnn`] implements the
+//! *pure* stochastic-computing DNN datapath of SC-AQFP (paper Section 2.3)
+//! so its 256–2048-bit stream-length requirement — versus SupeRBNN's
+//! 16–32 — can be measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cryo;
+pub mod published;
+pub mod sc_dnn;
+pub mod software;
+
+pub use published::{Baseline, Dataset, Technology};
+pub use sc_dnn::{FloatMlp, PreparedScMlp, ScAccumulator, ScMlpConfig};

@@ -1,0 +1,210 @@
+//! Published baseline accelerator results quoted by the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Implementation technology of a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// Room-temperature CMOS digital.
+    Cmos,
+    /// Resistive-RAM crossbar in-memory computing.
+    ReRam,
+    /// Spin-transfer-torque MRAM in-memory computing.
+    SttMram,
+    /// Phase-change-memory in-memory computing.
+    Pcm,
+    /// Rapid single-flux-quantum superconducting logic.
+    Rsfq,
+    /// Energy-efficient RSFQ (zero static power bias).
+    Ersfq,
+    /// AQFP with pure stochastic computing (SC-AQFP).
+    AqfpSc,
+}
+
+/// Dataset a baseline reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// MNIST (MLP workloads, Table 3).
+    Mnist,
+    /// CIFAR-10 (VGG-Small workloads, Table 2).
+    Cifar10,
+}
+
+/// One published baseline row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Name as printed in the paper.
+    pub name: &'static str,
+    /// Implementation technology.
+    pub technology: Technology,
+    /// Dataset of the reported accuracy.
+    pub dataset: Dataset,
+    /// Whether the model is binary (`false` = full precision).
+    pub binary: bool,
+    /// Top-1 accuracy in percent.
+    pub accuracy_pct: f64,
+    /// Energy efficiency in TOPS/W, excluding cooling.
+    pub tops_per_watt: f64,
+    /// Energy efficiency in TOPS/W including cooling, when the paper
+    /// reports it (cryogenic baselines only).
+    pub tops_per_watt_cooled: Option<f64>,
+    /// Reported power in mW, if printed.
+    pub power_mw: Option<f64>,
+    /// Reported throughput in images/ms, if printed.
+    pub throughput_img_per_ms: Option<f64>,
+}
+
+/// Table 2 baselines (CIFAR-10).
+pub fn cifar10_baselines() -> Vec<Baseline> {
+    vec![
+        Baseline {
+            name: "DDN (VGG-Small)",
+            technology: Technology::Cmos,
+            dataset: Dataset::Cifar10,
+            binary: false,
+            accuracy_pct: 92.5,
+            tops_per_watt: 0.28,
+            tops_per_watt_cooled: None,
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+        Baseline {
+            name: "IMB",
+            technology: Technology::ReRam,
+            dataset: Dataset::Cifar10,
+            binary: true,
+            accuracy_pct: 87.7,
+            tops_per_watt: 82.6,
+            tops_per_watt_cooled: None,
+            power_mw: Some(12.5),
+            throughput_img_per_ms: Some(1.3),
+        },
+        Baseline {
+            name: "STT-BNN",
+            technology: Technology::SttMram,
+            dataset: Dataset::Cifar10,
+            binary: true,
+            accuracy_pct: 80.1,
+            tops_per_watt: 311.0,
+            tops_per_watt_cooled: None,
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+        Baseline {
+            name: "CMOS-BNN",
+            technology: Technology::Cmos,
+            dataset: Dataset::Cifar10,
+            binary: true,
+            accuracy_pct: 92.0,
+            tops_per_watt: 617.0,
+            tops_per_watt_cooled: None,
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+    ]
+}
+
+/// Table 3 baselines (MNIST MLP).
+pub fn mnist_baselines() -> Vec<Baseline> {
+    vec![
+        Baseline {
+            name: "SyncBNN",
+            technology: Technology::Cmos,
+            dataset: Dataset::Mnist,
+            binary: true,
+            accuracy_pct: 98.4,
+            tops_per_watt: 36.6,
+            tops_per_watt_cooled: Some(36.6), // room temperature: no cooling
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+        Baseline {
+            name: "RSFQ",
+            technology: Technology::Rsfq,
+            dataset: Dataset::Mnist,
+            binary: true,
+            accuracy_pct: 97.9,
+            tops_per_watt: 2.4e3,
+            tops_per_watt_cooled: Some(8.1),
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+        Baseline {
+            name: "ERSFQ",
+            technology: Technology::Ersfq,
+            dataset: Dataset::Mnist,
+            binary: true,
+            accuracy_pct: 97.9,
+            tops_per_watt: 1.5e4,
+            tops_per_watt_cooled: Some(50.0),
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+        Baseline {
+            name: "SC-AQFP",
+            technology: Technology::AqfpSc,
+            dataset: Dataset::Mnist,
+            binary: true,
+            accuracy_pct: 96.9,
+            tops_per_watt: 9.8e3,
+            tops_per_watt_cooled: Some(24.5),
+            power_mw: None,
+            throughput_img_per_ms: None,
+        },
+    ]
+}
+
+/// The HERMES PCM in-memory compute core (Fig. 12), ~10.5 TOPS/W at 1 GHz.
+pub fn hermes() -> Baseline {
+    Baseline {
+        name: "HERMES",
+        technology: Technology::Pcm,
+        dataset: Dataset::Cifar10,
+        binary: false,
+        accuracy_pct: f64::NAN, // not an accuracy comparison point
+        tops_per_watt: 10.5,
+        tops_per_watt_cooled: None,
+        power_mw: None,
+        throughput_img_per_ms: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_four_baselines_with_paper_numbers() {
+        let b = cifar10_baselines();
+        assert_eq!(b.len(), 4);
+        let imb = b.iter().find(|x| x.name == "IMB").unwrap();
+        assert_eq!(imb.tops_per_watt, 82.6);
+        assert_eq!(imb.accuracy_pct, 87.7);
+        let ddn = b.iter().find(|x| x.name.starts_with("DDN")).unwrap();
+        assert!(!ddn.binary);
+        assert_eq!(ddn.tops_per_watt, 0.28);
+    }
+
+    #[test]
+    fn table3_cooling_penalties_match_paper() {
+        let b = mnist_baselines();
+        let rsfq = b.iter().find(|x| x.name == "RSFQ").unwrap();
+        // 2.4e3 → 8.1 with cooling: a ~300× penalty (RSFQ static bias power
+        // makes it worse than the 400× rule alone would suggest — the paper
+        // prints both numbers, we encode both).
+        assert!(rsfq.tops_per_watt / rsfq.tops_per_watt_cooled.unwrap() > 100.0);
+        let sync = b.iter().find(|x| x.name == "SyncBNN").unwrap();
+        assert_eq!(sync.tops_per_watt, sync.tops_per_watt_cooled.unwrap());
+    }
+
+    #[test]
+    fn every_binary_baseline_is_marked() {
+        for b in cifar10_baselines().iter().chain(mnist_baselines().iter()) {
+            if b.name.starts_with("DDN") {
+                assert!(!b.binary);
+            } else {
+                assert!(b.binary, "{}", b.name);
+            }
+        }
+    }
+}

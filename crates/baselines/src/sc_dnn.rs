@@ -1,0 +1,590 @@
+//! The pure stochastic-computing DNN baseline (SC-AQFP stand-in).
+//!
+//! Paper Section 2.3 contrasts SupeRBNN with SC-AQFP (Cai et al., ISCA'19),
+//! which "can only work on a very small network for simple tasks (e.g.,
+//! MNIST) without complex layers (e.g., batch normalization) and requires a
+//! pretty large bit-stream length (i.e., 256∼2048)", whereas SupeRBNN's
+//! SC-as-accumulator design needs only 16∼32. That claim is about an
+//! architecture the paper does not rerun; this module *builds* the pure-SC
+//! architecture so the stream-length requirement can be measured instead of
+//! quoted.
+//!
+//! The baseline is an MLP whose every inference value is carried by bipolar
+//! stochastic streams:
+//!
+//! * weights (real-valued, trained in software without batch norm — the
+//!   limitation the paper names) are encoded as streams with
+//!   `P(1) = (w/s + 1)/2`, where `s` is the per-layer max-magnitude scale
+//!   recovered digitally after accumulation;
+//! * multiplication is bitwise XNOR of weight and activation streams;
+//! * accumulation is selectable between the two SC options:
+//!   [`ScAccumulator::Apc`] (counts product bits into a binary number —
+//!   what SC-AQFP's inner product does) and [`ScAccumulator::MuxTree`]
+//!   (random-select scaled addition with an FSM `Stanh` activation — the
+//!   fully stream-domain datapath);
+//! * hidden activations are `HardTanh` in the value the streams carry.
+//!
+//! The APC variant re-randomizes each hidden value into a fresh stream per
+//! layer (SC-AQFP's APC → binary → stochastic-number-generator loop); the
+//! MUX variant never leaves the stream domain.
+
+use aqfp_sc::fsm::StanhFsm;
+use aqfp_sc::mux::mux_collect;
+use aqfp_sc::packed::PackedStream;
+use bnn_nn::layers::{HardTanh, Linear, Mode};
+use bnn_nn::loss::softmax_cross_entropy;
+use bnn_nn::optim::Sgd;
+use bnn_nn::{NnRng, SeedableRng, Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters for the float MLP underlying the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScMlpConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for ScMlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            epochs: 30,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 17,
+        }
+    }
+}
+
+/// One trained dense layer: weights `[out × in]` row-major plus bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseWeights {
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl DenseWeights {
+    /// Wraps a weight matrix.
+    ///
+    /// # Panics
+    /// Panics if the buffer sizes disagree with the dimensions.
+    pub fn new(weights: Vec<f32>, bias: Vec<f32>, in_features: usize, out_features: usize) -> Self {
+        assert_eq!(weights.len(), in_features * out_features, "weight size");
+        assert_eq!(bias.len(), out_features, "bias size");
+        Self {
+            weights,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_features, self.out_features)
+    }
+
+    /// The weight row feeding output unit `o`.
+    fn row(&self, o: usize) -> &[f32] {
+        &self.weights[o * self.in_features..(o + 1) * self.in_features]
+    }
+
+    /// Per-layer stream scale: the max weight magnitude (streams encode
+    /// `w/s`); at least 1e-6 to avoid division by zero on dead layers.
+    fn scale(&self) -> f32 {
+        self.weights
+            .iter()
+            .fold(0.0f32, |m, w| m.max(w.abs()))
+            .max(1e-6)
+    }
+}
+
+/// A trained float MLP (no batch normalization) ready for SC deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloatMlp {
+    layers: Vec<DenseWeights>,
+}
+
+impl FloatMlp {
+    /// Builds from explicit layer weights.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty or consecutive dimensions disagree.
+    pub fn new(layers: Vec<DenseWeights>) -> Self {
+        assert!(!layers.is_empty(), "MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_features, pair[1].in_features,
+                "layer dimensions must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Trains on flat images (`inputs[i].len() == in_features`, values
+    /// roughly in `[−1, 1]`) with HardTanh activations and no batch norm.
+    ///
+    /// # Panics
+    /// Panics on empty data, mismatched labels, or zero epochs.
+    pub fn train(
+        inputs: &[Vec<f32>],
+        labels: &[usize],
+        classes: usize,
+        config: &ScMlpConfig,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "training set is empty");
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(config.epochs > 0, "need at least one epoch");
+        let in_features = inputs[0].len();
+
+        let mut rng = NnRng::seed_from_u64(config.seed);
+        let mut model = Sequential::new();
+        let mut prev = in_features;
+        for &h in &config.hidden {
+            model.push(Linear::new(prev, h, false, &mut rng));
+            model.push(HardTanh::new());
+            prev = h;
+        }
+        model.push(Linear::new(prev, classes, false, &mut rng));
+
+        let mut sgd = Sgd::new(config.lr, config.momentum, 0.0);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut shuffle_rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        for _ in 0..config.epochs {
+            order.shuffle(&mut shuffle_rng);
+            for chunk in order.chunks(config.batch_size) {
+                let mut data = Vec::with_capacity(chunk.len() * in_features);
+                let mut batch_labels = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    data.extend_from_slice(&inputs[i]);
+                    batch_labels.push(labels[i]);
+                }
+                let x = Tensor::from_vec(&[chunk.len(), in_features], data);
+                let logits = model.forward(&x, Mode::Train, &mut rng);
+                let (_, grad) = softmax_cross_entropy(&logits, &batch_labels);
+                sgd.zero_grad(&mut model);
+                model.backward(&grad);
+                sgd.step(&mut model);
+            }
+        }
+
+        let mut layers = Vec::new();
+        for layer in model.layers() {
+            if let Some(lin) = layer.as_any().downcast_ref::<Linear>() {
+                let (inf, outf) = lin.dims();
+                layers.push(DenseWeights::new(
+                    lin.weight().data().to_vec(),
+                    lin.bias().data().to_vec(),
+                    inf,
+                    outf,
+                ));
+            }
+        }
+        Self::new(layers)
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[DenseWeights] {
+        &self.layers
+    }
+
+    /// Exact float forward pass; returns class logits.
+    ///
+    /// # Panics
+    /// Panics if `input.len()` differs from the first layer's fan-in.
+    pub fn forward_float(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.layers[0].in_features, "input width");
+        let mut act: Vec<f32> = input.to_vec();
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut next = Vec::with_capacity(layer.out_features);
+            for o in 0..layer.out_features {
+                let y: f32 = layer
+                    .row(o)
+                    .iter()
+                    .zip(&act)
+                    .map(|(w, x)| w * x)
+                    .sum::<f32>()
+                    + layer.bias[o];
+                next.push(if l == last { y } else { y.clamp(-1.0, 1.0) });
+            }
+            act = next;
+        }
+        act
+    }
+
+    /// Float classification accuracy over `(inputs, labels)`.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths.
+    pub fn accuracy_float(&self, inputs: &[Vec<f32>], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| argmax(&self.forward_float(x)) == y)
+            .count();
+        correct as f64 / inputs.len().max(1) as f64
+    }
+}
+
+/// How the pure-SC datapath accumulates per-neuron products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScAccumulator {
+    /// Count product-stream bits with an approximate parallel counter into
+    /// a binary number, apply the activation digitally, regenerate a
+    /// stream (SC-AQFP's datapath). Stream noise enters once per layer.
+    Apc,
+    /// Random-select MUX scaled addition plus `Stanh` FSM activation; the
+    /// value never leaves the stream domain, but the sum is scaled by
+    /// `1/fan-in`, so resolution demands very long streams.
+    MuxTree,
+}
+
+impl std::fmt::Display for ScAccumulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScAccumulator::Apc => write!(f, "APC"),
+            ScAccumulator::MuxTree => write!(f, "MUX"),
+        }
+    }
+}
+
+/// Weight streams pre-generated for one stream length, reusable across
+/// samples and across both accumulator variants.
+#[derive(Debug, Clone)]
+pub struct PreparedScMlp<'a> {
+    mlp: &'a FloatMlp,
+    stream_len: usize,
+    /// Per layer: `out × in` packed weight streams, row-major.
+    weight_streams: Vec<Vec<PackedStream>>,
+    /// Per layer scale `s` (streams carry `w/s`).
+    scales: Vec<f32>,
+}
+
+impl<'a> PreparedScMlp<'a> {
+    /// Generates weight streams of length `stream_len`.
+    ///
+    /// # Panics
+    /// Panics if `stream_len == 0`.
+    pub fn new(mlp: &'a FloatMlp, stream_len: usize, seed: u64) -> Self {
+        assert!(stream_len > 0, "stream length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weight_streams = Vec::with_capacity(mlp.layers.len());
+        let mut scales = Vec::with_capacity(mlp.layers.len());
+        for layer in &mlp.layers {
+            let s = layer.scale();
+            scales.push(s);
+            let mut streams = Vec::with_capacity(layer.out_features * layer.in_features);
+            for o in 0..layer.out_features {
+                for &w in layer.row(o) {
+                    streams.push(PackedStream::generate_bipolar(
+                        f64::from(w / s).clamp(-1.0, 1.0),
+                        stream_len,
+                        &mut rng,
+                    ));
+                }
+            }
+            weight_streams.push(streams);
+        }
+        Self {
+            mlp,
+            stream_len,
+            weight_streams,
+            scales,
+        }
+    }
+
+    /// Stream length `L`.
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// Classifies one flat input (values clamped into `[−1, 1]`).
+    ///
+    /// # Panics
+    /// Panics if `input.len()` differs from the first layer's fan-in.
+    pub fn classify<R: Rng + ?Sized>(
+        &self,
+        input: &[f32],
+        accumulator: ScAccumulator,
+        rng: &mut R,
+    ) -> usize {
+        match accumulator {
+            ScAccumulator::Apc => self.classify_apc(input, rng),
+            ScAccumulator::MuxTree => self.classify_mux(input, rng),
+        }
+    }
+
+    /// SC classification accuracy over `(inputs, labels)`, optionally on
+    /// the first `limit` samples.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths.
+    pub fn accuracy<R: Rng + ?Sized>(
+        &self,
+        inputs: &[Vec<f32>],
+        labels: &[usize],
+        accumulator: ScAccumulator,
+        limit: Option<usize>,
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        let n = limit.unwrap_or(inputs.len()).min(inputs.len());
+        let correct = inputs[..n]
+            .iter()
+            .zip(&labels[..n])
+            .filter(|(x, &y)| self.classify(x, accumulator, rng) == y)
+            .count();
+        correct as f64 / n.max(1) as f64
+    }
+
+    fn encode_input<R: Rng + ?Sized>(&self, values: &[f32], rng: &mut R) -> Vec<PackedStream> {
+        values
+            .iter()
+            .map(|&v| {
+                PackedStream::generate_bipolar(
+                    f64::from(v).clamp(-1.0, 1.0),
+                    self.stream_len,
+                    rng,
+                )
+            })
+            .collect()
+    }
+
+    /// SC-AQFP datapath: XNOR products, APC count, digital activation,
+    /// stream regeneration between layers.
+    fn classify_apc<R: Rng + ?Sized>(&self, input: &[f32], rng: &mut R) -> usize {
+        let layers = &self.mlp.layers;
+        assert_eq!(input.len(), layers[0].in_features, "input width");
+        let l_len = self.stream_len as f64;
+        let mut streams = self.encode_input(input, rng);
+        let last = layers.len() - 1;
+        let mut logits = Vec::new();
+        for (l, layer) in layers.iter().enumerate() {
+            let s = f64::from(self.scales[l]);
+            let fan_in = layer.in_features as f64;
+            let mut values = Vec::with_capacity(layer.out_features);
+            for o in 0..layer.out_features {
+                let base = o * layer.in_features;
+                let mut ones = 0usize;
+                for (i, x) in streams.iter().enumerate() {
+                    ones += x.xnor_ones(&self.weight_streams[l][base + i]);
+                }
+                // Σ bipolar product values = 2·ones/L − fan_in, each product
+                // carrying (w/s)·x; undo the scale and add the bias.
+                let y = s * (2.0 * ones as f64 / l_len - fan_in) + f64::from(layer.bias[o]);
+                values.push(y);
+            }
+            if l == last {
+                logits = values;
+            } else {
+                streams = values
+                    .iter()
+                    .map(|&y| PackedStream::generate_bipolar(y.clamp(-1.0, 1.0), self.stream_len, rng))
+                    .collect();
+            }
+        }
+        argmax_f64(&logits)
+    }
+
+    /// Fully stream-domain datapath: MUX scaled addition and `Stanh`
+    /// activation; values stay stochastic streams end to end.
+    fn classify_mux<R: Rng + ?Sized>(&self, input: &[f32], rng: &mut R) -> usize {
+        let layers = &self.mlp.layers;
+        assert_eq!(input.len(), layers[0].in_features, "input width");
+        let mut streams = self.encode_input(input, rng);
+        let last = layers.len() - 1;
+        for (l, layer) in layers.iter().enumerate() {
+            let s = f64::from(self.scales[l]);
+            // Bias joins the MUX as one extra input stream carrying bias/s.
+            let bias_streams: Vec<PackedStream> = layer
+                .bias
+                .iter()
+                .map(|&b| {
+                    PackedStream::generate_bipolar(
+                        f64::from(b / self.scales[l]).clamp(-1.0, 1.0),
+                        self.stream_len,
+                        rng,
+                    )
+                })
+                .collect();
+            let n_sel = layer.in_features + 1;
+            let mut next = Vec::with_capacity(layer.out_features);
+            for (o, bias_stream) in bias_streams.iter().enumerate() {
+                let base = o * layer.in_features;
+                let summed = mux_collect(self.stream_len, |t| {
+                    let pick = rng.gen_range(0..n_sel);
+                    if pick == layer.in_features {
+                        bias_stream.bit(t)
+                    } else {
+                        // XNOR of activation and weight stream bits.
+                        streams[pick].bit(t) == self.weight_streams[l][base + pick].bit(t)
+                    }
+                });
+                if l == last {
+                    next.push(summed);
+                } else {
+                    // The MUX output carries y/(s·n); HardTanh(y) needs a
+                    // linear gain of s·n, approximated by Stanh.
+                    let fsm = StanhFsm::with_gain(s * n_sel as f64);
+                    next.push(fsm.run(&summed));
+                }
+            }
+            streams = next;
+        }
+        // Same positive scale on every logit stream: argmax of the stream
+        // values is the argmax of the logits, up to SC noise.
+        let counts: Vec<f64> = streams.iter().map(|s| s.ones() as f64).collect();
+        argmax_f64(&counts)
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i)
+}
+
+fn argmax_f64(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-class toy problem: class = sign of the mean of the inputs.
+    fn toy_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let label = rng.gen_range(0..2usize);
+            let center = if label == 0 { -0.4 } else { 0.4 };
+            let x: Vec<f32> = (0..dim)
+                .map(|_| (center + rng.gen_range(-0.5..0.5f32)).clamp(-1.0, 1.0))
+                .collect();
+            xs.push(x);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    fn trained_toy() -> (FloatMlp, Vec<Vec<f32>>, Vec<usize>) {
+        let (xs, ys) = toy_data(240, 16, 5);
+        let cfg = ScMlpConfig {
+            hidden: vec![12],
+            epochs: 25,
+            batch_size: 16,
+            lr: 0.08,
+            momentum: 0.9,
+            seed: 3,
+        };
+        let mlp = FloatMlp::train(&xs, &ys, 2, &cfg);
+        (mlp, xs, ys)
+    }
+
+    #[test]
+    fn float_training_learns_the_toy_task() {
+        let (mlp, xs, ys) = trained_toy();
+        assert!(mlp.accuracy_float(&xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn long_streams_recover_float_accuracy_apc() {
+        let (mlp, xs, ys) = trained_toy();
+        let float_acc = mlp.accuracy_float(&xs, &ys);
+        let prepared = PreparedScMlp::new(&mlp, 1024, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let sc = prepared.accuracy(&xs, &ys, ScAccumulator::Apc, Some(80), &mut rng);
+        assert!(
+            sc > float_acc - 0.1,
+            "APC at L=1024 should track float: {sc} vs {float_acc}"
+        );
+    }
+
+    #[test]
+    fn apc_accuracy_improves_with_stream_length() {
+        let (mlp, xs, ys) = trained_toy();
+        let mut accs = Vec::new();
+        for &len in &[4usize, 64, 1024] {
+            let prepared = PreparedScMlp::new(&mlp, len, 11);
+            let mut rng = StdRng::seed_from_u64(12);
+            accs.push(prepared.accuracy(&xs, &ys, ScAccumulator::Apc, Some(80), &mut rng));
+        }
+        assert!(
+            accs[2] >= accs[0],
+            "longer streams should not hurt: {accs:?}"
+        );
+    }
+
+    #[test]
+    fn mux_needs_longer_streams_than_apc() {
+        let (mlp, xs, ys) = trained_toy();
+        let prepared = PreparedScMlp::new(&mlp, 64, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let apc = prepared.accuracy(&xs, &ys, ScAccumulator::Apc, Some(80), &mut rng);
+        let mux = prepared.accuracy(&xs, &ys, ScAccumulator::MuxTree, Some(80), &mut rng);
+        // At a short window the binary-domain APC is no worse than the
+        // 1/fan-in-scaled MUX datapath.
+        assert!(apc + 1e-9 >= mux, "APC {apc} vs MUX {mux} at L=64");
+    }
+
+    #[test]
+    fn classify_is_deterministic_given_rng_seed() {
+        let (mlp, xs, _) = trained_toy();
+        let prepared = PreparedScMlp::new(&mlp, 128, 15);
+        let a = prepared.classify(&xs[0], ScAccumulator::Apc, &mut StdRng::seed_from_u64(1));
+        let b = prepared.classify(&xs[0], ScAccumulator::Apc, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_weights_validate_dimensions() {
+        let d = DenseWeights::new(vec![0.0; 6], vec![0.0; 2], 3, 2);
+        assert_eq!(d.dims(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight size")]
+    fn dense_weights_reject_bad_buffer() {
+        DenseWeights::new(vec![0.0; 5], vec![0.0; 2], 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must chain")]
+    fn mlp_rejects_non_chaining_layers() {
+        FloatMlp::new(vec![
+            DenseWeights::new(vec![0.0; 6], vec![0.0; 2], 3, 2),
+            DenseWeights::new(vec![0.0; 12], vec![0.0; 4], 3, 4),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream length must be positive")]
+    fn prepared_rejects_zero_length() {
+        let (mlp, _, _) = trained_toy();
+        PreparedScMlp::new(&mlp, 0, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Bit-exact software XNOR/popcount BNN reference.
+//!
+//! Conventional BNN inference replaces the signed dot product of ±1 vectors
+//! with XNOR + popcount: for `n`-long vectors,
+//! `dot(a, w) = 2·popcount(XNOR(a, w)) − n`. This module implements that
+//! datapath exactly (bit-packed in `u64` words) and is the noiseless
+//! accuracy reference against which hardware-faithful AQFP inference is
+//! compared — and a baseline for throughput benchmarks.
+
+/// A ±1 vector packed into `u64` words (`1` bit = +1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedVec {
+    /// Packs a slice of ±1 values (`>= 0` packs as +1, matching the
+    /// paper's sign convention).
+    pub fn from_signs(values: &[f32]) -> Self {
+        let len = values.len();
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            if v >= 0.0 {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Self { words, len }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Signed dot product with `other` via XNOR + popcount.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &PackedVec) -> i32 {
+        assert_eq!(self.len, other.len, "length mismatch in packed dot");
+        let mut matches = 0u32;
+        for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = !(a ^ b); // XNOR
+            // Mask tail bits of the last word.
+            if (i + 1) * 64 > self.len {
+                let valid = self.len - i * 64;
+                x &= (1u64 << valid) - 1;
+            }
+            matches += x.count_ones();
+        }
+        2 * matches as i32 - self.len as i32
+    }
+}
+
+/// A binary linear layer computed entirely with XNOR/popcount.
+#[derive(Debug, Clone)]
+pub struct PopcountLinear {
+    rows: Vec<PackedVec>,
+    fan_in: usize,
+}
+
+impl PopcountLinear {
+    /// Builds from a row-major `[out, fan_in]` sign matrix.
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` is not a multiple of `fan_in` or `fan_in`
+    /// is zero.
+    pub fn new(weights: &[f32], fan_in: usize) -> Self {
+        assert!(fan_in > 0, "fan-in must be positive");
+        assert_eq!(weights.len() % fan_in, 0, "weights not a whole matrix");
+        let rows = weights
+            .chunks(fan_in)
+            .map(PackedVec::from_signs)
+            .collect();
+        Self { rows, fan_in }
+    }
+
+    /// Number of output units.
+    pub fn out_features(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Computes all outputs for one ±1 input vector.
+    ///
+    /// # Panics
+    /// Panics on input length mismatch.
+    pub fn forward(&self, input: &[f32]) -> Vec<i32> {
+        assert_eq!(input.len(), self.fan_in, "input length mismatch");
+        let packed = PackedVec::from_signs(input);
+        self.rows.iter().map(|r| r.dot(&packed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_dot(a: &[f32], b: &[f32]) -> i32 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let sx = if x >= 0.0 { 1 } else { -1 };
+                let sy = if y >= 0.0 { 1 } else { -1 };
+                sx * sy
+            })
+            .sum()
+    }
+
+    #[test]
+    fn packed_dot_matches_float_dot() {
+        // Deterministic pseudo-random ±1 vectors of awkward lengths.
+        for len in [1usize, 7, 63, 64, 65, 130, 200] {
+            let a: Vec<f32> = (0..len).map(|i| if (i * 7 + 3) % 5 < 2 { 1.0 } else { -1.0 }).collect();
+            let b: Vec<f32> = (0..len).map(|i| if (i * 11 + 1) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+            let pa = PackedVec::from_signs(&a);
+            let pb = PackedVec::from_signs(&b);
+            assert_eq!(pa.dot(&pb), float_dot(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn self_dot_is_length() {
+        let v: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let p = PackedVec::from_signs(&v);
+        assert_eq!(p.dot(&p), 100);
+    }
+
+    #[test]
+    fn opposite_dot_is_negative_length() {
+        let a: Vec<f32> = vec![1.0; 70];
+        let b: Vec<f32> = vec![-1.0; 70];
+        assert_eq!(
+            PackedVec::from_signs(&a).dot(&PackedVec::from_signs(&b)),
+            -70
+        );
+    }
+
+    #[test]
+    fn popcount_linear_layer() {
+        // 2×3 weights: [+,+,−] and [−,−,−].
+        let w = [1.0, 1.0, -1.0, -1.0, -1.0, -1.0];
+        let layer = PopcountLinear::new(&w, 3);
+        assert_eq!(layer.out_features(), 2);
+        let out = layer.forward(&[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![1, -3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let a = PackedVec::from_signs(&[1.0; 8]);
+        let b = PackedVec::from_signs(&[1.0; 9]);
+        a.dot(&b);
+    }
+}

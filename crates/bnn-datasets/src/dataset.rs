@@ -1,0 +1,252 @@
+//! Dataset container and batching.
+
+use bnn_nn::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generation parameters shared by both synthetic datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Standard deviation of additive pixel noise.
+    pub noise_std: f32,
+    /// Maximum absolute random translation in pixels (per axis).
+    pub max_shift: i32,
+    /// Seed for the generator RNG.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_class: 100,
+            noise_std: 0.25,
+            max_shift: 2,
+            seed: 2023,
+        }
+    }
+}
+
+/// An in-memory labelled image dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images, shape `[N, C, H, W]`, values roughly in `[−1, 1]`.
+    pub images: Tensor,
+    /// Labels, `labels[i] ∈ 0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image shape `[C, H, W]`.
+    pub fn image_shape(&self) -> [usize; 3] {
+        let s = self.images.shape();
+        [s[1], s[2], s[3]]
+    }
+
+    /// Gathers the samples at `indices` into a batch tensor + labels.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let [c, h, w] = self.image_shape();
+        let per = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(&[indices.len(), c, h, w], data),
+            labels,
+        )
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of each class's
+    /// samples (deterministically, by position) going to the test set.
+    ///
+    /// # Panics
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must be in (0, 1)"
+        );
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        // Stratified: every k-th sample of each class goes to test.
+        let stride = (1.0 / test_fraction).round().max(2.0) as usize;
+        let mut seen = vec![0usize; self.num_classes];
+        for (i, &label) in self.labels.iter().enumerate() {
+            if seen[label] % stride == stride - 1 {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+            seen[label] += 1;
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    fn subset(&self, indices: &[usize]) -> Dataset {
+        let (images, labels) = self.batch(indices);
+        Dataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Iterates over shuffled mini-batches.
+    pub fn batches<'a, R: Rng>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> BatchIter<'a> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+/// Iterator over shuffled mini-batches of a [`Dataset`].
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(idx))
+    }
+}
+
+/// Shifts an image in place within its `[C, H, W]` frame; vacated pixels
+/// become `fill`. Shared by the two generators.
+pub(crate) fn shift_image(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    dy: i32,
+    dx: i32,
+    fill: f32,
+) -> Vec<f32> {
+    let mut out = vec![fill; c * h * w];
+    for ci in 0..c {
+        for y in 0..h {
+            let sy = y as i32 - dy;
+            if sy < 0 || sy >= h as i32 {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as i32 - dx;
+                if sx < 0 || sx >= w as i32 {
+                    continue;
+                }
+                out[(ci * h + y) * w + x] = src[(ci * h + sy as usize) * w + sx as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Samples an approximately standard-normal value (sum of 12 uniforms —
+/// Irwin–Hall; adequate for pixel noise, dependency-free).
+pub(crate) fn approx_normal<R: Rng>(rng: &mut R) -> f32 {
+    let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum();
+    s - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        // 6 samples, 2 classes, 1×2×2 images.
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        Dataset {
+            images: Tensor::from_vec(&[6, 1, 2, 2], data),
+            labels: vec![0, 1, 0, 1, 0, 1],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = toy();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 1, 2, 2]);
+        assert_eq!(y, vec![0, 0]);
+        assert_eq!(&x.data()[0..4], &[8., 9., 10., 11.]);
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let d = toy();
+        let (train, test) = d.split(0.34);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert!(test.labels.contains(&0) && test.labels.contains(&1));
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut count = 0;
+        for (x, y) in d.batches(4, &mut rng) {
+            assert_eq!(x.shape()[0], y.len());
+            count += y.len();
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn shift_moves_pixels() {
+        // 1×2×2 image [[1,2],[3,4]] shifted down-right by 1.
+        let out = shift_image(&[1., 2., 3., 4.], 1, 2, 2, 1, 1, 0.0);
+        assert_eq!(out, vec![0., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn approx_normal_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| approx_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,182 @@
+//! SynthDigits: the MNIST stand-in.
+//!
+//! Ten digit classes rendered as seven-segment glyphs on a 16×16 canvas,
+//! augmented with random translation, stroke gain and additive noise.
+//! Background is −1, strokes are +1 (already in BNN-friendly range).
+
+use crate::dataset::{approx_normal, shift_image, Dataset, SynthConfig};
+use bnn_nn::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// Image side length.
+pub const SIZE: usize = 16;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// Seven-segment truth table: segments a–g (top, top-right, bottom-right,
+/// bottom, bottom-left, top-left, middle) per digit.
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, true, true, true, false],    // 0
+    [false, true, true, false, false, false, false],// 1
+    [true, true, false, true, true, false, true],   // 2
+    [true, true, true, true, false, false, true],   // 3
+    [false, true, true, false, false, true, true],  // 4
+    [true, false, true, true, false, true, true],   // 5
+    [true, false, true, true, true, true, true],    // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// Renders the canonical glyph of `digit` (background −1, stroke +1).
+///
+/// # Panics
+/// Panics if `digit >= 10`.
+pub fn glyph(digit: usize) -> Vec<f32> {
+    assert!(digit < CLASSES, "digit {digit} out of range");
+    let mut img = vec![-1.0f32; SIZE * SIZE];
+    let seg = SEGMENTS[digit];
+    // Glyph box: rows 2..14, cols 4..12; stroke thickness 2.
+    let (top, mid, bot) = (2usize, 7usize, 13usize);
+    let (left, right) = (4usize, 11usize);
+    let mut hline = |row: usize| {
+        for y in row..row + 2 {
+            for x in left..=right {
+                img[y * SIZE + x] = 1.0;
+            }
+        }
+    };
+    if seg[0] {
+        hline(top);
+    }
+    if seg[6] {
+        hline(mid);
+    }
+    if seg[3] {
+        hline(bot);
+    }
+    let mut vline = |col: usize, from: usize, to: usize| {
+        for y in from..=to {
+            for x in col..col + 2 {
+                img[y * SIZE + x] = 1.0;
+            }
+        }
+    };
+    if seg[5] {
+        vline(left, top, mid + 1);
+    }
+    if seg[1] {
+        vline(right - 1, top, mid + 1);
+    }
+    if seg[4] {
+        vline(left, mid, bot + 1);
+    }
+    if seg[2] {
+        vline(right - 1, mid, bot + 1);
+    }
+    img
+}
+
+/// Generates the SynthDigits dataset.
+pub fn generate_digits(config: &SynthConfig) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let n = config.samples_per_class * CLASSES;
+    let mut data = Vec::with_capacity(n * SIZE * SIZE);
+    let mut labels = Vec::with_capacity(n);
+    let templates: Vec<Vec<f32>> = (0..CLASSES).map(glyph).collect();
+
+    #[allow(clippy::needless_range_loop)] // digit is also the label
+    for digit in 0..CLASSES {
+        for _ in 0..config.samples_per_class {
+            let dy = rng.gen_range(-config.max_shift..=config.max_shift);
+            let dx = rng.gen_range(-config.max_shift..=config.max_shift);
+            let gain = 0.8 + 0.4 * rng.gen::<f32>();
+            let mut img = shift_image(&templates[digit], 1, SIZE, SIZE, dy, dx, -1.0);
+            for px in img.iter_mut() {
+                *px = (*px * gain + config.noise_std * approx_normal(&mut rng)).clamp(-1.5, 1.5);
+            }
+            data.extend(img);
+            labels.push(digit);
+        }
+    }
+    Dataset {
+        images: Tensor::from_vec(&[n, 1, SIZE, SIZE], data),
+        labels,
+        num_classes: CLASSES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let glyphs: Vec<Vec<f32>> = (0..10).map(glyph).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(glyphs[i], glyphs[j], "digits {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_has_most_ink() {
+        let ink = |d: usize| glyph(d).iter().filter(|&&p| p > 0.0).count();
+        for d in 0..10 {
+            assert!(ink(8) >= ink(d), "8 must use every segment");
+        }
+        assert!(ink(1) < ink(8));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig {
+            samples_per_class: 3,
+            ..Default::default()
+        };
+        let a = generate_digits(&cfg);
+        let b = generate_digits(&cfg);
+        assert_eq!(a.images.data(), b.images.data());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let cfg = SynthConfig {
+            samples_per_class: 5,
+            ..Default::default()
+        };
+        let d = generate_digits(&cfg);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.image_shape(), [1, 16, 16]);
+        assert_eq!(d.num_classes, 10);
+        for c in 0..10 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), 5);
+        }
+    }
+
+    #[test]
+    fn noise_zero_reproduces_scaled_glyph() {
+        let cfg = SynthConfig {
+            samples_per_class: 1,
+            noise_std: 0.0,
+            max_shift: 0,
+            seed: 7,
+        };
+        let d = generate_digits(&cfg);
+        // First sample is digit 0; its positive pixels must coincide with
+        // the glyph's strokes.
+        let g = glyph(0);
+        let img = &d.images.data()[0..256];
+        for (a, b) in img.iter().zip(&g) {
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn glyph_rejects_11() {
+        glyph(11);
+    }
+}

@@ -1,0 +1,190 @@
+//! Activation layers: HardTanh and the binarization layer.
+
+use super::{Layer, Mode, ParamRef};
+use crate::binarize::Binarizer;
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// `HardTanh(x) = clamp(x, −1, 1)` — the activation used between BN and
+/// binarization in the paper's BNN cell (Fig. 8a).
+pub struct HardTanh {
+    cache: Option<Tensor>,
+}
+
+impl HardTanh {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self { cache: None }
+    }
+}
+
+impl Default for HardTanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for HardTanh {
+    fn forward(&mut self, input: &Tensor, mode: Mode, _rng: &mut NnRng) -> Tensor {
+        if mode == Mode::Train {
+            self.cache = Some(input.clone());
+        }
+        input.map(|x| x.clamp(-1.0, 1.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("HardTanh::backward without forward");
+        grad_out.zip(&input, |g, x| if (-1.0..=1.0).contains(&x) { g } else { 0.0 })
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "HardTanh"
+    }
+}
+
+/// Activation binarization (the paper's Eq. 7 forward / Eq. 10 backward).
+///
+/// With a deterministic binarizer this is the classical BNN sign layer with
+/// the clipped STE. With a randomized binarizer the forward pass *samples*
+/// the AQFP output distribution and the backward pass differentiates the
+/// expected activation — the core of AQFP-aware training.
+pub struct BinActivation {
+    binarizer: Binarizer,
+    cache: Option<Tensor>,
+}
+
+impl BinActivation {
+    /// Creates the layer.
+    pub fn new(binarizer: Binarizer) -> Self {
+        Self {
+            binarizer,
+            cache: None,
+        }
+    }
+
+    /// The configured binarizer.
+    pub fn binarizer(&self) -> Binarizer {
+        self.binarizer
+    }
+
+    /// Replaces the binarizer (used when re-targeting a trained model to a
+    /// different hardware configuration).
+    pub fn set_binarizer(&mut self, binarizer: Binarizer) {
+        self.binarizer = binarizer;
+    }
+}
+
+impl Layer for BinActivation {
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut NnRng) -> Tensor {
+        if mode == Mode::Train {
+            self.cache = Some(input.clone());
+        }
+        let b = self.binarizer;
+        Tensor::from_vec(
+            input.shape(),
+            input.data().iter().map(|&x| b.forward_sample(x, rng)).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cache
+            .take()
+            .expect("BinActivation::backward without forward");
+        let b = self.binarizer;
+        grad_out.zip(&input, |g, x| g * b.backward(x))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "BinActivation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+    use aqfp_device::GrayZone;
+
+    fn rng() -> NnRng {
+        NnRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn hardtanh_clamps() {
+        let mut ht = HardTanh::new();
+        let mut r = rng();
+        let x = Tensor::from_vec(&[4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = ht.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.data(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn hardtanh_gradient_masks_saturation() {
+        let mut ht = HardTanh::new();
+        let mut r = rng();
+        let x = Tensor::from_vec(&[4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let _ = ht.forward(&x, Mode::Train, &mut r);
+        let g = Tensor::from_vec(&[4], vec![1.0; 4]);
+        let din = ht.backward(&g);
+        assert_eq!(din.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_binactivation_is_sign() {
+        let mut act = BinActivation::new(Binarizer::Deterministic);
+        let mut r = rng();
+        let x = Tensor::from_vec(&[3], vec![-0.3, 0.0, 0.8]);
+        let y = act.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.data(), &[-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn randomized_binactivation_samples() {
+        let law = GrayZone::new(0.0, 1.0);
+        let mut act = BinActivation::new(Binarizer::Randomized(law));
+        let mut r = rng();
+        let x = Tensor::from_vec(&[2000], vec![0.2; 2000]);
+        let y = act.forward(&x, Mode::Eval, &mut r);
+        let frac_plus = y.data().iter().filter(|&&v| v > 0.0).count() as f64 / 2000.0;
+        let p = law.probability_one(0.2);
+        assert!((frac_plus - p).abs() < 0.04, "{frac_plus} vs {p}");
+        // Outputs are exactly ±1.
+        assert!(y.data().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn randomized_backward_uses_erf_gradient() {
+        let law = GrayZone::new(0.0, 1.0);
+        let mut act = BinActivation::new(Binarizer::Randomized(law));
+        let mut r = rng();
+        let x = Tensor::from_vec(&[2], vec![0.0, 5.0]);
+        let _ = act.forward(&x, Mode::Train, &mut r);
+        let g = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        let din = act.backward(&g);
+        // At the threshold the surrogate gradient peaks at exactly 1; far
+        // away it decays to ~0 (no gradient through saturated activations).
+        assert!((din.data()[0] - 1.0).abs() < 1e-6);
+        assert!(din.data()[1].abs() < 1e-6);
+    }
+}

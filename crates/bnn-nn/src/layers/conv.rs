@@ -1,0 +1,374 @@
+//! 2-D convolution, optionally with XNOR-Net binarized weights.
+
+use super::im2col::{col2im, conv_out, im2col_filled};
+use super::{Layer, Mode, ParamRef};
+use crate::binarize::binarize_weights;
+use crate::tensor::Tensor;
+use crate::NnRng;
+use rand::Rng;
+
+/// A 2-D convolution layer (no bias — every convolution in the paper's
+/// networks is followed by batch normalization, which absorbs any bias).
+///
+/// With `binary_weights`, the forward pass uses `α_o · sign(W_o)` per output
+/// channel (`α_o` the L1 mean of that filter, XNOR-Net) and the backward
+/// pass applies the straight-through estimator of paper Eq. 9
+/// (`∂L/∂wr ≈ ∂L/∂wb`).
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    pad_value: f32,
+    binary_weights: bool,
+    /// Real-valued latent weights, shape `[out, in·k·k]`.
+    weight: Tensor,
+    weight_grad: Tensor,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    cols: Tensor,
+    input_shape: [usize; 4],
+    /// Per-output-channel α when binarized (1.0 otherwise).
+    alphas: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform initialized weights.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        binary_weights: bool,
+        rng: &mut NnRng,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "convolution dimensions must be positive"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let data = (0..out_channels * fan_in)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            pad_value: 0.0,
+            binary_weights,
+            weight: Tensor::from_vec(&[out_channels, fan_in], data),
+            weight_grad: Tensor::zeros(&[out_channels, fan_in]),
+            cache: None,
+        }
+    }
+
+    /// Sets the padding fill value (BNN deployments use −1; see
+    /// [`im2col_filled`]). Returns `self` for builder-style use.
+    #[must_use]
+    pub fn with_pad_value(mut self, fill: f32) -> Self {
+        self.pad_value = fill;
+        self
+    }
+
+    /// The padding fill value.
+    pub fn pad_value(&self) -> f32 {
+        self.pad_value
+    }
+
+    /// The latent real-valued weights, shape `[out, in·k·k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable latent weights (ReCU clamps these between steps).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Whether the forward pass binarizes the weights.
+    pub fn is_binary(&self) -> bool {
+        self.binary_weights
+    }
+
+    /// `(in_channels, out_channels, kernel, stride, pad)`.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.pad,
+        )
+    }
+
+    /// The effective forward weights (`α·sign(W)` if binary, `W` otherwise)
+    /// and the per-channel α vector. This is exactly what gets mapped onto
+    /// crossbars at deployment.
+    pub fn effective_weight(&self) -> (Tensor, Vec<f32>) {
+        if !self.binary_weights {
+            return (self.weight.clone(), vec![1.0; self.out_channels]);
+        }
+        let fan_in = self.in_channels * self.kernel * self.kernel;
+        let mut data = Vec::with_capacity(self.weight.numel());
+        let mut alphas = Vec::with_capacity(self.out_channels);
+        for o in 0..self.out_channels {
+            let row = &self.weight.data()[o * fan_in..(o + 1) * fan_in];
+            let (signs, alpha) = binarize_weights(row);
+            alphas.push(alpha);
+            data.extend(signs.into_iter().map(|s| s * alpha));
+        }
+        (
+            Tensor::from_vec(&[self.out_channels, fan_in], data),
+            alphas,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode, _rng: &mut NnRng) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");
+        assert_eq!(shape[1], self.in_channels, "channel mismatch");
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let oh = conv_out(h, self.kernel, self.stride, self.pad);
+        let ow = conv_out(w, self.kernel, self.stride, self.pad);
+
+        let cols = im2col_filled(input, self.kernel, self.stride, self.pad, self.pad_value);
+        let (weff, alphas) = self.effective_weight();
+        let out2d = weff.matmul(&cols); // [O, N·oh·ow]
+
+        // Rearrange [O, N·oh·ow] → [N, O, oh, ow].
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        let hw = oh * ow;
+        for o in 0..self.out_channels {
+            for ni in 0..n {
+                for p in 0..hw {
+                    out[(ni * self.out_channels + o) * hw + p] = out2d.at2(o, ni * hw + p);
+                }
+            }
+        }
+
+        if mode == Mode::Train {
+            self.cache = Some(Cache {
+                cols,
+                input_shape: [n, self.in_channels, h, w],
+                alphas,
+            });
+        }
+        Tensor::from_vec(&[n, self.out_channels, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("Conv2d::backward without forward");
+        let [n, c, h, w] = cache.input_shape;
+        let shape = grad_out.shape();
+        assert_eq!(shape.len(), 4);
+        let (oh, ow) = (shape[2], shape[3]);
+        let hw = oh * ow;
+
+        // [N, O, oh, ow] → [O, N·oh·ow]
+        let mut g2d = vec![0.0f32; self.out_channels * n * hw];
+        for ni in 0..n {
+            for o in 0..self.out_channels {
+                for p in 0..hw {
+                    g2d[o * (n * hw) + ni * hw + p] =
+                        grad_out.data()[(ni * self.out_channels + o) * hw + p];
+                }
+            }
+        }
+        let g2d = Tensor::from_vec(&[self.out_channels, n * hw], g2d);
+
+        // Parameter gradient: ∂L/∂Weff = g2d · colsᵀ; straight-through to
+        // the latent weights (Eq. 9).
+        let dweff = g2d.matmul(&cache.cols.transpose2());
+        self.weight_grad.axpy(1.0, &dweff);
+
+        // Input gradient through the *effective* weights: the hardware
+        // multiplies by α·sign(W), so the data path uses it too.
+        let (weff, _) = if self.binary_weights {
+            // Rebuild with the α values cached at forward time (the latent
+            // weights have not changed between forward and backward).
+            let fan_in = c * self.kernel * self.kernel;
+            let mut data = Vec::with_capacity(self.weight.numel());
+            for o in 0..self.out_channels {
+                let row = &self.weight.data()[o * fan_in..(o + 1) * fan_in];
+                for &v in row {
+                    let s = if v >= 0.0 { 1.0 } else { -1.0 };
+                    data.push(s * cache.alphas[o]);
+                }
+            }
+            (Tensor::from_vec(&[self.out_channels, fan_in], data), ())
+        } else {
+            (self.weight.clone(), ())
+        };
+        let dcols = weff.transpose2().matmul(&g2d);
+        col2im(&dcols, n, c, h, w, self.kernel, self.stride, self.pad)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        f(ParamRef {
+            name: "weight",
+            value: &mut self.weight,
+            grad: &mut self.weight_grad,
+            decay: true,
+        });
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        if self.binary_weights {
+            "BinConv2d"
+        } else {
+            "Conv2d"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    fn rng() -> NnRng {
+        NnRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn identity_1x1_convolution() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut r);
+        conv.weight_mut().data_mut()[0] = 2.0;
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let out = conv.forward(&input, Mode::Eval, &mut r);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut r);
+        for w in conv.weight_mut().data_mut() {
+            *w = 1.0;
+        }
+        let input = Tensor::from_vec(&[1, 1, 3, 3], vec![1.; 9]);
+        let out = conv.forward(&input, Mode::Eval, &mut r);
+        // Centre pixel sees all 9 ones; corners see 4.
+        assert_eq!(out.at4(0, 0, 1, 1), 9.0);
+        assert_eq!(out.at4(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn output_geometry() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, false, &mut r);
+        let input = Tensor::zeros(&[2, 3, 16, 16]);
+        let out = conv.forward(&input, Mode::Eval, &mut r);
+        assert_eq!(out.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn binary_weights_are_alpha_times_sign() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, true, &mut r);
+        conv.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[0.5, -1.5, 1.0, -1.0]);
+        let (weff, alphas) = conv.effective_weight();
+        assert!((alphas[0] - 1.0).abs() < 1e-6);
+        assert_eq!(weff.data(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    /// Central-difference gradient check for the full-precision path.
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, false, &mut r);
+        let input = Tensor::from_vec(
+            &[1, 2, 4, 4],
+            (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect(),
+        );
+        // Loss = sum(out²)/2 so dL/dout = out.
+        let out = conv.forward(&input, Mode::Train, &mut r);
+        let _ = conv.backward(&out);
+        let analytic = conv.weight_grad.clone();
+
+        let loss = |conv: &mut Conv2d, r: &mut NnRng, input: &Tensor| -> f32 {
+            let o = conv.forward(input, Mode::Eval, r);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+        let h = 1e-3f32;
+        for idx in [0usize, 5, 17, 33] {
+            let orig = conv.weight.data()[idx];
+            conv.weight.data_mut()[idx] = orig + h;
+            let lp = loss(&mut conv, &mut r, &input);
+            conv.weight.data_mut()[idx] = orig - h;
+            let lm = loss(&mut conv, &mut r, &input);
+            conv.weight.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "idx {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    /// The input gradient must also match finite differences.
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, false, &mut r);
+        let mut input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            (0..16).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect(),
+        );
+        let out = conv.forward(&input, Mode::Train, &mut r);
+        let din = conv.backward(&out);
+
+        let loss = |conv: &mut Conv2d, r: &mut NnRng, input: &Tensor| -> f32 {
+            let o = conv.forward(input, Mode::Eval, r);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+        let h = 1e-3f32;
+        for idx in [0usize, 7, 15] {
+            let orig = input.data()[idx];
+            input.data_mut()[idx] = orig + h;
+            let lp = loss(&mut conv, &mut r, &input);
+            input.data_mut()[idx] = orig - h;
+            let lm = loss(&mut conv, &mut r, &input);
+            input.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            let an = din.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "idx {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut r);
+        conv.backward(&Tensor::zeros(&[1, 1, 1, 1]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Flattening between the convolutional trunk and the classifier head.
+
+use super::{Layer, Mode, ParamRef};
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// Reshapes `[N, C, H, W]` (or any rank ≥ 2) to `[N, rest]`.
+pub struct Flatten {
+    cache: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self { cache: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode, _rng: &mut NnRng) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(shape.len() >= 2, "Flatten expects a batch dimension");
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        if mode == Mode::Train {
+            self.cache = Some(shape);
+        }
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cache.take().expect("Flatten::backward without forward");
+        grad_out.reshape(&shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut fl = Flatten::new();
+        let mut r = NnRng::seed_from_u64(0);
+        let x = Tensor::from_vec(&[2, 2, 1, 2], (0..8).map(|i| i as f32).collect());
+        let y = fl.forward(&x, Mode::Train, &mut r);
+        assert_eq!(y.shape(), &[2, 4]);
+        let back = fl.backward(&y);
+        assert_eq!(back.shape(), &[2, 2, 1, 2]);
+        assert_eq!(back.data(), x.data());
+    }
+}

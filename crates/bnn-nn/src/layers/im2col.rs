@@ -1,0 +1,205 @@
+//! im2col / col2im: convolution as matrix multiplication.
+
+use crate::tensor::Tensor;
+
+/// Output spatial size of a convolution dimension.
+pub(crate) fn conv_out(size: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (size + 2 * pad - k) / stride + 1
+}
+
+/// Unfolds `input` of shape `[N, C, H, W]` into a matrix of shape
+/// `[C·k·k, N·Hout·Wout]`, where column `n·Hout·Wout + oh·Wout + ow` holds
+/// the receptive field of output pixel `(oh, ow)` of sample `n`.
+/// Out-of-bounds (padding) positions contribute zeros.
+///
+/// # Panics
+/// Panics unless `input` is 4-D and the geometry is valid.
+pub fn im2col(input: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+    im2col_filled(input, k, stride, pad, 0.0)
+}
+
+/// [`im2col`] with an explicit padding fill value.
+///
+/// BNN deployments pad with −1 (logic '0' carries the value −1 on AQFP
+/// hardware, and there is no analog zero), so training with `fill = −1.0`
+/// keeps software and crossbar outputs bit-exact at the borders.
+pub fn im2col_filled(input: &Tensor, k: usize, stride: usize, pad: usize, fill: f32) -> Tensor {
+    let shape = input.shape();
+    assert_eq!(shape.len(), 4, "im2col expects [N, C, H, W]");
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel exceeds padded input");
+    let oh = conv_out(h, k, stride, pad);
+    let ow = conv_out(w, k, stride, pad);
+
+    let rows = c * k * k;
+    let cols = n * oh * ow;
+    let mut out = vec![fill; rows * cols];
+    let data = input.data();
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = (ni * oh + oy) * ow + ox;
+                            let src = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            out[row * cols + col] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Folds a `[C·k·k, N·Hout·Wout]` matrix back into `[N, C, H, W]`,
+/// *accumulating* overlapping contributions — the adjoint of [`im2col`],
+/// used for the convolution input gradient.
+#[allow(clippy::too_many_arguments)] // geometry is irreducibly 5 scalars
+pub fn col2im(
+    cols_mat: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let oh = conv_out(h, k, stride, pad);
+    let ow = conv_out(w, k, stride, pad);
+    let rows = c * k * k;
+    let cols = n * oh * ow;
+    assert_eq!(
+        cols_mat.shape(),
+        &[rows, cols],
+        "col matrix shape mismatch for geometry"
+    );
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols_mat.data();
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let col = (ni * oh + oy) * ow + ox;
+                            let dst = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            out[dst] += data[row * cols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_no_pad() {
+        // 1×1 kernel, stride 1: im2col is a flat copy.
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let cols = im2col(&input, 1, 1, 0);
+        assert_eq!(cols.shape(), &[1, 4]);
+        assert_eq!(cols.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_patch() {
+        // 3×3 input, 2×2 kernel, stride 1, no pad → 4 patches.
+        let input = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        );
+        let cols = im2col(&input, 2, 1, 0);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First column = top-left patch (1,2,4,5) down the rows.
+        let col0: Vec<f32> = (0..4).map(|r| cols.at2(r, 0)).collect();
+        assert_eq!(col0, vec![1., 2., 4., 5.]);
+        // Last column = bottom-right patch (5,6,8,9).
+        let col3: Vec<f32> = (0..4).map(|r| cols.at2(r, 3)).collect();
+        assert_eq!(col3, vec![5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn padding_adds_zero_border() {
+        let input = Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]);
+        // 3×3 kernel, pad 1: single output pixel whose centre is the input.
+        let cols = im2col(&input, 3, 1, 1);
+        assert_eq!(cols.shape(), &[9, 1]);
+        let vals: Vec<f32> = (0..9).map(|r| cols.at2(r, 0)).collect();
+        assert_eq!(vals, vec![0., 0., 0., 0., 7., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn batch_dimension_ordering() {
+        let input = Tensor::from_vec(&[2, 1, 1, 1], vec![3.0, 5.0]);
+        let cols = im2col(&input, 1, 1, 0);
+        assert_eq!(cols.shape(), &[1, 2]);
+        assert_eq!(cols.data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y — the
+        // defining property of the transpose operator the backward pass
+        // relies on.
+        let (n, c, h, w, k, s, p) = (2usize, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(
+            &[n, c, h, w],
+            (0..n * c * h * w).map(|i| ((i * 37 % 11) as f32) - 5.0).collect(),
+        );
+        let cols = im2col(&x, k, s, p);
+        let y = Tensor::from_vec(
+            cols.shape(),
+            (0..cols.numel()).map(|i| ((i * 53 % 13) as f32) - 6.0).collect(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, n, c, h, w, k, s, p);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let input = Tensor::from_vec(&[1, 1, 4, 4], (1..=16).map(|i| i as f32).collect());
+        let cols = im2col(&input, 2, 2, 0);
+        assert_eq!(cols.shape(), &[4, 4]); // 2×2 output positions
+        // Patch at output (0,0): 1,2,5,6.
+        let col0: Vec<f32> = (0..4).map(|r| cols.at2(r, 0)).collect();
+        assert_eq!(col0, vec![1., 2., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exceeds")]
+    fn oversized_kernel_panics() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        im2col(&input, 5, 1, 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Layers cache whatever their backward pass needs during `forward`; calling
+//! `backward` without a preceding `forward` panics. Parameters are exposed
+//! through [`Layer::visit_params`] in a stable order so the optimizer can
+//! associate momentum state by position.
+
+mod act;
+mod batchnorm;
+mod conv;
+mod flatten;
+mod im2col;
+mod linear;
+mod pool;
+mod residual;
+
+pub use act::{BinActivation, HardTanh};
+pub use batchnorm::BatchNorm;
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use im2col::{col2im, im2col, im2col_filled};
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use residual::Residual;
+
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// Whether a forward pass is part of training or evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: batch statistics, stochastic sampling, caching for backward.
+    Train,
+    /// Evaluation: running statistics; stochastic layers still sample if
+    /// their binarizer is randomized (hardware-faithful evaluation).
+    Eval,
+}
+
+/// A mutable view of one parameter tensor and its gradient.
+pub struct ParamRef<'a> {
+    /// Human-readable name (`"conv1.weight"` style names are assembled by
+    /// the container).
+    pub name: &'static str,
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient (same shape).
+    pub grad: &'a mut Tensor,
+    /// Whether weight decay applies (BN affine parameters opt out).
+    pub decay: bool,
+}
+
+/// A neural-network layer.
+pub trait Layer: std::any::Any {
+    /// Computes the layer output, caching for backward when `mode` is
+    /// [`Mode::Train`].
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut NnRng) -> Tensor;
+
+    /// Propagates `grad_out` to the input gradient, accumulating parameter
+    /// gradients.
+    ///
+    /// # Panics
+    /// Panics if no training forward pass preceded this call.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits all `(value, grad)` parameter pairs in a stable order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
+
+    /// A short kind name for debugging and reports.
+    fn name(&self) -> &'static str;
+
+    /// Upcast for deployment-time downcasting (weight extraction when a
+    /// trained model is mapped onto crossbars).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast (e.g. re-targeting a binarizer).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}

@@ -1,0 +1,157 @@
+//! Max pooling.
+
+use super::{Layer, Mode, ParamRef};
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// 2-D max pooling with a square window and equal stride.
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    input_shape: [usize; 4],
+    /// Flat input index of the winning element for each output element.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a `k × k` max pool with stride `k` (the paper's networks use
+    /// 2×2/2 exclusively).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        Self { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode, _rng: &mut NnRng) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "MaxPool2d expects [N, C, H, W]");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(
+            h % self.k == 0 && w % self.k == 0,
+            "input {h}×{w} not divisible by pool window {}",
+            self.k
+        );
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let data = input.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let iy = oy * self.k + ky;
+                                let ix = ox * self.k + kx;
+                                let idx = ((ni * c + ci) * h + iy) * w + ix;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        out[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(Cache {
+                input_shape: [n, c, h, w],
+                argmax,
+            });
+        }
+        Tensor::from_vec(&[n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("MaxPool2d::backward without forward");
+        let [n, c, h, w] = cache.input_shape;
+        let mut din = vec![0.0f32; n * c * h * w];
+        for (o, &src) in cache.argmax.iter().enumerate() {
+            din[src] += grad_out.data()[o];
+        }
+        Tensor::from_vec(&[n, c, h, w], din)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    fn rng() -> NnRng {
+        NnRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn pools_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let mut r = rng();
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let y = pool.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let mut r = rng();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let _ = pool.forward(&x, Mode::Train, &mut r);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]);
+        let din = pool.backward(&g);
+        assert_eq!(din.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let mut pool = MaxPool2d::new(2);
+        let mut r = rng();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![-5., -1., -3., -4.]);
+        let y = pool.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.data(), &[-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_input() {
+        let mut pool = MaxPool2d::new(2);
+        let mut r = rng();
+        pool.forward(&Tensor::zeros(&[1, 1, 3, 3]), Mode::Eval, &mut r);
+    }
+}

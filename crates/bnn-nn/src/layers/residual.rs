@@ -1,0 +1,172 @@
+//! Residual block: `y = body(x) + shortcut(x)`.
+//!
+//! The building block of the binary ResNet-18 variant (paper Table 2
+//! evaluates "Ours (ResNet-18)"). BNNs keep the skip connection in full
+//! precision (Bi-Real-Net style) — here the shortcut is either the identity
+//! or a small sub-network (1×1 convolution + BN for dimension changes).
+
+use super::{Layer, Mode, ParamRef};
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// A residual block.
+pub struct Residual {
+    body: Sequential,
+    /// `None` = identity shortcut (shapes must already match).
+    shortcut: Option<Sequential>,
+}
+
+impl Residual {
+    /// Creates a block with an identity shortcut.
+    pub fn new(body: Sequential) -> Self {
+        Self {
+            body,
+            shortcut: None,
+        }
+    }
+
+    /// Creates a block with a projection shortcut (e.g. 1×1 conv + BN for
+    /// channel/stride changes).
+    pub fn with_shortcut(body: Sequential, shortcut: Sequential) -> Self {
+        Self {
+            body,
+            shortcut: Some(shortcut),
+        }
+    }
+
+    /// The main path (for deployment-time introspection).
+    pub fn body(&self) -> &Sequential {
+        &self.body
+    }
+
+    /// The projection shortcut, if any.
+    pub fn shortcut(&self) -> Option<&Sequential> {
+        self.shortcut.as_ref()
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut NnRng) -> Tensor {
+        let main = self.body.forward(input, mode, rng);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(input, mode, rng),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main.shape(),
+            skip.shape(),
+            "residual paths disagree: body {:?} vs shortcut {:?}",
+            main.shape(),
+            skip.shape()
+        );
+        main.add(&skip)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_body = self.body.backward(grad_out);
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        g_body.add(&g_skip)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        self.body.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{HardTanh, Linear};
+    use crate::SeedableRng;
+
+    #[test]
+    fn identity_shortcut_adds_input() {
+        let mut r = NnRng::seed_from_u64(0);
+        let mut body = Sequential::new();
+        let mut lin = Linear::new(2, 2, false, &mut r);
+        lin.weight_mut().data_mut().copy_from_slice(&[1., 0., 0., 1.]);
+        body.push(lin);
+        let mut res = Residual::new(body);
+        let x = Tensor::from_vec(&[1, 2], vec![3.0, -1.0]);
+        let y = res.forward(&x, Mode::Eval, &mut r);
+        // identity body + identity skip = 2x
+        assert_eq!(y.data(), &[6.0, -2.0]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut r = NnRng::seed_from_u64(1);
+        let mut body = Sequential::new();
+        body.push(Linear::new(2, 2, false, &mut r));
+        body.push(HardTanh::new());
+        let mut res = Residual::new(body);
+        let x = Tensor::from_vec(&[1, 2], vec![0.1, -0.2]);
+        let y = res.forward(&x, Mode::Train, &mut r);
+        let din = res.backward(&y);
+
+        // Finite difference on the input.
+        let loss = |res: &mut Residual, r: &mut NnRng, x: &Tensor| -> f32 {
+            let o = res.forward(x, Mode::Train, r);
+            0.5 * o.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut x = x;
+        let h = 1e-3f32;
+        for idx in 0..2 {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + h;
+            let lp = loss(&mut res, &mut r, &x);
+            x.data_mut()[idx] = orig - h;
+            let lm = loss(&mut res, &mut r, &x);
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - din.data()[idx]).abs() < 1e-2 * (1.0 + fd.abs()),
+                "idx {idx}: {fd} vs {}",
+                din.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn projection_shortcut_changes_shape() {
+        let mut r = NnRng::seed_from_u64(2);
+        let mut body = Sequential::new();
+        body.push(Linear::new(2, 3, false, &mut r));
+        let mut proj = Sequential::new();
+        proj.push(Linear::new(2, 3, false, &mut r));
+        let mut res = Residual::with_shortcut(body, proj);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = res.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.shape(), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual paths disagree")]
+    fn mismatched_shapes_panic() {
+        let mut r = NnRng::seed_from_u64(3);
+        let mut body = Sequential::new();
+        body.push(Linear::new(2, 3, false, &mut r));
+        let mut res = Residual::new(body); // identity skip keeps 2 features
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        res.forward(&x, Mode::Eval, &mut r);
+    }
+}

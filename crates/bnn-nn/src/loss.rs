@@ -1,0 +1,118 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch of logits and the
+/// gradient with respect to the logits.
+///
+/// `logits` is `[N, K]`; `labels[i] ∈ 0..K`. Returns `(loss, grad)` where
+/// `grad = (softmax − onehot) / N`.
+///
+/// # Panics
+/// Panics on shape/label mismatches.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [N, K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+
+    let mut grad = vec![0.0f32; n * k];
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        let label = labels[i];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let log_denom = denom.ln();
+        loss += -(row[label] - max - log_denom);
+        for j in 0..k {
+            let softmax = exps[j] / denom;
+            grad[i * k + j] = (softmax - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, Tensor::from_vec(&[n, k], grad))
+}
+
+/// Top-1 accuracy of logits against labels.
+///
+/// # Panics
+/// Panics on batch-size mismatch.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "batch size mismatch");
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (wrong_loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(wrong_loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 0.0, 1.0, -0.5]);
+        let labels = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-3f32;
+        for idx in 0..6 {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + h;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[idx] = orig - h;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: {fd} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let row_sum: f32 = grad.data().iter().sum();
+        assert!(row_sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(&[3, 2], vec![1., 0., 0., 1., 1., 0.]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

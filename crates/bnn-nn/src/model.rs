@@ -1,0 +1,197 @@
+//! The sequential model container.
+
+use crate::layers::{Layer, Mode, ParamRef};
+use crate::recu::{rectified_clamp, TauSchedule};
+use crate::tensor::Tensor;
+use crate::NnRng;
+
+/// A stack of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers (for deployment-time introspection).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to one layer, downcast by the caller.
+    pub fn layer_mut(&mut self, idx: usize) -> &mut dyn Layer {
+        self.layers[idx].as_mut()
+    }
+
+    /// Runs all layers forward.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut NnRng) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode, rng);
+        }
+        x
+    }
+
+    /// Runs all layers backward from the loss gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every parameter of every layer in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.numel());
+        n
+    }
+
+    /// Applies the ReCU rectified clamp (paper Eq. 17) to every
+    /// weight-decayed parameter tensor (i.e. conv/linear weights, not BN
+    /// affines or biases) with τ from `schedule` at `step`.
+    pub fn apply_recu(&mut self, schedule: &TauSchedule, step: usize) {
+        let tau = schedule.tau_at(step);
+        self.visit_params(&mut |p| {
+            if p.decay && p.name == "weight" {
+                rectified_clamp(p.value.data_mut(), tau);
+            }
+        });
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BinActivation, HardTanh, Linear};
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use crate::{Binarizer, SeedableRng};
+
+    #[test]
+    fn forward_composes_layers() {
+        let mut r = NnRng::seed_from_u64(0);
+        let mut model = Sequential::new();
+        let mut lin = Linear::new(2, 2, false, &mut r);
+        lin.weight_mut().data_mut().copy_from_slice(&[2., 0., 0., 2.]);
+        model.push(lin);
+        model.push(HardTanh::new());
+        let x = Tensor::from_vec(&[1, 2], vec![0.4, -3.0]);
+        let y = model.forward(&x, Mode::Eval, &mut r);
+        // 2·0.4 = 0.8 (unclamped); 2·(−3) = −6 → clamped to −1.
+        assert_eq!(y.data(), &[0.8, -1.0]);
+    }
+
+    #[test]
+    fn trains_a_tiny_classifier() {
+        // Two linearly separable clusters; a 2-layer net must fit them.
+        let mut r = NnRng::seed_from_u64(9);
+        let mut model = Sequential::new();
+        model.push(Linear::new(2, 8, false, &mut r));
+        model.push(HardTanh::new());
+        model.push(Linear::new(8, 2, false, &mut r));
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+
+        let x = Tensor::from_vec(
+            &[4, 2],
+            vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8],
+        );
+        let labels = [0usize, 0, 1, 1];
+        let mut final_loss = f32::MAX;
+        for _ in 0..200 {
+            let logits = model.forward(&x, Mode::Train, &mut r);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            final_loss = loss;
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        assert!(final_loss < 0.05, "loss {final_loss}");
+        let logits = model.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(logits.argmax_rows(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn trains_through_binarization() {
+        // Binary activations with deterministic STE still learn a separable
+        // problem — the core claim of BNN training.
+        let mut r = NnRng::seed_from_u64(10);
+        let mut model = Sequential::new();
+        model.push(Linear::new(2, 16, false, &mut r));
+        model.push(BinActivation::new(Binarizer::Deterministic));
+        model.push(Linear::new(16, 2, true, &mut r));
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let x = Tensor::from_vec(
+            &[4, 2],
+            vec![1.0, 1.0, 0.9, 1.1, -1.0, -1.0, -1.1, -0.9],
+        );
+        let labels = [0usize, 0, 1, 1];
+        for _ in 0..300 {
+            let logits = model.forward(&x, Mode::Train, &mut r);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        let logits = model.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(logits.argmax_rows(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn recu_clamps_only_weights() {
+        let mut r = NnRng::seed_from_u64(11);
+        let mut model = Sequential::new();
+        let mut lin = Linear::new(4, 2, true, &mut r);
+        // Plant an extreme outlier.
+        lin.weight_mut().data_mut()[0] = 100.0;
+        model.push(lin);
+        let schedule = TauSchedule::paper_default(10);
+        model.apply_recu(&schedule, 0);
+        let mut max_w = 0.0f32;
+        model.visit_params(&mut |p| {
+            if p.name == "weight" {
+                max_w = max_w.max(p.value.max_abs());
+            }
+        });
+        assert!(max_w < 100.0, "outlier should be clamped, max {max_w}");
+    }
+
+    #[test]
+    fn param_count_is_stable() {
+        let mut r = NnRng::seed_from_u64(12);
+        let mut model = Sequential::new();
+        model.push(Linear::new(3, 4, false, &mut r)); // 12 + 4
+        model.push(Linear::new(4, 2, false, &mut r)); // 8 + 2
+        assert_eq!(model.param_count(), 26);
+    }
+}

@@ -1,0 +1,381 @@
+//! A dense row-major `f32` tensor.
+//!
+//! Shapes are dynamic (`Vec<usize>`); the layer code mostly uses 2-D
+//! (`[batch, features]`) and 4-D (`[batch, channels, height, width]`)
+//! tensors. Operations are written for clarity first and cache-friendliness
+//! second — the reproduction's networks are small enough that a naive
+//! blocked matmul is not the bottleneck.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zeros tensor of the given shape.
+    ///
+    /// # Panics
+    /// Panics on an empty shape or a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel = Self::checked_numel(shape);
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = Self::checked_numel(shape);
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let numel = Self::checked_numel(shape);
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    fn checked_numel(shape: &[usize]) -> usize {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dim");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive, got {shape:?}"
+        );
+        shape.iter().product()
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let numel = Self::checked_numel(shape);
+        assert_eq!(numel, self.numel(), "reshape {:?} -> {shape:?}", self.shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Element at a 2-D index.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Mutable element at a 2-D index.
+    #[inline]
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        let cols = self.shape[1];
+        &mut self.data[i * cols + j]
+    }
+
+    /// Element at a 4-D index `(n, c, h, w)`.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (_, cc, hh, ww) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Mutable element at a 4-D index.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise binary op.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scales by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += other * s` (the optimizer's workhorse).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Mean of absolute values — the XNOR-Net scaling factor over a slice.
+    pub fn abs_mean(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum::<f32>() / self.numel() as f32
+    }
+
+    /// Sets all elements to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// 2-D matrix multiply: `self [m×k] · other [k×n] → [m×n]`.
+    ///
+    /// # Panics
+    /// Panics unless both tensors are 2-D with compatible inner dims.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams the rhs row-major.
+        for i in 0..m {
+            let lhs_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics unless 2-D.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2 needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+
+    /// Index of the maximum element in each row of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics unless 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        (0..m)
+            .map(|i| {
+                let row = &self.data[i * n..(i + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .expect("rows are non-empty")
+            })
+            .collect()
+    }
+
+    /// Maximum absolute element (useful in tests).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(0, 2), 3.0);
+        assert_eq!(t.at2(1, 0), 4.0);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    fn four_d_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 9.0;
+        assert_eq!(t.at4(1, 2, 3, 4), 9.0);
+        assert_eq!(t.data()[t.numel() - 1], 9.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![3., -1., 2., 5.]);
+        let eye = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at2(2, 1), 6.0);
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1., -2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]);
+        assert_eq!(a.add(&b).data(), &[1.5, -1.5, 3.5]);
+        assert_eq!(a.sub(&b).data(), &[0.5, -2.5, 2.5]);
+        assert_eq!(a.mul(&b).data(), &[0.5, -1.0, 1.5]);
+        assert_eq!(a.scale(2.0).data(), &[2., -4., 6.]);
+        assert!((a.abs_mean() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::zeros(&[3]);
+        let g = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[-0.5, -1.0, -1.5]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_maxima() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.3, 2.0, -1.0, 0.0]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = a.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Tensor::zeros(&[2, 0]);
+    }
+}

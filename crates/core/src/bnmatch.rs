@@ -1,0 +1,180 @@
+//! Batch-normalization matching (paper Section 5.2, Eq. 16).
+//!
+//! At inference, BN is affine: `y = γ(x_conv·α − µ)/√(σ²+ε) + β`. The BNN
+//! cell's subsequent `sign(HardTanh(y))` therefore reduces to comparing the
+//! crossbar's latent sum `x_conv` against a per-channel threshold — which
+//! the AQFP buffer implements natively via its adjustable `Ith`:
+//!
+//! ```text
+//! Ith = (−β·√(σ²+ε)/(γ·α) + µ/α) · I1(Cs)                   (Eq. 16)
+//! ```
+//!
+//! When `γ < 0` the comparison flips (Eq. 15), realized by inverting the
+//! neuron's output bit. No floating-point peripheral circuit remains.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of matching one BN layer onto crossbar thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnMatch {
+    /// Per-channel decision threshold in *latent-sum units* (multiply by
+    /// `I1(Cs)` for the physical µA value of a specific crossbar).
+    pub vth: Vec<f64>,
+    /// Per-channel output inversion (`γ < 0`, Eq. 15).
+    pub flip: Vec<bool>,
+}
+
+/// Degenerate-γ guard: below this the channel output is constant.
+const GAMMA_EPS: f64 = 1e-12;
+
+/// Computes BN matching for one layer.
+///
+/// * `gamma`, `beta`, `mean`, `var` — the folded BN parameters (Eq. 11);
+/// * `alpha` — the XNOR-Net per-channel scaling factor;
+/// * `eps` — BN's numerical epsilon.
+///
+/// # Panics
+/// Panics on length mismatches or non-positive α.
+pub fn bn_match(
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+    alpha: &[f32],
+    eps: f32,
+) -> BnMatch {
+    let n = gamma.len();
+    assert!(
+        beta.len() == n && mean.len() == n && var.len() == n && alpha.len() == n,
+        "BN parameter length mismatch"
+    );
+    let mut vth = Vec::with_capacity(n);
+    let mut flip = Vec::with_capacity(n);
+    for i in 0..n {
+        let (g, b, m, v, a) = (
+            gamma[i] as f64,
+            beta[i] as f64,
+            mean[i] as f64,
+            var[i] as f64,
+            alpha[i] as f64,
+        );
+        assert!(a > 0.0, "α must be positive (channel {i}), got {a}");
+        let std = (v + eps as f64).sqrt();
+        if g.abs() < GAMMA_EPS {
+            // γ ≈ 0: BN output is the constant β; the sign is fixed.
+            // Encode as an unreachable threshold.
+            if b >= 0.0 {
+                vth.push(f64::NEG_INFINITY); // always '1'
+            } else {
+                vth.push(f64::INFINITY); // always '0'
+            }
+            flip.push(false);
+            continue;
+        }
+        // sign(γ(xα − µ)/std + β): for γ>0, '1' iff x ≥ µ/α − β·std/(γα).
+        vth.push(m / a - b * std / (g * a));
+        flip.push(g < 0.0);
+    }
+    BnMatch { vth, flip }
+}
+
+/// Reference decision: the floating-point BNN cell output
+/// `sign(HardTanh(BN(x_conv·α)))` for channel `i` — what the matched
+/// threshold must reproduce exactly. Used by tests and property checks.
+pub fn reference_decision(
+    x_conv: f64,
+    gamma: f32,
+    beta: f32,
+    mean: f32,
+    var: f32,
+    alpha: f32,
+    eps: f32,
+) -> bool {
+    let y = gamma as f64 * (x_conv * alpha as f64 - mean as f64)
+        / ((var as f64 + eps as f64).sqrt())
+        + beta as f64;
+    // HardTanh preserves sign; sign(0) = +1 per Eq. 6.
+    y >= 0.0
+}
+
+/// The matched decision for channel values produced by [`bn_match`].
+pub fn matched_decision(x_conv: f64, vth: f64, flip: bool) -> bool {
+    let raw = x_conv >= vth;
+    raw != flip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equivalence(gamma: f32, beta: f32, mean: f32, var: f32, alpha: f32) {
+        let eps = 1e-5f32;
+        let m = bn_match(&[gamma], &[beta], &[mean], &[var], &[alpha], eps);
+        for x in -40..=40 {
+            let x = x as f64 * 0.5;
+            let want = reference_decision(x, gamma, beta, mean, var, alpha, eps);
+            let got = matched_decision(x, m.vth[0], m.flip[0]);
+            // Ties at the exact threshold may differ by floating rounding;
+            // skip the measure-zero boundary.
+            if (x - m.vth[0]).abs() < 1e-9 {
+                continue;
+            }
+            assert_eq!(
+                got, want,
+                "x={x} γ={gamma} β={beta} µ={mean} σ²={var} α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_gamma_matches_reference() {
+        check_equivalence(1.0, 0.5, 2.0, 4.0, 0.7);
+        check_equivalence(0.3, -1.0, -3.0, 0.25, 1.2);
+    }
+
+    #[test]
+    fn negative_gamma_flips() {
+        let m = bn_match(&[-1.0], &[0.0], &[0.0], &[1.0], &[1.0], 1e-5);
+        assert!(m.flip[0]);
+        check_equivalence(-1.0, 0.5, 2.0, 4.0, 0.7);
+        check_equivalence(-0.4, -0.2, 1.0, 9.0, 0.5);
+    }
+
+    #[test]
+    fn zero_gamma_is_constant() {
+        let m = bn_match(&[0.0], &[1.0], &[5.0], &[1.0], &[1.0], 1e-5);
+        assert_eq!(m.vth[0], f64::NEG_INFINITY);
+        assert!(matched_decision(-1e9, m.vth[0], m.flip[0]));
+        let m = bn_match(&[0.0], &[-1.0], &[5.0], &[1.0], &[1.0], 1e-5);
+        assert_eq!(m.vth[0], f64::INFINITY);
+        assert!(!matched_decision(1e9, m.vth[0], m.flip[0]));
+    }
+
+    #[test]
+    fn identity_bn_threshold_is_mean_over_alpha() {
+        // γ=1, β=0: threshold is µ/α.
+        let m = bn_match(&[1.0], &[0.0], &[6.0], &[1.0], &[2.0], 1e-5);
+        assert!((m.vth[0] - 3.0).abs() < 1e-9);
+        assert!(!m.flip[0]);
+    }
+
+    #[test]
+    fn multi_channel_vectors() {
+        let m = bn_match(
+            &[1.0, -1.0, 0.5],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 2.0, -1.0],
+            &[1.0, 1.0, 4.0],
+            &[1.0, 1.0, 0.5],
+            1e-5,
+        );
+        assert_eq!(m.vth.len(), 3);
+        assert_eq!(m.flip, vec![false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be positive")]
+    fn rejects_zero_alpha() {
+        bn_match(&[1.0], &[0.0], &[0.0], &[1.0], &[0.0], 1e-5);
+    }
+}

@@ -1,0 +1,163 @@
+//! The joint hardware configuration of an AQFP-based randomized BNN
+//! accelerator (the knobs of the Section 5.4 co-optimization).
+
+use aqfp_crossbar::array::CrossbarConfig;
+use aqfp_crossbar::AttenuationModel;
+use aqfp_device::GrayZone;
+use aqfp_sc::accumulate::CounterKind;
+use bnn_nn::Binarizer;
+use serde::{Deserialize, Serialize};
+
+/// Hardware configuration of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareConfig {
+    /// Crossbar rows (the fan-in merged per column; the `Cs` of Eq. 2).
+    pub crossbar_rows: usize,
+    /// Crossbar columns (output neurons per array).
+    pub crossbar_cols: usize,
+    /// Gray-zone width `ΔIin` of the neuron buffers, in µA.
+    pub grayzone_ua: f64,
+    /// SC observation-window / bit-stream length `L`.
+    pub bitstream_len: usize,
+    /// Current-attenuation model of the merging network.
+    pub attenuation: AttenuationModel,
+    /// Excitation clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Parallel-counter implementation of the SC accumulation module
+    /// (paper Section 4.3; `Approximate` = Kim et al.'s gate-saving APC).
+    pub counter: CounterKind,
+}
+
+impl Default for HardwareConfig {
+    /// The paper's main operating point: 16×16 crossbars, `ΔIin = 2.4 µA`,
+    /// `L = 16`, 5 GHz, exact parallel counters.
+    fn default() -> Self {
+        Self {
+            crossbar_rows: 16,
+            crossbar_cols: 16,
+            grayzone_ua: aqfp_device::consts::DEFAULT_GRAYZONE_UA,
+            bitstream_len: 16,
+            attenuation: AttenuationModel::paper_fit(),
+            clock_ghz: aqfp_device::consts::CLOCK_FREQUENCY_GHZ,
+            counter: CounterKind::Exact,
+        }
+    }
+}
+
+impl HardwareConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero sizes, non-positive gray-zone or frequency.
+    pub fn validate(&self) {
+        assert!(self.crossbar_rows > 0, "crossbar rows must be positive");
+        assert!(self.crossbar_cols > 0, "crossbar cols must be positive");
+        assert!(
+            self.grayzone_ua > 0.0 && self.grayzone_ua.is_finite(),
+            "gray-zone must be positive"
+        );
+        assert!(self.bitstream_len > 0, "bit-stream length must be positive");
+        assert!(
+            self.clock_ghz > 0.0 && self.clock_ghz.is_finite(),
+            "clock must be positive"
+        );
+    }
+
+    /// The attenuated unit current `I1(rows)` of a full-height crossbar, µA.
+    pub fn i1_ua(&self) -> f64 {
+        self.attenuation.i1_ua(self.crossbar_rows)
+    }
+
+    /// The value-domain gray-zone width `ΔVin(Cs) = ΔIin / I1(Cs)` (Eq. 4).
+    pub fn value_grayzone(&self) -> f64 {
+        self.attenuation.value_grayzone(self.grayzone_ua, self.crossbar_rows)
+    }
+
+    /// The value-domain stochastic law with threshold `vth` (in latent
+    /// pre-activation units).
+    pub fn value_law(&self, vth: f64) -> GrayZone {
+        GrayZone::new(vth, self.value_grayzone())
+    }
+
+    /// The value-domain gray-zone width converted into the *normalized*
+    /// activation domain the software binarization layers operate in.
+    ///
+    /// Two calibration factors take the physical law to the training law:
+    ///
+    /// * `1/√Cs` — the hardware law applies to raw crossbar sums, whose
+    ///   standard deviation is `√Cs` for ±1 operands, while the software
+    ///   binarizer sits after batch normalization (unit scale);
+    /// * `1/√L` — deployment observes each column for `L` cycles and the
+    ///   SC accumulation averages the draws, shrinking the effective
+    ///   decision noise by `√L`, whereas the software binarizer samples
+    ///   once per forward pass.
+    pub fn training_grayzone(&self) -> f64 {
+        self.value_grayzone()
+            / (self.crossbar_rows as f64).sqrt()
+            / (self.bitstream_len as f64).sqrt()
+    }
+
+    /// The randomized binarizer used during AQFP-aware training (threshold
+    /// 0; per-channel thresholds appear only at deployment via BN matching).
+    pub fn training_binarizer(&self) -> Binarizer {
+        Binarizer::Randomized(GrayZone::new(0.0, self.training_grayzone()))
+    }
+
+    /// The crossbar configuration shared by all deployed arrays.
+    pub fn crossbar_config(&self) -> CrossbarConfig {
+        CrossbarConfig {
+            grayzone_ua: self.grayzone_ua,
+            attenuation: self.attenuation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_operating_point() {
+        let hw = HardwareConfig::default();
+        hw.validate();
+        assert_eq!(hw.crossbar_rows, 16);
+        assert_eq!(hw.bitstream_len, 16);
+        assert!((hw.grayzone_ua - 2.4).abs() < 1e-12);
+        assert!((hw.clock_ghz - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_grayzone_grows_with_crossbar_size() {
+        let small = HardwareConfig {
+            crossbar_rows: 4,
+            ..Default::default()
+        };
+        let large = HardwareConfig {
+            crossbar_rows: 144,
+            ..Default::default()
+        };
+        assert!(large.value_grayzone() > small.value_grayzone());
+    }
+
+    #[test]
+    fn training_binarizer_is_randomized() {
+        let hw = HardwareConfig::default();
+        match hw.training_binarizer() {
+            Binarizer::Randomized(law) => {
+                assert_eq!(law.threshold, 0.0);
+                assert!((law.width - hw.training_grayzone()).abs() < 1e-12);
+            }
+            other => panic!("expected randomized binarizer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must be positive")]
+    fn validate_rejects_zero_rows() {
+        HardwareConfig {
+            crossbar_rows: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

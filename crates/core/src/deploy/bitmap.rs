@@ -1,0 +1,243 @@
+//! A single sample's binary feature map.
+
+use aqfp_device::Bit;
+use bnn_nn::Tensor;
+
+/// A `[C, H, W]` map of ±1 activations for one sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMap {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    bits: Vec<Bit>,
+}
+
+impl BitMap {
+    /// An all-'0' (−1) map.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self {
+            c,
+            h,
+            w,
+            bits: vec![Bit::Zero; c * h * w],
+        }
+    }
+
+    /// Builds from raw bits in `[C, H, W]` row-major order.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_bits(c: usize, h: usize, w: usize, bits: Vec<Bit>) -> Self {
+        assert_eq!(bits.len(), c * h * w, "bit count mismatch");
+        Self { c, h, w, bits }
+    }
+
+    /// Binarizes sample `n` of a `[N, C, H, W]` tensor by sign
+    /// (`x ≥ 0 → '1'`, the paper's Eq. 6 convention).
+    ///
+    /// # Panics
+    /// Panics unless the tensor is 4-D and `n` is in range.
+    pub fn from_tensor_sample(t: &Tensor, n: usize) -> Self {
+        let s = t.shape();
+        assert_eq!(s.len(), 4, "expected [N, C, H, W]");
+        assert!(n < s[0], "sample index out of range");
+        let (c, h, w) = (s[1], s[2], s[3]);
+        let per = c * h * w;
+        let bits = t.data()[n * per..(n + 1) * per]
+            .iter()
+            .map(|&x| Bit::from_sign(x as f64))
+            .collect();
+        Self { c, h, w, bits }
+    }
+
+    /// The bit at `(c, y, x)`.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> Bit {
+        self.bits[(c * self.h + y) * self.w + x]
+    }
+
+    /// Sets the bit at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, b: Bit) {
+        self.bits[(c * self.h + y) * self.w + x] = b;
+    }
+
+    /// All bits, row-major.
+    pub fn bits(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// Total bit count.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The receptive field of output pixel `(oy, ox)` for a `k × k` kernel
+    /// with `stride`/`pad`, flattened channel-major (matching the row order
+    /// of the im2col weight layout). Out-of-bounds positions read as
+    /// `Bit::Zero` (−1), matching the software model's −1 padding.
+    pub fn receptive_field(
+        &self,
+        oy: usize,
+        ox: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<Bit> {
+        let mut field = Vec::with_capacity(self.c * k * k);
+        for c in 0..self.c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    let bit = if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize
+                    {
+                        Bit::Zero
+                    } else {
+                        self.get(c, iy as usize, ix as usize)
+                    };
+                    field.push(bit);
+                }
+            }
+        }
+        field
+    }
+
+    /// 2×2 OR-pooling — max-pooling in the ±1 domain, the digital pooling
+    /// circuit of the deployed model.
+    ///
+    /// # Panics
+    /// Panics if the spatial size is odd.
+    pub fn or_pool2(&self) -> BitMap {
+        assert!(
+            self.h.is_multiple_of(2) && self.w.is_multiple_of(2),
+            "OR-pool needs even spatial dims, got {}×{}",
+            self.h,
+            self.w
+        );
+        let (oh, ow) = (self.h / 2, self.w / 2);
+        let mut out = BitMap::zeros(self.c, oh, ow);
+        for c in 0..self.c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let any = self.get(c, 2 * y, 2 * x).as_bool()
+                        || self.get(c, 2 * y, 2 * x + 1).as_bool()
+                        || self.get(c, 2 * y + 1, 2 * x).as_bool()
+                        || self.get(c, 2 * y + 1, 2 * x + 1).as_bool();
+                    out.set(c, y, x, Bit::from_bool(any));
+                }
+            }
+        }
+        out
+    }
+
+    /// 2×2 pooling with a per-channel choice of OR or AND.
+    ///
+    /// Deployed max-pooling: for a γ > 0 channel, `sign(BN(max x)) =
+    /// OR(bits)`; for a γ < 0 channel BN is decreasing, so the max maps to
+    /// the minimum of the (already inverted) bits — an AND. `and_channel[c]`
+    /// selects AND for channel `c`.
+    ///
+    /// # Panics
+    /// Panics on odd spatial dims or a flag-count mismatch.
+    #[allow(clippy::needless_range_loop)] // c indexes both map and flags
+    pub fn pool2_mixed(&self, and_channel: &[bool]) -> BitMap {
+        assert_eq!(and_channel.len(), self.c, "per-channel flag count mismatch");
+        assert!(
+            self.h.is_multiple_of(2) && self.w.is_multiple_of(2),
+            "pool needs even spatial dims, got {}×{}",
+            self.h,
+            self.w
+        );
+        let (oh, ow) = (self.h / 2, self.w / 2);
+        let mut out = BitMap::zeros(self.c, oh, ow);
+        for c in 0..self.c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let quad = [
+                        self.get(c, 2 * y, 2 * x).as_bool(),
+                        self.get(c, 2 * y, 2 * x + 1).as_bool(),
+                        self.get(c, 2 * y + 1, 2 * x).as_bool(),
+                        self.get(c, 2 * y + 1, 2 * x + 1).as_bool(),
+                    ];
+                    let v = if and_channel[c] {
+                        quad.iter().all(|&b| b)
+                    } else {
+                        quad.iter().any(|&b| b)
+                    };
+                    out.set(c, y, x, Bit::from_bool(v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The ±1 values as `f32` (for the digital classifier head).
+    pub fn to_signs(&self) -> Vec<f32> {
+        self.bits.iter().map(|b| b.to_value() as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tensor_sign_convention() {
+        let t = Tensor::from_vec(&[2, 1, 1, 2], vec![0.5, -0.5, 0.0, -2.0]);
+        let m0 = BitMap::from_tensor_sample(&t, 0);
+        assert_eq!(m0.bits(), &[Bit::One, Bit::Zero]);
+        let m1 = BitMap::from_tensor_sample(&t, 1);
+        assert_eq!(m1.bits(), &[Bit::One, Bit::Zero]); // 0.0 → '1'
+    }
+
+    #[test]
+    fn receptive_field_pads_with_zero_bit() {
+        let mut m = BitMap::zeros(1, 2, 2);
+        m.set(0, 0, 0, Bit::One);
+        // 3×3 kernel at (0,0) with pad 1: corner sees padding.
+        let field = m.receptive_field(0, 0, 3, 1, 1);
+        assert_eq!(field.len(), 9);
+        assert_eq!(field[0], Bit::Zero); // top-left pad
+        assert_eq!(field[4], Bit::One); // centre = (0,0)
+    }
+
+    #[test]
+    fn receptive_field_matches_im2col_order() {
+        // 2 channels, 2×2, 1×1 kernel: field = channel-major pixel list.
+        let mut m = BitMap::zeros(2, 2, 2);
+        m.set(1, 0, 0, Bit::One);
+        let f = m.receptive_field(0, 0, 1, 1, 0);
+        assert_eq!(f, vec![Bit::Zero, Bit::One]);
+    }
+
+    #[test]
+    fn or_pool_is_binary_maxpool() {
+        let mut m = BitMap::zeros(1, 2, 2);
+        m.set(0, 1, 1, Bit::One);
+        let p = m.or_pool2();
+        assert_eq!(p.bits(), &[Bit::One]);
+        let q = BitMap::zeros(1, 2, 2).or_pool2();
+        assert_eq!(q.bits(), &[Bit::Zero]);
+    }
+
+    #[test]
+    fn to_signs_roundtrip() {
+        let m = BitMap::from_bits(1, 1, 2, vec![Bit::One, Bit::Zero]);
+        assert_eq!(m.to_signs(), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn or_pool_rejects_odd() {
+        BitMap::zeros(1, 3, 3).or_pool2();
+    }
+}

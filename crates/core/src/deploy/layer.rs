@@ -1,0 +1,508 @@
+//! Deployed crossbar layers: convolution and dense cells.
+
+use super::bitmap::BitMap;
+use crate::config::HardwareConfig;
+use aqfp_crossbar::array::Crossbar;
+use aqfp_crossbar::faults::{apply_stuck_cells, draw_faults, FaultModel};
+use aqfp_crossbar::tile::TilingPlan;
+use aqfp_device::Bit;
+use aqfp_sc::{AccumulationModule, Bitstream};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Shared machinery of conv and dense cells: a weight matrix tiled over
+/// crossbars, BN-matched thresholds, SC accumulation across row tiles.
+#[derive(Debug, Clone)]
+pub struct TiledMatrix {
+    plan: TilingPlan,
+    /// Crossbars aligned with `plan.tiles`.
+    tiles: Vec<Crossbar>,
+    /// Per-output-channel inversion from BN matching (γ < 0).
+    flips: Vec<bool>,
+    /// Per-output-channel latent threshold (for bookkeeping/reports).
+    vth: Vec<f64>,
+    /// Dead neuron columns from fault injection: `(tile index, column
+    /// within tile) → stuck output bit`.
+    dead: HashMap<(usize, usize), Bit>,
+    window: usize,
+    counter: aqfp_sc::accumulate::CounterKind,
+    fan_in: usize,
+    out: usize,
+}
+
+impl TiledMatrix {
+    /// Builds the tiled deployment of a `[out, fan_in]` ±1 sign matrix with
+    /// per-channel latent thresholds `vth` and inversion flags `flips`.
+    ///
+    /// Each tile's neuron thresholds get `vth/row_tiles` scaled by that
+    /// tile's own attenuated unit current (Section 5.2: "divide Ith evenly
+    /// and assign them to the corresponding crossbar").
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn new(
+        signs: &[f32],
+        fan_in: usize,
+        out: usize,
+        vth: Vec<f64>,
+        flips: Vec<bool>,
+        hw: &HardwareConfig,
+    ) -> Self {
+        assert_eq!(signs.len(), fan_in * out, "sign matrix shape mismatch");
+        assert_eq!(vth.len(), out, "threshold count mismatch");
+        assert_eq!(flips.len(), out, "flip count mismatch");
+        let plan = TilingPlan::new(fan_in, out, hw.crossbar_rows, hw.crossbar_cols);
+        let row_tiles = plan.row_tiles() as f64;
+        let mut tiles = Vec::with_capacity(plan.tiles.len());
+        for t in &plan.tiles {
+            // Weight submatrix: rows are fan-in positions, cols channels.
+            let weights: Vec<Vec<Bit>> = (t.row_start..t.row_start + t.rows)
+                .map(|r| {
+                    (t.col_start..t.col_start + t.cols)
+                        .map(|c| Bit::from_sign(signs[c * fan_in + r] as f64))
+                        .collect()
+                })
+                .collect();
+            let mut xbar = Crossbar::new(hw.crossbar_config(), weights)
+                .expect("plan tiles are non-empty");
+            let i1 = hw.attenuation.i1_ua(t.rows);
+            let thresholds: Vec<f64> = (t.col_start..t.col_start + t.cols)
+                .map(|c| {
+                    let v = vth[c] / row_tiles;
+                    if v.is_finite() {
+                        v * i1
+                    } else {
+                        // Constant channels (γ ≈ 0): an unreachable current.
+                        v.signum() * 1e9
+                    }
+                })
+                .collect();
+            xbar.set_thresholds_ua(thresholds).expect("lengths match");
+            tiles.push(xbar);
+        }
+        Self {
+            plan,
+            tiles,
+            flips,
+            vth,
+            dead: HashMap::new(),
+            window: hw.bitstream_len,
+            counter: hw.counter,
+            fan_in,
+            out,
+        }
+    }
+
+    /// Injects fabrication faults into every tile: stuck LiM cells
+    /// overwrite stored weights; dead columns pin that tile's neuron output
+    /// to a constant. Returns the total defect count. Deterministic for a
+    /// given RNG state.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, model: &FaultModel, rng: &mut R) -> usize {
+        let mut defects = 0usize;
+        for (i, xbar) in self.tiles.iter_mut().enumerate() {
+            let faults = draw_faults(model, xbar.rows(), xbar.cols(), rng);
+            defects += faults.count();
+            apply_stuck_cells(xbar, &faults);
+            for &(col, bit) in &faults.dead_columns {
+                self.dead.insert((i, col), bit);
+            }
+        }
+        defects
+    }
+
+    /// Fan-in of the matrix.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output channels.
+    pub fn out(&self) -> usize {
+        self.out
+    }
+
+    /// The tiling plan.
+    pub fn plan(&self) -> &TilingPlan {
+        &self.plan
+    }
+
+    /// Per-channel latent thresholds (for reports).
+    pub fn vth(&self) -> &[f64] {
+        &self.vth
+    }
+
+    /// Per-channel output-inversion flags (γ < 0 channels).
+    pub fn flips(&self) -> &[bool] {
+        &self.flips
+    }
+
+    /// Evaluates all output channels for one input vector through the full
+    /// stochastic datapath: crossbar observation windows → APC accumulation
+    /// → comparator → (optional) inversion.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != fan_in`.
+    pub fn forward<R: Rng + ?Sized>(&self, input: &[Bit], rng: &mut R) -> Vec<Bit> {
+        assert_eq!(input.len(), self.fan_in, "input length mismatch");
+        let row_tiles = self.plan.row_tiles();
+        let acc = AccumulationModule::new(row_tiles, self.window).with_counter(self.counter);
+        let mut out = vec![Bit::Zero; self.out];
+
+        // Group tiles by column group; plan tiles are emitted column-major
+        // (all row tiles of one column group consecutively).
+        let mut tile_idx = 0;
+        while tile_idx < self.tiles.len() {
+            let col_start = self.plan.tiles[tile_idx].col_start;
+            let cols = self.plan.tiles[tile_idx].cols;
+            // Collect the row-tile observation streams for this col group.
+            let mut group_streams: Vec<Vec<Vec<Bit>>> = Vec::with_capacity(row_tiles);
+            for r in 0..row_tiles {
+                let t = &self.plan.tiles[tile_idx + r];
+                let slice = &input[t.row_start..t.row_start + t.rows];
+                let mut streams = self.tiles[tile_idx + r]
+                    .observe(slice, self.window, rng)
+                    .expect("tile geometry is consistent");
+                for (c, stream) in streams.iter_mut().enumerate() {
+                    if let Some(&bit) = self.dead.get(&(tile_idx + r, c)) {
+                        stream.iter_mut().for_each(|b| *b = bit);
+                    }
+                }
+                group_streams.push(streams);
+            }
+            for c in 0..cols {
+                let channel = col_start + c;
+                let streams: Vec<Bitstream> = group_streams
+                    .iter()
+                    .map(|per_tile| Bitstream::from_bits(per_tile[c].clone()))
+                    .collect();
+                let bit = acc.binarize(&streams).expect("window lengths match");
+                out[channel] = if self.flips[channel] { bit.not() } else { bit };
+            }
+            tile_idx += row_tiles;
+        }
+        out
+    }
+
+    /// The noiseless reference decision (ideal comparators, no SC noise):
+    /// sign of the whole latent sum against the channel threshold. Used by
+    /// tests to check the stochastic path converges to the right answer.
+    #[allow(clippy::needless_range_loop)] // r walks two indexings at once
+    pub fn forward_ideal(&self, input: &[Bit]) -> Vec<Bit> {
+        assert_eq!(input.len(), self.fan_in, "input length mismatch");
+        (0..self.out)
+            .map(|channel| {
+                let mut sum = 0i64;
+                for r in 0..self.fan_in {
+                    let w = self.weight_sign(r, channel);
+                    let a = input[r].to_value() as i64;
+                    sum += w as i64 * a;
+                }
+                let decision = (sum as f64) >= self.vth[channel];
+                Bit::from_bool(decision != self.flips[channel])
+            })
+            .collect()
+    }
+
+    fn weight_sign(&self, row: usize, channel: usize) -> i32 {
+        // Find the tile containing (row, channel).
+        for (i, t) in self.plan.tiles.iter().enumerate() {
+            if row >= t.row_start
+                && row < t.row_start + t.rows
+                && channel >= t.col_start
+                && channel < t.col_start + t.cols
+            {
+                return self.tiles[i]
+                    .weight(row - t.row_start, channel - t.col_start)
+                    .to_value() as i32;
+            }
+        }
+        unreachable!("tiling covers the matrix");
+    }
+
+    /// Number of crossbars.
+    pub fn crossbar_count(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+/// A deployed convolution cell (conv + folded BN + binarize + optional
+/// OR-pool).
+#[derive(Debug, Clone)]
+pub struct DeployedConv {
+    matrix: TiledMatrix,
+    in_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    pool: bool,
+}
+
+impl DeployedConv {
+    /// Builds the cell. `signs` is the `[out, in·k·k]` weight-sign matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        signs: &[f32],
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        pool: bool,
+        vth: Vec<f64>,
+        flips: Vec<bool>,
+        hw: &HardwareConfig,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        Self {
+            matrix: TiledMatrix::new(signs, fan_in, out_c, vth, flips, hw),
+            in_c,
+            k,
+            stride,
+            pad,
+            pool,
+        }
+    }
+
+    /// The tiled weight matrix.
+    pub fn matrix(&self) -> &TiledMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access (fault injection).
+    pub fn matrix_mut(&mut self) -> &mut TiledMatrix {
+        &mut self.matrix
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.k) / self.stride + 1;
+        if self.pool {
+            (oh / 2, ow / 2)
+        } else {
+            (oh, ow)
+        }
+    }
+
+    /// Runs the cell on one binary feature map.
+    pub fn forward<R: Rng + ?Sized>(&self, input: &BitMap, rng: &mut R) -> BitMap {
+        assert_eq!(input.c, self.in_c, "channel mismatch");
+        let oh = (input.h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (input.w + 2 * self.pad - self.k) / self.stride + 1;
+        let out_c = self.matrix.out();
+        let mut out = BitMap::zeros(out_c, oh, ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let field = input.receptive_field(oy, ox, self.k, self.stride, self.pad);
+                let bits = self.matrix.forward(&field, rng);
+                for (c, &b) in bits.iter().enumerate() {
+                    out.set(c, oy, ox, b);
+                }
+            }
+        }
+        if self.pool {
+            out.pool2_mixed(self.matrix.flips())
+        } else {
+            out
+        }
+    }
+
+    /// Crossbar evaluations (output pixels before pooling) per sample —
+    /// the energy model's activity factor.
+    pub fn evals_per_sample(&self, in_h: usize, in_w: usize) -> usize {
+        let oh = (in_h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (in_w + 2 * self.pad - self.k) / self.stride + 1;
+        oh * ow
+    }
+}
+
+/// A deployed dense (fully-connected) cell.
+#[derive(Debug, Clone)]
+pub struct DeployedDense {
+    matrix: TiledMatrix,
+}
+
+impl DeployedDense {
+    /// Builds from a `[out, in]` sign matrix.
+    pub fn new(
+        signs: &[f32],
+        in_f: usize,
+        out_f: usize,
+        vth: Vec<f64>,
+        flips: Vec<bool>,
+        hw: &HardwareConfig,
+    ) -> Self {
+        Self {
+            matrix: TiledMatrix::new(signs, in_f, out_f, vth, flips, hw),
+        }
+    }
+
+    /// The tiled weight matrix.
+    pub fn matrix(&self) -> &TiledMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access (fault injection).
+    pub fn matrix_mut(&mut self) -> &mut TiledMatrix {
+        &mut self.matrix
+    }
+
+    /// Runs the cell on a flat binary vector (a `[F, 1, 1]` map).
+    pub fn forward<R: Rng + ?Sized>(&self, input: &BitMap, rng: &mut R) -> BitMap {
+        let bits = self.matrix.forward(input.bits(), rng);
+        BitMap::from_bits(bits.len(), 1, 1, bits)
+    }
+}
+
+/// One deployed cell of the pipeline.
+#[derive(Debug, Clone)]
+pub enum DeployedCell {
+    /// A convolution cell.
+    Conv(DeployedConv),
+    /// A dense cell.
+    Dense(DeployedDense),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_device::{DeviceRng, SeedableRng};
+
+    fn hw_small() -> HardwareConfig {
+        HardwareConfig {
+            crossbar_rows: 8,
+            crossbar_cols: 8,
+            // Narrow gray-zone → near-deterministic neurons for exact tests.
+            grayzone_ua: 0.05,
+            bitstream_len: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_tile_matches_ideal_in_deterministic_regime() {
+        // With fan-in ≤ crossbar rows (one row tile) and a vanishing
+        // gray-zone, the stochastic datapath must agree with the ideal sign
+        // decision except at exact ties.
+        let hw = hw_small();
+        let fan_in = 7; // odd: integer sums are never exactly 0
+        let out = 3;
+        let signs: Vec<f32> = (0..fan_in * out)
+            .map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vec![0.0; 3], vec![false; 3], &hw);
+        assert_eq!(m.crossbar_count(), 1);
+        let mut rng = DeviceRng::seed_from_u64(0);
+        for pat in 0..128u32 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((pat >> i) & 1 == 1))
+                .collect();
+            let ideal = m.forward_ideal(&input);
+            let got = m.forward(&input, &mut rng);
+            assert_eq!(got, ideal, "pattern {pat:b}");
+        }
+    }
+
+    #[test]
+    fn multi_tile_accumulation_saturates_partial_sums() {
+        // Splitting a filter across crossbars binarizes each partial sum
+        // before accumulation: a +2 partial and a −6 partial both saturate
+        // to ±1 and cancel — the information loss the paper's SC bit-stream
+        // and gray-zone co-optimization exists to manage (Challenge #3).
+        let hw = hw_small(); // 8 rows per tile, near-zero gray-zone
+        let fan_in = 16; // 2 row tiles
+        let signs = vec![1.0f32; fan_in];
+        let m = TiledMatrix::new(&signs, fan_in, 1, vec![0.0], vec![false], &hw);
+        assert_eq!(m.plan().row_tiles(), 2);
+        // First tile: 5 ones, 3 zeros → partial +2. Second: all zeros → −8.
+        let mut input = vec![Bit::Zero; fan_in];
+        for bit in input.iter_mut().take(5) {
+            *bit = Bit::One;
+        }
+        // Ideal whole-sum decision: +2 − 8 = −6 → '0'.
+        assert_eq!(m.forward_ideal(&input), vec![Bit::Zero]);
+        // Deployed: tile bits (+1, −1) tie at the midpoint → '1' (ties
+        // resolve up). The saturation flipped the decision.
+        let mut rng = DeviceRng::seed_from_u64(9);
+        assert_eq!(m.forward(&input, &mut rng), vec![Bit::One]);
+    }
+
+    #[test]
+    fn flips_invert_output() {
+        let hw = hw_small();
+        let signs = vec![1.0f32; 4];
+        let m_plain = TiledMatrix::new(&signs, 4, 1, vec![0.0], vec![false], &hw);
+        let m_flip = TiledMatrix::new(&signs, 4, 1, vec![0.0], vec![true], &hw);
+        let input = vec![Bit::One; 4]; // sum +4, clearly positive
+        let mut rng = DeviceRng::seed_from_u64(1);
+        assert_eq!(m_plain.forward(&input, &mut rng), vec![Bit::One]);
+        assert_eq!(m_flip.forward(&input, &mut rng), vec![Bit::Zero]);
+    }
+
+    #[test]
+    fn thresholds_shift_decisions() {
+        let hw = hw_small();
+        let signs = vec![1.0f32; 4];
+        // Threshold above +4: even an all-ones input reads '0'.
+        let m = TiledMatrix::new(&signs, 4, 1, vec![5.0], vec![false], &hw);
+        let mut rng = DeviceRng::seed_from_u64(2);
+        assert_eq!(m.forward(&[Bit::One; 4], &mut rng), vec![Bit::Zero]);
+    }
+
+    #[test]
+    fn conv_cell_identity_kernel() {
+        let hw = hw_small();
+        // 1 channel, 1×1 kernel, weight +1, threshold 0: identity.
+        let cell = DeployedConv::new(
+            &[1.0],
+            1,
+            1,
+            1,
+            1,
+            0,
+            false,
+            vec![0.0],
+            vec![false],
+            &hw,
+        );
+        let mut input = BitMap::zeros(1, 2, 2);
+        input.set(0, 0, 1, Bit::One);
+        input.set(0, 1, 0, Bit::One);
+        let mut rng = DeviceRng::seed_from_u64(3);
+        let out = cell.forward(&input, &mut rng);
+        assert_eq!(out.bits(), input.bits());
+    }
+
+    #[test]
+    fn conv_cell_pooling_halves_size() {
+        let hw = hw_small();
+        let cell = DeployedConv::new(
+            &[1.0],
+            1,
+            1,
+            1,
+            1,
+            0,
+            true,
+            vec![0.0],
+            vec![false],
+            &hw,
+        );
+        let input = BitMap::zeros(1, 4, 4);
+        let mut rng = DeviceRng::seed_from_u64(4);
+        let out = cell.forward(&input, &mut rng);
+        assert_eq!((out.h, out.w), (2, 2));
+        assert_eq!(cell.out_size(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn dense_cell_shape() {
+        let hw = hw_small();
+        let signs: Vec<f32> = vec![1.0; 6 * 4];
+        let cell = DeployedDense::new(&signs, 6, 4, vec![0.0; 4], vec![false; 4], &hw);
+        let input = BitMap::from_bits(6, 1, 1, vec![Bit::One; 6]);
+        let mut rng = DeviceRng::seed_from_u64(5);
+        let out = cell.forward(&input, &mut rng);
+        assert_eq!((out.c, out.h, out.w), (4, 1, 1));
+        assert_eq!(out.bits(), &[Bit::One; 4]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Hardware-faithful deployment: mapping a trained model onto crossbars and
+//! running inference through the stochastic datapath.
+//!
+//! Deployment collapses each software BNN cell (binary conv → BN →
+//! HardTanh → binarize) into crossbar tiles whose neuron thresholds carry
+//! the folded batch norm (Eq. 16), with the SC accumulation module adding
+//! partial sums across row tiles (Fig. 6b). Max-pooling in the ±1 domain is
+//! a digital OR; the classifier head is a digital popcount layer with the
+//! α/bias affine applied at read-out (see DESIGN.md §2 for the
+//! substitution note on the output layer).
+
+mod bitmap;
+mod layer;
+mod model;
+
+pub use bitmap::BitMap;
+pub use layer::{DeployedCell, DeployedConv, DeployedDense};
+pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};

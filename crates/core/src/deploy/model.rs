@@ -1,0 +1,455 @@
+//! The deployed model: mapping from a trained [`Sequential`] and running
+//! hardware-faithful inference.
+
+use super::bitmap::BitMap;
+use super::layer::{DeployedCell, DeployedConv, DeployedDense};
+use crate::bnmatch::bn_match;
+use crate::config::HardwareConfig;
+use crate::spec::{CellSpec, NetSpec};
+use aqfp_crossbar::cost::CrossbarCost;
+use baselines::software::PopcountLinear;
+use bnn_nn::layers::{BatchNorm, Conv2d, Linear};
+use bnn_nn::{Sequential, Tensor};
+use rand::Rng;
+use std::fmt;
+
+/// Errors raised while mapping a model onto hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The software model's layer at `index` was not the kind the spec
+    /// demanded (spec and model out of sync).
+    LayerMismatch {
+        /// Layer index in the software model.
+        index: usize,
+        /// What the spec expected.
+        expected: &'static str,
+        /// What the model contains.
+        got: &'static str,
+    },
+    /// The spec has no classifier cell.
+    MissingClassifier,
+    /// The spec contains a cell kind the crossbar mapper does not support
+    /// (residual blocks keep a real-valued skip adder; see the
+    /// `CellSpec::Residual` docs for the substitution note).
+    UnsupportedCell {
+        /// Human-readable cell kind.
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::LayerMismatch { index, expected, got } => write!(
+                f,
+                "layer {index}: spec expects {expected}, model has {got} \
+                 (was the model built from this spec?)"
+            ),
+            DeployError::MissingClassifier => {
+                write!(f, "network spec has no classifier cell")
+            }
+            DeployError::UnsupportedCell { kind } => {
+                write!(f, "cell kind {kind} is not supported by the crossbar mapper")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The digital classifier head: XNOR/popcount logits with the α/bias
+/// affine applied at read-out (bit-exact with the software binary-weight
+/// linear layer on ±1 inputs; see DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct DeployedClassifier {
+    pop: PopcountLinear,
+    alphas: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl DeployedClassifier {
+    /// Class scores for a flat binary feature vector.
+    pub fn scores(&self, input: &BitMap) -> Vec<f32> {
+        let signs = input.to_signs();
+        self.pop
+            .forward(&signs)
+            .into_iter()
+            .zip(self.alphas.iter().zip(&self.bias))
+            .map(|(dot, (&a, &b))| a * dot as f32 + b)
+            .collect()
+    }
+}
+
+/// Hardware inventory of a deployed model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployStats {
+    /// Total crossbar arrays.
+    pub crossbars: usize,
+    /// Total crossbar Josephson junctions.
+    pub crossbar_jj: u64,
+    /// Per-cell crossbar counts.
+    pub per_cell_crossbars: Vec<usize>,
+}
+
+/// A model deployed onto AQFP hardware.
+#[derive(Debug, Clone)]
+pub struct DeployedModel {
+    input_shape: [usize; 3],
+    cells: Vec<DeployedCell>,
+    classifier: DeployedClassifier,
+}
+
+impl DeployedModel {
+    /// The expected input shape `[C, H, W]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// The deployed crossbar cells.
+    pub fn cells(&self) -> &[DeployedCell] {
+        &self.cells
+    }
+
+    /// Classifies sample `n` of an image batch; returns `(label, scores)`.
+    pub fn classify<R: Rng + ?Sized>(
+        &self,
+        images: &Tensor,
+        n: usize,
+        rng: &mut R,
+    ) -> (usize, Vec<f32>) {
+        let mut map = BitMap::from_tensor_sample(images, n);
+        for cell in &self.cells {
+            map = match cell {
+                DeployedCell::Conv(c) => c.forward(&map, rng),
+                DeployedCell::Dense(d) => d.forward(&map, rng),
+            };
+        }
+        // Flatten is implicit: the classifier consumes the bits in row-major
+        // order, which matches the software Flatten layout.
+        let flat = BitMap::from_bits(map.len(), 1, 1, map.bits().to_vec());
+        let scores = self.classifier.scores(&flat);
+        let label = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one class");
+        (label, scores)
+    }
+
+    /// Top-1 accuracy over (the first `limit` samples of) a dataset.
+    pub fn accuracy<R: Rng + ?Sized>(
+        &self,
+        data: &bnn_datasets::Dataset,
+        rng: &mut R,
+        limit: Option<usize>,
+    ) -> f64 {
+        let n = limit.map_or(data.len(), |l| l.min(data.len()));
+        assert!(n > 0, "accuracy over zero samples");
+        let mut correct = 0usize;
+        for i in 0..n {
+            let (pred, _) = self.classify(&data.images, i, rng);
+            if pred == data.labels[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+
+    /// Injects fabrication faults into every crossbar (see
+    /// [`aqfp_crossbar::faults`]); the digital classifier head is assumed
+    /// testable/repairable and stays clean. Returns the total defect count.
+    pub fn inject_faults<R: rand::Rng + ?Sized>(
+        &mut self,
+        model: &aqfp_crossbar::faults::FaultModel,
+        rng: &mut R,
+    ) -> usize {
+        let mut defects = 0usize;
+        for cell in &mut self.cells {
+            defects += match cell {
+                DeployedCell::Conv(c) => c.matrix_mut().inject_faults(model, rng),
+                DeployedCell::Dense(d) => d.matrix_mut().inject_faults(model, rng),
+            };
+        }
+        defects
+    }
+
+    /// Hardware inventory.
+    pub fn stats(&self, hw: &HardwareConfig) -> DeployStats {
+        let mut crossbars = 0usize;
+        let mut crossbar_jj = 0u64;
+        let mut per_cell = Vec::new();
+        for cell in &self.cells {
+            let matrix = match cell {
+                DeployedCell::Conv(c) => c.matrix(),
+                DeployedCell::Dense(d) => d.matrix(),
+            };
+            let count = matrix.crossbar_count();
+            per_cell.push(count);
+            crossbars += count;
+            for t in &matrix.plan().tiles {
+                crossbar_jj += CrossbarCost {
+                    rows: t.rows.min(hw.crossbar_rows),
+                    cols: t.cols.min(hw.crossbar_cols),
+                }
+                .jj_count();
+            }
+        }
+        DeployStats {
+            crossbars,
+            crossbar_jj,
+            per_cell_crossbars: per_cell,
+        }
+    }
+}
+
+/// Extracts the ±1 sign matrix of a latent weight tensor.
+fn weight_signs(w: &Tensor) -> Vec<f32> {
+    w.data()
+        .iter()
+        .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// Per-output α (L1 mean of each latent filter row).
+fn weight_alphas(w: &Tensor) -> Vec<f32> {
+    let (out, fan_in) = (w.shape()[0], w.shape()[1]);
+    (0..out)
+        .map(|o| {
+            let row = &w.data()[o * fan_in..(o + 1) * fan_in];
+            (row.iter().map(|v| v.abs()).sum::<f32>() / fan_in as f32).max(f32::MIN_POSITIVE)
+        })
+        .collect()
+}
+
+/// Maps a trained software model built from `spec` onto AQFP hardware.
+///
+/// # Errors
+/// [`DeployError::LayerMismatch`] if the model was not built from this
+/// spec; [`DeployError::MissingClassifier`] if the spec lacks a head.
+pub fn deploy(
+    spec: &NetSpec,
+    model: &Sequential,
+    hw: &HardwareConfig,
+) -> Result<DeployedModel, DeployError> {
+    hw.validate();
+    let layers = model.layers();
+    let mut idx = 0usize;
+    let mut cells = Vec::new();
+    let mut classifier = None;
+
+    let expect = |idx: usize, expected: &'static str| DeployError::LayerMismatch {
+        index: idx,
+        expected,
+        got: layers.get(idx).map_or("<end of model>", |l| l.name()),
+    };
+
+    for cell in &spec.cells {
+        match *cell {
+            CellSpec::BinarizeInput | CellSpec::Flatten => {
+                idx += 1;
+            }
+            CellSpec::Residual { .. } => {
+                return Err(DeployError::UnsupportedCell { kind: "Residual" });
+            }
+            CellSpec::Conv { in_c, out_c, k, stride, pad, pool } => {
+                let conv = layers
+                    .get(idx)
+                    .and_then(|l| l.as_any().downcast_ref::<Conv2d>())
+                    .ok_or_else(|| expect(idx, "Conv2d"))?;
+                // Pooling (if any) precedes BN in the software expansion.
+                let bn_idx = idx + if pool { 2 } else { 1 };
+                let bn = layers
+                    .get(bn_idx)
+                    .and_then(|l| l.as_any().downcast_ref::<BatchNorm>())
+                    .ok_or_else(|| expect(bn_idx, "BatchNorm"))?;
+                let signs = weight_signs(conv.weight());
+                let alphas = weight_alphas(conv.weight());
+                let p = bn.folded_params();
+                let m = bn_match(p.gamma, p.beta, p.mean, p.var, &alphas, p.eps);
+                cells.push(DeployedCell::Conv(DeployedConv::new(
+                    &signs, in_c, out_c, k, stride, pad, pool, m.vth, m.flip, hw,
+                )));
+                idx += NetSpec::layers_of(cell);
+            }
+            CellSpec::Dense { in_f, out_f } => {
+                let lin = layers
+                    .get(idx)
+                    .and_then(|l| l.as_any().downcast_ref::<Linear>())
+                    .ok_or_else(|| expect(idx, "Linear"))?;
+                let bn = layers
+                    .get(idx + 1)
+                    .and_then(|l| l.as_any().downcast_ref::<BatchNorm>())
+                    .ok_or_else(|| expect(idx + 1, "BatchNorm"))?;
+                let signs = weight_signs(lin.weight());
+                let alphas = weight_alphas(lin.weight());
+                let p = bn.folded_params();
+                // The dense cell's linear layer has a trainable bias; it
+                // shifts the BN input, so it folds into the matched mean.
+                let adj_mean: Vec<f32> = p
+                    .mean
+                    .iter()
+                    .zip(lin.bias().data())
+                    .map(|(&m, &b)| m - b)
+                    .collect();
+                let m = bn_match(p.gamma, p.beta, &adj_mean, p.var, &alphas, p.eps);
+                cells.push(DeployedCell::Dense(DeployedDense::new(
+                    &signs, in_f, out_f, m.vth, m.flip, hw,
+                )));
+                idx += NetSpec::layers_of(cell);
+            }
+            CellSpec::Classifier { in_f, .. } => {
+                let lin = layers
+                    .get(idx)
+                    .and_then(|l| l.as_any().downcast_ref::<Linear>())
+                    .ok_or_else(|| expect(idx, "Linear"))?;
+                let signs = weight_signs(lin.weight());
+                let alphas = weight_alphas(lin.weight());
+                classifier = Some(DeployedClassifier {
+                    pop: PopcountLinear::new(&signs, in_f),
+                    alphas,
+                    bias: lin.bias().data().to_vec(),
+                });
+                idx += 1;
+            }
+        }
+    }
+
+    Ok(DeployedModel {
+        input_shape: spec.input_shape,
+        cells,
+        classifier: classifier.ok_or(DeployError::MissingClassifier)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_device::{DeviceRng, SeedableRng};
+    use bnn_datasets::{digits::generate_digits, SynthConfig};
+
+    fn tiny_hw() -> HardwareConfig {
+        HardwareConfig {
+            crossbar_rows: 32,
+            crossbar_cols: 16,
+            bitstream_len: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deploys_mlp_and_classifies() {
+        let hw = tiny_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&hw, 3);
+        let deployed = deploy(&spec, &model, &hw).expect("deploys");
+        assert_eq!(deployed.cells().len(), 1);
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let mut rng = DeviceRng::seed_from_u64(0);
+        let (label, scores) = deployed.classify(&data.images, 0, &mut rng);
+        assert!(label < 10);
+        assert_eq!(scores.len(), 10);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn deploys_vgg_and_runs() {
+        let hw = tiny_hw();
+        let spec = NetSpec::vgg_small([1, 16, 16], 4, 10);
+        let model = spec.build_software(&hw, 4);
+        let deployed = deploy(&spec, &model, &hw).expect("deploys");
+        assert_eq!(deployed.cells().len(), 6);
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let mut rng = DeviceRng::seed_from_u64(1);
+        let (label, _) = deployed.classify(&data.images, 0, &mut rng);
+        assert!(label < 10);
+    }
+
+    #[test]
+    fn stats_count_crossbars() {
+        let hw = tiny_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&hw, 5);
+        let deployed = deploy(&spec, &model, &hw).unwrap();
+        let stats = deployed.stats(&hw);
+        // Dense 256→32: ⌈256/32⌉ × ⌈32/16⌉ = 8 × 2 = 16 crossbars.
+        assert_eq!(stats.crossbars, 16);
+        assert!(stats.crossbar_jj > 0);
+    }
+
+    #[test]
+    fn mismatched_spec_is_rejected() {
+        let hw = tiny_hw();
+        let spec_a = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let spec_b = NetSpec::vgg_small([1, 16, 16], 4, 10);
+        let model_a = spec_a.build_software(&hw, 6);
+        let err = deploy(&spec_b, &model_a, &hw).unwrap_err();
+        assert!(matches!(err, DeployError::LayerMismatch { .. }));
+    }
+
+    #[test]
+    fn fault_injection_counts_and_saturated_faults_flip_outputs() {
+        let hw = tiny_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&hw, 8);
+        let mut deployed = deploy(&spec, &model, &hw).unwrap();
+        // 100% dead columns: every crossbar output is a fabrication
+        // constant; the model still runs and produces labels.
+        let fm = aqfp_crossbar::faults::FaultModel::new(0.0, 1.0);
+        let mut rng = DeviceRng::seed_from_u64(3);
+        let defects = deployed.inject_faults(&fm, &mut rng);
+        assert!(defects > 0);
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let (label, scores) = deployed.classify(&data.images, 0, &mut rng);
+        assert!(label < 10);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn pristine_fault_model_changes_nothing() {
+        let hw = tiny_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&hw, 8);
+        let clean = deploy(&spec, &model, &hw).unwrap();
+        let mut faulty = deploy(&spec, &model, &hw).unwrap();
+        let mut rng = DeviceRng::seed_from_u64(4);
+        let defects =
+            faulty.inject_faults(&aqfp_crossbar::faults::FaultModel::pristine(), &mut rng);
+        assert_eq!(defects, 0);
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let mut ra = DeviceRng::seed_from_u64(5);
+        let mut rb = DeviceRng::seed_from_u64(5);
+        assert_eq!(
+            clean.classify(&data.images, 0, &mut ra),
+            faulty.classify(&data.images, 0, &mut rb)
+        );
+    }
+
+    #[test]
+    fn accuracy_runs_over_subset() {
+        let hw = tiny_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&hw, 7);
+        let deployed = deploy(&spec, &model, &hw).unwrap();
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        let mut rng = DeviceRng::seed_from_u64(2);
+        let acc = deployed.accuracy(&data, &mut rng, Some(10));
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

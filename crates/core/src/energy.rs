@@ -1,0 +1,338 @@
+//! System-level energy, power and throughput estimation — the "Ours" rows
+//! of Tables 2 and 3.
+//!
+//! Accounting model (all per inference, fully pipelined at the clock rate):
+//!
+//! * each crossbar burns its Table 1 per-cycle energy for every cycle it is
+//!   active: `output positions × bit-stream length L` cycles per layer;
+//! * each output channel's SC accumulation module (gate-level APC +
+//!   accumulator + comparator) burns its JJ energy over the same activity;
+//! * the digital classifier head is charged as an APC popcount tree over
+//!   its fan-in per class;
+//! * throughput is set by the busiest layer (the pipeline bottleneck);
+//! * binary OPs follow the usual 2·MAC convention.
+
+use crate::config::HardwareConfig;
+use crate::spec::{CellSpec, NetSpec};
+use aqfp_crossbar::cost::CrossbarCost;
+use aqfp_crossbar::tile::TilingPlan;
+use aqfp_device::consts::{COOLING_OVERHEAD_4K, ENERGY_PER_JJ_AJ};
+use aqfp_device::{CellLibrary, ClockScheme};
+use aqfp_sc::AccumulationModule;
+use serde::{Deserialize, Serialize};
+
+/// Energy/performance estimate of one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Energy per inference in aJ.
+    pub energy_per_inference_aj: f64,
+    /// Average power in mW.
+    pub power_mw: f64,
+    /// Binary operations per inference.
+    pub ops_per_inference: u64,
+    /// Energy efficiency, TOPS/W, no cooling.
+    pub tops_per_watt: f64,
+    /// Energy efficiency, TOPS/W, with 4.2 K cooling (÷400).
+    pub tops_per_watt_cooled: f64,
+    /// Throughput in images per millisecond.
+    pub images_per_ms: f64,
+    /// Bottleneck-layer cycles per inference.
+    pub bottleneck_cycles: u64,
+}
+
+/// Per-layer slice of the energy estimate — where each attojoule goes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEnergy {
+    /// Human-readable layer label (kind + geometry).
+    pub label: String,
+    /// Energy of the crossbar synapse arrays, in aJ per inference.
+    pub crossbar_aj: f64,
+    /// Energy of the SC accumulation modules (APC + accumulator +
+    /// comparator), in aJ per inference.
+    pub accumulation_aj: f64,
+    /// Other digital energy (residual skip adders, classifier popcount),
+    /// in aJ per inference.
+    pub other_aj: f64,
+    /// Active cycles this layer occupies.
+    pub cycles: u64,
+    /// Binary operations this layer contributes.
+    pub ops: u64,
+}
+
+impl LayerEnergy {
+    /// Total energy of this layer in aJ.
+    pub fn total_aj(&self) -> f64 {
+        self.crossbar_aj + self.accumulation_aj + self.other_aj
+    }
+}
+
+/// Estimates the energy report of a network spec under a hardware config.
+///
+/// The estimate is structural (it does not need a trained model): per-layer
+/// activity follows from the spec's geometry alone.
+pub fn estimate(spec: &NetSpec, hw: &HardwareConfig) -> EnergyReport {
+    estimate_with_breakdown(spec, hw).0
+}
+
+/// [`estimate`] plus the per-layer energy decomposition (crossbars vs SC
+/// accumulation vs other digital logic) — the data behind "where does the
+/// energy go" questions the paper answers only in aggregate.
+pub fn estimate_with_breakdown(spec: &NetSpec, hw: &HardwareConfig) -> (EnergyReport, Vec<LayerEnergy>) {
+    hw.validate();
+    let lib = CellLibrary::hstp();
+    let clock = ClockScheme::four_phase_5ghz();
+    let l = hw.bitstream_len as u64;
+
+    let mut layers: Vec<LayerEnergy> = Vec::new();
+    let mut bottleneck = 0u64;
+
+    let mut cur = spec.input_shape;
+    for cell in &spec.cells {
+        match *cell {
+            CellSpec::BinarizeInput => {}
+            CellSpec::Conv { in_c, out_c, k, stride, pad, pool } => {
+                let oh = (cur[1] + 2 * pad - k) / stride + 1;
+                let ow = (cur[2] + 2 * pad - k) / stride + 1;
+                let positions = (oh * ow) as u64;
+                let fan_in = in_c * k * k;
+                let cycles = positions * l;
+                let (xbar, module) = layer_energy_parts(fan_in, out_c, cycles, hw, &lib, &clock);
+                layers.push(LayerEnergy {
+                    label: format!("conv {in_c}->{out_c} {k}x{k} @{oh}x{ow}"),
+                    crossbar_aj: xbar,
+                    accumulation_aj: module,
+                    other_aj: 0.0,
+                    cycles,
+                    ops: 2 * (fan_in * out_c) as u64 * positions,
+                });
+                bottleneck = bottleneck.max(cycles);
+                let div = if pool { 2 } else { 1 };
+                cur = [out_c, oh / div, ow / div];
+            }
+            CellSpec::Residual { in_c, out_c, stride } => {
+                // Two 3×3 binary convs (the second at stride 1) plus a 1×1
+                // projection when the shape changes; the skip adder is a
+                // per-pixel digital add, charged as one full-adder chain
+                // per output value (22 JJ per bit, 8 bits).
+                let oh = (cur[1] + 2 - 3) / stride + 1;
+                let ow = (cur[2] + 2 - 3) / stride + 1;
+                let positions = (oh * ow) as u64;
+                let cycles = positions * l;
+                let fan1 = in_c * 9;
+                let fan2 = out_c * 9;
+                let (x1, m1) = layer_energy_parts(fan1, out_c, cycles, hw, &lib, &clock);
+                let (x2, m2) = layer_energy_parts(fan2, out_c, cycles, hw, &lib, &clock);
+                let mut crossbar_aj = x1 + x2;
+                let mut accumulation_aj = m1 + m2;
+                let mut ops = 2 * ((fan1 + fan2) * out_c) as u64 * positions;
+                if in_c != out_c || stride != 1 {
+                    let (xp, mp) = layer_energy_parts(in_c, out_c, cycles, hw, &lib, &clock);
+                    crossbar_aj += xp;
+                    accumulation_aj += mp;
+                    ops += 2 * (in_c * out_c) as u64 * positions;
+                }
+                let adder_jj_per_value = 22.0 * 8.0;
+                let other_aj =
+                    positions as f64 * out_c as f64 * adder_jj_per_value * ENERGY_PER_JJ_AJ;
+                layers.push(LayerEnergy {
+                    label: format!("residual {in_c}->{out_c} s{stride} @{oh}x{ow}"),
+                    crossbar_aj,
+                    accumulation_aj,
+                    other_aj,
+                    cycles: 2 * cycles,
+                    ops,
+                });
+                bottleneck = bottleneck.max(2 * cycles);
+                cur = [out_c, oh, ow];
+            }
+            CellSpec::Flatten => {
+                cur = [cur[0] * cur[1] * cur[2], 1, 1];
+            }
+            CellSpec::Dense { in_f, out_f } => {
+                let cycles = l;
+                let (xbar, module) = layer_energy_parts(in_f, out_f, cycles, hw, &lib, &clock);
+                layers.push(LayerEnergy {
+                    label: format!("dense {in_f}->{out_f}"),
+                    crossbar_aj: xbar,
+                    accumulation_aj: module,
+                    other_aj: 0.0,
+                    cycles,
+                    ops: 2 * (in_f * out_f) as u64,
+                });
+                bottleneck = bottleneck.max(cycles);
+                cur = [out_f, 1, 1];
+            }
+            CellSpec::Classifier { in_f, classes } => {
+                // Digital popcount per class; activity is one pass.
+                let apc = aqfp_sc::Apc::new(in_f).hardware_cost(&lib, &clock);
+                layers.push(LayerEnergy {
+                    label: format!("classifier {in_f}->{classes}"),
+                    crossbar_aj: 0.0,
+                    accumulation_aj: 0.0,
+                    other_aj: classes as f64 * apc.energy_per_cycle_aj,
+                    cycles: apc.depth as u64,
+                    ops: 2 * (in_f * classes) as u64,
+                });
+                bottleneck = bottleneck.max(apc.depth as u64);
+                cur = [classes, 1, 1];
+            }
+        }
+    }
+
+    let energy_aj: f64 = layers.iter().map(LayerEnergy::total_aj).sum();
+    let ops: u64 = layers.iter().map(|le| le.ops).sum();
+    let time_per_inference_s = bottleneck as f64 / (hw.clock_ghz * 1e9);
+    let energy_j = energy_aj * 1e-18;
+    let power_mw = energy_j / time_per_inference_s * 1e3;
+    let tops = ops as f64 / energy_j / 1e12;
+    let report = EnergyReport {
+        energy_per_inference_aj: energy_aj,
+        power_mw,
+        ops_per_inference: ops,
+        tops_per_watt: tops,
+        tops_per_watt_cooled: tops / COOLING_OVERHEAD_4K,
+        images_per_ms: 1e-3 / time_per_inference_s,
+        bottleneck_cycles: bottleneck,
+    };
+    (report, layers)
+}
+
+/// `(crossbar, accumulation)` energy of one tiled matrix layer over
+/// `cycles` active cycles, in aJ.
+fn layer_energy_parts(
+    fan_in: usize,
+    out: usize,
+    cycles: u64,
+    hw: &HardwareConfig,
+    lib: &CellLibrary,
+    clock: &ClockScheme,
+) -> (f64, f64) {
+    let plan = TilingPlan::new(fan_in, out, hw.crossbar_rows, hw.crossbar_cols);
+    let crossbar_e: f64 = plan
+        .tiles
+        .iter()
+        .map(|t| {
+            CrossbarCost {
+                rows: t.rows,
+                cols: t.cols,
+            }
+            .energy_per_cycle_aj()
+        })
+        .sum();
+    // One SC accumulation module per output channel.
+    let module =
+        AccumulationModule::new(plan.row_tiles(), hw.bitstream_len).with_counter(hw.counter);
+    let module_e = module.hardware_jj(lib, clock) as f64 * ENERGY_PER_JJ_AJ * out as f64;
+    (crossbar_e * cycles as f64, module_e * cycles as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetSpec;
+
+    fn vgg() -> NetSpec {
+        NetSpec::vgg_small([3, 16, 16], 8, 10)
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_report_total() {
+        let hw = HardwareConfig::default();
+        let (report, layers) = estimate_with_breakdown(&vgg(), &hw);
+        assert!(!layers.is_empty());
+        let total: f64 = layers.iter().map(LayerEnergy::total_aj).sum();
+        assert!(
+            (total - report.energy_per_inference_aj).abs() < 1e-6 * total,
+            "{total} vs {}",
+            report.energy_per_inference_aj
+        );
+        let ops: u64 = layers.iter().map(|le| le.ops).sum();
+        assert_eq!(ops, report.ops_per_inference);
+        // Every conv/dense layer has both crossbar and accumulation energy.
+        for le in layers.iter().filter(|le| le.label.starts_with("conv")) {
+            assert!(le.crossbar_aj > 0.0 && le.accumulation_aj > 0.0, "{le:?}");
+        }
+    }
+
+    #[test]
+    fn breakdown_bottleneck_is_the_max_layer_cycles() {
+        let hw = HardwareConfig::default();
+        let (report, layers) = estimate_with_breakdown(&vgg(), &hw);
+        let max_cycles = layers.iter().map(|le| le.cycles).max().unwrap();
+        assert_eq!(report.bottleneck_cycles, max_cycles);
+    }
+
+    #[test]
+    fn report_is_positive_and_finite() {
+        let hw = HardwareConfig::default();
+        let r = estimate(&vgg(), &hw);
+        assert!(r.energy_per_inference_aj > 0.0);
+        assert!(r.power_mw > 0.0 && r.power_mw.is_finite());
+        assert!(r.tops_per_watt > 0.0);
+        assert!(r.images_per_ms > 0.0);
+        assert!(r.ops_per_inference > 0);
+    }
+
+    #[test]
+    fn efficiency_lands_in_papers_band() {
+        // Table 2's "Ours" rows span 1.9e5 – 6.8e6 TOPS/W across configs.
+        let hw = HardwareConfig::default();
+        let r = estimate(&vgg(), &hw);
+        assert!(
+            r.tops_per_watt > 1e4 && r.tops_per_watt < 1e8,
+            "efficiency {} TOPS/W outside plausible band",
+            r.tops_per_watt
+        );
+        assert!((r.tops_per_watt / r.tops_per_watt_cooled - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_bitstreams_are_faster_and_more_efficient() {
+        let hw16 = HardwareConfig::default();
+        let hw4 = HardwareConfig {
+            bitstream_len: 4,
+            ..Default::default()
+        };
+        let r16 = estimate(&vgg(), &hw16);
+        let r4 = estimate(&vgg(), &hw4);
+        assert!(r4.images_per_ms > r16.images_per_ms);
+        assert!(r4.energy_per_inference_aj < r16.energy_per_inference_aj);
+    }
+
+    #[test]
+    fn bigger_crossbars_raise_efficiency() {
+        // The coarse-grained-computation preference of Section 3: larger
+        // arrays amortize peripherals (until accuracy pays the price —
+        // which is the co-optimization's business, not this model's).
+        let small = HardwareConfig {
+            crossbar_rows: 8,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let big = HardwareConfig {
+            crossbar_rows: 72,
+            crossbar_cols: 72,
+            ..Default::default()
+        };
+        let rs = estimate(&vgg(), &small);
+        let rb = estimate(&vgg(), &big);
+        assert!(
+            rb.tops_per_watt > rs.tops_per_watt,
+            "72×72 {} vs 8×8 {}",
+            rb.tops_per_watt,
+            rs.tops_per_watt
+        );
+    }
+
+    #[test]
+    fn power_is_microwatt_scale() {
+        // Paper Table 2 prints ~6.2e-3 mW for the VGG-Small configs.
+        let hw = HardwareConfig::default();
+        let r = estimate(&vgg(), &hw);
+        assert!(
+            r.power_mw < 1.0,
+            "AQFP power should be far below a milliwatt-scale budget, got {} mW",
+            r.power_mw
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The Section 4.4 clocking-scheme optimization: how raising the computing
+//! clock's phase count removes path-balancing buffers, and how dropping the
+//! buffer-chain memory from 4 to 3 phases saves 20 % of its JJs.
+//!
+//! Run with: `cargo run --release --example clocking_ablation`
+
+use aqfp_device::CellLibrary;
+use aqfp_netlist::clocking::{clocking_study, BcmMemory};
+use aqfp_netlist::random::{random_dag, RandomDagConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let lib = CellLibrary::hstp();
+
+    println!("=== Computing part: buffer savings from n-phase clocking ===");
+    println!("(paper: ≥20.8% JJ reduction at 8 phases, ≥27.3% at 16)\n");
+    for (label, cfg) in [
+        ("small (32 in, 600 gates)", RandomDagConfig::default()),
+        (
+            "large (64 in, 2000 gates)",
+            RandomDagConfig {
+                inputs: 64,
+                gates: 2000,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(2023));
+        let results = clocking_study(&base, &[4, 8, 16], &lib);
+        println!("benchmark: {label}");
+        println!(
+            "{:>8} {:>10} {:>12} {:>14} {:>12}",
+            "phases", "buffers", "total JJ", "energy (aJ)", "JJ saved"
+        );
+        for r in &results {
+            println!(
+                "{:>8} {:>10} {:>12} {:>14.2} {:>11.1}%",
+                r.phases,
+                r.buffers,
+                r.cost.jj_total,
+                r.cost.energy_per_cycle_aj,
+                100.0 * r.jj_reduction_vs_4phase
+            );
+        }
+        println!();
+    }
+
+    println!("=== Memory (BCM): clock-phase reduction ===");
+    println!("(paper: 4 → 3 phases saves 20% of the memory JJs)\n");
+    println!("{:>10} {:>8} {:>12} {:>10}", "capacity", "phases", "total JJ", "saved");
+    for bits in [256usize, 4096] {
+        for phases in [4u32, 3] {
+            let m = BcmMemory::new(bits, phases).expect("valid phase count");
+            println!(
+                "{:>10} {:>8} {:>12.0} {:>9.1}%",
+                bits,
+                phases,
+                m.total_jj(),
+                100.0 * BcmMemory::reduction_from_4phase(bits, phases)
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The Section 5.4 hardware-configuration co-optimization: sweep the
+//! (crossbar size, gray-zone) grid, score each candidate with the average
+//! mismatch error (Eq. 18), and pick the best configuration that meets an
+//! energy-efficiency constraint.
+//!
+//! Run with: `cargo run --release --example config_search`
+
+use superbnn::config::HardwareConfig;
+use superbnn::optimize::{co_optimize, evaluate_grid, SearchSpace};
+use superbnn::spec::NetSpec;
+
+fn main() {
+    let spec = NetSpec::vgg_small([3, 16, 16], 8, 10);
+    let base = HardwareConfig::default();
+    let space = SearchSpace::default();
+
+    println!("=== AME over the (Cs, ΔIin) grid (Eq. 18) ===");
+    let grid = evaluate_grid(&spec, &base, &space);
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "Cs", "ΔIin (µA)", "AME", "TOPS/W"
+    );
+    for c in &grid {
+        println!(
+            "{:>8} {:>10.1} {:>14.4} {:>14.3e}",
+            c.crossbar, c.grayzone_ua, c.ame, c.tops_per_watt
+        );
+    }
+
+    println!("\n=== Constrained co-optimization ===");
+    for demand in [0.0, 1e5, 1e6] {
+        let mut s = space.clone();
+        s.min_tops_per_watt = demand;
+        match co_optimize(&spec, &base, &s) {
+            Some(best) => println!(
+                "demand ≥ {demand:.1e} TOPS/W → pick Cs = {}, ΔIin = {} µA \
+                 (AME {:.4}, {:.3e} TOPS/W)",
+                best.crossbar, best.grayzone_ua, best.ame, best.tops_per_watt
+            ),
+            None => println!("demand ≥ {demand:.1e} TOPS/W → infeasible on this grid"),
+        }
+    }
+}

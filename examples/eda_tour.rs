@@ -1,0 +1,106 @@
+//! A tour of the AQFP EDA substrate: majority-logic synthesis, accumulator
+//! gate costing, clocking schemes.
+//!
+//! The paper's discussion section (Section 7) argues AQFP is viable for
+//! general computing because a full EDA stack exists: majority synthesis,
+//! buffer/splitter insertion, n-phase clocking. This example walks the
+//! pieces this reproduction builds:
+//!
+//! 1. synthesize an AND/OR/INV ripple adder down to native majority cells;
+//! 2. cost the SC accumulation counters (Section 4.3's design choice);
+//! 3. compare conventional 4-phase, high-phase and delay-line clocking.
+//!
+//! Run with: `cargo run --release --example eda_tour`
+
+use aqfp_device::CellLibrary;
+use aqfp_netlist::builders::ripple_adder_aoi;
+use aqfp_netlist::clocking::{clocking_study, delay_line_study};
+use aqfp_netlist::random::{random_dag, RandomDagConfig};
+use aqfp_netlist::synth::optimize;
+use aqfp_sc::apc::counter_comparison;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let lib = CellLibrary::hstp();
+
+    // 1. Majority re-synthesis: a 16-bit adder as a CMOS-style AOI netlist
+    //    collapses onto native MAJ cells.
+    let (aoi, _, _, _) = ripple_adder_aoi(16);
+    let (optimized, report) = optimize(&aoi, &lib);
+    println!("majority synthesis of a 16-bit AOI ripple adder:");
+    println!(
+        "  {} gates / {} JJ  ->  {} gates / {} JJ  ({:.1}% JJ saved)",
+        report.gates_before,
+        report.jj_before,
+        report.gates_after,
+        report.jj_after,
+        100.0 * report.jj_saving()
+    );
+    let majs = optimized
+        .gate_histogram()
+        .get(&aqfp_device::GateKind::Majority)
+        .copied()
+        .unwrap_or(0);
+    println!("  majority cells recovered: {majs} (one per carry)");
+
+    // 2. The SC accumulator choice (Section 4.3): APC vs the conventional
+    //    accumulative parallel counter, for a 16-crossbar column group
+    //    observed over a 32-cycle window.
+    let clock = aqfp_device::ClockScheme::four_phase_5ghz();
+    let cmp = counter_comparison(16, 32, &lib, &clock);
+    println!("\nSC accumulator cost for 16 inputs, window 32 (JJ):");
+    println!("  exact APC          {:>6}", cmp.exact_apc_jj);
+    println!("  approximate APC    {:>6}", cmp.approx_apc_jj);
+    println!(
+        "  accumulative ctr   {:>6} (+{} memory)",
+        cmp.accumulative_logic_jj, cmp.accumulative_memory_jj
+    );
+
+    // 3. Clocking schemes on a benchmark DAG (Sections 4.4 and 6.1).
+    let cfg = RandomDagConfig {
+        inputs: 32,
+        gates: 800,
+        ..Default::default()
+    };
+    let dag = random_dag(&cfg, &mut StdRng::seed_from_u64(7));
+    println!("\nclocking a 800-gate benchmark DAG:");
+    for r in clocking_study(&dag, &[4, 8, 16], &lib) {
+        println!(
+            "  {:>2}-phase: {:>6} JJ ({:>5.1}% saved vs 4-phase)",
+            r.phases,
+            r.cost.jj_total,
+            100.0 * r.jj_reduction_vs_4phase
+        );
+    }
+    let dl = delay_line_study(&dag, &lib);
+    println!(
+        "  delay-line: {:.0} ps -> {:.0} ps latency ({:.1}x), {:.1}% JJ saved",
+        dl.conventional.latency_ps,
+        dl.delay_line.latency_ps,
+        dl.latency_speedup(),
+        100.0 * dl.jj_reduction()
+    );
+
+    // 4. Splitter shape (buffer/splitter co-insertion trade-off): chains
+    //    suit staggered consumers, balanced trees suit broadcast fan-out.
+    use aqfp_netlist::balance::{balance, legalize_fanout, legalize_fanout_balanced};
+    let clock4 = aqfp_device::ClockScheme::four_phase_5ghz();
+    let mut broadcast = aqfp_netlist::Netlist::new();
+    let shared = broadcast.add_input();
+    for _ in 0..32 {
+        let fresh = broadcast.add_input();
+        let g = broadcast
+            .add_gate(aqfp_device::GateKind::And, &[shared, fresh])
+            .expect("valid ids");
+        broadcast.mark_output(g);
+    }
+    let mut chain = broadcast.clone();
+    legalize_fanout(&mut chain);
+    let chain_buf = balance(&mut chain, &clock4).buffers_inserted;
+    let mut tree = broadcast;
+    legalize_fanout_balanced(&mut tree);
+    let tree_buf = balance(&mut tree, &clock4).buffers_inserted;
+    println!("\nsplitter shape on a 32-way broadcast (balancing buffers needed):");
+    println!("  chain {chain_buf} vs balanced tree {tree_buf}");
+}

@@ -1,0 +1,54 @@
+//! Table 3 scenario: the MNIST-class MLP compared against the published
+//! CMOS / RSFQ / ERSFQ / SC-AQFP baselines.
+//!
+//! Run with: `cargo run --release --example mnist_mlp`
+
+use baselines::published::mnist_baselines;
+use superbnn::experiments::{table3_ours, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::full();
+    scale.epochs = 15;
+    println!("Training the MLP on SynthDigits (MNIST stand-in)...");
+    let ours = table3_ours(&scale);
+
+    println!("\n=== Table 3: MNIST-class MLP comparison ===");
+    println!(
+        "{:<12} {:>10} {:>22} {:>22}",
+        "Design", "Accuracy", "TOPS/W (no cooling)", "TOPS/W (cooled)"
+    );
+    for b in mnist_baselines() {
+        println!(
+            "{:<12} {:>9.1}% {:>22.3e} {:>22}",
+            b.name,
+            b.accuracy_pct,
+            b.tops_per_watt,
+            b.tops_per_watt_cooled
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.3e}")),
+        );
+    }
+    println!(
+        "{:<12} {:>9.1}% {:>22.3e} {:>22.3e}",
+        "Ours",
+        100.0 * ours.accuracy,
+        ours.energy.tops_per_watt,
+        ours.energy.tops_per_watt_cooled,
+    );
+    println!(
+        "\n(accuracies are on the synthetic stand-in dataset, so compare the\n\
+         *relative* software-vs-hardware gap: software {:.1}% vs deployed {:.1}%)",
+        100.0 * ours.software_accuracy,
+        100.0 * ours.accuracy
+    );
+
+    // The paper's headline: at least two orders of magnitude over the
+    // superconducting baselines.
+    let ersfq = mnist_baselines()
+        .into_iter()
+        .find(|b| b.name == "ERSFQ")
+        .expect("table contains ERSFQ");
+    println!(
+        "Ours / ERSFQ efficiency ratio (no cooling): {:.1}x",
+        ours.energy.tops_per_watt / ersfq.tops_per_watt
+    );
+}

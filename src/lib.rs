@@ -1,0 +1,2 @@
+//! Root umbrella crate for the SupeRBNN reproduction; see the member crates.
+pub use superbnn;

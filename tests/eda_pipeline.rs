@@ -1,0 +1,115 @@
+//! Integration test of the full AQFP EDA flow across crates:
+//! build → synthesize → legalize fan-out → balance → cost, with functional
+//! equivalence checked at every stage.
+
+use aqfp_device::{CellLibrary, ClockScheme};
+use aqfp_netlist::balance::{
+    balance, fanout_is_legal, is_balanced, legalize_fanout, legalize_fanout_balanced,
+};
+use aqfp_netlist::builders::{popcount_ge, ripple_adder_aoi};
+use aqfp_netlist::report::cost_report;
+use aqfp_netlist::synth::optimize;
+use aqfp_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vectors(n: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| (0..n).map(|_| rng.gen()).collect()).collect()
+}
+
+fn outputs_on(nl: &Netlist, vectors: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    vectors.iter().map(|v| nl.eval(v).unwrap()).collect()
+}
+
+/// The flagship flow: an AOI adder synthesized to majority cells, then
+/// taken through fan-out legalization and 4-phase balancing — function
+/// identical at every step, costs monotone in the expected direction.
+#[test]
+fn aoi_adder_full_flow_keeps_function_and_sheds_jjs() {
+    let lib = CellLibrary::hstp();
+    let clock = ClockScheme::four_phase_5ghz();
+    let (raw, _, _, _) = ripple_adder_aoi(6);
+    let vectors = random_vectors(raw.input_count(), 48, 11);
+    let reference = outputs_on(&raw, &vectors);
+
+    // Synthesis.
+    let (synthed, report) = optimize(&raw, &lib);
+    assert_eq!(outputs_on(&synthed, &vectors), reference, "synthesis");
+    assert!(report.jj_after < report.jj_before, "{report:?}");
+
+    // Legalization + balancing on the synthesized netlist.
+    let mut finished = synthed.clone();
+    legalize_fanout(&mut finished);
+    assert!(fanout_is_legal(&finished));
+    let bal = balance(&mut finished, &clock);
+    assert!(is_balanced(&finished, &bal.stages, clock.allowed_skew()));
+    assert_eq!(outputs_on(&finished, &vectors), reference, "balanced");
+
+    // The finished netlist costs more than the synthesized one (splitters
+    // and buffers are real), but synthesizing first must still beat the
+    // unsynthesized flow end to end.
+    let mut unsynthed = raw.clone();
+    legalize_fanout(&mut unsynthed);
+    balance(&mut unsynthed, &clock);
+    let with_synth = cost_report(&finished, &lib, &clock);
+    let without = cost_report(&unsynthed, &lib, &clock);
+    assert!(
+        with_synth.jj_total < without.jj_total,
+        "synth-first {} vs raw {} JJ",
+        with_synth.jj_total,
+        without.jj_total
+    );
+    assert!(bal.depth >= synthed.depth());
+}
+
+/// The SC accumulation comparator pipeline (popcount ≥ threshold) through
+/// both legalization variants: same function, legal fan-out in both.
+#[test]
+fn popcount_comparator_flow_is_stable_under_both_legalizers() {
+    let clock = ClockScheme::four_phase_5ghz();
+    let (nl, _, _) = popcount_ge(12, 7);
+    let vectors = random_vectors(12, 64, 13);
+    let reference = outputs_on(&nl, &vectors);
+
+    for balanced_trees in [false, true] {
+        let mut flow = nl.clone();
+        if balanced_trees {
+            legalize_fanout_balanced(&mut flow);
+        } else {
+            legalize_fanout(&mut flow);
+        }
+        assert!(fanout_is_legal(&flow), "trees={balanced_trees}");
+        let report = balance(&mut flow, &clock);
+        assert!(
+            is_balanced(&flow, &report.stages, clock.allowed_skew()),
+            "trees={balanced_trees}"
+        );
+        assert_eq!(
+            outputs_on(&flow, &vectors),
+            reference,
+            "trees={balanced_trees}"
+        );
+    }
+}
+
+/// Synthesis before the clocking study must not change its conclusions:
+/// higher phase counts still save JJs on the optimized netlist.
+#[test]
+fn clocking_savings_survive_synthesis() {
+    use aqfp_netlist::clocking::clocking_study;
+    use aqfp_netlist::random::{random_dag, RandomDagConfig};
+    let lib = CellLibrary::hstp();
+    let cfg = RandomDagConfig {
+        inputs: 16,
+        gates: 300,
+        ..Default::default()
+    };
+    let dag = random_dag(&cfg, &mut StdRng::seed_from_u64(17));
+    let (optimized, _) = optimize(&dag, &lib);
+    let results = clocking_study(&optimized, &[4, 8, 16], &lib);
+    let eight = results.iter().find(|r| r.phases == 8).unwrap();
+    let sixteen = results.iter().find(|r| r.phases == 16).unwrap();
+    assert!(eight.jj_reduction_vs_4phase > 0.0);
+    assert!(sixteen.jj_reduction_vs_4phase >= eight.jj_reduction_vs_4phase);
+}

@@ -1,0 +1,146 @@
+//! Software ↔ hardware equivalence in the deterministic regime.
+//!
+//! With a vanishing gray-zone, fan-in that fits one crossbar (no tiling
+//! loss) and any bit-stream length, the deployed pipeline must reproduce
+//! the software model's decisions bit-for-bit: the crossbar computes the
+//! same XNOR-accumulate, BN matching reproduces the BN+HardTanh+sign
+//! decision, OR/AND pooling equals max-pooling, and the popcount classifier
+//! equals the binary linear head.
+
+use aqfp_device::{DeviceRng, SeedableRng};
+use bnn_datasets::{digits::generate_digits, SynthConfig};
+use bnn_nn::layers::Mode;
+use bnn_nn::{NnRng, Sequential};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::deploy;
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+/// Near-deterministic hardware with single-tile layers for the MLP below.
+fn exact_hw() -> HardwareConfig {
+    HardwareConfig {
+        crossbar_rows: 256, // fits the whole 16×16 input fan-in
+        crossbar_cols: 64,
+        grayzone_ua: 1e-9,
+        bitstream_len: 1,
+        ..Default::default()
+    }
+}
+
+fn software_predictions(
+    model: &mut Sequential,
+    images: &bnn_nn::Tensor,
+    n: usize,
+) -> Vec<usize> {
+    let mut rng = NnRng::seed_from_u64(0);
+    let mut out = Vec::new();
+    for i in 0..n {
+        let per: usize = images.shape()[1..].iter().product();
+        let x = bnn_nn::Tensor::from_vec(
+            &[1, images.shape()[1], images.shape()[2], images.shape()[3]],
+            images.data()[i * per..(i + 1) * per].to_vec(),
+        );
+        let logits = model.forward(&x, Mode::Eval, &mut rng);
+        out.push(logits.argmax_rows()[0]);
+    }
+    out
+}
+
+#[test]
+fn deterministic_single_tile_mlp_matches_software_exactly() {
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 6,
+        ..Default::default()
+    });
+    let hw = exact_hw();
+    let spec = NetSpec::mlp(&[1, 16, 16], &[48], 10);
+    let mut model = spec.build_software_with(bnn_nn::Binarizer::Deterministic, 21);
+    // Brief training so BN stats and thresholds are non-trivial.
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        lr: 0.02,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    let sw = software_predictions(&mut model, &data.images, data.len());
+    let mut rng = DeviceRng::seed_from_u64(3);
+    let mut disagreements = 0usize;
+    for (i, &want) in sw.iter().enumerate() {
+        let (got, _) = deployed.classify(&data.images, i, &mut rng);
+        if got != want {
+            disagreements += 1;
+        }
+    }
+    // Exact ties at thresholds are measure-zero but can occur with f32
+    // arithmetic; allow at most one.
+    assert!(
+        disagreements <= 1,
+        "{disagreements}/{} hardware decisions diverge from software",
+        sw.len()
+    );
+}
+
+#[test]
+fn classifier_head_is_bit_exact() {
+    // The popcount classifier must equal the software binary linear layer on
+    // every ±1 input, independent of noise settings (it is digital).
+    let hw = exact_hw();
+    let spec = NetSpec::mlp(&[1, 2, 2], &[], 3); // classifier directly on input
+    let mut model = spec.build_software_with(bnn_nn::Binarizer::Deterministic, 5);
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+
+    let mut rng = DeviceRng::seed_from_u64(0);
+    for pattern in 0..16u32 {
+        let pixels: Vec<f32> = (0..4)
+            .map(|i| if (pattern >> i) & 1 == 1 { 0.7 } else { -0.7 })
+            .collect();
+        let images = bnn_nn::Tensor::from_vec(&[1, 1, 2, 2], pixels);
+        let mut nrng = NnRng::seed_from_u64(0);
+        let logits = model.forward(&images, Mode::Eval, &mut nrng);
+        let want = logits.argmax_rows()[0];
+        let (got, scores) = deployed.classify(&images, 0, &mut rng);
+        // Scores must match the logits exactly (same α/bias affine).
+        for (s, l) in scores.iter().zip(logits.data()) {
+            assert!((s - l).abs() < 1e-4, "score {s} vs logit {l}");
+        }
+        assert_eq!(got, want, "pattern {pattern:04b}");
+    }
+}
+
+#[test]
+fn bn_matching_reproduces_folded_decisions_across_seeds() {
+    // Train tiny models from several seeds; the deployed first-cell
+    // thresholds must make the same decisions as the float BN pipeline on
+    // the latent sums (checked through full-network agreement).
+    for seed in [1u64, 2, 3] {
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 4,
+            seed,
+            ..Default::default()
+        });
+        let hw = exact_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let mut model = spec.build_software_with(bnn_nn::Binarizer::Deterministic, seed);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            lr: 0.05,
+            ..Default::default()
+        })
+        .train(&mut model, &data);
+        let deployed = deploy(&spec, &model, &hw).expect("deploys");
+        let sw = software_predictions(&mut model, &data.images, data.len());
+        let mut rng = DeviceRng::seed_from_u64(9);
+        let agree = sw
+            .iter()
+            .enumerate()
+            .filter(|(i, &want)| deployed.classify(&data.images, *i, &mut rng).0 == want)
+            .count();
+        assert!(
+            agree as f64 >= 0.95 * sw.len() as f64,
+            "seed {seed}: only {agree}/{} agree",
+            sw.len()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests on cross-crate invariants.
+
+use aqfp_crossbar::array::{Crossbar, CrossbarConfig};
+use aqfp_crossbar::tile::TilingPlan;
+use aqfp_device::{Bit, GrayZone};
+use aqfp_netlist::balance::{balance, fanout_is_legal, is_balanced, legalize_fanout};
+use aqfp_netlist::random::{random_dag, RandomDagConfig};
+use aqfp_sc::number::parse_stream;
+use aqfp_sc::{Apc, Bitstream};
+use baselines::software::PackedVec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use superbnn::bnmatch::{bn_match, matched_decision, reference_decision};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crossbar raw sums equal the signed dot product of ±1 vectors.
+    #[test]
+    fn crossbar_raw_sum_is_dot_product(
+        weights in prop::collection::vec(prop::bool::ANY, 1..40),
+        inputs in prop::collection::vec(prop::bool::ANY, 1..40),
+    ) {
+        let n = weights.len().min(inputs.len());
+        let w: Vec<Vec<Bit>> = weights[..n].iter().map(|&b| vec![Bit::from_bool(b)]).collect();
+        let a: Vec<Bit> = inputs[..n].iter().map(|&b| Bit::from_bool(b)).collect();
+        let xbar = Crossbar::new(CrossbarConfig::default(), w).unwrap();
+        let expected: i32 = (0..n)
+            .map(|i| {
+                let wi = if weights[i] { 1 } else { -1 };
+                let ai = if inputs[i] { 1 } else { -1 };
+                wi * ai
+            })
+            .sum();
+        prop_assert_eq!(xbar.raw_sum(0, &a).unwrap(), expected);
+    }
+
+    /// The packed XNOR/popcount dot equals the crossbar raw sum.
+    #[test]
+    fn popcount_dot_equals_crossbar_sum(
+        bits in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 1..200),
+    ) {
+        let w: Vec<f32> = bits.iter().map(|&(b, _)| if b { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f32> = bits.iter().map(|&(_, b)| if b { 1.0 } else { -1.0 }).collect();
+        let packed = PackedVec::from_signs(&w).dot(&PackedVec::from_signs(&a));
+        let wcol: Vec<Vec<Bit>> = w.iter().map(|&v| vec![Bit::from_sign(v as f64)]).collect();
+        let acol: Vec<Bit> = a.iter().map(|&v| Bit::from_sign(v as f64)).collect();
+        let xbar = Crossbar::new(CrossbarConfig::default(), wcol).unwrap();
+        prop_assert_eq!(packed, xbar.raw_sum(0, &acol).unwrap());
+    }
+
+    /// Tiling plans partition the matrix exactly for any geometry.
+    #[test]
+    fn tiling_always_covers_exactly(
+        fan_in in 1usize..300,
+        out in 1usize..80,
+        max_rows in 1usize..40,
+        max_cols in 1usize..40,
+    ) {
+        let plan = TilingPlan::new(fan_in, out, max_rows, max_cols);
+        prop_assert!(plan.covers_exactly());
+        prop_assert_eq!(plan.crossbar_count(), plan.row_tiles() * plan.col_tiles());
+    }
+
+    /// Stochastic-number round trip: the decoded value of a generated
+    /// bipolar stream deviates by at most the binomial bound.
+    #[test]
+    fn bipolar_roundtrip_within_binomial_bound(
+        x in -1.0f64..1.0,
+        seed in 0u64..1000,
+        len_pow in 6u32..12,
+    ) {
+        let len = 1usize << len_pow;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = Bitstream::generate_bipolar(x, len, &mut rng);
+        let err = (s.bipolar_value() - x).abs();
+        // 6σ bound: σ = 2·√(p(1−p)/len) ≤ 1/√len.
+        prop_assert!(err < 6.0 / (len as f64).sqrt(), "err {err} at len {len}");
+    }
+
+    /// The functional APC equals the gate-level popcount netlist.
+    #[test]
+    fn apc_gate_level_equivalence(
+        word in prop::collection::vec(prop::bool::ANY, 1..12),
+    ) {
+        let apc = Apc::new(word.len());
+        let bits: Vec<Bit> = word.iter().map(|&b| Bit::from_bool(b)).collect();
+        prop_assert_eq!(apc.count(&bits), apc.count_gate_level(&bits));
+    }
+
+    /// Balancing always yields a legal schedule and preserves function on
+    /// random DAGs.
+    #[test]
+    fn balancing_random_dags_is_sound(seed in 0u64..50) {
+        let cfg = RandomDagConfig {
+            inputs: 6,
+            gates: 40,
+            ..Default::default()
+        };
+        let mut nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let probe: Vec<bool> = (0..6).map(|i| (seed >> i) & 1 == 1).collect();
+        let before = nl.eval(&probe).unwrap();
+        legalize_fanout(&mut nl);
+        prop_assert!(fanout_is_legal(&nl));
+        let clock = aqfp_device::ClockScheme::four_phase_5ghz();
+        let report = balance(&mut nl, &clock);
+        prop_assert!(is_balanced(&nl, &report.stages, report.allowed_skew));
+        prop_assert_eq!(nl.eval(&probe).unwrap(), before);
+    }
+
+    /// BN matching reproduces the floating-point decision for arbitrary
+    /// parameters (away from the exact threshold).
+    #[test]
+    fn bn_matching_equivalence(
+        gamma in -3.0f32..3.0,
+        beta in -3.0f32..3.0,
+        mean in -5.0f32..5.0,
+        var in 0.01f32..9.0,
+        alpha in 0.05f32..2.0,
+        x in -30i32..30,
+    ) {
+        let eps = 1e-5f32;
+        let m = bn_match(&[gamma], &[beta], &[mean], &[var], &[alpha], eps);
+        let xv = x as f64;
+        prop_assume!((xv - m.vth[0]).abs() > 1e-6);
+        // Skip the degenerate-γ constant channels.
+        prop_assume!(gamma.abs() > 1e-6);
+        let want = reference_decision(xv, gamma, beta, mean, var, alpha, eps);
+        let got = matched_decision(xv, m.vth[0], m.flip[0]);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The gray-zone law is a valid CDF-like curve: monotone, bounded, and
+    /// symmetric about its threshold.
+    #[test]
+    fn grayzone_law_is_monotone_and_symmetric(
+        th in -5.0f64..5.0,
+        width in 0.01f64..10.0,
+        a in -20.0f64..20.0,
+        b in -20.0f64..20.0,
+    ) {
+        let law = GrayZone::new(th, width);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(law.probability_one(lo) <= law.probability_one(hi) + 1e-12);
+        let p = law.probability_one(th + a.abs());
+        let q = law.probability_one(th - a.abs());
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "symmetry: {p} + {q}");
+    }
+
+    /// Packed streams agree with unpacked streams on every operation.
+    #[test]
+    fn packed_stream_equals_unpacked(
+        bits_a in prop::collection::vec(prop::bool::ANY, 1..200),
+        bits_b in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        use aqfp_sc::packed::PackedStream;
+        let n = bits_a.len().min(bits_b.len());
+        let ua = Bitstream::from_bits(bits_a[..n].iter().map(|&b| Bit::from_bool(b)).collect());
+        let ub = Bitstream::from_bits(bits_b[..n].iter().map(|&b| Bit::from_bool(b)).collect());
+        let pa = PackedStream::from_bitstream(&ua);
+        let pb = PackedStream::from_bitstream(&ub);
+        prop_assert_eq!(pa.ones(), ua.ones());
+        prop_assert_eq!(pa.xnor(&pb).to_bitstream(), ua.xnor(&ub));
+        prop_assert_eq!(pa.and(&pb).to_bitstream(), ua.and(&ub));
+        prop_assert_eq!(pa.xnor_ones(&pb), ua.xnor(&ub).ones());
+        prop_assert_eq!(pa.not().ones(), n - ua.ones());
+        prop_assert_eq!(pa.to_bitstream(), ua);
+    }
+
+    /// `ones_prefix` is consistent with `ones` of a truncated stream.
+    #[test]
+    fn packed_prefix_counts_are_consistent(
+        bits in prop::collection::vec(prop::bool::ANY, 1..300),
+        cut in 0usize..300,
+    ) {
+        use aqfp_sc::packed::PackedStream;
+        let ub = Bitstream::from_bits(bits.iter().map(|&b| Bit::from_bool(b)).collect());
+        let p = PackedStream::from_bitstream(&ub);
+        let cut = cut.min(bits.len());
+        let expect = bits[..cut].iter().filter(|&&b| b).count();
+        prop_assert_eq!(p.ones_prefix(cut), expect);
+    }
+
+    /// Synthesis optimization preserves function and never grows JJ cost.
+    #[test]
+    fn synth_preserves_function_on_random_dags(seed in 0u64..40) {
+        use aqfp_device::CellLibrary;
+        use aqfp_netlist::synth::optimize;
+        let cfg = RandomDagConfig {
+            inputs: 8,
+            gates: 60,
+            ..Default::default()
+        };
+        let nl = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let (opt, report) = optimize(&nl, &CellLibrary::hstp());
+        prop_assert!(report.jj_after <= report.jj_before);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        for _ in 0..16 {
+            let inputs: Vec<bool> = (0..nl.input_count())
+                .map(|_| rand::Rng::gen(&mut rng))
+                .collect();
+            prop_assert_eq!(nl.eval(&inputs).unwrap(), opt.eval(&inputs).unwrap());
+        }
+    }
+
+    /// The Stanh FSM output is a valid stream whose value has the input's
+    /// sign for clearly non-zero inputs.
+    #[test]
+    fn stanh_tracks_input_sign(
+        mag in 0.4f64..0.95,
+        positive in prop::bool::ANY,
+        states in 2u32..10,
+    ) {
+        use aqfp_sc::fsm::StanhFsm;
+        use aqfp_sc::packed::PackedStream;
+        let x = if positive { mag } else { -mag };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s = PackedStream::generate_bipolar(x, 16_384, &mut rng);
+        let y = StanhFsm::new(states * 2).run(&s).bipolar_value();
+        prop_assert!((y > 0.0) == positive, "x={x} y={y}");
+    }
+}
+
+/// A plain (non-proptest) regression: the paper's SN examples parse and
+/// decode as printed.
+#[test]
+fn paper_sn_examples_decode() {
+    assert!((parse_stream("0100110100").unipolar_value() - 0.4).abs() < 1e-12);
+    assert!((parse_stream("1011011101").bipolar_value() - 0.4).abs() < 1e-12);
+    assert!((parse_stream("0100100000").bipolar_value() + 0.6).abs() < 1e-12);
+}

@@ -1,0 +1,57 @@
+//! Integration: the hardware cost model reproduces the paper's Table 1
+//! exactly, and the clocking experiment lands in the paper's ballpark.
+
+use aqfp_crossbar::cost::{table1, CrossbarCost, TABLE1_PAPER};
+use aqfp_device::CellLibrary;
+use aqfp_netlist::clocking::{clocking_study, BcmMemory};
+use aqfp_netlist::random::{random_dag, RandomDagConfig};
+use rand::SeedableRng;
+
+#[test]
+fn table1_matches_paper_to_printed_precision() {
+    let rows = table1();
+    assert_eq!(rows.len(), TABLE1_PAPER.len());
+    for (row, &(size, lat, jj, e)) in rows.iter().zip(TABLE1_PAPER.iter()) {
+        assert_eq!(row.size, size);
+        assert!((row.latency_ps - lat).abs() < 1e-9, "latency at {size}");
+        assert_eq!(row.jj_count, jj, "JJ count at {size}");
+        assert!((row.energy_aj - e).abs() < 1e-9, "energy at {size}");
+    }
+}
+
+#[test]
+fn growth_trends_are_as_reported() {
+    // Table 1's discussion: all three metrics grow, with different trends.
+    let mut prev = CrossbarCost::square(4);
+    for n in [8usize, 16, 18, 36, 72, 144] {
+        let c = CrossbarCost::square(n);
+        assert!(c.latency_ps() > prev.latency_ps());
+        assert!(c.jj_count() > prev.jj_count());
+        assert!(c.energy_per_cycle_aj() > prev.energy_per_cycle_aj());
+        prev = c;
+    }
+}
+
+#[test]
+fn clocking_reductions_match_section_4_4() {
+    // Larger benchmark, closer to the paper's design sizes.
+    let cfg = RandomDagConfig {
+        inputs: 64,
+        gates: 3000,
+        ..Default::default()
+    };
+    let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(44));
+    let results = clocking_study(&base, &[4, 8, 16], &CellLibrary::hstp());
+    let r8 = results.iter().find(|r| r.phases == 8).unwrap().jj_reduction_vs_4phase;
+    let r16 = results.iter().find(|r| r.phases == 16).unwrap().jj_reduction_vs_4phase;
+    // Paper: ≥ 20.8 % and ≥ 27.3 % on its netlists. Random DAGs should land
+    // in the same regime and preserve the ordering.
+    assert!(r8 > 0.15, "8-phase saves {r8}");
+    assert!(r16 > 0.22, "16-phase saves {r16}");
+    assert!(r16 > r8);
+}
+
+#[test]
+fn bcm_memory_saves_exactly_20_percent() {
+    assert!((BcmMemory::reduction_from_4phase(1 << 14, 3) - 0.20).abs() < 1e-12);
+}
