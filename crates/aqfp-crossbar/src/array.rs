@@ -71,17 +71,26 @@ impl fmt::Display for CrossbarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CrossbarError::EmptyWeights => {
-                write!(f, "crossbar weight matrix must be non-empty in both dimensions")
+                write!(
+                    f,
+                    "crossbar weight matrix must be non-empty in both dimensions"
+                )
             }
             CrossbarError::RaggedWeights { expected, row, got } => write!(
                 f,
                 "weight matrix is ragged: row {row} has {got} entries, expected {expected}"
             ),
             CrossbarError::WrongInputLen { expected, got } => {
-                write!(f, "activation vector length {got} does not match {expected} rows")
+                write!(
+                    f,
+                    "activation vector length {got} does not match {expected} rows"
+                )
             }
             CrossbarError::WrongThresholdLen { expected, got } => {
-                write!(f, "threshold vector length {got} does not match {expected} columns")
+                write!(
+                    f,
+                    "threshold vector length {got} does not match {expected} columns"
+                )
             }
         }
     }
@@ -107,7 +116,7 @@ impl Crossbar {
     ///
     /// # Errors
     /// [`CrossbarError::EmptyWeights`] or [`CrossbarError::RaggedWeights`].
-    pub fn new(config: CrossbarConfig, weights: Vec<Vec<Bit>>) -> Result<Self, CrossbarError> {
+    pub fn new(config: CrossbarConfig, weights: Vec<Vec<Bit>>) -> crate::Result<Self> {
         if weights.is_empty() || weights[0].is_empty() {
             return Err(CrossbarError::EmptyWeights);
         }
@@ -164,7 +173,7 @@ impl Crossbar {
     ///
     /// # Errors
     /// [`CrossbarError::WrongThresholdLen`] on length mismatch.
-    pub fn set_thresholds_ua(&mut self, thresholds: Vec<f64>) -> Result<(), CrossbarError> {
+    pub fn set_thresholds_ua(&mut self, thresholds: Vec<f64>) -> crate::Result<()> {
         if thresholds.len() != self.cols {
             return Err(CrossbarError::WrongThresholdLen {
                 expected: self.cols,
@@ -193,7 +202,7 @@ impl Crossbar {
     ///
     /// # Errors
     /// [`CrossbarError::WrongInputLen`] on activation length mismatch.
-    pub fn raw_sum(&self, col: usize, input: &[Bit]) -> Result<i32, CrossbarError> {
+    pub fn raw_sum(&self, col: usize, input: &[Bit]) -> crate::Result<i32> {
         if input.len() != self.rows {
             return Err(CrossbarError::WrongInputLen {
                 expected: self.rows,
@@ -208,12 +217,12 @@ impl Crossbar {
     }
 
     /// The physical merged current of `col`, in µA: `raw_sum · I1(rows)`.
-    pub fn column_current_ua(&self, col: usize, input: &[Bit]) -> Result<f64, CrossbarError> {
+    pub fn column_current_ua(&self, col: usize, input: &[Bit]) -> crate::Result<f64> {
         Ok(self.raw_sum(col, input)? as f64 * self.unit_current_ua())
     }
 
     /// Analytic probability that the neuron of `col` reads '1' (Eq. 1).
-    pub fn column_probability(&self, col: usize, input: &[Bit]) -> Result<f64, CrossbarError> {
+    pub fn column_probability(&self, col: usize, input: &[Bit]) -> crate::Result<f64> {
         let i = self.column_current_ua(col, input)?;
         Ok(self.neuron(col).probability_one(i))
     }
@@ -223,7 +232,7 @@ impl Crossbar {
         &self,
         input: &[Bit],
         rng: &mut R,
-    ) -> Result<Vec<Bit>, CrossbarError> {
+    ) -> crate::Result<Vec<Bit>> {
         (0..self.cols)
             .map(|c| {
                 let i = self.column_current_ua(c, input)?;
@@ -234,7 +243,7 @@ impl Crossbar {
 
     /// Ideal (noiseless) read-out: the sign of the column current relative
     /// to the threshold. The software-model reference for tests.
-    pub fn compute_ideal(&self, input: &[Bit]) -> Result<Vec<Bit>, CrossbarError> {
+    pub fn compute_ideal(&self, input: &[Bit]) -> crate::Result<Vec<Bit>> {
         (0..self.cols)
             .map(|c| {
                 let i = self.column_current_ua(c, input)?;
@@ -251,7 +260,7 @@ impl Crossbar {
         input: &[Bit],
         window: usize,
         rng: &mut R,
-    ) -> Result<Vec<Vec<Bit>>, CrossbarError> {
+    ) -> crate::Result<Vec<Vec<Bit>>> {
         (0..self.cols)
             .map(|c| {
                 let i = self.column_current_ua(c, input)?;
@@ -265,7 +274,7 @@ impl Crossbar {
     /// # Errors
     /// Shape errors as in [`Crossbar::new`]; additionally the new matrix
     /// must match the existing dimensions.
-    pub fn program(&mut self, weights: &[Vec<Bit>]) -> Result<(), CrossbarError> {
+    pub fn program(&mut self, weights: &[Vec<Bit>]) -> crate::Result<()> {
         if weights.len() != self.rows {
             return Err(CrossbarError::WrongInputLen {
                 expected: self.rows,
@@ -421,12 +430,18 @@ mod tests {
         let xbar = Crossbar::new(CrossbarConfig::default(), identity4()).unwrap();
         assert!(matches!(
             xbar.raw_sum(0, &[Bit::One]).unwrap_err(),
-            CrossbarError::WrongInputLen { expected: 4, got: 1 }
+            CrossbarError::WrongInputLen {
+                expected: 4,
+                got: 1
+            }
         ));
         let mut xbar = xbar;
         assert!(matches!(
             xbar.set_thresholds_ua(vec![0.0]).unwrap_err(),
-            CrossbarError::WrongThresholdLen { expected: 4, got: 1 }
+            CrossbarError::WrongThresholdLen {
+                expected: 4,
+                got: 1
+            }
         ));
     }
 

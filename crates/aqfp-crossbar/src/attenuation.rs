@@ -40,7 +40,10 @@ impl AttenuationModel {
     /// # Panics
     /// Panics unless `a_ua > 0` and `b > 0`.
     pub fn new(a_ua: f64, b: f64) -> Self {
-        assert!(a_ua > 0.0 && a_ua.is_finite(), "A must be positive, got {a_ua}");
+        assert!(
+            a_ua > 0.0 && a_ua.is_finite(),
+            "A must be positive, got {a_ua}"
+        );
         assert!(b > 0.0 && b.is_finite(), "B must be positive, got {b}");
         Self { a_ua, b }
     }

@@ -50,3 +50,7 @@ pub mod tile;
 pub use array::{Crossbar, CrossbarConfig, CrossbarError};
 pub use attenuation::AttenuationModel;
 pub use cost::CrossbarCost;
+
+/// Crate-wide result alias: every fallible crossbar API fails with
+/// [`CrossbarError`].
+pub type Result<T> = std::result::Result<T, CrossbarError>;

@@ -103,7 +103,10 @@ impl CellLibrary {
             GateKind::And | GateKind::Or | GateKind::Majority => 6,
             GateKind::Readout => 4,
         };
-        CellCost { jj_count, stages: 1 }
+        CellCost {
+            jj_count,
+            stages: 1,
+        }
     }
 
     /// Energy dissipated by one gate over one clock cycle, in aJ.

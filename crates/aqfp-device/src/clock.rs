@@ -29,7 +29,7 @@ impl ClockScheme {
     /// # Errors
     /// Returns [`crate::DeviceError::InvalidClockPhases`] if `phases < 3`
     /// (Section 4.4: "a minimum of a 3-phase clock system").
-    pub fn new(phases: u32, frequency_ghz: f64) -> Result<Self, crate::DeviceError> {
+    pub fn new(phases: u32, frequency_ghz: f64) -> crate::Result<Self> {
         if phases < Self::MIN_PHASES {
             return Err(crate::DeviceError::InvalidClockPhases { phases });
         }

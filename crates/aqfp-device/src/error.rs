@@ -26,7 +26,10 @@ impl fmt::Display for DeviceError {
                 "AQFP requires at least 3 clock phases for data propagation, got {phases}"
             ),
             DeviceError::InvalidFrequency { frequency_ghz } => {
-                write!(f, "clock frequency must be positive and finite, got {frequency_ghz} GHz")
+                write!(
+                    f,
+                    "clock frequency must be positive and finite, got {frequency_ghz} GHz"
+                )
             }
         }
     }

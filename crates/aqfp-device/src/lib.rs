@@ -57,6 +57,10 @@ pub use error::DeviceError;
 pub use grayzone::GrayZone;
 pub use logic::Bit;
 
+/// Crate-wide result alias: every fallible device-layer API fails with
+/// [`DeviceError`].
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
 /// Deterministic random-number generator used across the device layer.
 ///
 /// All stochastic device behaviour in this workspace is driven through this

@@ -452,7 +452,10 @@ mod tests {
             tree_buf < chain_buf,
             "broadcast: tree {tree_buf} vs chain {chain_buf} buffers"
         );
-        assert!(tree_depth < chain_depth, "broadcast: tree must be shallower");
+        assert!(
+            tree_depth < chain_depth,
+            "broadcast: tree must be shallower"
+        );
 
         // Wallace-tree popcount: consumers sit at staggered stages and the
         // chain's deeper legs double as free balancing buffers.
@@ -464,7 +467,10 @@ mod tests {
         );
         // Function survives both flows either way.
         let inputs = vec![true; 32];
-        assert_eq!(chain_nl.eval(&inputs).unwrap(), tree_nl.eval(&inputs).unwrap());
+        assert_eq!(
+            chain_nl.eval(&inputs).unwrap(),
+            tree_nl.eval(&inputs).unwrap()
+        );
     }
 
     #[test]

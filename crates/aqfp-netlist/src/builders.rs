@@ -16,8 +16,12 @@ use aqfp_device::GateKind;
 pub fn half_adder(nl: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     let and_ab = nl.add_gate(GateKind::And, &[a, b]).expect("valid ids");
     let or_ab = nl.add_gate(GateKind::Or, &[a, b]).expect("valid ids");
-    let nand_ab = nl.add_gate(GateKind::Inverter, &[and_ab]).expect("valid ids");
-    let sum = nl.add_gate(GateKind::And, &[or_ab, nand_ab]).expect("valid ids");
+    let nand_ab = nl
+        .add_gate(GateKind::Inverter, &[and_ab])
+        .expect("valid ids");
+    let sum = nl
+        .add_gate(GateKind::And, &[or_ab, nand_ab])
+        .expect("valid ids");
     (sum, and_ab)
 }
 
@@ -28,10 +32,16 @@ pub fn half_adder(nl: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 /// `sum = MAJ(INV(carry), MAJ(a, b, INV(c)), c)` — five gates, the canonical
 /// AQFP adder cell.
 pub fn full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
-    let carry = nl.add_gate(GateKind::Majority, &[a, b, c]).expect("valid ids");
-    let ncarry = nl.add_gate(GateKind::Inverter, &[carry]).expect("valid ids");
+    let carry = nl
+        .add_gate(GateKind::Majority, &[a, b, c])
+        .expect("valid ids");
+    let ncarry = nl
+        .add_gate(GateKind::Inverter, &[carry])
+        .expect("valid ids");
     let nc = nl.add_gate(GateKind::Inverter, &[c]).expect("valid ids");
-    let m1 = nl.add_gate(GateKind::Majority, &[a, b, nc]).expect("valid ids");
+    let m1 = nl
+        .add_gate(GateKind::Majority, &[a, b, nc])
+        .expect("valid ids");
     let sum = nl
         .add_gate(GateKind::Majority, &[ncarry, m1, c])
         .expect("valid ids");
@@ -146,8 +156,12 @@ fn popcount_impl(n: usize, approx_below_weight: u32) -> (Netlist, Vec<NodeId>, V
 /// truth 1); both errors have magnitude one at the adder's bit weight and
 /// opposite signs.
 pub fn approx_full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
-    let carry = nl.add_gate(GateKind::Majority, &[a, b, c]).expect("valid ids");
-    let sum = nl.add_gate(GateKind::Inverter, &[carry]).expect("valid ids");
+    let carry = nl
+        .add_gate(GateKind::Majority, &[a, b, c])
+        .expect("valid ids");
+    let sum = nl
+        .add_gate(GateKind::Inverter, &[carry])
+        .expect("valid ids");
     (sum, carry)
 }
 
@@ -158,7 +172,10 @@ pub fn approx_full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (
 /// # Panics
 /// Panics if either operand is empty.
 pub fn ripple_adder(nl: &mut Netlist, a_bits: &[NodeId], b_bits: &[NodeId]) -> Vec<NodeId> {
-    assert!(!a_bits.is_empty() && !b_bits.is_empty(), "adder operands must be non-empty");
+    assert!(
+        !a_bits.is_empty() && !b_bits.is_empty(),
+        "adder operands must be non-empty"
+    );
     let width = a_bits.len().max(b_bits.len());
     let zero = nl.add_const(false);
     let mut carry = nl.add_const(false);
@@ -190,7 +207,9 @@ pub fn full_adder_aoi(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (Nod
     let and_ab = nl.add_gate(GateKind::And, &[a, b]).expect("valid ids");
     let or_ab = nl.add_gate(GateKind::Or, &[a, b]).expect("valid ids");
     let c_or = nl.add_gate(GateKind::And, &[c, or_ab]).expect("valid ids");
-    let carry = nl.add_gate(GateKind::Or, &[and_ab, c_or]).expect("valid ids");
+    let carry = nl
+        .add_gate(GateKind::Or, &[and_ab, c_or])
+        .expect("valid ids");
     (sum, carry)
 }
 
@@ -277,7 +296,8 @@ pub fn comparator_ge(nl: &mut Netlist, bits: &[NodeId], threshold: u64) -> NodeI
             .add_gate(GateKind::Majority, &[na, t, borrow])
             .expect("valid ids");
     }
-    nl.add_gate(GateKind::Inverter, &[borrow]).expect("valid ids")
+    nl.add_gate(GateKind::Inverter, &[borrow])
+        .expect("valid ids")
 }
 
 /// Builds a fresh netlist computing `popcount(inputs) ≥ threshold` — the
@@ -297,10 +317,7 @@ mod tests {
 
     fn eval_bits(nl: &Netlist, inputs: &[bool]) -> u64 {
         let outs = nl.eval(inputs).unwrap();
-        outs.iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum()
+        outs.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
     }
 
     #[test]

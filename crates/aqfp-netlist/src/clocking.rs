@@ -40,11 +40,7 @@ pub struct PhaseResult {
 /// # Panics
 /// Panics if `phase_counts` does not contain 4 (the baseline) or contains a
 /// value below 3.
-pub fn clocking_study(
-    base: &Netlist,
-    phase_counts: &[u32],
-    lib: &CellLibrary,
-) -> Vec<PhaseResult> {
+pub fn clocking_study(base: &Netlist, phase_counts: &[u32], lib: &CellLibrary) -> Vec<PhaseResult> {
     assert!(
         phase_counts.contains(&4),
         "the study needs the 4-phase baseline"
@@ -151,7 +147,7 @@ impl BcmMemory {
     /// # Errors
     /// Returns [`aqfp_device::DeviceError::InvalidClockPhases`] for fewer
     /// than 3 phases.
-    pub fn new(bits: usize, phases: u32) -> Result<Self, aqfp_device::DeviceError> {
+    pub fn new(bits: usize, phases: u32) -> aqfp_device::Result<Self> {
         if phases < ClockScheme::MIN_PHASES {
             return Err(aqfp_device::DeviceError::InvalidClockPhases { phases });
         }
@@ -205,8 +201,14 @@ mod tests {
 
     #[test]
     fn bcm_storage_scales_linearly() {
-        let a = BcmMemory { bits: 100, phases: 4 };
-        let b = BcmMemory { bits: 200, phases: 4 };
+        let a = BcmMemory {
+            bits: 100,
+            phases: 4,
+        };
+        let b = BcmMemory {
+            bits: 200,
+            phases: 4,
+        };
         assert!((b.total_jj() / a.total_jj() - 2.0).abs() < 1e-12);
     }
 

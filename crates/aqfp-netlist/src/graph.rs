@@ -68,12 +68,19 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::ForwardReference { referenced, defined } => write!(
+            NetlistError::ForwardReference {
+                referenced,
+                defined,
+            } => write!(
                 f,
                 "gate references node {referenced} but only {defined} nodes are defined \
                  (netlists are built in topological order)"
             ),
-            NetlistError::WrongArity { kind, expected, got } => {
+            NetlistError::WrongArity {
+                kind,
+                expected,
+                got,
+            } => {
                 write!(f, "gate {kind:?} expects {expected} inputs, got {got}")
             }
             NetlistError::WrongInputCount { expected, got } => {
@@ -132,7 +139,10 @@ impl Netlist {
 
     /// Number of primary inputs.
     pub fn input_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Input)).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Input))
+            .count()
     }
 
     /// The designated output nodes, in the order they were marked.
@@ -157,7 +167,7 @@ impl Netlist {
     /// # Errors
     /// [`NetlistError::WrongArity`] if `inputs.len() != kind.arity()`;
     /// [`NetlistError::ForwardReference`] if any input id is not yet defined.
-    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, NetlistError> {
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> crate::Result<NodeId> {
         if inputs.len() != kind.arity() {
             return Err(NetlistError::WrongArity {
                 kind,
@@ -200,13 +210,13 @@ impl Netlist {
     ///
     /// # Errors
     /// [`NetlistError::WrongInputCount`] on input-count mismatch.
-    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+    pub fn eval(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
         let values = self.eval_all(inputs)?;
         Ok(self.outputs.iter().map(|&id| values[id.0]).collect())
     }
 
     /// Like [`Netlist::eval`] but returns the value of *every* node.
-    pub fn eval_all(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+    pub fn eval_all(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
         let expected = self.input_count();
         if inputs.len() != expected {
             return Err(NetlistError::WrongInputCount {

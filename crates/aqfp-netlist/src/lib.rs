@@ -54,3 +54,7 @@ pub mod synth;
 mod graph;
 
 pub use graph::{Netlist, NetlistError, Node, NodeId};
+
+/// Crate-wide result alias: every fallible netlist API fails with
+/// [`NetlistError`].
+pub type Result<T> = std::result::Result<T, NetlistError>;

@@ -155,7 +155,11 @@ fn simplify(
                 return (make_const(!v, out), true);
             }
             // INV(INV(a)) = a
-            if let Node::Gate { kind: GateKind::Inverter, inputs: inner } = out.node(inputs[0]) {
+            if let Node::Gate {
+                kind: GateKind::Inverter,
+                inputs: inner,
+            } = out.node(inputs[0])
+            {
                 return (inner[0], true);
             }
         }
@@ -222,7 +226,9 @@ fn simplify(
     if let Some(&hit) = cache.get(&(kind, key_inputs.clone())) {
         return (hit, true);
     }
-    let id = out.add_gate(kind, inputs).expect("inputs precede this gate");
+    let id = out
+        .add_gate(kind, inputs)
+        .expect("inputs precede this gate");
     cache.insert((kind, key_inputs), id);
     (id, false)
 }
@@ -245,9 +251,10 @@ fn demorgan_once(nl: &Netlist) -> (Netlist, bool) {
     }
     let inverter_operand = |id: NodeId| -> Option<NodeId> {
         match nl.node(id) {
-            Node::Gate { kind: GateKind::Inverter, inputs } if uses[id.index()] == 1 => {
-                Some(inputs[0])
-            }
+            Node::Gate {
+                kind: GateKind::Inverter,
+                inputs,
+            } if uses[id.index()] == 1 => Some(inputs[0]),
             _ => None,
         }
     };
@@ -272,13 +279,13 @@ fn demorgan_once(nl: &Netlist) -> (Netlist, bool) {
                     .flatten();
                 match (dual, operands) {
                     (Some(dual_kind), Some(ops)) => {
-                        let mapped: Vec<NodeId> =
-                            ops.iter().map(|&i| remap[i.index()]).collect();
+                        let mapped: Vec<NodeId> = ops.iter().map(|&i| remap[i.index()]).collect();
                         let gate = out
                             .add_gate(dual_kind, &mapped)
                             .expect("operands precede the rewrite site");
                         changed = true;
-                        out.add_gate(GateKind::Inverter, &[gate]).expect("gate just added")
+                        out.add_gate(GateKind::Inverter, &[gate])
+                            .expect("gate just added")
                     }
                     _ => {
                         let mapped: Vec<NodeId> =
@@ -309,19 +316,29 @@ fn inverts(nl: &Netlist, a: NodeId, b: NodeId) -> bool {
 fn match_carry_pattern(out: &mut Netlist, x: NodeId, y: NodeId) -> Option<NodeId> {
     let and_inputs = |id: NodeId| -> Option<(NodeId, NodeId)> {
         match out.node(id) {
-            Node::Gate { kind: GateKind::And, inputs } => Some((inputs[0], inputs[1])),
+            Node::Gate {
+                kind: GateKind::And,
+                inputs,
+            } => Some((inputs[0], inputs[1])),
             _ => None,
         }
     };
     let or_inputs = |id: NodeId| -> Option<(NodeId, NodeId)> {
         match out.node(id) {
-            Node::Gate { kind: GateKind::Or, inputs } => Some((inputs[0], inputs[1])),
+            Node::Gate {
+                kind: GateKind::Or,
+                inputs,
+            } => Some((inputs[0], inputs[1])),
             _ => None,
         }
     };
     for (p, q) in [(x, y), (y, x)] {
-        let Some((a, b)) = and_inputs(p) else { continue };
-        let Some((u, v)) = and_inputs(q) else { continue };
+        let Some((a, b)) = and_inputs(p) else {
+            continue;
+        };
+        let Some((u, v)) = and_inputs(q) else {
+            continue;
+        };
         // One operand of the second AND must be OR(a, b); the other is c.
         for (or_cand, c) in [(u, v), (v, u)] {
             if let Some((oa, ob)) = or_inputs(or_cand) {
@@ -368,7 +385,8 @@ fn eliminate_dead(nl: &Netlist) -> Netlist {
                     .iter()
                     .map(|x| remap[x.index()].expect("live gate input is live"))
                     .collect();
-                out.add_gate(*kind, &mapped).expect("topological order preserved")
+                out.add_gate(*kind, &mapped)
+                    .expect("topological order preserved")
             }
         };
         remap[i] = Some(new_id);
@@ -480,7 +498,10 @@ mod tests {
         assert_eq!(report.gates_after, 1, "single majority cell");
         assert!(matches!(
             opt.node(opt.outputs()[0]),
-            Node::Gate { kind: GateKind::Majority, .. }
+            Node::Gate {
+                kind: GateKind::Majority,
+                ..
+            }
         ));
         assert!(report.jj_saving() > 0.5);
     }
@@ -611,7 +632,11 @@ mod tests {
             iterations: 2,
         };
         assert!((r.jj_saving() - 0.75).abs() < 1e-12);
-        let zero = SynthReport { jj_before: 0, jj_after: 0, ..r };
+        let zero = SynthReport {
+            jj_before: 0,
+            jj_after: 0,
+            ..r
+        };
         assert_eq!(zero.jj_saving(), 0.0);
     }
 }

@@ -47,9 +47,16 @@ impl fmt::Display for ScAccumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScAccumError::WrongStreamCount { expected, got } => {
-                write!(f, "accumulation module has {expected} inputs, got {got} streams")
+                write!(
+                    f,
+                    "accumulation module has {expected} inputs, got {got} streams"
+                )
             }
-            ScAccumError::WrongWindow { expected, stream, got } => write!(
+            ScAccumError::WrongWindow {
+                expected,
+                stream,
+                got,
+            } => write!(
                 f,
                 "stream {stream} has length {got}, expected the {expected}-bit window"
             ),
@@ -130,7 +137,7 @@ impl AccumulationModule {
         self.window
     }
 
-    fn check(&self, streams: &[Bitstream]) -> Result<(), ScAccumError> {
+    fn check(&self, streams: &[Bitstream]) -> crate::Result<()> {
         if streams.len() != self.inputs {
             return Err(ScAccumError::WrongStreamCount {
                 expected: self.inputs,
@@ -152,7 +159,7 @@ impl AccumulationModule {
     /// Total ones count `T` over all streams and cycles — what the APC +
     /// accumulator register compute in hardware. Evaluated cycle-by-cycle
     /// through the functional APC to mirror the datapath.
-    pub fn total_count(&self, streams: &[Bitstream]) -> Result<u64, ScAccumError> {
+    pub fn total_count(&self, streams: &[Bitstream]) -> crate::Result<u64> {
         self.check(streams)?;
         let apc = Apc::new(self.inputs);
         let mut total = 0u64;
@@ -171,7 +178,7 @@ impl AccumulationModule {
 
     /// The accumulated bipolar value estimate `v = 2T/L − k ∈ [−k, +k]`,
     /// in per-crossbar units.
-    pub fn accumulate_value(&self, streams: &[Bitstream]) -> Result<f64, ScAccumError> {
+    pub fn accumulate_value(&self, streams: &[Bitstream]) -> crate::Result<f64> {
         let total = self.total_count(streams)?;
         Ok(2.0 * total as f64 / self.window as f64 - self.inputs as f64)
     }
@@ -179,7 +186,7 @@ impl AccumulationModule {
     /// The module's 1-bit output: '1' iff `T ≥ threshold` (default: the
     /// bipolar midpoint, i.e. the sign of the accumulated value with ties
     /// resolving to '1').
-    pub fn binarize(&self, streams: &[Bitstream]) -> Result<Bit, ScAccumError> {
+    pub fn binarize(&self, streams: &[Bitstream]) -> crate::Result<Bit> {
         let total = self.total_count(streams)?;
         Ok(Bit::from_bool(2 * total >= self.threshold_doubled))
     }
@@ -329,13 +336,23 @@ mod tests {
     fn shape_errors() {
         let m = AccumulationModule::new(2, 4);
         let e = m.total_count(&[parse_stream("1111")]).unwrap_err();
-        assert!(matches!(e, ScAccumError::WrongStreamCount { expected: 2, got: 1 }));
+        assert!(matches!(
+            e,
+            ScAccumError::WrongStreamCount {
+                expected: 2,
+                got: 1
+            }
+        ));
         let e = m
             .total_count(&[parse_stream("1111"), parse_stream("11")])
             .unwrap_err();
         assert!(matches!(
             e,
-            ScAccumError::WrongWindow { expected: 4, stream: 1, got: 2 }
+            ScAccumError::WrongWindow {
+                expected: 4,
+                stream: 1,
+                got: 2
+            }
         ));
     }
 

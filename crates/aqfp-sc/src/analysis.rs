@@ -35,12 +35,7 @@ fn gaussian_pdf(x: f64, mean: f64, std: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `cs == 0` or `act_std <= 0`.
-pub fn average_mismatch_error(
-    value_law: &GrayZone,
-    cs: usize,
-    act_mean: f64,
-    act_std: f64,
-) -> f64 {
+pub fn average_mismatch_error(value_law: &GrayZone, cs: usize, act_mean: f64, act_std: f64) -> f64 {
     assert!(cs > 0, "crossbar size must be positive");
     assert!(act_std > 0.0, "activation std must be positive");
     let csf = cs as f64;

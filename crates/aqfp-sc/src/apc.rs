@@ -135,10 +135,7 @@ impl Apc {
         let nl = self.netlist();
         let inputs: Vec<bool> = word.iter().map(|b| b.as_bool()).collect();
         let outs = nl.eval(&inputs).expect("width checked above");
-        outs.iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u32) << i)
-            .sum()
+        outs.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum()
     }
 
     /// Hardware cost of the APC after fan-out legalization and 4-phase path
@@ -229,7 +226,9 @@ mod tests {
     use super::*;
 
     fn word(pattern: u32, n: usize) -> Vec<Bit> {
-        (0..n).map(|i| Bit::from_bool((pattern >> i) & 1 == 1)).collect()
+        (0..n)
+            .map(|i| Bit::from_bool((pattern >> i) & 1 == 1))
+            .collect()
     }
 
     #[test]

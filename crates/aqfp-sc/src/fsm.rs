@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn is_monotone_in_input_value() {
-        let ys: Vec<f64> = [-0.6, -0.2, 0.2, 0.6].iter().map(|&x| eval(6, x, 32_768)).collect();
+        let ys: Vec<f64> = [-0.6, -0.2, 0.2, 0.6]
+            .iter()
+            .map(|&x| eval(6, x, 32_768))
+            .collect();
         assert!(ys.windows(2).all(|w| w[0] < w[1]), "{ys:?}");
     }
 

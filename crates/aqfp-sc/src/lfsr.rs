@@ -74,7 +74,12 @@ pub fn stream_correlation(a: &Bitstream, b: &Bitstream) -> f64 {
     let vb: Vec<f64> = b.bits().iter().map(|b| b.to_value()).collect();
     let ma = va.iter().sum::<f64>() / n;
     let mb = vb.iter().sum::<f64>() / n;
-    let cov: f64 = va.iter().zip(&vb).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+    let cov: f64 = va
+        .iter()
+        .zip(&vb)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / n;
     let sa = (va.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n).sqrt();
     let sb = (vb.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n).sqrt();
     if sa == 0.0 || sb == 0.0 {
@@ -111,7 +116,11 @@ mod tests {
     fn unipolar_value_concentrates() {
         let mut l = Lfsr16::new(0xACE1);
         let s = l.generate_unipolar(0.3, 4096);
-        assert!((s.unipolar_value() - 0.3).abs() < 0.02, "{}", s.unipolar_value());
+        assert!(
+            (s.unipolar_value() - 0.3).abs() < 0.02,
+            "{}",
+            s.unipolar_value()
+        );
     }
 
     #[test]

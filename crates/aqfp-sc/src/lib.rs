@@ -45,3 +45,7 @@ pub use accumulate::{AccumulationModule, ScAccumError};
 pub use apc::Apc;
 pub use number::Bitstream;
 pub use packed::PackedStream;
+
+/// Crate-wide result alias: every fallible SC-accumulation API fails with
+/// [`ScAccumError`].
+pub type Result<T> = std::result::Result<T, ScAccumError>;

@@ -64,7 +64,11 @@ impl Bitstream {
     /// Panics unless `p ∈ [0, 1]`.
     pub fn generate_unipolar<R: Rng + ?Sized>(p: f64, len: usize, rng: &mut R) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
-        Self((0..len).map(|_| Bit::from_bool(rng.gen::<f64>() < p)).collect())
+        Self(
+            (0..len)
+                .map(|_| Bit::from_bool(rng.gen::<f64>() < p))
+                .collect(),
+        )
     }
 
     /// Samples a bipolar stream encoding `x ∈ [−1, 1]`.
@@ -97,7 +101,13 @@ impl Bitstream {
     /// Panics on length mismatch.
     pub fn xnor(&self, other: &Bitstream) -> Bitstream {
         assert_eq!(self.len(), other.len(), "stream length mismatch");
-        Bitstream(self.0.iter().zip(&other.0).map(|(&a, &b)| a.xnor(b)).collect())
+        Bitstream(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&a, &b)| a.xnor(b))
+                .collect(),
+        )
     }
 }
 
@@ -148,7 +158,11 @@ mod tests {
     fn generation_concentrates_on_target() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let s = Bitstream::generate_bipolar(0.3, 50_000, &mut rng);
-        assert!((s.bipolar_value() - 0.3).abs() < 0.02, "{}", s.bipolar_value());
+        assert!(
+            (s.bipolar_value() - 0.3).abs() < 0.02,
+            "{}",
+            s.bipolar_value()
+        );
     }
 
     #[test]

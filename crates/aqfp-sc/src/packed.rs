@@ -95,7 +95,10 @@ impl PackedStream {
     /// # Panics
     /// Panics if `x ∉ [−1, 1]`.
     pub fn generate_bipolar<R: Rng + ?Sized>(x: f64, len: usize, rng: &mut R) -> Self {
-        assert!((-1.0..=1.0).contains(&x), "bipolar value {x} outside [−1, 1]");
+        assert!(
+            (-1.0..=1.0).contains(&x),
+            "bipolar value {x} outside [−1, 1]"
+        );
         Self::generate_unipolar((x + 1.0) / 2.0, len, rng)
     }
 
@@ -130,7 +133,11 @@ impl PackedStream {
     /// # Panics
     /// Panics if `t >= self.len()`.
     pub fn bit(&self, t: usize) -> bool {
-        assert!(t < self.len, "stream position {t} out of range (len {})", self.len);
+        assert!(
+            t < self.len,
+            "stream position {t} out of range (len {})",
+            self.len
+        );
         (self.words[t / 64] >> (t % 64)) & 1 == 1
     }
 
@@ -139,7 +146,11 @@ impl PackedStream {
     /// # Panics
     /// Panics if `t >= self.len()`.
     pub fn set(&mut self, t: usize, value: bool) {
-        assert!(t < self.len, "stream position {t} out of range (len {})", self.len);
+        assert!(
+            t < self.len,
+            "stream position {t} out of range (len {})",
+            self.len
+        );
         if value {
             self.words[t / 64] |= 1 << (t % 64);
         } else {
@@ -157,9 +168,16 @@ impl PackedStream {
     /// # Panics
     /// Panics if `prefix > self.len()`.
     pub fn ones_prefix(&self, prefix: usize) -> usize {
-        assert!(prefix <= self.len, "prefix {prefix} exceeds length {}", self.len);
+        assert!(
+            prefix <= self.len,
+            "prefix {prefix} exceeds length {}",
+            self.len
+        );
         let full = prefix / 64;
-        let mut n: usize = self.words[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let mut n: usize = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         let rem = prefix % 64;
         if rem > 0 {
             n += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
@@ -232,7 +250,12 @@ impl PackedStream {
     pub fn and(&self, other: &PackedStream) -> PackedStream {
         assert_eq!(self.len, other.len, "stream length mismatch");
         Self {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             len: self.len,
         }
     }
@@ -319,8 +342,14 @@ mod tests {
     #[test]
     fn extreme_probabilities_are_exact() {
         let mut rng = StdRng::seed_from_u64(7);
-        assert_eq!(PackedStream::generate_unipolar(1.0, 200, &mut rng).ones(), 200);
-        assert_eq!(PackedStream::generate_unipolar(0.0, 200, &mut rng).ones(), 0);
+        assert_eq!(
+            PackedStream::generate_unipolar(1.0, 200, &mut rng).ones(),
+            200
+        );
+        assert_eq!(
+            PackedStream::generate_unipolar(0.0, 200, &mut rng).ones(),
+            0
+        );
         assert_eq!(PackedStream::generate_bipolar(1.0, 65, &mut rng).ones(), 65);
         assert_eq!(PackedStream::generate_bipolar(-1.0, 65, &mut rng).ones(), 0);
     }

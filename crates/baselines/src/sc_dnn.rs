@@ -359,11 +359,7 @@ impl<'a> PreparedScMlp<'a> {
         values
             .iter()
             .map(|&v| {
-                PackedStream::generate_bipolar(
-                    f64::from(v).clamp(-1.0, 1.0),
-                    self.stream_len,
-                    rng,
-                )
+                PackedStream::generate_bipolar(f64::from(v).clamp(-1.0, 1.0), self.stream_len, rng)
             })
             .collect()
     }
@@ -397,7 +393,9 @@ impl<'a> PreparedScMlp<'a> {
             } else {
                 streams = values
                     .iter()
-                    .map(|&y| PackedStream::generate_bipolar(y.clamp(-1.0, 1.0), self.stream_len, rng))
+                    .map(|&y| {
+                        PackedStream::generate_bipolar(y.clamp(-1.0, 1.0), self.stream_len, rng)
+                    })
                     .collect();
             }
         }

@@ -46,7 +46,8 @@ impl PackedVec {
         assert_eq!(self.len, other.len, "length mismatch in packed dot");
         let mut matches = 0u32;
         for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
-            let mut x = !(a ^ b); // XNOR
+            // XNOR.
+            let mut x = !(a ^ b);
             // Mask tail bits of the last word.
             if (i + 1) * 64 > self.len {
                 let valid = self.len - i * 64;
@@ -74,10 +75,7 @@ impl PopcountLinear {
     pub fn new(weights: &[f32], fan_in: usize) -> Self {
         assert!(fan_in > 0, "fan-in must be positive");
         assert_eq!(weights.len() % fan_in, 0, "weights not a whole matrix");
-        let rows = weights
-            .chunks(fan_in)
-            .map(PackedVec::from_signs)
-            .collect();
+        let rows = weights.chunks(fan_in).map(PackedVec::from_signs).collect();
         Self { rows, fan_in }
     }
 
@@ -116,8 +114,12 @@ mod tests {
     fn packed_dot_matches_float_dot() {
         // Deterministic pseudo-random ±1 vectors of awkward lengths.
         for len in [1usize, 7, 63, 64, 65, 130, 200] {
-            let a: Vec<f32> = (0..len).map(|i| if (i * 7 + 3) % 5 < 2 { 1.0 } else { -1.0 }).collect();
-            let b: Vec<f32> = (0..len).map(|i| if (i * 11 + 1) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+            let a: Vec<f32> = (0..len)
+                .map(|i| if (i * 7 + 3) % 5 < 2 { 1.0 } else { -1.0 })
+                .collect();
+            let b: Vec<f32> = (0..len)
+                .map(|i| if (i * 11 + 1) % 3 == 0 { 1.0 } else { -1.0 })
+                .collect();
             let pa = PackedVec::from_signs(&a);
             let pb = PackedVec::from_signs(&b);
             assert_eq!(pa.dot(&pb), float_dot(&a, &b), "len {len}");
@@ -126,7 +128,9 @@ mod tests {
 
     #[test]
     fn self_dot_is_length() {
-        let v: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let v: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let p = PackedVec::from_signs(&v);
         assert_eq!(p.dot(&p), 100);
     }

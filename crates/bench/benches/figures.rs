@@ -45,9 +45,8 @@ fn bench_fig5_attenuation(c: &mut Criterion) {
 
 /// Table 1 kernel: the closed-form cost model.
 fn bench_table1_cost(c: &mut Criterion) {
-    c.benchmark_group("table1_cost").bench_function("all_rows", |b| {
-        b.iter(|| black_box(table1()))
-    });
+    c.benchmark_group("table1_cost")
+        .bench_function("all_rows", |b| b.iter(|| black_box(table1())));
 }
 
 /// Section 4.4 kernel: fan-out legalization + balancing at 3 phase counts.
@@ -121,15 +120,16 @@ fn bench_fig11_objective(c: &mut Criterion) {
 
 /// Fig. 12 kernel: the frequency series.
 fn bench_fig12_series(c: &mut Criterion) {
-    c.benchmark_group("fig12_series").bench_function("seven_points", |b| {
-        b.iter(|| {
-            black_box(fig12_series(
-                &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
-                1.9e5,
-                617.0,
-            ))
-        })
-    });
+    c.benchmark_group("fig12_series")
+        .bench_function("seven_points", |b| {
+            b.iter(|| {
+                black_box(fig12_series(
+                    &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
+                    1.9e5,
+                    617.0,
+                ))
+            })
+        });
 }
 
 /// Table 2/3 hot kernels: software conv forward and deployed inference.
@@ -148,11 +148,7 @@ fn bench_inference(c: &mut Criterion) {
     let mut rng = bnn_nn::NnRng::seed_from_u64(0);
     g.bench_function("software_forward_vgg_w4", |b| {
         b.iter(|| {
-            black_box(model.forward(
-                black_box(&images),
-                bnn_nn::layers::Mode::Eval,
-                &mut rng,
-            ))
+            black_box(model.forward(black_box(&images), bnn_nn::layers::Mode::Eval, &mut rng))
         })
     });
 
@@ -168,7 +164,9 @@ fn bench_inference(c: &mut Criterion) {
         .map(|i| if (i * 31) % 7 < 3 { 1.0 } else { -1.0 })
         .collect();
     let layer = PopcountLinear::new(&weights, 256);
-    let input: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let input: Vec<f32> = (0..256)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     c.benchmark_group("table3_popcount")
         .bench_function("linear_256_to_10", |b| {
             b.iter(|| black_box(layer.forward(black_box(&input))))
@@ -206,9 +204,7 @@ fn bench_sc_baseline(c: &mut Criterion) {
     });
     g.bench_function("classify_mux_64_32_10_L256", |bch| {
         let mut r = StdRng::seed_from_u64(9);
-        bch.iter(|| {
-            black_box(prepared.classify(black_box(&input), ScAccumulator::MuxTree, &mut r))
-        })
+        bch.iter(|| black_box(prepared.classify(black_box(&input), ScAccumulator::MuxTree, &mut r)))
     });
     g.finish();
 }

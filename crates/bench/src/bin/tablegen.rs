@@ -14,9 +14,8 @@ use aqfp_netlist::random::{random_dag, RandomDagConfig};
 use baselines::cryo::fig12_series;
 use baselines::published::{cifar10_baselines, mnist_baselines};
 use superbnn::experiments::{
-    ablation_aware_training, bitstream_sweep, fault_sweep, grid_sweep, scaqfp_sweep,
-    table2_ours, table2_resnet, table3_ours, temperature_sweep, ExperimentScale,
-    TABLE2_CONFIGS,
+    ablation_aware_training, bitstream_sweep, fault_sweep, grid_sweep, scaqfp_sweep, table2_ours,
+    table2_resnet, table3_ours, temperature_sweep, ExperimentScale, TABLE2_CONFIGS,
 };
 
 fn main() {
@@ -197,7 +196,10 @@ fn scaqfp(scale: &ExperimentScale) {
     println!("\n=== Baseline: pure stochastic computing (SC-AQFP datapath) ===");
     let lengths = [16usize, 32, 64, 128, 256, 512, 1024, 2048];
     let sweep = scaqfp_sweep(scale, &lengths);
-    println!("float MLP reference accuracy: {:.1}%", 100.0 * sweep.float_accuracy);
+    println!(
+        "float MLP reference accuracy: {:.1}%",
+        100.0 * sweep.float_accuracy
+    );
     println!("{:>8} {:>12} {:>12}", "L", "APC path", "MUX path");
     for p in &sweep.points {
         println!(
@@ -214,7 +216,10 @@ fn scaqfp(scale: &ExperimentScale) {
 /// Fig. 4: output probability of '1' vs input current.
 fn fig4() {
     println!("\n=== Figure 4: AQFP buffer switching probability ===");
-    println!("{:>12} {:>12} {:>14}", "Iin (µA)", "P(1) model", "P(1) sampled");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "Iin (µA)", "P(1) model", "P(1) sampled"
+    );
     let buffer = AqfpBuffer::new(BufferConfig::default());
     let mut rng = DeviceRng::seed_from_u64(4);
     let mut i = -4.0f64;

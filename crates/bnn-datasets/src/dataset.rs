@@ -70,10 +70,7 @@ impl Dataset {
             data.extend_from_slice(&self.images.data()[i * per..(i + 1) * per]);
             labels.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(&[indices.len(), c, h, w], data),
-            labels,
-        )
+        (Tensor::from_vec(&[indices.len(), c, h, w], data), labels)
     }
 
     /// Splits into `(train, test)` with `test_fraction` of each class's
@@ -112,11 +109,7 @@ impl Dataset {
     }
 
     /// Iterates over shuffled mini-batches.
-    pub fn batches<'a, R: Rng>(
-        &'a self,
-        batch_size: usize,
-        rng: &mut R,
-    ) -> BatchIter<'a> {
+    pub fn batches<'a, R: Rng>(&'a self, batch_size: usize, rng: &mut R) -> BatchIter<'a> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(rng);

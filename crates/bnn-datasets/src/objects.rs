@@ -36,7 +36,9 @@ pub fn template(class: usize, seed: u64) -> Vec<f32> {
     assert!(class < CLASSES, "class {class} out of range");
     // Class templates derive from the seed so the whole dataset moves with
     // it, but sample augmentation noise (below) never leaks in here.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(
+        seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)),
+    );
     let mut img = vec![0.0f32; CHANNELS * SIZE * SIZE];
     for c in 0..CHANNELS {
         let waves: Vec<Wave> = (0..WAVES)

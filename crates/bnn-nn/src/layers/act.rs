@@ -33,8 +33,14 @@ impl Layer for HardTanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cache.take().expect("HardTanh::backward without forward");
-        grad_out.zip(&input, |g, x| if (-1.0..=1.0).contains(&x) { g } else { 0.0 })
+        let input = self
+            .cache
+            .take()
+            .expect("HardTanh::backward without forward");
+        grad_out.zip(
+            &input,
+            |g, x| if (-1.0..=1.0).contains(&x) { g } else { 0.0 },
+        )
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_>)) {}
@@ -92,7 +98,11 @@ impl Layer for BinActivation {
         let b = self.binarizer;
         Tensor::from_vec(
             input.shape(),
-            input.data().iter().map(|&x| b.forward_sample(x, rng)).collect(),
+            input
+                .data()
+                .iter()
+                .map(|&x| b.forward_sample(x, rng))
+                .collect(),
         )
     }
 

@@ -168,7 +168,10 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("BatchNorm::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm::backward without forward");
         let shape = cache.shape;
         assert_eq!(grad_out.shape(), &shape[..], "grad shape mismatch");
         let (n, per) = Self::plan(&shape, self.channels);
@@ -192,8 +195,7 @@ impl Layer for BatchNorm {
         for (i, &g) in grad_out.data().iter().enumerate() {
             let c = Self::channel_of(&shape, i);
             let coef = self.gamma.data()[c] * cache.inv_std[c];
-            dx[i] = coef
-                * (g - sum_g[c] / count - cache.xhat.data()[i] * sum_gx[c] / count);
+            dx[i] = coef * (g - sum_g[c] / count - cache.xhat.data()[i] * sum_gx[c] / count);
         }
         Tensor::from_vec(&shape, dx)
     }
@@ -253,13 +255,11 @@ mod tests {
     fn four_d_normalizes_per_channel() {
         let mut bn = BatchNorm::new(2);
         let mut r = rng();
-        let x = Tensor::from_vec(
-            &[1, 2, 2, 2],
-            vec![1., 2., 3., 4., 10., 20., 30., 40.],
-        );
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
         let y = bn.forward(&x, Mode::Train, &mut r);
         // Mean over each channel's 4 pixels is 0 after normalization.
-        let c0: f32 = (0..2).flat_map(|h| (0..2).map(move |w| (h, w)))
+        let c0: f32 = (0..2)
+            .flat_map(|h| (0..2).map(move |w| (h, w)))
             .map(|(h, w)| y.at4(0, 0, h, w))
             .sum();
         assert!(c0.abs() < 1e-4);

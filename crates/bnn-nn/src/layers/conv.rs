@@ -127,10 +127,7 @@ impl Conv2d {
             alphas.push(alpha);
             data.extend(signs.into_iter().map(|s| s * alpha));
         }
-        (
-            Tensor::from_vec(&[self.out_channels, fan_in], data),
-            alphas,
-        )
+        (Tensor::from_vec(&[self.out_channels, fan_in], data), alphas)
     }
 }
 

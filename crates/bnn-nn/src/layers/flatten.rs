@@ -35,7 +35,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cache.take().expect("Flatten::backward without forward");
+        let shape = self
+            .cache
+            .take()
+            .expect("Flatten::backward without forward");
         grad_out.reshape(&shape)
     }
 

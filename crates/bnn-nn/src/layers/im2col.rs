@@ -28,7 +28,10 @@ pub fn im2col_filled(input: &Tensor, k: usize, stride: usize, pad: usize, fill: 
     assert_eq!(shape.len(), 4, "im2col expects [N, C, H, W]");
     let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
     assert!(k > 0 && stride > 0, "kernel and stride must be positive");
-    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel exceeds padded input");
+    assert!(
+        h + 2 * pad >= k && w + 2 * pad >= k,
+        "kernel exceeds padded input"
+    );
     let oh = conv_out(h, k, stride, pad);
     let ow = conv_out(w, k, stride, pad);
 
@@ -133,10 +136,7 @@ mod tests {
     #[test]
     fn known_3x3_patch() {
         // 3×3 input, 2×2 kernel, stride 1, no pad → 4 patches.
-        let input = Tensor::from_vec(
-            &[1, 1, 3, 3],
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        );
+        let input = Tensor::from_vec(&[1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
         let cols = im2col(&input, 2, 1, 0);
         assert_eq!(cols.shape(), &[4, 4]);
         // First column = top-left patch (1,2,4,5) down the rows.
@@ -173,12 +173,16 @@ mod tests {
         let (n, c, h, w, k, s, p) = (2usize, 2, 4, 4, 3, 1, 1);
         let x = Tensor::from_vec(
             &[n, c, h, w],
-            (0..n * c * h * w).map(|i| ((i * 37 % 11) as f32) - 5.0).collect(),
+            (0..n * c * h * w)
+                .map(|i| ((i * 37 % 11) as f32) - 5.0)
+                .collect(),
         );
         let cols = im2col(&x, k, s, p);
         let y = Tensor::from_vec(
             cols.shape(),
-            (0..cols.numel()).map(|i| ((i * 53 % 13) as f32) - 6.0).collect(),
+            (0..cols.numel())
+                .map(|i| ((i * 53 % 13) as f32) - 6.0)
+                .collect(),
         );
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, n, c, h, w, k, s, p);
@@ -190,8 +194,8 @@ mod tests {
     fn stride_two_downsamples() {
         let input = Tensor::from_vec(&[1, 1, 4, 4], (1..=16).map(|i| i as f32).collect());
         let cols = im2col(&input, 2, 2, 0);
-        assert_eq!(cols.shape(), &[4, 4]); // 2×2 output positions
-        // Patch at output (0,0): 1,2,5,6.
+        // 2×2 output positions; the patch at output (0,0) is 1,2,5,6.
+        assert_eq!(cols.shape(), &[4, 4]);
         let col0: Vec<f32> = (0..4).map(|r| cols.at2(r, 0)).collect();
         assert_eq!(col0, vec![1., 2., 5., 6.]);
     }

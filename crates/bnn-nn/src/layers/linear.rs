@@ -38,7 +38,10 @@ impl Linear {
         binary_weights: bool,
         rng: &mut NnRng,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dimensions must be positive"
+        );
         let bound = (6.0 / in_features as f32).sqrt();
         let data = (0..out_features * in_features)
             .map(|_| rng.gen_range(-bound..bound))
@@ -138,8 +141,7 @@ impl Layer for Linear {
         let weff = if self.binary_weights {
             let mut data = Vec::with_capacity(self.weight.numel());
             for o in 0..self.out_features {
-                let row =
-                    &self.weight.data()[o * self.in_features..(o + 1) * self.in_features];
+                let row = &self.weight.data()[o * self.in_features..(o + 1) * self.in_features];
                 for &v in row {
                     let s = if v >= 0.0 { 1.0 } else { -1.0 };
                     data.push(s * cache.alphas[o]);
@@ -197,7 +199,9 @@ mod tests {
     fn forward_known_values() {
         let mut r = rng();
         let mut lin = Linear::new(2, 2, false, &mut r);
-        lin.weight_mut().data_mut().copy_from_slice(&[1., 2., 3., 4.]);
+        lin.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[1., 2., 3., 4.]);
         let input = Tensor::from_vec(&[1, 2], vec![1., 1.]);
         let out = lin.forward(&input, Mode::Eval, &mut r);
         assert_eq!(out.data(), &[3., 7.]);

@@ -76,7 +76,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("MaxPool2d::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without forward");
         let [n, c, h, w] = cache.input_shape;
         let mut din = vec![0.0f32; n * c * h * w];
         for (o, &src) in cache.argmax.iter().enumerate() {

@@ -103,7 +103,9 @@ mod tests {
         let mut r = NnRng::seed_from_u64(0);
         let mut body = Sequential::new();
         let mut lin = Linear::new(2, 2, false, &mut r);
-        lin.weight_mut().data_mut().copy_from_slice(&[1., 0., 0., 1.]);
+        lin.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[1., 0., 0., 1.]);
         body.push(lin);
         let mut res = Residual::new(body);
         let x = Tensor::from_vec(&[1, 2], vec![3.0, -1.0]);

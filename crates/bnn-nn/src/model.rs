@@ -105,7 +105,9 @@ mod tests {
         let mut r = NnRng::seed_from_u64(0);
         let mut model = Sequential::new();
         let mut lin = Linear::new(2, 2, false, &mut r);
-        lin.weight_mut().data_mut().copy_from_slice(&[2., 0., 0., 2.]);
+        lin.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[2., 0., 0., 2.]);
         model.push(lin);
         model.push(HardTanh::new());
         let x = Tensor::from_vec(&[1, 2], vec![0.4, -3.0]);
@@ -124,10 +126,7 @@ mod tests {
         model.push(Linear::new(8, 2, false, &mut r));
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
 
-        let x = Tensor::from_vec(
-            &[4, 2],
-            vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8],
-        );
+        let x = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8]);
         let labels = [0usize, 0, 1, 1];
         let mut final_loss = f32::MAX;
         for _ in 0..200 {
@@ -152,10 +151,7 @@ mod tests {
         model.push(BinActivation::new(Binarizer::Deterministic));
         model.push(Linear::new(16, 2, true, &mut r));
         let mut opt = Sgd::new(0.05, 0.9, 0.0);
-        let x = Tensor::from_vec(
-            &[4, 2],
-            vec![1.0, 1.0, 0.9, 1.1, -1.0, -1.0, -1.1, -0.9],
-        );
+        let x = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 0.9, 1.1, -1.0, -1.0, -1.1, -0.9]);
         let labels = [0usize, 0, 1, 1];
         for _ in 0..300 {
             let logits = model.forward(&x, Mode::Train, &mut r);

@@ -99,8 +99,7 @@ impl CosineSchedule {
         if step < self.warmup_steps {
             return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
         }
-        let t = (step - self.warmup_steps) as f32
-            / (self.total_steps - self.warmup_steps) as f32;
+        let t = (step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps) as f32;
         let t = t.min(1.0);
         0.5 * self.base_lr * (1.0 + (std::f32::consts::PI * t).cos())
     }
@@ -208,6 +207,9 @@ mod tests {
         };
         let plain = run(0.0, &mut r);
         let heavy = run(0.9, &mut r);
-        assert!(heavy < plain, "momentum should have moved further: {heavy} vs {plain}");
+        assert!(
+            heavy < plain,
+            "momentum should have moved further: {heavy} vs {plain}"
+        );
     }
 }

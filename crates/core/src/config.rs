@@ -70,7 +70,8 @@ impl HardwareConfig {
 
     /// The value-domain gray-zone width `ΔVin(Cs) = ΔIin / I1(Cs)` (Eq. 4).
     pub fn value_grayzone(&self) -> f64 {
-        self.attenuation.value_grayzone(self.grayzone_ua, self.crossbar_rows)
+        self.attenuation
+            .value_grayzone(self.grayzone_ua, self.crossbar_rows)
     }
 
     /// The value-domain stochastic law with threshold `vth` (in latent

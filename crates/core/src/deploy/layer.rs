@@ -63,8 +63,8 @@ impl TiledMatrix {
                         .collect()
                 })
                 .collect();
-            let mut xbar = Crossbar::new(hw.crossbar_config(), weights)
-                .expect("plan tiles are non-empty");
+            let mut xbar =
+                Crossbar::new(hw.crossbar_config(), weights).expect("plan tiles are non-empty");
             let i1 = hw.attenuation.i1_ua(t.rows);
             let thresholds: Vec<f64> = (t.col_start..t.col_start + t.cols)
                 .map(|c| {
@@ -452,18 +452,7 @@ mod tests {
     fn conv_cell_identity_kernel() {
         let hw = hw_small();
         // 1 channel, 1×1 kernel, weight +1, threshold 0: identity.
-        let cell = DeployedConv::new(
-            &[1.0],
-            1,
-            1,
-            1,
-            1,
-            0,
-            false,
-            vec![0.0],
-            vec![false],
-            &hw,
-        );
+        let cell = DeployedConv::new(&[1.0], 1, 1, 1, 1, 0, false, vec![0.0], vec![false], &hw);
         let mut input = BitMap::zeros(1, 2, 2);
         input.set(0, 0, 1, Bit::One);
         input.set(0, 1, 0, Bit::One);
@@ -475,18 +464,7 @@ mod tests {
     #[test]
     fn conv_cell_pooling_halves_size() {
         let hw = hw_small();
-        let cell = DeployedConv::new(
-            &[1.0],
-            1,
-            1,
-            1,
-            1,
-            0,
-            true,
-            vec![0.0],
-            vec![false],
-            &hw,
-        );
+        let cell = DeployedConv::new(&[1.0], 1, 1, 1, 1, 0, true, vec![0.0], vec![false], &hw);
         let input = BitMap::zeros(1, 4, 4);
         let mut rng = DeviceRng::seed_from_u64(4);
         let out = cell.forward(&input, &mut rng);

@@ -41,7 +41,11 @@ pub enum DeployError {
 impl fmt::Display for DeployError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeployError::LayerMismatch { index, expected, got } => write!(
+            DeployError::LayerMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
                 f,
                 "layer {index}: spec expects {expected}, model has {got} \
                  (was the model built from this spec?)"
@@ -50,7 +54,10 @@ impl fmt::Display for DeployError {
                 write!(f, "network spec has no classifier cell")
             }
             DeployError::UnsupportedCell { kind } => {
-                write!(f, "cell kind {kind} is not supported by the crossbar mapper")
+                write!(
+                    f,
+                    "cell kind {kind} is not supported by the crossbar mapper"
+                )
             }
         }
     }
@@ -232,7 +239,7 @@ pub fn deploy(
     spec: &NetSpec,
     model: &Sequential,
     hw: &HardwareConfig,
-) -> Result<DeployedModel, DeployError> {
+) -> crate::Result<DeployedModel> {
     hw.validate();
     let layers = model.layers();
     let mut idx = 0usize;
@@ -253,7 +260,14 @@ pub fn deploy(
             CellSpec::Residual { .. } => {
                 return Err(DeployError::UnsupportedCell { kind: "Residual" });
             }
-            CellSpec::Conv { in_c, out_c, k, stride, pad, pool } => {
+            CellSpec::Conv {
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                pool,
+            } => {
                 let conv = layers
                     .get(idx)
                     .and_then(|l| l.as_any().downcast_ref::<Conv2d>())

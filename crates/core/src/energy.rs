@@ -77,7 +77,10 @@ pub fn estimate(spec: &NetSpec, hw: &HardwareConfig) -> EnergyReport {
 /// [`estimate`] plus the per-layer energy decomposition (crossbars vs SC
 /// accumulation vs other digital logic) — the data behind "where does the
 /// energy go" questions the paper answers only in aggregate.
-pub fn estimate_with_breakdown(spec: &NetSpec, hw: &HardwareConfig) -> (EnergyReport, Vec<LayerEnergy>) {
+pub fn estimate_with_breakdown(
+    spec: &NetSpec,
+    hw: &HardwareConfig,
+) -> (EnergyReport, Vec<LayerEnergy>) {
     hw.validate();
     let lib = CellLibrary::hstp();
     let clock = ClockScheme::four_phase_5ghz();
@@ -90,7 +93,14 @@ pub fn estimate_with_breakdown(spec: &NetSpec, hw: &HardwareConfig) -> (EnergyRe
     for cell in &spec.cells {
         match *cell {
             CellSpec::BinarizeInput => {}
-            CellSpec::Conv { in_c, out_c, k, stride, pad, pool } => {
+            CellSpec::Conv {
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                pool,
+            } => {
                 let oh = (cur[1] + 2 * pad - k) / stride + 1;
                 let ow = (cur[2] + 2 * pad - k) / stride + 1;
                 let positions = (oh * ow) as u64;
@@ -109,7 +119,11 @@ pub fn estimate_with_breakdown(spec: &NetSpec, hw: &HardwareConfig) -> (EnergyRe
                 let div = if pool { 2 } else { 1 };
                 cur = [out_c, oh / div, ow / div];
             }
-            CellSpec::Residual { in_c, out_c, stride } => {
+            CellSpec::Residual {
+                in_c,
+                out_c,
+                stride,
+            } => {
                 // Two 3×3 binary convs (the second at stride 1) plus a 1×1
                 // projection when the shape changes; the skip adder is a
                 // per-pixel digital add, charged as one full-adder chain

@@ -190,8 +190,7 @@ pub fn grid_sweep(
             };
             let (model, _) = train_model(&spec, &hw, scale, &train);
             let deployed = deploy(&spec, &model, &hw).expect("spec matches model");
-            let mut rng =
-                DeviceRng::seed_from_u64(scale.seed ^ (gz.to_bits() >> 3) ^ cs as u64);
+            let mut rng = DeviceRng::seed_from_u64(scale.seed ^ (gz.to_bits() >> 3) ^ cs as u64);
             let accuracy = deployed.accuracy(&test, &mut rng, Some(scale.eval_samples));
             out.push(GridPoint {
                 crossbar: cs,
@@ -456,8 +455,7 @@ pub fn ablation_aware_training(scale: &ExperimentScale) -> AwareAblation {
 
     // Naive: identical spec/seed/recipe but the conventional deterministic
     // sign/STE binarizer — what a non-co-designed flow would produce.
-    let mut naive_model =
-        spec.build_software_with(bnn_nn::Binarizer::Deterministic, scale.seed);
+    let mut naive_model = spec.build_software_with(bnn_nn::Binarizer::Deterministic, scale.seed);
     trainer.train(&mut naive_model, &train);
     let deployed = deploy(&spec, &naive_model, &hw).expect("spec matches model");
     let mut rng = DeviceRng::seed_from_u64(scale.seed ^ 0x11);

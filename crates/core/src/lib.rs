@@ -59,5 +59,9 @@ pub mod spec;
 pub mod trainer;
 
 pub use config::HardwareConfig;
-pub use deploy::{deploy, DeployedModel};
+pub use deploy::{deploy, DeployError, DeployedModel};
 pub use spec::NetSpec;
+
+/// Crate-wide result alias: every fallible deployment API fails with
+/// [`DeployError`].
+pub type Result<T> = std::result::Result<T, DeployError>;

@@ -94,16 +94,61 @@ impl NetSpec {
     /// Panics unless the spatial size is divisible by 8 (three pools).
     pub fn vgg_small(input_shape: [usize; 3], width: usize, classes: usize) -> Self {
         let [c, h, w] = input_shape;
-        assert!(h % 8 == 0 && w % 8 == 0, "three 2×2 pools need /8 divisibility");
+        assert!(
+            h % 8 == 0 && w % 8 == 0,
+            "three 2×2 pools need /8 divisibility"
+        );
         let (w1, w2, w3) = (width, 2 * width, 4 * width);
         let cells = vec![
             CellSpec::BinarizeInput,
-            CellSpec::Conv { in_c: c, out_c: w1, k: 3, stride: 1, pad: 1, pool: false },
-            CellSpec::Conv { in_c: w1, out_c: w1, k: 3, stride: 1, pad: 1, pool: true },
-            CellSpec::Conv { in_c: w1, out_c: w2, k: 3, stride: 1, pad: 1, pool: false },
-            CellSpec::Conv { in_c: w2, out_c: w2, k: 3, stride: 1, pad: 1, pool: true },
-            CellSpec::Conv { in_c: w2, out_c: w3, k: 3, stride: 1, pad: 1, pool: false },
-            CellSpec::Conv { in_c: w3, out_c: w3, k: 3, stride: 1, pad: 1, pool: true },
+            CellSpec::Conv {
+                in_c: c,
+                out_c: w1,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: false,
+            },
+            CellSpec::Conv {
+                in_c: w1,
+                out_c: w1,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
+            CellSpec::Conv {
+                in_c: w1,
+                out_c: w2,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: false,
+            },
+            CellSpec::Conv {
+                in_c: w2,
+                out_c: w2,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
+            CellSpec::Conv {
+                in_c: w2,
+                out_c: w3,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: false,
+            },
+            CellSpec::Conv {
+                in_c: w3,
+                out_c: w3,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
             CellSpec::Flatten,
             CellSpec::Classifier {
                 in_f: w3 * (h / 8) * (w / 8),
@@ -123,14 +168,36 @@ impl NetSpec {
     /// stages).
     pub fn resnet_small(input_shape: [usize; 3], width: usize, classes: usize) -> Self {
         let [c, h, w] = input_shape;
-        assert!(h % 4 == 0 && w % 4 == 0, "two stride-2 stages need /4 divisibility");
+        assert!(
+            h % 4 == 0 && w % 4 == 0,
+            "two stride-2 stages need /4 divisibility"
+        );
         let (w1, w2, w3) = (width, 2 * width, 4 * width);
         let cells = vec![
             CellSpec::BinarizeInput,
-            CellSpec::Conv { in_c: c, out_c: w1, k: 3, stride: 1, pad: 1, pool: false },
-            CellSpec::Residual { in_c: w1, out_c: w1, stride: 1 },
-            CellSpec::Residual { in_c: w1, out_c: w2, stride: 2 },
-            CellSpec::Residual { in_c: w2, out_c: w3, stride: 2 },
+            CellSpec::Conv {
+                in_c: c,
+                out_c: w1,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                pool: false,
+            },
+            CellSpec::Residual {
+                in_c: w1,
+                out_c: w1,
+                stride: 1,
+            },
+            CellSpec::Residual {
+                in_c: w1,
+                out_c: w2,
+                stride: 2,
+            },
+            CellSpec::Residual {
+                in_c: w2,
+                out_c: w3,
+                stride: 2,
+            },
             CellSpec::Flatten,
             CellSpec::Classifier {
                 in_f: w3 * (h / 4) * (w / 4),
@@ -165,11 +232,7 @@ impl NetSpec {
     /// Builds the software model with an explicit activation binarizer —
     /// the conventional sign/STE training of the ablation baselines uses
     /// [`bnn_nn::Binarizer::Deterministic`] here.
-    pub fn build_software_with(
-        &self,
-        binarizer: bnn_nn::Binarizer,
-        seed: u64,
-    ) -> Sequential {
+    pub fn build_software_with(&self, binarizer: bnn_nn::Binarizer, seed: u64) -> Sequential {
         let mut rng = NnRng::seed_from_u64(seed);
         let mut model = Sequential::new();
         for cell in &self.cells {
@@ -177,7 +240,14 @@ impl NetSpec {
                 CellSpec::BinarizeInput => {
                     model.push(BinActivation::new(bnn_nn::Binarizer::Deterministic));
                 }
-                CellSpec::Conv { in_c, out_c, k, stride, pad, pool } => {
+                CellSpec::Conv {
+                    in_c,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    pool,
+                } => {
                     model.push(
                         Conv2d::new(in_c, out_c, k, stride, pad, true, &mut rng)
                             .with_pad_value(-1.0),
@@ -194,18 +264,20 @@ impl NetSpec {
                     model.push(HardTanh::new());
                     model.push(BinActivation::new(binarizer));
                 }
-                CellSpec::Residual { in_c, out_c, stride } => {
+                CellSpec::Residual {
+                    in_c,
+                    out_c,
+                    stride,
+                } => {
                     let mut body = Sequential::new();
                     body.push(
-                        Conv2d::new(in_c, out_c, 3, stride, 1, true, &mut rng)
-                            .with_pad_value(-1.0),
+                        Conv2d::new(in_c, out_c, 3, stride, 1, true, &mut rng).with_pad_value(-1.0),
                     );
                     body.push(BatchNorm::new(out_c));
                     body.push(HardTanh::new());
                     body.push(BinActivation::new(binarizer));
                     body.push(
-                        Conv2d::new(out_c, out_c, 3, 1, 1, true, &mut rng)
-                            .with_pad_value(-1.0),
+                        Conv2d::new(out_c, out_c, 3, 1, 1, true, &mut rng).with_pad_value(-1.0),
                     );
                     body.push(BatchNorm::new(out_c));
                     let res = if in_c != out_c || stride != 1 {
@@ -266,7 +338,14 @@ impl NetSpec {
         for cell in &self.cells {
             cur = match *cell {
                 CellSpec::BinarizeInput => cur,
-                CellSpec::Conv { out_c, k, stride, pad, pool, .. } => {
+                CellSpec::Conv {
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    pool,
+                    ..
+                } => {
                     let h = (cur[1] + 2 * pad - k) / stride + 1;
                     let w = (cur[2] + 2 * pad - k) / stride + 1;
                     let div = if pool { 2 } else { 1 };
@@ -352,8 +431,10 @@ mod tests {
         // Stem keeps 16×16; two stride-2 residual stages reach 32ch @ 4×4.
         assert_eq!(shapes[shapes.len() - 3], [32, 4, 4]);
         assert_eq!(*shapes.last().unwrap(), [10, 1, 1]);
-        assert_eq!(spec.total_layers(), spec.build_software(
-            &HardwareConfig::default(), 0).len());
+        assert_eq!(
+            spec.total_layers(),
+            spec.build_software(&HardwareConfig::default(), 0).len()
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! the forward pass samples the AQFP behaviour and the backward pass
 //! differentiates its expectation (Eqs. 7 and 10).
 
+use bnn_datasets::Dataset;
 use bnn_nn::layers::Mode;
 use bnn_nn::loss::{accuracy, softmax_cross_entropy};
 use bnn_nn::optim::{CosineSchedule, Sgd};
 use bnn_nn::recu::TauSchedule;
 use bnn_nn::{NnRng, SeedableRng, Sequential};
-use bnn_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -127,7 +127,11 @@ impl Trainer {
                     .as_any_mut()
                     .downcast_mut::<bnn_nn::layers::BinActivation>()
                 {
-                    b.set_binarizer(if on { bnn_nn::Binarizer::Deterministic } else { bin });
+                    b.set_binarizer(if on {
+                        bnn_nn::Binarizer::Deterministic
+                    } else {
+                        bin
+                    });
                 }
             }
         };

@@ -15,7 +15,10 @@ fn main() {
     // aggressive — the paper's four constraint points trade accuracy for
     // efficiency, with ΔIin set by the co-optimizer per size.
     let configs = superbnn::experiments::TABLE2_CONFIGS;
-    println!("Training VGG-Small on SynthObjects at {} configs...", configs.len());
+    println!(
+        "Training VGG-Small on SynthObjects at {} configs...",
+        configs.len()
+    );
     let rows = table2_ours(&scale, &configs);
 
     println!("\n=== Table 2: CIFAR-10-class comparison ===");
@@ -29,7 +32,8 @@ fn main() {
             b.name,
             b.accuracy_pct,
             b.tops_per_watt,
-            b.power_mw.map_or_else(|| "-".into(), |v: f64| format!("{v:.2}")),
+            b.power_mw
+                .map_or_else(|| "-".into(), |v: f64| format!("{v:.2}")),
             b.throughput_img_per_ms
                 .map_or_else(|| "-".into(), |v: f64| format!("{v:.1}")),
         );

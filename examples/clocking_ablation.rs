@@ -47,7 +47,10 @@ fn main() {
 
     println!("=== Memory (BCM): clock-phase reduction ===");
     println!("(paper: 4 → 3 phases saves 20% of the memory JJs)\n");
-    println!("{:>10} {:>8} {:>12} {:>10}", "capacity", "phases", "total JJ", "saved");
+    println!(
+        "{:>10} {:>8} {:>12} {:>10}",
+        "capacity", "phases", "total JJ", "saved"
+    );
     for bits in [256usize, 4096] {
         for phases in [4u32, 3] {
             let m = BcmMemory::new(bits, phases).expect("valid phase count");

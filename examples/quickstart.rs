@@ -18,7 +18,11 @@ fn main() {
         ..Default::default()
     });
     let (train, test) = data.split(0.25);
-    println!("SynthDigits: {} train / {} test samples", train.len(), test.len());
+    println!(
+        "SynthDigits: {} train / {} test samples",
+        train.len(),
+        test.len()
+    );
 
     // 2. Hardware configuration: the co-optimized accuracy-first point
     //    (8×8 crossbars whose gray-zone covers typical partial sums; see

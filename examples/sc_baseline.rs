@@ -22,7 +22,10 @@ fn main() {
     println!("Pure-SC MLP (SC-AQFP datapath) on SynthDigits:");
     let lengths = [16usize, 64, 256, 1024, 2048];
     let sweep = scaqfp_sweep(&scale, &lengths);
-    println!("  float reference accuracy: {:.1}%", 100.0 * sweep.float_accuracy);
+    println!(
+        "  float reference accuracy: {:.1}%",
+        100.0 * sweep.float_accuracy
+    );
     println!("  {:>6} {:>10} {:>10}", "L", "APC path", "MUX path");
     for p in &sweep.points {
         println!(

@@ -15,7 +15,9 @@ use rand::{Rng, SeedableRng};
 
 fn random_vectors(n: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| (0..n).map(|_| rng.gen()).collect()).collect()
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.gen()).collect())
+        .collect()
 }
 
 fn outputs_on(nl: &Netlist, vectors: &[Vec<bool>]) -> Vec<Vec<bool>> {

@@ -27,11 +27,7 @@ fn exact_hw() -> HardwareConfig {
     }
 }
 
-fn software_predictions(
-    model: &mut Sequential,
-    images: &bnn_nn::Tensor,
-    n: usize,
-) -> Vec<usize> {
+fn software_predictions(model: &mut Sequential, images: &bnn_nn::Tensor, n: usize) -> Vec<usize> {
     let mut rng = NnRng::seed_from_u64(0);
     let mut out = Vec::new();
     for i in 0..n {

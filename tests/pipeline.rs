@@ -84,16 +84,23 @@ fn longer_bitstreams_do_not_hurt() {
     let hw = good_hw();
     let spec = NetSpec::vgg_small([3, 16, 16], 8, 10);
     let mut model = spec.build_software(&hw, 42);
-    Trainer::new(train_cfg(12)).train(&mut model, &train);
+    Trainer::new(train_cfg(18)).train(&mut model, &train);
 
+    // Average over eval seeds: at L = 1 a single stochastic read-out pass is
+    // extremely noisy, and the claim under test is about the means.
     let acc_at = |len: usize| {
         let hw_l = HardwareConfig {
             bitstream_len: len,
             ..hw
         };
         let deployed = deploy(&spec, &model, &hw_l).expect("deploys");
-        let mut rng = DeviceRng::seed_from_u64(2);
-        deployed.accuracy(&test, &mut rng, Some(80))
+        (0..3)
+            .map(|seed| {
+                let mut rng = DeviceRng::seed_from_u64(2 + seed);
+                deployed.accuracy(&test, &mut rng, None)
+            })
+            .sum::<f64>()
+            / 3.0
     };
     let short = acc_at(1);
     let long = acc_at(32);
@@ -128,6 +135,35 @@ fn energy_dominates_every_published_baseline() {
             b.tops_per_watt
         );
     }
+}
+
+#[test]
+fn end_to_end_digits_run_is_deterministic() {
+    // The workspace-wiring check: one full train → deploy → accuracy run on
+    // synthetic digits, repeated from identical seeds, must agree bit-for-bit
+    // across every layer (dataset synthesis, training RNG, device RNG).
+    let run = || {
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 12,
+            ..Default::default()
+        });
+        let (train, test) = data.split(0.25);
+        let hw = good_hw();
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let mut model = spec.build_software(&hw, 7);
+        let trainer = Trainer::new(train_cfg(3));
+        trainer.train(&mut model, &train);
+        let software = trainer.evaluate(&mut model, &test);
+        let deployed = deploy(&spec, &model, &hw).expect("deploys");
+        let mut rng = DeviceRng::seed_from_u64(11);
+        let hardware = deployed.accuracy(&test, &mut rng, None);
+        (software, hardware)
+    };
+    let (sw_a, hw_a) = run();
+    let (sw_b, hw_b) = run();
+    assert_eq!(sw_a.to_bits(), sw_b.to_bits(), "software accuracy diverged");
+    assert_eq!(hw_a.to_bits(), hw_b.to_bits(), "deployed accuracy diverged");
+    assert!((0.0..=1.0).contains(&hw_a));
 }
 
 #[test]

@@ -42,8 +42,16 @@ fn clocking_reductions_match_section_4_4() {
     };
     let base = random_dag(&cfg, &mut rand::rngs::StdRng::seed_from_u64(44));
     let results = clocking_study(&base, &[4, 8, 16], &CellLibrary::hstp());
-    let r8 = results.iter().find(|r| r.phases == 8).unwrap().jj_reduction_vs_4phase;
-    let r16 = results.iter().find(|r| r.phases == 16).unwrap().jj_reduction_vs_4phase;
+    let r8 = results
+        .iter()
+        .find(|r| r.phases == 8)
+        .unwrap()
+        .jj_reduction_vs_4phase;
+    let r16 = results
+        .iter()
+        .find(|r| r.phases == 16)
+        .unwrap()
+        .jj_reduction_vs_4phase;
     // Paper: ≥ 20.8 % and ≥ 27.3 % on its netlists. Random DAGs should land
     // in the same regime and preserve the ordering.
     assert!(r8 > 0.15, "8-phase saves {r8}");

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-24c4aab228b4397f.d: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-24c4aab228b4397f: src/lib.rs src/rngs.rs src/seq.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/rand/target/debug/deps/rand-d31d96fd46e417cd.d: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-d31d96fd46e417cd.rlib: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-d31d96fd46e417cd.rmeta: src/lib.rs src/rngs.rs src/seq.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:

@@ -1,0 +1,24 @@
+//! Offline vendored stand-in for the `serde` API surface this workspace
+//! uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no
+//! serialization format crate is in the dependency set yet), so the traits
+//! here are markers with blanket impls and the derive macros are no-ops.
+//! When a real serialization backend lands, this stub is replaced by the
+//! genuine crates without touching any call site.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
