@@ -1,0 +1,648 @@
+//! Bit-packed ±1 planes and matrices — the shared substrate of every
+//! XNOR–popcount fast path in the workspace.
+//!
+//! A [`BitPlane`] packs a vector of AQFP logic values (±1 in the BNN value
+//! domain) into `u64` words, 64 bits per word. The packing is little-endian
+//! in the index: element `i` lives in word `i / 64`, bit `i % 64`. Unused
+//! high bits of the last word are kept zero by every constructor and
+//! mutation, so whole-plane popcounts need no masking.
+//!
+//! On top of the plane, [`PackedMatrix`] stores a row-major matrix of
+//! planes sharing one width (one contiguous `u64` buffer, each row padded
+//! to a whole number of words). Together they turn the signed dot product
+//! of ±1 vectors into `2·popcount(XNOR(a, b)) − n` evaluated word-by-word —
+//! the software analogue of the paper's massively parallel single-bit
+//! hardware datapath. [`xnor_ones_range`] additionally counts matches over
+//! an arbitrary bit range, which is what crossbar *tiles* (sub-ranges of a
+//! layer's fan-in) need.
+
+use aqfp_device::Bit;
+use serde::{Deserialize, Serialize};
+
+/// A packed vector of ±1 values: bit `1` carries `+1`, bit `0` carries `−1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitPlane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Popcount of the bit range `[start, start + len)` of a packed word
+/// slice, with [`BitPlane`] bit order. The one audited boundary-masking
+/// kernel: [`BitPlane::count_ones_prefix`] and the packed deploy engine's
+/// tile loop both count through it.
+///
+/// # Panics
+/// Panics if the range reads past the slice.
+#[inline]
+pub fn count_ones_range(words: &[u64], start: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let end = start + len;
+    let first = start / 64;
+    let last = (end - 1) / 64;
+    assert!(last < words.len(), "range past packed slice");
+    if first == last {
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << (start % 64)
+        };
+        return (words[first] & mask).count_ones() as usize;
+    }
+    let mut n = (words[first] >> (start % 64)).count_ones() as usize;
+    for w in &words[first + 1..last] {
+        n += w.count_ones() as usize;
+    }
+    let hi = end % 64;
+    let last_word = if hi == 0 {
+        words[last]
+    } else {
+        words[last] & ((1u64 << hi) - 1)
+    };
+    n + last_word.count_ones() as usize
+}
+
+/// Counts the positions in `[start, start + len)` where `a` and `b` agree
+/// (XNOR ones), reading both slices with the [`BitPlane`] bit order.
+///
+/// This is the tile-partial kernel of the packed deploy engine: a crossbar
+/// tile covers a sub-range of the fan-in, and its XNOR-product sum is
+/// `2·matches − len`. Boundary words are masked like
+/// [`count_ones_range`], so ranges may start and end anywhere, including
+/// mid-word and at non-multiple-of-64 widths.
+///
+/// # Panics
+/// Panics if the range reads past either slice.
+pub fn xnor_ones_range(a: &[u64], b: &[u64], start: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let end = start + len;
+    let first = start / 64;
+    let last = (end - 1) / 64;
+    assert!(last < a.len() && last < b.len(), "range past packed slice");
+    let mut ones = 0usize;
+    for w in first..=last {
+        let mut x = !(a[w] ^ b[w]);
+        if w == first {
+            let lo = start % 64;
+            if lo > 0 {
+                x &= u64::MAX << lo;
+            }
+        }
+        if w == last {
+            let hi = end % 64;
+            if hi > 0 {
+                x &= (1u64 << hi) - 1;
+            }
+        }
+        ones += x.count_ones() as usize;
+    }
+    ones
+}
+
+impl BitPlane {
+    /// An all-zero (all-`−1`) plane of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-one (all-`+1`) plane of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut p = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        p.mask_tail();
+        p
+    }
+
+    /// Packs a slice of logic values.
+    pub fn from_bits(bits: &[Bit]) -> Self {
+        let mut p = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if b.as_bool() {
+                p.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        p
+    }
+
+    /// Packs a slice of booleans (`true` = `+1`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut p = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        p
+    }
+
+    /// Packs real values by sign: `v ≥ 0` packs as `+1`, matching the
+    /// paper's Eq. 6 binarization convention.
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut p = Self::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            if v >= 0.0 {
+                p.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        p
+    }
+
+    /// Adopts a pre-packed word buffer. The tail bits beyond `len` are
+    /// cleared to restore the invariant.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `⌈len/64⌉` long.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        let rem = len % 64;
+        if rem > 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        Self { words, len }
+    }
+
+    /// Unpacks into logic values.
+    pub fn to_bits(&self) -> Vec<Bit> {
+        (0..self.len).map(|i| Bit::from_bool(self.get(i))).collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail bits zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of `+1` bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of `+1` bits among the first `prefix` bits.
+    ///
+    /// # Panics
+    /// Panics if `prefix > len`.
+    pub fn count_ones_prefix(&self, prefix: usize) -> usize {
+        assert!(prefix <= self.len, "prefix {prefix} exceeds {}", self.len);
+        count_ones_range(&self.words, 0, prefix)
+    }
+
+    /// Number of positions where `self` and `other` agree.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor_ones(&self, other: &BitPlane) -> usize {
+        assert_eq!(self.len, other.len, "plane length mismatch");
+        xnor_ones_range(&self.words, &other.words, 0, self.len)
+    }
+
+    /// Signed ±1 dot product via XNOR + popcount:
+    /// `2·matches − len ∈ [−len, +len]`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor_dot(&self, other: &BitPlane) -> i64 {
+        2 * self.xnor_ones(other) as i64 - self.len as i64
+    }
+
+    /// Bitwise XNOR (±1 elementwise product) as a new plane.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xnor(&self, other: &BitPlane) -> BitPlane {
+        assert_eq!(self.len, other.len, "plane length mismatch");
+        let mut out = Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| !(a ^ b))
+                .collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Bitwise AND as a new plane.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &BitPlane) -> BitPlane {
+        assert_eq!(self.len, other.len, "plane length mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise complement (±1 negation) as a new plane.
+    pub fn not(&self) -> BitPlane {
+        let mut out = Self {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    pub(crate) fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// A row-major matrix of equally wide [`BitPlane`]s in one contiguous
+/// buffer. Rows are padded to whole words, so `row_words(r)` is always a
+/// word-aligned slice — the layout packed GEMMs and the batched deploy
+/// engine iterate over (row index = output channel or batch sample, stride
+/// = `words_per_row()`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedMatrix {
+    storage: Vec<u64>,
+    rows: usize,
+    width: usize,
+    words_per_row: usize,
+}
+
+impl PackedMatrix {
+    /// An all-zero (all-`−1`) matrix.
+    pub fn zeros(rows: usize, width: usize) -> Self {
+        let words_per_row = width.div_ceil(64).max(1);
+        Self {
+            storage: vec![0; rows * words_per_row],
+            rows,
+            width,
+            words_per_row,
+        }
+    }
+
+    /// Packs a row-major `[rows × width]` sign matrix (`v ≥ 0` = `+1`).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows * width`.
+    pub fn from_signs(values: &[f32], rows: usize, width: usize) -> Self {
+        assert_eq!(values.len(), rows * width, "sign matrix shape mismatch");
+        let mut m = Self::zeros(rows, width);
+        for r in 0..rows {
+            for (i, &v) in values[r * width..(r + 1) * width].iter().enumerate() {
+                if v >= 0.0 {
+                    m.storage[r * m.words_per_row + i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds from equally long planes.
+    ///
+    /// # Panics
+    /// Panics if the planes' lengths differ.
+    pub fn from_planes(planes: &[BitPlane]) -> Self {
+        let width = planes.first().map_or(0, BitPlane::len);
+        let mut m = Self::zeros(planes.len(), width);
+        for (r, p) in planes.iter().enumerate() {
+            assert_eq!(p.len(), width, "row {r} length mismatch");
+            m.storage[r * m.words_per_row..r * m.words_per_row + p.words().len()]
+                .copy_from_slice(p.words());
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bits per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per row (the row stride of the backing buffer).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.storage[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The bit at `(r, i)`.
+    #[inline]
+    pub fn get(&self, r: usize, i: usize) -> bool {
+        assert!(
+            i < self.width,
+            "bit {i} out of range (width {})",
+            self.width
+        );
+        (self.row_words(r)[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `(r, i)`.
+    pub fn set(&mut self, r: usize, i: usize, value: bool) {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        assert!(
+            i < self.width,
+            "bit {i} out of range (width {})",
+            self.width
+        );
+        let w = r * self.words_per_row + i / 64;
+        if value {
+            self.storage[w] |= 1 << (i % 64);
+        } else {
+            self.storage[w] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Copies row `r` out as a plane.
+    pub fn row_plane(&self, r: usize) -> BitPlane {
+        // Rows are padded to at least one word; a plane wants exactly
+        // ⌈width/64⌉ of them (0 for a width-0 matrix).
+        let words = self.width.div_ceil(64);
+        BitPlane::from_words(self.row_words(r)[..words].to_vec(), self.width)
+    }
+
+    /// Signed ±1 dot product of row `r` with `plane`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn xnor_dot(&self, r: usize, plane: &BitPlane) -> i64 {
+        assert_eq!(plane.len(), self.width, "plane width mismatch");
+        2 * xnor_ones_range(self.row_words(r), plane.words(), 0, self.width) as i64
+            - self.width as i64
+    }
+
+    /// XNOR match count of row `r` against `plane` over the bit range
+    /// `[start, start + len)` — the crossbar-tile partial kernel.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the width.
+    pub fn xnor_ones_range(&self, r: usize, plane: &BitPlane, start: usize, len: usize) -> usize {
+        assert!(start + len <= self.width, "tile range exceeds width");
+        assert_eq!(plane.len(), self.width, "plane width mismatch");
+        xnor_ones_range(self.row_words(r), plane.words(), start, len)
+    }
+
+    /// Full packed GEMM: the signed dot of every matrix row with every row
+    /// of `acts` (activations packed row-major, same width). Returns the
+    /// dots in `[self.rows × acts.rows]` row-major order.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn xnor_gemm(&self, acts: &PackedMatrix) -> Vec<i64> {
+        assert_eq!(acts.width, self.width, "GEMM width mismatch");
+        let mut out = Vec::with_capacity(self.rows * acts.rows);
+        for r in 0..self.rows {
+            let rw = self.row_words(r);
+            for a in 0..acts.rows {
+                let dot = 2 * xnor_ones_range(rw, acts.row_words(a), 0, self.width) as i64
+                    - self.width as i64;
+                out.push(dot);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_dot(a: &[bool], b: &[bool]) -> i64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| if x == y { 1i64 } else { -1 })
+            .sum()
+    }
+
+    fn pseudo_bools(n: usize, salt: usize) -> Vec<bool> {
+        (0..n).map(|i| (i * 7 + salt * 13 + 3) % 5 < 2).collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_on_ragged_widths() {
+        for len in [1usize, 7, 63, 64, 65, 127, 128, 130, 200, 1000] {
+            let a = pseudo_bools(len, 1);
+            let b = pseudo_bools(len, 2);
+            let pa = BitPlane::from_bools(&a);
+            let pb = BitPlane::from_bools(&b);
+            assert_eq!(pa.xnor_dot(&pb), scalar_dot(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn range_counts_match_scalar_on_boundary_words() {
+        let len = 200;
+        let a = pseudo_bools(len, 3);
+        let b = pseudo_bools(len, 4);
+        let pa = BitPlane::from_bools(&a);
+        let pb = BitPlane::from_bools(&b);
+        for &(start, sub) in &[
+            (0usize, 200usize),
+            (0, 1),
+            (63, 2),
+            (64, 64),
+            (1, 63),
+            (65, 70),
+            (199, 1),
+            (128, 0),
+            (60, 8),
+        ] {
+            let expect = (start..start + sub).filter(|&i| a[i] == b[i]).count();
+            assert_eq!(
+                xnor_ones_range(pa.words(), pb.words(), start, sub),
+                expect,
+                "start {start} len {sub}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_tail_invariant() {
+        let mut p = BitPlane::zeros(70);
+        p.set(69, true);
+        p.set(0, true);
+        assert!(p.get(69) && p.get(0) && !p.get(33));
+        assert_eq!(p.count_ones(), 2);
+        let q = p.not();
+        assert_eq!(q.count_ones(), 68);
+        // Tail bits of the last word stay clear through not().
+        assert_eq!(q.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn from_words_clears_tail() {
+        let p = BitPlane::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(p.count_ones(), 70);
+    }
+
+    #[test]
+    fn plane_ops_match_bit_ops() {
+        let a = pseudo_bools(130, 5);
+        let b = pseudo_bools(130, 6);
+        let pa = BitPlane::from_bools(&a);
+        let pb = BitPlane::from_bools(&b);
+        for i in 0..130 {
+            assert_eq!(pa.xnor(&pb).get(i), a[i] == b[i]);
+            assert_eq!(pa.and(&pb).get(i), a[i] && b[i]);
+        }
+        assert_eq!(pa.to_bits().len(), 130);
+        assert_eq!(BitPlane::from_bits(&pa.to_bits()), pa);
+    }
+
+    #[test]
+    fn matrix_rows_behave_like_planes() {
+        let width = 100;
+        let rows = 5;
+        let values: Vec<f32> = (0..rows * width)
+            .map(|i| if (i * 11) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = PackedMatrix::from_signs(&values, rows, width);
+        assert_eq!(m.rows(), rows);
+        assert_eq!(m.width(), width);
+        let act = BitPlane::from_signs(&values[..width]);
+        for r in 0..rows {
+            let row = BitPlane::from_signs(&values[r * width..(r + 1) * width]);
+            assert_eq!(m.row_plane(r), row);
+            assert_eq!(m.xnor_dot(r, &act), row.xnor_dot(&act), "row {r}");
+            assert_eq!(
+                m.xnor_ones_range(r, &act, 30, 50),
+                xnor_ones_range(row.words(), act.words(), 30, 50)
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_per_row_dots() {
+        let w = PackedMatrix::from_signs(
+            &(0..3 * 70)
+                .map(|i| if (i * 5) % 4 < 2 { 1.0 } else { -1.0 })
+                .collect::<Vec<f32>>(),
+            3,
+            70,
+        );
+        let acts = PackedMatrix::from_signs(
+            &(0..2 * 70)
+                .map(|i| if (i * 3) % 5 < 3 { 1.0 } else { -1.0 })
+                .collect::<Vec<f32>>(),
+            2,
+            70,
+        );
+        let dots = w.xnor_gemm(&acts);
+        assert_eq!(dots.len(), 6);
+        for r in 0..3 {
+            for a in 0..2 {
+                assert_eq!(dots[r * 2 + a], w.xnor_dot(r, &acts.row_plane(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn ones_prefix_is_truncated_count() {
+        let bits = pseudo_bools(300, 9);
+        let p = BitPlane::from_bools(&bits);
+        for cut in [0usize, 1, 63, 64, 65, 128, 299, 300] {
+            assert_eq!(
+                p.count_ones_prefix(cut),
+                bits[..cut].iter().filter(|&&b| b).count()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        BitPlane::zeros(8).xnor_dot(&BitPlane::zeros(9));
+    }
+
+    #[test]
+    fn zero_width_matrix_rows_are_empty_planes() {
+        let m = PackedMatrix::zeros(2, 0);
+        let p = m.row_plane(0);
+        assert!(p.is_empty());
+        assert_eq!(p.words().len(), 0);
+    }
+
+    #[test]
+    fn count_ones_range_matches_prefix_counts() {
+        let bits = pseudo_bools(200, 11);
+        let p = BitPlane::from_bools(&bits);
+        for &(start, len) in &[
+            (0usize, 0usize),
+            (0, 64),
+            (63, 2),
+            (10, 150),
+            (199, 1),
+            (64, 64),
+        ] {
+            let expect = bits[start..start + len].iter().filter(|&&b| b).count();
+            assert_eq!(count_ones_range(p.words(), start, len), expect);
+        }
+    }
+}

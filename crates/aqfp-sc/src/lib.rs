@@ -22,6 +22,10 @@
 //! * [`lfsr`] — the conventional LFSR stochastic-number generator and the
 //!   stream-correlation metric quantifying the paper's "true randomness"
 //!   advantage of AQFP thermal switching;
+//! * [`bitplane`] — the shared bit-packing substrate: ±1 planes and
+//!   matrices in `u64` words with XNOR–popcount dot/GEMM kernels, used by
+//!   the packed streams here, the software BNN baseline, and the batched
+//!   deploy engine;
 //! * [`packed`] — bit-packed streams (64 bits/word) for simulating the
 //!   long-stream *pure-SC* baseline at tolerable cost;
 //! * [`mux`] — MUX-based scaled addition, the accumulator of pure-SC
@@ -35,6 +39,7 @@
 pub mod accumulate;
 pub mod analysis;
 pub mod apc;
+pub mod bitplane;
 pub mod fsm;
 pub mod lfsr;
 pub mod mux;
@@ -43,6 +48,7 @@ pub mod packed;
 
 pub use accumulate::{AccumulationModule, ScAccumError};
 pub use apc::Apc;
+pub use bitplane::{BitPlane, PackedMatrix};
 pub use number::Bitstream;
 pub use packed::PackedStream;
 

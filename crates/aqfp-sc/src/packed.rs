@@ -8,13 +8,14 @@
 //! packs 64 stream bits per `u64` word so XNOR multiplication and
 //! popcount-style accumulation run as word operations.
 //!
-//! The packing is little-endian in time: stream position `t` lives in word
-//! `t / 64`, bit `t % 64`. Unused high bits of the last word are kept zero
-//! so [`PackedStream::ones`] is a plain popcount — every constructor and
-//! operation maintains that invariant.
+//! The word layout, tail-masking invariant and popcount kernels are shared
+//! with every other packed fast path in the workspace through
+//! [`BitPlane`](crate::bitplane::BitPlane): a `PackedStream` is a `BitPlane`
+//! whose index axis is *time* (stream position `t` lives in word `t / 64`,
+//! bit `t % 64`) plus the stochastic-number value readouts.
 
+use crate::bitplane::BitPlane;
 use crate::number::Bitstream;
-use aqfp_device::Bit;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -35,27 +36,22 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PackedStream {
-    words: Vec<u64>,
-    len: usize,
+    plane: BitPlane,
 }
 
 impl PackedStream {
     /// An all-zero (`-1`-valued in bipolar terms) stream of length `len`.
     pub fn zeros(len: usize) -> Self {
         Self {
-            words: vec![0; len.div_ceil(64)],
-            len,
+            plane: BitPlane::zeros(len),
         }
     }
 
     /// An all-one (`+1`-valued in bipolar terms) stream of length `len`.
     pub fn ones_stream(len: usize) -> Self {
-        let mut s = Self {
-            words: vec![u64::MAX; len.div_ceil(64)],
-            len,
-        };
-        s.mask_tail();
-        s
+        Self {
+            plane: BitPlane::ones(len),
+        }
     }
 
     /// Samples a unipolar stream with `P(bit = 1) = p`.
@@ -86,7 +82,9 @@ impl PackedStream {
             words.push(w);
             remaining -= take;
         }
-        Self { words, len }
+        Self {
+            plane: BitPlane::from_words(words, len),
+        }
     }
 
     /// Samples a bipolar stream carrying the value `x ∈ [−1, 1]` via
@@ -104,28 +102,29 @@ impl PackedStream {
 
     /// Packs an unpacked [`Bitstream`].
     pub fn from_bitstream(bits: &Bitstream) -> Self {
-        let mut s = Self::zeros(bits.len());
-        for (t, b) in bits.bits().iter().enumerate() {
-            if b.as_bool() {
-                s.words[t / 64] |= 1 << (t % 64);
-            }
+        Self {
+            plane: BitPlane::from_bits(bits.bits()),
         }
-        s
     }
 
     /// Unpacks into a [`Bitstream`].
     pub fn to_bitstream(&self) -> Bitstream {
-        Bitstream::from_bits((0..self.len).map(|t| Bit::from_bool(self.bit(t))).collect())
+        Bitstream::from_bits(self.plane.to_bits())
+    }
+
+    /// The time-indexed [`BitPlane`] backing this stream.
+    pub fn plane(&self) -> &BitPlane {
+        &self.plane
     }
 
     /// Stream length in bits.
     pub fn len(&self) -> usize {
-        self.len
+        self.plane.len()
     }
 
     /// Whether the stream is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.plane.is_empty()
     }
 
     /// The bit at stream position `t`.
@@ -134,11 +133,11 @@ impl PackedStream {
     /// Panics if `t >= self.len()`.
     pub fn bit(&self, t: usize) -> bool {
         assert!(
-            t < self.len,
+            t < self.len(),
             "stream position {t} out of range (len {})",
-            self.len
+            self.len()
         );
-        (self.words[t / 64] >> (t % 64)) & 1 == 1
+        self.plane.get(t)
     }
 
     /// Sets the bit at stream position `t`.
@@ -147,20 +146,16 @@ impl PackedStream {
     /// Panics if `t >= self.len()`.
     pub fn set(&mut self, t: usize, value: bool) {
         assert!(
-            t < self.len,
+            t < self.len(),
             "stream position {t} out of range (len {})",
-            self.len
+            self.len()
         );
-        if value {
-            self.words[t / 64] |= 1 << (t % 64);
-        } else {
-            self.words[t / 64] &= !(1 << (t % 64));
-        }
+        self.plane.set(t, value);
     }
 
     /// Number of ones in the stream.
     pub fn ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.plane.count_ones()
     }
 
     /// Number of ones among the first `prefix` bits.
@@ -169,20 +164,11 @@ impl PackedStream {
     /// Panics if `prefix > self.len()`.
     pub fn ones_prefix(&self, prefix: usize) -> usize {
         assert!(
-            prefix <= self.len,
+            prefix <= self.len(),
             "prefix {prefix} exceeds length {}",
-            self.len
+            self.len()
         );
-        let full = prefix / 64;
-        let mut n: usize = self.words[..full]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
-        let rem = prefix % 64;
-        if rem > 0 {
-            n += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
-        }
-        n
+        self.plane.count_ones_prefix(prefix)
     }
 
     /// Unipolar value `ones / len`.
@@ -191,7 +177,7 @@ impl PackedStream {
     /// Panics on an empty stream.
     pub fn unipolar_value(&self) -> f64 {
         assert!(!self.is_empty(), "empty stochastic number has no value");
-        self.ones() as f64 / self.len as f64
+        self.ones() as f64 / self.len() as f64
     }
 
     /// Bipolar value `2·ones/len − 1`.
@@ -207,18 +193,10 @@ impl PackedStream {
     /// # Panics
     /// Panics on length mismatch.
     pub fn xnor(&self, other: &PackedStream) -> PackedStream {
-        assert_eq!(self.len, other.len, "stream length mismatch");
-        let mut out = Self {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| !(a ^ b))
-                .collect(),
-            len: self.len,
-        };
-        out.mask_tail();
-        out
+        assert_eq!(self.len(), other.len(), "stream length mismatch");
+        Self {
+            plane: self.plane.xnor(&other.plane),
+        }
     }
 
     /// Number of ones of `self XNOR other` without materializing the
@@ -227,20 +205,8 @@ impl PackedStream {
     /// # Panics
     /// Panics on length mismatch.
     pub fn xnor_ones(&self, other: &PackedStream) -> usize {
-        assert_eq!(self.len, other.len, "stream length mismatch");
-        let mut n = 0usize;
-        let last = self.words.len().saturating_sub(1);
-        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
-            let mut w = !(a ^ b);
-            if i == last {
-                let rem = self.len % 64;
-                if rem > 0 {
-                    w &= (1u64 << rem) - 1;
-                }
-            }
-            n += w.count_ones() as usize;
-        }
-        n
+        assert_eq!(self.len(), other.len(), "stream length mismatch");
+        self.plane.xnor_ones(&other.plane)
     }
 
     /// Unipolar multiplication: bitwise AND.
@@ -248,34 +214,16 @@ impl PackedStream {
     /// # Panics
     /// Panics on length mismatch.
     pub fn and(&self, other: &PackedStream) -> PackedStream {
-        assert_eq!(self.len, other.len, "stream length mismatch");
+        assert_eq!(self.len(), other.len(), "stream length mismatch");
         Self {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
-            len: self.len,
+            plane: self.plane.and(&other.plane),
         }
     }
 
     /// Bitwise complement (bipolar negation).
     pub fn not(&self) -> PackedStream {
-        let mut out = Self {
-            words: self.words.iter().map(|w| !w).collect(),
-            len: self.len,
-        };
-        out.mask_tail();
-        out
-    }
-
-    fn mask_tail(&mut self) {
-        let rem = self.len % 64;
-        if rem > 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
+        Self {
+            plane: self.plane.not(),
         }
     }
 }

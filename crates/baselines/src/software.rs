@@ -7,35 +7,43 @@
 //! accuracy reference against which hardware-faithful AQFP inference is
 //! compared — and a baseline for throughput benchmarks.
 
-/// A ±1 vector packed into `u64` words (`1` bit = +1).
+use aqfp_sc::BitPlane;
+
+/// A ±1 vector packed into `u64` words (`1` bit = +1), backed by the
+/// workspace-wide [`BitPlane`] packing (same bit order and tail-masking
+/// invariant as the deploy engine's activation planes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedVec {
-    words: Vec<u64>,
-    len: usize,
+    plane: BitPlane,
 }
 
 impl PackedVec {
     /// Packs a slice of ±1 values (`>= 0` packs as +1, matching the
     /// paper's sign convention).
     pub fn from_signs(values: &[f32]) -> Self {
-        let len = values.len();
-        let mut words = vec![0u64; len.div_ceil(64)];
-        for (i, &v) in values.iter().enumerate() {
-            if v >= 0.0 {
-                words[i / 64] |= 1 << (i % 64);
-            }
+        Self {
+            plane: BitPlane::from_signs(values),
         }
-        Self { words, len }
+    }
+
+    /// Wraps an already packed plane.
+    pub fn from_plane(plane: BitPlane) -> Self {
+        Self { plane }
+    }
+
+    /// The backing plane.
+    pub fn plane(&self) -> &BitPlane {
+        &self.plane
     }
 
     /// Vector length.
     pub fn len(&self) -> usize {
-        self.len
+        self.plane.len()
     }
 
     /// Whether the vector is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.plane.is_empty()
     }
 
     /// Signed dot product with `other` via XNOR + popcount.
@@ -43,19 +51,8 @@ impl PackedVec {
     /// # Panics
     /// Panics on length mismatch.
     pub fn dot(&self, other: &PackedVec) -> i32 {
-        assert_eq!(self.len, other.len, "length mismatch in packed dot");
-        let mut matches = 0u32;
-        for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
-            // XNOR.
-            let mut x = !(a ^ b);
-            // Mask tail bits of the last word.
-            if (i + 1) * 64 > self.len {
-                let valid = self.len - i * 64;
-                x &= (1u64 << valid) - 1;
-            }
-            matches += x.count_ones();
-        }
-        2 * matches as i32 - self.len as i32
+        assert_eq!(self.len(), other.len(), "length mismatch in packed dot");
+        self.plane.xnor_dot(&other.plane) as i32
     }
 }
 
@@ -82,6 +79,29 @@ impl PopcountLinear {
     /// Number of output units.
     pub fn out_features(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The fan-in.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// The packed weight rows (used by the packed deploy engine to score
+    /// classifier logits straight from an activation plane).
+    pub fn rows(&self) -> &[PackedVec] {
+        &self.rows
+    }
+
+    /// Computes all outputs for one already packed ±1 activation plane.
+    ///
+    /// # Panics
+    /// Panics on input length mismatch.
+    pub fn forward_plane(&self, input: &BitPlane) -> Vec<i32> {
+        assert_eq!(input.len(), self.fan_in, "input length mismatch");
+        self.rows
+            .iter()
+            .map(|r| r.plane().xnor_dot(input) as i32)
+            .collect()
     }
 
     /// Computes all outputs for one ±1 input vector.

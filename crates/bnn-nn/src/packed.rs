@@ -1,0 +1,123 @@
+//! Packed XNOR–popcount kernels for binarized eval-time inference.
+//!
+//! A binarized layer's eval forward is `α_o · dot(sign(W_o), a) + b_o`
+//! with `a ∈ {±1}ⁿ`. This module evaluates the dot as
+//! `2·popcount(XNOR) − n` over [`aqfp_sc::PackedMatrix`] bitplanes (the
+//! workspace-wide packing also used by the deploy engine), which is the
+//! im2col → packed-GEMM fast path behind
+//! [`Linear::forward_binary_packed`](crate::layers::Linear::forward_binary_packed)
+//! and
+//! [`Conv2d::forward_binary_packed`](crate::layers::Conv2d::forward_binary_packed).
+//!
+//! The integer dots are *exact*; the only difference from the float
+//! forward is that `α · Σ sᵢaᵢ` rounds once where `Σ α sᵢaᵢ` rounds per
+//! addition, so outputs can differ in the last ulp (never in sign, given
+//! any decision margin).
+
+use crate::tensor::Tensor;
+use aqfp_sc::PackedMatrix;
+
+/// Packs the sign pattern of a row-major `[rows × width]` matrix
+/// (`v ≥ 0` packs as `+1`, the Eq. 6 convention).
+///
+/// # Panics
+/// Panics if `t` is not a 2-D tensor of that shape.
+pub fn pack_sign_rows(t: &Tensor) -> PackedMatrix {
+    assert_eq!(t.shape().len(), 2, "expected a [rows, width] matrix");
+    PackedMatrix::from_signs(t.data(), t.shape()[0], t.shape()[1])
+}
+
+/// Packs the sign pattern of each *column* of a `[width × cols]` matrix
+/// (e.g. an [`im2col`](crate::layers::im2col) unfold, whose columns are
+/// receptive fields) into one plane per column: row `j` of the result is
+/// column `j` of the input.
+///
+/// # Panics
+/// Panics if `t` is not 2-D.
+pub fn pack_sign_columns(t: &Tensor) -> PackedMatrix {
+    assert_eq!(t.shape().len(), 2, "expected a [width, cols] matrix");
+    let (width, cols) = (t.shape()[0], t.shape()[1]);
+    let data = t.data();
+    let mut m = PackedMatrix::zeros(cols, width);
+    for i in 0..width {
+        let row = &data[i * cols..(i + 1) * cols];
+        for (j, &v) in row.iter().enumerate() {
+            if v >= 0.0 {
+                m.set(j, i, true);
+            }
+        }
+    }
+    m
+}
+
+/// Packed sign-GEMM: the exact signed ±1 dot of every weight row with
+/// every activation row, `[weights.rows() × acts.rows()]` row-major.
+///
+/// # Panics
+/// Panics on width mismatch.
+pub fn sign_gemm(weights: &PackedMatrix, acts: &PackedMatrix) -> Vec<i64> {
+    weights.xnor_gemm(acts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signs(n: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                if (i * 13 + salt * 7 + 1).is_multiple_of(3) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    fn scalar_dot(a: &[f32], b: &[f32]) -> i64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let sx = if x >= 0.0 { 1i64 } else { -1 };
+                let sy = if y >= 0.0 { 1i64 } else { -1 };
+                sx * sy
+            })
+            .sum()
+    }
+
+    #[test]
+    fn gemm_matches_scalar_dots_on_ragged_widths() {
+        for width in [1usize, 7, 63, 64, 65, 130] {
+            let w = Tensor::from_vec(&[3, width], signs(3 * width, 1));
+            let a = Tensor::from_vec(&[2, width], signs(2 * width, 2));
+            let dots = sign_gemm(&pack_sign_rows(&w), &pack_sign_rows(&a));
+            for o in 0..3 {
+                for n in 0..2 {
+                    let expect = scalar_dot(
+                        &w.data()[o * width..(o + 1) * width],
+                        &a.data()[n * width..(n + 1) * width],
+                    );
+                    assert_eq!(dots[o * 2 + n], expect, "width {width} o {o} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_packing_transposes() {
+        // [width=3, cols=2] matrix: column j becomes row j.
+        let t = Tensor::from_vec(&[3, 2], vec![1.0, -1.0, -1.0, 1.0, 1.0, -1.0]);
+        let m = pack_sign_columns(&t);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.width(), 3);
+        assert_eq!(
+            (0..3).map(|i| m.get(0, i)).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+        assert_eq!(
+            (0..3).map(|i| m.get(1, i)).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+    }
+}

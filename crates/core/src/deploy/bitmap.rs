@@ -184,6 +184,21 @@ impl BitMap {
     pub fn to_signs(&self) -> Vec<f32> {
         self.bits.iter().map(|b| b.to_value() as f32).collect()
     }
+
+    /// Packs the map into a [`BitPlane`] in the same `[C, H, W]` row-major
+    /// bit order (the packed engine's activation layout).
+    pub fn to_plane(&self) -> aqfp_sc::BitPlane {
+        aqfp_sc::BitPlane::from_bits(&self.bits)
+    }
+
+    /// Unpacks a `[C, H, W]` plane produced by [`BitMap::to_plane`].
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_plane(c: usize, h: usize, w: usize, plane: &aqfp_sc::BitPlane) -> Self {
+        assert_eq!(plane.len(), c * h * w, "plane length mismatch");
+        Self::from_bits(c, h, w, plane.to_bits())
+    }
 }
 
 #[cfg(test)]

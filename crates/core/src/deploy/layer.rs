@@ -24,6 +24,12 @@ pub struct TiledMatrix {
     /// Dead neuron columns from fault injection: `(tile index, column
     /// within tile) → stuck output bit`.
     dead: HashMap<(usize, usize), Bit>,
+    /// Per-tile, per-column integer comparator thresholds of the digital
+    /// (deterministic) engines: tile bit = '1' iff the tile's XNOR-product
+    /// sum is `≥ min_sums[tile][col]`. Quantized once from the programmed
+    /// µA thresholds so the scalar and packed engines share one decision
+    /// rule bit-for-bit.
+    min_sums: Vec<Vec<i64>>,
     window: usize,
     counter: aqfp_sc::accumulate::CounterKind,
     fan_in: usize,
@@ -80,12 +86,14 @@ impl TiledMatrix {
             xbar.set_thresholds_ua(thresholds).expect("lengths match");
             tiles.push(xbar);
         }
+        let min_sums = tiles.iter().map(digital_min_sums).collect();
         Self {
             plan,
             tiles,
             flips,
             vth,
             dead: HashMap::new(),
+            min_sums,
             window: hw.bitstream_len,
             counter: hw.counter,
             fan_in,
@@ -202,6 +210,72 @@ impl TiledMatrix {
             .collect()
     }
 
+    /// The digital (deterministic) engine: the gray-zone → 0 limit of the
+    /// stochastic datapath with exact counters, evaluated with per-element
+    /// scalar loops. Each row tile's XNOR-product sum is compared against
+    /// its quantized integer threshold (a saturating per-tile comparator,
+    /// faithful to the hardware's partial-sum binarization); the SC
+    /// accumulation reduces to a majority vote over the tile bits with
+    /// ties resolving to '1' (the comparator's `T ≥ kL/2` midpoint rule on
+    /// constant streams); dead columns pin their tile's vote.
+    ///
+    /// This is the *scalar reference* the packed XNOR–popcount engine in
+    /// [`super::packed`] is differentially tested against: both must agree
+    /// bit-for-bit on every input.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != fan_in`.
+    pub fn forward_digital(&self, input: &[Bit]) -> Vec<Bit> {
+        assert_eq!(input.len(), self.fan_in, "input length mismatch");
+        let k = self.plan.row_tiles();
+        let mut out = vec![Bit::Zero; self.out];
+        let mut tile_idx = 0;
+        while tile_idx < self.tiles.len() {
+            let col_start = self.plan.tiles[tile_idx].col_start;
+            let cols = self.plan.tiles[tile_idx].cols;
+            for c in 0..cols {
+                let channel = col_start + c;
+                let mut votes = 0usize;
+                for r in 0..k {
+                    let idx = tile_idx + r;
+                    let vote = if let Some(&b) = self.dead.get(&(idx, c)) {
+                        b.as_bool()
+                    } else {
+                        let t = &self.plan.tiles[idx];
+                        let slice = &input[t.row_start..t.row_start + t.rows];
+                        let sum = self.tiles[idx]
+                            .raw_sum(c, slice)
+                            .expect("tile geometry is consistent");
+                        sum as i64 >= self.min_sums[idx][c]
+                    };
+                    votes += vote as usize;
+                }
+                let bit = Bit::from_bool(2 * votes >= k);
+                out[channel] = if self.flips[channel] { bit.not() } else { bit };
+            }
+            tile_idx += k;
+        }
+        out
+    }
+
+    /// The per-tile crossbars, aligned with `plan().tiles` (weight source
+    /// of the packed engine — includes any injected stuck-cell faults).
+    pub fn tile_crossbars(&self) -> &[Crossbar] {
+        &self.tiles
+    }
+
+    /// Dead neuron columns from fault injection:
+    /// `(tile index, column within tile) → stuck output bit`.
+    pub fn dead_outputs(&self) -> &HashMap<(usize, usize), Bit> {
+        &self.dead
+    }
+
+    /// The quantized per-tile integer comparator thresholds of the digital
+    /// engines, aligned with `plan().tiles`.
+    pub fn digital_min_sums(&self) -> &[Vec<i64>] {
+        &self.min_sums
+    }
+
     fn weight_sign(&self, row: usize, channel: usize) -> i32 {
         // Find the tile containing (row, channel).
         for (i, t) in self.plan.tiles.iter().enumerate() {
@@ -222,6 +296,31 @@ impl TiledMatrix {
     pub fn crossbar_count(&self) -> usize {
         self.tiles.len()
     }
+}
+
+/// Quantizes one crossbar's programmed µA thresholds into integer
+/// XNOR-sum comparator references: the tile bit of the digital engines is
+/// '1' iff `sum ≥ min_sum`, the deterministic limit of the neuron's
+/// `current ≥ Ith` decision (`sum · I1 ≥ Ith ⟺ sum ≥ ⌈Ith / I1⌉` for
+/// integer sums with `I1 > 0`). Values are clamped to `±(rows + 1)` so the
+/// `±1e9`-encoded constant channels (γ ≈ 0) stay constant and comparisons
+/// never overflow.
+fn digital_min_sums(xbar: &Crossbar) -> Vec<i64> {
+    let i1 = xbar.unit_current_ua();
+    let rows = xbar.rows() as i64;
+    xbar.thresholds_ua()
+        .iter()
+        .map(|&th| {
+            let min = (th / i1).ceil();
+            if min <= -(rows as f64 + 1.0) {
+                -(rows + 1)
+            } else if min >= rows as f64 + 1.0 {
+                rows + 1
+            } else {
+                min as i64
+            }
+        })
+        .collect()
 }
 
 /// A deployed convolution cell (conv + folded BN + binarize + optional
@@ -306,6 +405,37 @@ impl DeployedConv {
         }
     }
 
+    /// Runs the cell through the digital (deterministic) engine — the
+    /// scalar reference of the packed path. See
+    /// [`TiledMatrix::forward_digital`].
+    pub fn forward_digital(&self, input: &BitMap) -> BitMap {
+        assert_eq!(input.c, self.in_c, "channel mismatch");
+        let oh = (input.h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (input.w + 2 * self.pad - self.k) / self.stride + 1;
+        let out_c = self.matrix.out();
+        let mut out = BitMap::zeros(out_c, oh, ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let field = input.receptive_field(oy, ox, self.k, self.stride, self.pad);
+                let bits = self.matrix.forward_digital(&field);
+                for (c, &b) in bits.iter().enumerate() {
+                    out.set(c, oy, ox, b);
+                }
+            }
+        }
+        if self.pool {
+            out.pool2_mixed(self.matrix.flips())
+        } else {
+            out
+        }
+    }
+
+    /// `(input channels, kernel, stride, pad, pooled)` — the geometry the
+    /// packed engine replicates.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, bool) {
+        (self.in_c, self.k, self.stride, self.pad, self.pool)
+    }
+
     /// Crossbar evaluations (output pixels before pooling) per sample —
     /// the energy model's activity factor.
     pub fn evals_per_sample(&self, in_h: usize, in_w: usize) -> usize {
@@ -349,6 +479,14 @@ impl DeployedDense {
     /// Runs the cell on a flat binary vector (a `[F, 1, 1]` map).
     pub fn forward<R: Rng + ?Sized>(&self, input: &BitMap, rng: &mut R) -> BitMap {
         let bits = self.matrix.forward(input.bits(), rng);
+        BitMap::from_bits(bits.len(), 1, 1, bits)
+    }
+
+    /// Runs the cell through the digital (deterministic) engine — the
+    /// scalar reference of the packed path. See
+    /// [`TiledMatrix::forward_digital`].
+    pub fn forward_digital(&self, input: &BitMap) -> BitMap {
+        let bits = self.matrix.forward_digital(input.bits());
         BitMap::from_bits(bits.len(), 1, 1, bits)
     }
 }
@@ -424,6 +562,48 @@ mod tests {
         // resolve up). The saturation flipped the decision.
         let mut rng = DeviceRng::seed_from_u64(9);
         assert_eq!(m.forward(&input, &mut rng), vec![Bit::One]);
+    }
+
+    #[test]
+    fn digital_engine_matches_stochastic_in_deterministic_regime() {
+        // With a vanishing gray-zone the stochastic datapath is the digital
+        // engine plus RNG bookkeeping: every decision must agree away from
+        // exact ties (odd fan-in avoids them).
+        let hw = hw_small();
+        let fan_in = 7;
+        let out = 3;
+        let signs: Vec<f32> = (0..fan_in * out)
+            .map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vec![0.0; 3], vec![false; 3], &hw);
+        let mut rng = DeviceRng::seed_from_u64(12);
+        for pat in 0..128u32 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((pat >> i) & 1 == 1))
+                .collect();
+            assert_eq!(
+                m.forward_digital(&input),
+                m.forward(&input, &mut rng),
+                "pattern {pat:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn digital_engine_reproduces_tile_saturation_and_tie_up() {
+        // Same scenario as multi_tile_accumulation_saturates_partial_sums:
+        // partial sums +2 and −8 saturate to per-tile bits (1, 0); the
+        // majority vote ties at the midpoint and resolves to '1'.
+        let hw = hw_small();
+        let fan_in = 16;
+        let signs = vec![1.0f32; fan_in];
+        let m = TiledMatrix::new(&signs, fan_in, 1, vec![0.0], vec![false], &hw);
+        let mut input = vec![Bit::Zero; fan_in];
+        for bit in input.iter_mut().take(5) {
+            *bit = Bit::One;
+        }
+        assert_eq!(m.forward_ideal(&input), vec![Bit::Zero]);
+        assert_eq!(m.forward_digital(&input), vec![Bit::One]);
     }
 
     #[test]

@@ -8,11 +8,43 @@
 //! a digital OR; the classifier head is a digital popcount layer with the
 //! α/bias affine applied at read-out (see DESIGN.md §2 for the
 //! substitution note on the output layer).
+//!
+//! # Three inference engines
+//!
+//! | engine | entry point | RNG | speed |
+//! |---|---|---|---|
+//! | stochastic | [`DeployedModel::classify`] | yes | slowest |
+//! | scalar digital | [`DeployedModel::classify_digital`] | no | slow |
+//! | packed digital | [`PackedModel::classify_batch`] | no | fastest |
+//!
+//! The *stochastic* engine simulates the full SC datapath (gray-zone
+//! neuron noise, observation windows, APC accumulation) and is what
+//! accuracy-vs-noise experiments use. The *digital* engines evaluate its
+//! deterministic limit (gray-zone → 0, exact counters): per-tile
+//! saturating comparators against integer thresholds, majority-vote
+//! accumulation with ties to '1', dead-column overrides. The scalar one
+//! walks activations bit-by-bit through per-element loops and exists as
+//! the differential reference; the packed one computes the identical
+//! decisions as XNOR + popcount over `u64` bitplanes, batch-major, fanned
+//! across `std::thread::scope` workers — use it whenever you need
+//! throughput (accuracy sweeps, fault-injection campaigns, serving).
+//!
+//! # Packed layout (see [`packed`] for details)
+//!
+//! Bits are packed little-endian in the flat `[C, H, W]` feature index
+//! (bit `i` → word `i / 64`, bit `i % 64`; '1' = +1); convolution padding
+//! reads as '0' (−1), matching the software model's −1 padding; tail bits
+//! of the last word stay zero. Batches are one [`aqfp_sc::PackedMatrix`]
+//! row per sample with stride `words_per_row()`. The packed engine is
+//! bit-identical to the scalar digital engine by construction *and* by
+//! differential/golden tests (`tests/props.rs`, `tests/golden_deploy.rs`).
 
 mod bitmap;
 mod layer;
 mod model;
+pub mod packed;
 
 pub use bitmap::BitMap;
-pub use layer::{DeployedCell, DeployedConv, DeployedDense};
+pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};
+pub use packed::{PackedModel, PackedTiledMatrix};

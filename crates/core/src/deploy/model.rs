@@ -79,13 +79,42 @@ impl DeployedClassifier {
     /// Class scores for a flat binary feature vector.
     pub fn scores(&self, input: &BitMap) -> Vec<f32> {
         let signs = input.to_signs();
-        self.pop
-            .forward(&signs)
-            .into_iter()
+        self.affine(self.pop.forward(&signs))
+    }
+
+    /// Class scores for an already packed ±1 activation plane — the packed
+    /// engine's head, bit-identical to [`DeployedClassifier::scores`]
+    /// because both apply the same `α·dot + bias` affine to the same
+    /// integer XNOR–popcount dots.
+    ///
+    /// # Panics
+    /// Panics on input length mismatch.
+    pub fn scores_plane(&self, input: &aqfp_sc::BitPlane) -> Vec<f32> {
+        self.affine(self.pop.forward_plane(input))
+    }
+
+    fn affine(&self, dots: Vec<i32>) -> Vec<f32> {
+        dots.into_iter()
             .zip(self.alphas.iter().zip(&self.bias))
             .map(|(dot, (&a, &b))| a * dot as f32 + b)
             .collect()
     }
+
+    /// The underlying XNOR/popcount linear layer.
+    pub fn popcount(&self) -> &PopcountLinear {
+        &self.pop
+    }
+}
+
+/// The winning class index: the maximum score, with ties resolved the same
+/// way in every engine (last maximum, matching `Iterator::max_by`).
+pub(crate) fn argmax(scores: &[f32]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("at least one class")
 }
 
 /// Hardware inventory of a deployed model.
@@ -136,13 +165,48 @@ impl DeployedModel {
         // order, which matches the software Flatten layout.
         let flat = BitMap::from_bits(map.len(), 1, 1, map.bits().to_vec());
         let scores = self.classifier.scores(&flat);
-        let label = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("at least one class");
-        (label, scores)
+        (argmax(&scores), scores)
+    }
+
+    /// Classifies sample `n` through the *digital* (deterministic) engine:
+    /// the gray-zone → 0 limit of the stochastic datapath, evaluated with
+    /// per-element scalar loops and no RNG. This is the scalar reference
+    /// the packed XNOR–popcount engine
+    /// ([`super::PackedModel`]) must reproduce bit-for-bit.
+    pub fn classify_digital(&self, images: &Tensor, n: usize) -> (usize, Vec<f32>) {
+        let mut map = BitMap::from_tensor_sample(images, n);
+        for cell in &self.cells {
+            map = match cell {
+                DeployedCell::Conv(c) => c.forward_digital(&map),
+                DeployedCell::Dense(d) => d.forward_digital(&map),
+            };
+        }
+        let flat = BitMap::from_bits(map.len(), 1, 1, map.bits().to_vec());
+        let scores = self.classifier.scores(&flat);
+        (argmax(&scores), scores)
+    }
+
+    /// Top-1 accuracy of the digital engine over (the first `limit`
+    /// samples of) a dataset.
+    pub fn accuracy_digital(&self, data: &bnn_datasets::Dataset, limit: Option<usize>) -> f64 {
+        let n = limit.map_or(data.len(), |l| l.min(data.len()));
+        assert!(n > 0, "accuracy over zero samples");
+        let correct = (0..n)
+            .filter(|&i| self.classify_digital(&data.images, i).0 == data.labels[i])
+            .count();
+        correct as f64 / n as f64
+    }
+
+    /// The digital classifier head.
+    pub fn classifier(&self) -> &DeployedClassifier {
+        &self.classifier
+    }
+
+    /// Builds the batched bit-packed engine from this deployment (any
+    /// injected faults are carried over). Shorthand for
+    /// [`super::PackedModel::from_deployed`].
+    pub fn to_packed(&self) -> super::PackedModel {
+        super::PackedModel::from_deployed(self)
     }
 
     /// Top-1 accuracy over (the first `limit` samples of) a dataset.

@@ -1,0 +1,648 @@
+//! The batched bit-packed deploy engine: XNOR + popcount over `u64`
+//! words, fanned across threads.
+//!
+//! [`PackedModel`] is the word-parallel twin of the scalar digital engine
+//! ([`DeployedModel::classify_digital`]): same deterministic semantics —
+//! per-tile saturating comparators, majority-vote SC accumulation with
+//! ties to '1', dead-column overrides, flip channels, popcount classifier
+//! head — but every XNOR-product sum is a masked popcount over packed
+//! weight/activation planes instead of a per-element loop, and batches are
+//! split across `std::thread::scope` workers. The two engines are
+//! differentially tested to be bit-identical on every input; the packed
+//! one is an order of magnitude faster (see the `deploy_throughput`
+//! bench).
+//!
+//! # Packed layout
+//!
+//! * **Bit order** — little-endian in the flat feature index: activation
+//!   `i` of a `[C, H, W]` map (row-major, channel-major like
+//!   [`BitMap`]) lives in word `i / 64`, bit `i % 64`; logic '1' = value
+//!   `+1`. Weight rows use the same order over the fan-in
+//!   (`in_c · k · k`, matching the im2col receptive-field order).
+//! * **Padding semantics** — convolution padding contributes '0' bits
+//!   (value −1), exactly the software model's −1 padding; tail bits past
+//!   `len` are kept zero so whole-plane popcounts need no masking.
+//! * **Batch-major stride** — a batch is a [`PackedMatrix`]: one row per
+//!   sample, row stride `words_per_row()`. Workers slice the batch by
+//!   rows, so each thread streams contiguous words.
+//!
+//! Crossbar *tiles* are sub-ranges of the fan-in: each tile's partial sum
+//! is `2 · popcount(XNOR(w, a) & tile mask) − rows`, evaluated by
+//! [`PackedMatrix::xnor_ones_range`] with boundary-word masking, so ragged
+//! tiles (fan-in not a multiple of 64, or tiles narrower than a word)
+//! are exact. Injected faults carry over from the deployment: stuck LiM
+//! cells are baked into the packed weight planes, dead columns override
+//! the tile vote.
+
+use super::bitmap::BitMap;
+use super::layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
+use super::model::{argmax, DeployedClassifier, DeployedModel};
+use aqfp_sc::{BitPlane, PackedMatrix};
+use bnn_nn::Tensor;
+
+/// The packed twin of a [`TiledMatrix`]: weight bitplanes (one row per
+/// output channel, faults included), per-tile integer comparator
+/// thresholds and dead-column overrides.
+#[derive(Debug, Clone)]
+pub struct PackedTiledMatrix {
+    /// `[out × fan_in]` weight bits, reassembled from the tile crossbars.
+    weights: PackedMatrix,
+    /// Row-tile boundaries over the fan-in (`k + 1` entries).
+    row_starts: Vec<usize>,
+    /// `[out × k]` channel-major integer thresholds.
+    min_sums: Vec<i64>,
+    /// `[out × k]` channel-major dead-column overrides
+    /// (0 = live, 1 = stuck '0', 2 = stuck '1').
+    dead: Vec<u8>,
+    /// SWAR acceleration for uniform power-of-two tile widths.
+    swar: Option<Swar>,
+    flips: Vec<bool>,
+    fan_in: usize,
+    out: usize,
+}
+
+/// SWAR (SIMD-within-a-register) tile evaluation: when every row tile is
+/// `lane ∈ {4, 8, 16, 32}` bits wide, one XNOR word holds `64 / lane`
+/// complete tiles. A parallel bit-count reduction yields all lane
+/// popcounts at once, and adding a per-lane bias of `2^(lane−1) − t`
+/// (where `t` is the tile's minimum match count, with dead columns encoded
+/// as `t = 0` / `t = lane + 1`) sets each lane's top bit exactly when the
+/// tile votes — so a channel's votes over a word are one popcount of the
+/// masked top bits. Tiles past `tail_tile` (a ragged last tile, or bits
+/// past the last whole word) use the generic range path.
+#[derive(Debug, Clone)]
+struct Swar {
+    /// Tile width in bits.
+    lane: u32,
+    /// Whole words per row covered by complete tiles.
+    words: usize,
+    /// First tile index evaluated generically.
+    tail_tile: usize,
+    /// Lane top bits (`1 << (lane − 1)` replicated).
+    msb_mask: u64,
+    /// `[out × words]` per-lane comparator biases.
+    bias: Vec<u64>,
+}
+
+/// Per-lane popcounts of `x` for the given lane width (a truncated
+/// parallel bit-count reduction).
+#[inline]
+fn lane_counts(x: u64, lane: u32) -> u64 {
+    let mut x = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    if lane == 4 {
+        return x;
+    }
+    x = (x + (x >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    if lane == 8 {
+        return x;
+    }
+    x = (x + (x >> 8)) & 0x00ff_00ff_00ff_00ff;
+    if lane == 16 {
+        return x;
+    }
+    (x + (x >> 16)) & 0x0000_ffff_0000_ffff
+}
+
+impl PackedTiledMatrix {
+    /// Packs a deployed tiled matrix (reads the crossbars' *stored*
+    /// weights, so stuck-cell faults are baked in).
+    pub fn from_tiled(m: &TiledMatrix) -> Self {
+        let plan = m.plan();
+        let k = plan.row_tiles();
+        let (fan_in, out) = (m.fan_in(), m.out());
+        let mut weights = PackedMatrix::zeros(out, fan_in);
+        let mut min_sums = vec![0i64; out * k];
+        let mut dead = vec![0u8; out * k];
+        let xbars = m.tile_crossbars();
+        let mins = m.digital_min_sums();
+        #[allow(clippy::needless_range_loop)] // c indexes tile cols and mins
+        for (idx, t) in plan.tiles.iter().enumerate() {
+            let r = idx % k;
+            for c in 0..t.cols {
+                let channel = t.col_start + c;
+                for row in 0..t.rows {
+                    if xbars[idx].weight(row, c).as_bool() {
+                        weights.set(channel, t.row_start + row, true);
+                    }
+                }
+                min_sums[channel * k + r] = mins[idx][c];
+                if let Some(&b) = m.dead_outputs().get(&(idx, c)) {
+                    dead[channel * k + r] = if b.as_bool() { 2 } else { 1 };
+                }
+            }
+        }
+        let mut row_starts: Vec<usize> = plan.tiles[..k].iter().map(|t| t.row_start).collect();
+        row_starts.push(fan_in);
+        let swar = Self::build_swar(&row_starts, &min_sums, &dead, out);
+        Self {
+            weights,
+            row_starts,
+            min_sums,
+            dead,
+            swar,
+            flips: m.flips().to_vec(),
+            fan_in,
+            out,
+        }
+    }
+
+    /// Precomputes the SWAR tables when the tile geometry allows them.
+    fn build_swar(row_starts: &[usize], min_sums: &[i64], dead: &[u8], out: usize) -> Option<Swar> {
+        let k = row_starts.len() - 1;
+        let lane = row_starts[1] - row_starts[0];
+        if !matches!(lane, 4 | 8 | 16 | 32) {
+            return None;
+        }
+        // Complete uniform tiles (TilingPlan makes all but the last full).
+        let uniform = (0..k)
+            .take_while(|&r| row_starts[r + 1] - row_starts[r] == lane)
+            .count();
+        let words = uniform * lane / 64;
+        if words == 0 {
+            return None;
+        }
+        let lanes_per_word = 64 / lane;
+        let msb = 1u64 << (lane - 1);
+        let mut msb_mask = 0u64;
+        for j in 0..lanes_per_word {
+            msb_mask |= msb << (j * lane);
+        }
+        let mut bias = vec![0u64; out * words];
+        for channel in 0..out {
+            for i in 0..words {
+                for j in 0..lanes_per_word {
+                    let r = i * lanes_per_word + j;
+                    // Minimum XNOR match count for a vote: tile bit = '1'
+                    // iff `2·matches − lane ≥ min_sum`, i.e.
+                    // `matches ≥ ⌈(min_sum + lane) / 2⌉`; dead columns pin
+                    // the vote via t = 0 (stuck '1') / lane + 1 (stuck '0').
+                    let t = match dead[channel * k + r] {
+                        1 => lane as i64 + 1,
+                        2 => 0,
+                        _ => (min_sums[channel * k + r] + lane as i64 + 1)
+                            .div_euclid(2)
+                            .clamp(0, lane as i64 + 1),
+                    } as u64;
+                    bias[channel * words + i] |= (msb - t) << (j * lane);
+                }
+            }
+        }
+        Some(Swar {
+            lane: lane as u32,
+            words,
+            tail_tile: words * lanes_per_word,
+            msb_mask,
+            bias,
+        })
+    }
+
+    /// Fan-in of the matrix.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output channels.
+    pub fn out(&self) -> usize {
+        self.out
+    }
+
+    /// Evaluates all output channels for one packed activation plane —
+    /// the word-parallel counterpart of [`TiledMatrix::forward_digital`].
+    ///
+    /// Per channel the XNOR product is computed once as whole words; each
+    /// tile's partial sum is then a masked popcount of its bit range, so
+    /// the cost per channel is `O(words + tiles)` instead of `O(fan_in)`.
+    ///
+    /// # Panics
+    /// Panics if `act.len() != fan_in`.
+    pub fn forward_plane(&self, act: &BitPlane) -> BitPlane {
+        let mut xnor = vec![0u64; self.weights.words_per_row()];
+        self.forward_plane_with(act, &mut xnor)
+    }
+
+    /// [`Self::forward_plane`] with a caller-provided XNOR scratch buffer
+    /// (`words_per_row` words), so per-pixel conv loops allocate nothing.
+    pub(crate) fn forward_plane_with(&self, act: &BitPlane, xnor: &mut [u64]) -> BitPlane {
+        assert_eq!(act.len(), self.fan_in, "input length mismatch");
+        let k = self.row_starts.len() - 1;
+        let mut out = BitPlane::zeros(self.out);
+        let acts = act.words();
+        for channel in 0..self.out {
+            let row = self.weights.row_words(channel);
+            for (x, (&w, &a)) in xnor.iter_mut().zip(row.iter().zip(acts)) {
+                *x = !(w ^ a);
+            }
+            let mut votes = 0usize;
+            let base = channel * k;
+            let mut tail = 0usize;
+            if let Some(sw) = &self.swar {
+                let bias = &sw.bias[channel * sw.words..(channel + 1) * sw.words];
+                for (&x, &b) in xnor[..sw.words].iter().zip(bias) {
+                    votes += ((lane_counts(x, sw.lane) + b) & sw.msb_mask).count_ones() as usize;
+                }
+                tail = sw.tail_tile;
+            }
+            for r in tail..k {
+                let vote = match self.dead[base + r] {
+                    1 => false,
+                    2 => true,
+                    _ => {
+                        let start = self.row_starts[r];
+                        let end = self.row_starts[r + 1];
+                        let matches = aqfp_sc::bitplane::count_ones_range(xnor, start, end - start);
+                        2 * matches as i64 - (end - start) as i64 >= self.min_sums[base + r]
+                    }
+                };
+                votes += vote as usize;
+            }
+            if (2 * votes >= k) != self.flips[channel] {
+                out.set(channel, true);
+            }
+        }
+        out
+    }
+}
+
+/// One packed cell of the pipeline.
+#[derive(Debug, Clone)]
+enum PackedCell {
+    Conv {
+        matrix: PackedTiledMatrix,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        pool: bool,
+    },
+    Dense {
+        matrix: PackedTiledMatrix,
+    },
+}
+
+impl PackedCell {
+    fn from_conv(cell: &DeployedConv) -> Self {
+        let (in_c, k, stride, pad, pool) = cell.geometry();
+        PackedCell::Conv {
+            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
+            in_c,
+            out_c: cell.matrix().out(),
+            k,
+            stride,
+            pad,
+            pool,
+        }
+    }
+
+    fn from_dense(cell: &DeployedDense) -> Self {
+        PackedCell::Dense {
+            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
+        }
+    }
+
+    /// Runs the cell on one sample's packed `[C, H, W]` plane.
+    fn forward(&self, input: &BitPlane, shape: [usize; 3]) -> (BitPlane, [usize; 3]) {
+        match self {
+            PackedCell::Dense { matrix } => {
+                let out = matrix.forward_plane(input);
+                let len = out.len();
+                (out, [len, 1, 1])
+            }
+            PackedCell::Conv {
+                matrix,
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                pool,
+            } => {
+                let [c, h, w] = shape;
+                assert_eq!(c, *in_c, "channel mismatch");
+                let oh = (h + 2 * pad - k) / stride + 1;
+                let ow = (w + 2 * pad - k) / stride + 1;
+                let mut out = BitPlane::zeros(out_c * oh * ow);
+                let mut xnor = vec![0u64; matrix.weights.words_per_row()];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Gather the receptive field channel-major with
+                        // '0' (−1) padding, matching
+                        // `BitMap::receptive_field`.
+                        let mut field = BitPlane::zeros(in_c * k * k);
+                        let mut f = 0usize;
+                        for ci in 0..*in_c {
+                            for ky in 0..*k {
+                                let iy = (oy * stride + ky) as isize - *pad as isize;
+                                for kx in 0..*k {
+                                    let ix = (ox * stride + kx) as isize - *pad as isize;
+                                    if iy >= 0
+                                        && iy < h as isize
+                                        && ix >= 0
+                                        && ix < w as isize
+                                        && input.get((ci * h + iy as usize) * w + ix as usize)
+                                    {
+                                        field.set(f, true);
+                                    }
+                                    f += 1;
+                                }
+                            }
+                        }
+                        let bits = matrix.forward_plane_with(&field, &mut xnor);
+                        for ch in 0..*out_c {
+                            if bits.get(ch) {
+                                out.set((ch * oh + oy) * ow + ox, true);
+                            }
+                        }
+                    }
+                }
+                if *pool {
+                    let (ph, pw) = (oh / 2, ow / 2);
+                    (
+                        pool2_mixed_plane(&out, *out_c, oh, ow, &matrix.flips),
+                        [*out_c, ph, pw],
+                    )
+                } else {
+                    (out, [*out_c, oh, ow])
+                }
+            }
+        }
+    }
+}
+
+/// 2×2 OR/AND pooling on a packed `[C, H, W]` plane — bit-identical to
+/// [`BitMap::pool2_mixed`] (AND for γ < 0 channels).
+///
+/// # Panics
+/// Panics on odd spatial dims.
+#[allow(clippy::needless_range_loop)] // ci indexes both plane and flags
+fn pool2_mixed_plane(
+    plane: &BitPlane,
+    c: usize,
+    h: usize,
+    w: usize,
+    and_channel: &[bool],
+) -> BitPlane {
+    assert!(
+        h.is_multiple_of(2) && w.is_multiple_of(2),
+        "pool needs even spatial dims, got {h}×{w}"
+    );
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = BitPlane::zeros(c * oh * ow);
+    for ci in 0..c {
+        for y in 0..oh {
+            for x in 0..ow {
+                let at = |dy: usize, dx: usize| plane.get((ci * h + 2 * y + dy) * w + 2 * x + dx);
+                let quad = [at(0, 0), at(0, 1), at(1, 0), at(1, 1)];
+                let v = if and_channel[ci] {
+                    quad.iter().all(|&b| b)
+                } else {
+                    quad.iter().any(|&b| b)
+                };
+                if v {
+                    out.set((ci * oh + y) * ow + x, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The batched bit-packed deploy engine.
+///
+/// Built once from a [`DeployedModel`] (carrying over any injected
+/// faults), then evaluated on whole batches without RNG. Predictions are
+/// bit-identical to [`DeployedModel::classify_digital`].
+#[derive(Debug, Clone)]
+pub struct PackedModel {
+    input_shape: [usize; 3],
+    cells: Vec<PackedCell>,
+    classifier: DeployedClassifier,
+    workers: usize,
+}
+
+impl PackedModel {
+    /// Packs a deployed model.
+    pub fn from_deployed(model: &DeployedModel) -> Self {
+        let cells = model
+            .cells()
+            .iter()
+            .map(|cell| match cell {
+                DeployedCell::Conv(c) => PackedCell::from_conv(c),
+                DeployedCell::Dense(d) => PackedCell::from_dense(d),
+            })
+            .collect();
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            input_shape: model.input_shape(),
+            cells,
+            classifier: model.classifier().clone(),
+            workers,
+        }
+    }
+
+    /// Overrides the worker-thread count of the batch entry points
+    /// (default: `std::thread::available_parallelism()`).
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// The expected input shape `[C, H, W]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Packs samples `[0, n)` of a `[N, C, H, W]` tensor into the
+    /// batch-major activation matrix (one row per sample, sign-binarized
+    /// like [`BitMap::from_tensor_sample`]).
+    ///
+    /// # Panics
+    /// Panics unless the tensor is 4-D and `n` is in range.
+    pub fn pack_batch(images: &Tensor, n: usize) -> PackedMatrix {
+        let s = images.shape();
+        assert_eq!(s.len(), 4, "expected [N, C, H, W]");
+        assert!(n <= s[0], "batch size out of range");
+        let per: usize = s[1] * s[2] * s[3];
+        let mut batch = PackedMatrix::zeros(n, per);
+        for i in 0..n {
+            for (j, &v) in images.data()[i * per..(i + 1) * per].iter().enumerate() {
+                if v as f64 >= 0.0 {
+                    batch.set(i, j, true);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Classifies one packed `[C, H, W]` input plane.
+    pub fn classify_plane(&self, plane: &BitPlane) -> (usize, Vec<f32>) {
+        let mut act = plane.clone();
+        let mut shape = self.input_shape;
+        for cell in &self.cells {
+            let (next, next_shape) = cell.forward(&act, shape);
+            act = next;
+            shape = next_shape;
+        }
+        let scores = self.classifier.scores_plane(&act);
+        (argmax(&scores), scores)
+    }
+
+    /// Classifies sample `n` of an image batch; returns `(label, scores)`.
+    pub fn classify(&self, images: &Tensor, n: usize) -> (usize, Vec<f32>) {
+        let map = BitMap::from_tensor_sample(images, n);
+        self.classify_plane(&map.to_plane())
+    }
+
+    /// Classifies the first `limit` samples (default: all) of a
+    /// `[N, C, H, W]` tensor, fanning the batch across worker threads.
+    pub fn classify_batch(&self, images: &Tensor, limit: Option<usize>) -> Vec<(usize, Vec<f32>)> {
+        let n = limit.map_or(images.shape()[0], |l| l.min(images.shape()[0]));
+        let batch = Self::pack_batch(images, n);
+        let mut results: Vec<Option<(usize, Vec<f32>)>> = vec![None; n];
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = n.div_ceil(self.workers.min(n));
+        std::thread::scope(|s| {
+            for (ci, slots) in results.chunks_mut(chunk).enumerate() {
+                let batch = &batch;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(self.classify_plane(&batch.row_plane(ci * chunk + j)));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every chunk was processed"))
+            .collect()
+    }
+
+    /// Top-1 accuracy over (the first `limit` samples of) a dataset.
+    pub fn accuracy(&self, data: &bnn_datasets::Dataset, limit: Option<usize>) -> f64 {
+        let n = limit.map_or(data.len(), |l| l.min(data.len()));
+        assert!(n > 0, "accuracy over zero samples");
+        let preds = self.classify_batch(&data.images, Some(n));
+        let correct = preds
+            .iter()
+            .zip(&data.labels)
+            .filter(|((p, _), &l)| *p == l)
+            .count();
+        correct as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HardwareConfig;
+    use crate::deploy::deploy;
+    use crate::spec::NetSpec;
+    use aqfp_device::Bit;
+
+    fn hw(rows: usize, cols: usize) -> HardwareConfig {
+        HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        }
+    }
+
+    fn pseudo_signs(n: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                if (i * 7 + salt * 11 + 3) % 5 < 2 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matrix_matches_scalar_digital_on_ragged_geometry() {
+        // fan_in 70 with 8-row crossbars: 9 row tiles, the last ragged;
+        // 6 outputs over 4-col crossbars: ragged column group too.
+        let h = hw(8, 4);
+        let fan_in = 70;
+        let out = 6;
+        let signs = pseudo_signs(fan_in * out, 1);
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 - 2.5).collect();
+        let flips: Vec<bool> = (0..out).map(|o| o % 3 == 0).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        for salt in 0..24 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((i * 13 + salt * 7) % 3 == 0))
+                .collect();
+            let scalar = m.forward_digital(&input);
+            let plane = packed.forward_plane(&BitPlane::from_bits(&input));
+            assert_eq!(plane.to_bits(), scalar, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn packed_model_is_bit_identical_to_scalar_digital_mlp() {
+        let h = hw(16, 16);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 3);
+        let deployed = deploy(&spec, &model, &h).unwrap();
+        let packed = deployed.to_packed().with_workers(2);
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        let batch = packed.classify_batch(&data.images, None);
+        assert_eq!(batch.len(), data.len());
+        for (i, (label, scores)) in batch.iter().enumerate() {
+            let (sl, ss) = deployed.classify_digital(&data.images, i);
+            assert_eq!((*label, scores), (sl, &ss), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn packed_model_is_bit_identical_on_conv_pipeline() {
+        let h = hw(32, 16);
+        let spec = NetSpec::vgg_small([1, 16, 16], 4, 10);
+        let model = spec.build_software(&h, 4);
+        let deployed = deploy(&spec, &model, &h).unwrap();
+        let packed = deployed.to_packed();
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            assert_eq!(
+                packed.classify(&data.images, i),
+                deployed.classify_digital(&data.images, i),
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_and_many_workers_agree() {
+        let h = hw(16, 16);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&h, 5);
+        let deployed = deploy(&spec, &model, &h).unwrap();
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let one = deployed.to_packed().with_workers(1);
+        let many = deployed.to_packed().with_workers(7);
+        assert_eq!(
+            one.classify_batch(&data.images, None),
+            many.classify_batch(&data.images, None)
+        );
+    }
+}

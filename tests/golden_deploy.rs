@@ -1,0 +1,112 @@
+//! Golden-vector regression for the deploy path.
+//!
+//! The fixture below was produced by the *scalar digital* engine on a
+//! deterministic digits pipeline (see [`golden_pipeline`]) and is
+//! committed so future refactors of either engine are pinned to today's
+//! bit-exact behavior: both the scalar and the packed engine must keep
+//! reproducing these labels and exact logit bit patterns.
+//!
+//! To regenerate after an *intentional* semantic change, run
+//! `GOLDEN_REGEN=1 cargo test --test golden_deploy -- --nocapture` and
+//! paste the printed arrays.
+
+use bnn_datasets::{digits::generate_digits, SynthConfig};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{deploy, DeployedModel};
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+const GOLDEN_SAMPLES: usize = 6;
+
+/// Expected top-1 labels of samples `0..6`.
+const GOLDEN_LABELS: [usize; GOLDEN_SAMPLES] = [4, 4, 4, 6, 6, 6];
+
+/// Expected logits of samples `0..6`, stored as `f32::to_bits` patterns
+/// so the comparison is exact (no epsilon).
+#[rustfmt::skip]
+const GOLDEN_SCORE_BITS: [[u32; 10]; GOLDEN_SAMPLES] = [
+    [0xbfa7f48e, 0xbf9864b8, 0x3f3adce3, 0x3ed7fa09, 0x3feac08d, 0x3fcb83d3, 0x3b6a0586, 0xbeae87e0, 0xbeb1ad6d, 0xbf2a2756],
+    [0xbfa7f48e, 0xbf9864b8, 0x3f3adce3, 0x3ed7fa09, 0x3feac08d, 0x3fcb83d3, 0x3b6a0586, 0xbeae87e0, 0xbeb1ad6d, 0xbf2a2756],
+    [0xbfd1f4ff, 0xbf4b5592, 0x3eb8d584, 0x3f5a2618, 0x3fbbce6c, 0x3f22d590, 0x3ed74acc, 0xbf2f0a23, 0xbf327400, 0xbf802d2c],
+    [0xbfd1f4ff, 0xbf4b5592, 0x3eb8d584, 0x3f5a2618, 0x3fbbce6c, 0x3fa2d0cf, 0x4005a4ba, 0x3b0243c0, 0xbf327400, 0xbf802d2c],
+    [0xc027fb29, 0xbf9864b8, 0x3f3adce3, 0x3ed7fa09, 0x3f8cdc4b, 0x3ea2df13, 0x3fd5ebc4, 0xbeae87e0, 0xbfdfa5ef, 0xbf2a2756],
+    [0xbf7be83a, 0xbfcb1ea8, 0x3f8ca782, 0x3f5a2618, 0x3f3bd453, 0x3f22d590, 0x3fa08e14, 0xbf2f0a23, 0x3b4692f2, 0xbfd6602c],
+];
+
+/// The deterministic pipeline behind the fixture: synthetic digits, the
+/// co-optimized 8×8 / L=32 operating point, a briefly trained MLP.
+fn golden_pipeline() -> (DeployedModel, bnn_datasets::Dataset) {
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 12,
+        ..Default::default()
+    });
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        grayzone_ua: 8.0,
+        bitstream_len: 32,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+    let mut model = spec.build_software(&hw, 7);
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        lr: 0.02,
+        noise_warmup_epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    (deployed, data)
+}
+
+#[test]
+fn both_engines_reproduce_the_committed_fixture() {
+    let (deployed, data) = golden_pipeline();
+    let packed = deployed.to_packed();
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let mut labels = Vec::new();
+        let mut rows = Vec::new();
+        for i in 0..GOLDEN_SAMPLES {
+            let (label, scores) = deployed.classify_digital(&data.images, i);
+            labels.push(label.to_string());
+            let bits: Vec<String> = scores
+                .iter()
+                .map(|s| format!("0x{:08x}", s.to_bits()))
+                .collect();
+            rows.push(format!("    [{}],", bits.join(", ")));
+        }
+        println!(
+            "const GOLDEN_LABELS: [usize; GOLDEN_SAMPLES] = [{}];",
+            labels.join(", ")
+        );
+        println!("const GOLDEN_SCORE_BITS: [[u32; 10]; GOLDEN_SAMPLES] = [");
+        for r in rows {
+            println!("{r}");
+        }
+        println!("];");
+        return;
+    }
+
+    for i in 0..GOLDEN_SAMPLES {
+        let (scalar_label, scalar_scores) = deployed.classify_digital(&data.images, i);
+        let (packed_label, packed_scores) = packed.classify(&data.images, i);
+        assert_eq!(scalar_label, GOLDEN_LABELS[i], "scalar label, sample {i}");
+        assert_eq!(packed_label, GOLDEN_LABELS[i], "packed label, sample {i}");
+        for c in 0..10 {
+            assert_eq!(
+                scalar_scores[c].to_bits(),
+                GOLDEN_SCORE_BITS[i][c],
+                "scalar logit, sample {i} class {c} ({})",
+                scalar_scores[c]
+            );
+            assert_eq!(
+                packed_scores[c].to_bits(),
+                GOLDEN_SCORE_BITS[i][c],
+                "packed logit, sample {i} class {c} ({})",
+                packed_scores[c]
+            );
+        }
+    }
+}

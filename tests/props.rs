@@ -1,16 +1,26 @@
 //! Property-based tests on cross-crate invariants.
 
 use aqfp_crossbar::array::{Crossbar, CrossbarConfig};
+use aqfp_crossbar::faults::FaultModel;
 use aqfp_crossbar::tile::TilingPlan;
 use aqfp_device::{Bit, GrayZone};
 use aqfp_netlist::balance::{balance, fanout_is_legal, is_balanced, legalize_fanout};
 use aqfp_netlist::random::{random_dag, RandomDagConfig};
 use aqfp_sc::number::parse_stream;
-use aqfp_sc::{Apc, Bitstream};
+use aqfp_sc::{Apc, BitPlane, Bitstream};
 use baselines::software::PackedVec;
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use superbnn::bnmatch::{bn_match, matched_decision, reference_decision};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{PackedTiledMatrix, TiledMatrix};
+
+/// A deterministic pseudo-random ±1 matrix.
+fn sign_matrix(rng: &mut rand::rngs::StdRng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -165,6 +175,97 @@ proptest! {
         prop_assert_eq!(pa.xnor_ones(&pb), ua.xnor(&ub).ones());
         prop_assert_eq!(pa.not().ones(), n - ua.ones());
         prop_assert_eq!(pa.to_bitstream(), ua);
+    }
+
+    /// The packed XNOR–popcount GEMM equals the scalar signed-dot
+    /// reference for random shapes, ragged (non-multiple-of-64) widths and
+    /// batch sizes — bit-exact integer equality.
+    #[test]
+    fn packed_gemm_equals_scalar_reference(
+        out in 1usize..12,
+        batch in 1usize..8,
+        width in 1usize..300,
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = sign_matrix(&mut rng, out * width);
+        let a = sign_matrix(&mut rng, batch * width);
+        let wt = bnn_nn::Tensor::from_vec(&[out, width], w.clone());
+        let at = bnn_nn::Tensor::from_vec(&[batch, width], a.clone());
+        let dots = bnn_nn::packed::sign_gemm(
+            &bnn_nn::packed::pack_sign_rows(&wt),
+            &bnn_nn::packed::pack_sign_rows(&at),
+        );
+        for o in 0..out {
+            for n in 0..batch {
+                let expect: i64 = (0..width)
+                    .map(|i| (w[o * width + i] * a[n * width + i]) as i64)
+                    .sum();
+                prop_assert_eq!(dots[o * batch + n], expect, "o {} n {}", o, n);
+            }
+        }
+    }
+
+    /// The packed deploy engine is bit-exactly the scalar digital engine
+    /// for arbitrary tile geometries (including non-power-of-two crossbar
+    /// rows that bypass the SWAR fast path), thresholds and flips.
+    #[test]
+    fn packed_deploy_matrix_is_bit_exact_vs_scalar(
+        fan_in in 1usize..200,
+        out in 1usize..20,
+        rows in 1usize..40,
+        cols in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signs = sign_matrix(&mut rng, fan_in * out);
+        let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-6.0..6.0)).collect();
+        let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        for _ in 0..4 {
+            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
+            let scalar = m.forward_digital(&input);
+            let plane = packed.forward_plane(&BitPlane::from_bits(&input));
+            prop_assert_eq!(plane.to_bits(), scalar);
+        }
+    }
+
+    /// Fault injection (stuck cells + dead columns) flows through the
+    /// packed path without panics on boundary words and stays bit-exact
+    /// with the scalar digital engine.
+    #[test]
+    fn packed_engine_tracks_faults_bit_exactly(
+        fan_in in 1usize..150,
+        out in 1usize..12,
+        rows in 1usize..24,
+        stuck in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signs = sign_matrix(&mut rng, fan_in * out);
+        let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+        let mut m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
+        let model = FaultModel::new(0.2 * stuck as f64, 0.15 * stuck as f64);
+        m.inject_faults(&model, &mut rng);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        for _ in 0..3 {
+            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
+            let scalar = m.forward_digital(&input);
+            let plane = packed.forward_plane(&BitPlane::from_bits(&input));
+            prop_assert_eq!(plane.to_bits(), scalar);
+        }
     }
 
     /// `ones_prefix` is consistent with `ones` of a truncated stream.
