@@ -102,6 +102,246 @@ pub fn xnor_ones_range(a: &[u64], b: &[u64], start: usize, len: usize) -> usize 
     ones
 }
 
+/// Reads up to 64 bits starting at bit `start` of a packed slice,
+/// low-aligned (bit `start` lands in bit 0 of the result), with bits past
+/// the requested count cleared.
+///
+/// # Panics
+/// Debug-panics if the range reads past the slice (release builds index
+/// out of bounds only when the *first* needed word is past the end).
+#[inline]
+fn read_bits(src: &[u64], start: usize, n: usize) -> u64 {
+    debug_assert!((1..=64).contains(&n), "read_bits takes 1..=64 bits");
+    debug_assert!(start + n <= src.len() * 64, "read past packed slice");
+    let w = start / 64;
+    let b = start % 64;
+    let mut val = src[w] >> b;
+    if b != 0 && b + n > 64 {
+        val |= src[w + 1] << (64 - b);
+    }
+    if n < 64 {
+        val &= (1u64 << n) - 1;
+    }
+    val
+}
+
+/// Writes `n ≤ 64` low-aligned bits at bit `pos` of a packed slice,
+/// handling a word straddle; with `overwrite` the destination range is
+/// cleared first, otherwise bits OR in.
+#[inline]
+fn write_bits(dst: &mut [u64], pos: usize, bits: u64, n: usize, overwrite: bool) {
+    debug_assert!((1..=64).contains(&n), "write_bits takes 1..=64 bits");
+    debug_assert!(pos + n <= dst.len() * 64, "write past packed slice");
+    let w = pos / 64;
+    let b = pos % 64;
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    if overwrite {
+        dst[w] &= !(mask << b);
+    }
+    dst[w] |= bits << b;
+    if b + n > 64 {
+        if overwrite {
+            dst[w + 1] &= !(mask >> (64 - b));
+        }
+        dst[w + 1] |= bits >> (64 - b);
+    }
+}
+
+/// ORs the bit range `[src_start, src_start + len)` of `src` into `dst` at
+/// `dst_start`, moving whole `u64` words per step (a shifted-word
+/// scatter). This is the gather kernel of [`packed_im2col`]: one call
+/// moves a full kernel row of a receptive field instead of `k` per-bit
+/// `set` calls.
+///
+/// Destination bits already set stay set (OR semantics); use
+/// [`copy_bits_range`] to overwrite.
+///
+/// # Panics
+/// Panics if either range reads or writes past its slice.
+#[inline]
+pub fn or_shifted_range(
+    dst: &mut [u64],
+    dst_start: usize,
+    src: &[u64],
+    src_start: usize,
+    len: usize,
+) {
+    if len == 0 {
+        return;
+    }
+    assert!(src_start + len <= src.len() * 64, "source range past slice");
+    assert!(
+        dst_start + len <= dst.len() * 64,
+        "destination range past slice"
+    );
+    let mut done = 0usize;
+    while done < len {
+        let d = dst_start + done;
+        let take = (64 - d % 64).min(len - done);
+        dst[d / 64] |= read_bits(src, src_start + done, take) << (d % 64);
+        done += take;
+    }
+}
+
+/// Copies (overwrites) the bit range `[src_start, src_start + len)` of
+/// `src` into `dst` at `dst_start`, clearing the destination bits first.
+/// The word-shift kernel of [`or_shifted_range`] with replace semantics —
+/// what a `+1`-filled (all-ones) im2col row needs.
+///
+/// # Panics
+/// Panics if either range reads or writes past its slice.
+#[inline]
+pub fn copy_bits_range(
+    dst: &mut [u64],
+    dst_start: usize,
+    src: &[u64],
+    src_start: usize,
+    len: usize,
+) {
+    if len == 0 {
+        return;
+    }
+    assert!(src_start + len <= src.len() * 64, "source range past slice");
+    assert!(
+        dst_start + len <= dst.len() * 64,
+        "destination range past slice"
+    );
+    let mut done = 0usize;
+    while done < len {
+        let d = dst_start + done;
+        let take = (64 - d % 64).min(len - done);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
+        let w = &mut dst[d / 64];
+        *w = (*w & !(mask << (d % 64))) | (read_bits(src, src_start + done, take) << (d % 64));
+        done += take;
+    }
+}
+
+/// Compresses the even-position bits of `x` (positions 0, 2, 4, …) into
+/// the low 32 bits — the classic shift-or bit-compress for the mask
+/// `0x5555…`. Odd-position bits of `x` are ignored. This is the
+/// column-halving step of the word-level 2×2 pooling kernel: after a
+/// pairwise OR/AND folds bit pairs into their even slots, one call packs a
+/// word of 32 pooled outputs.
+#[inline]
+pub fn compress_even_bits(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    (x | (x >> 16)) & 0x0000_0000_ffff_ffff
+}
+
+/// Unfolds the receptive fields of a packed `[C, H, W]` feature plane into
+/// a `[oh·ow × c·k·k]` [`PackedMatrix`] — im2col evaluated by whole-word
+/// shifts instead of per-bit gathers.
+///
+/// Row `oy·ow + ox` of the result is the flattened (channel-major, then
+/// kernel-row-major — the deploy weight order) receptive field of output
+/// pixel `(oy, ox)`. Each in-bounds kernel row moves as **one**
+/// [`copy_bits_range`] call of up to `k` bits, so the gather cost per
+/// field is `O(c·k)` word operations instead of `O(c·k²)` bit operations.
+///
+/// Padding fills with `pad_one`: `false` packs out-of-bounds positions as
+/// '0' (value −1, the BNN deployment convention), `true` as '1' (+1, for
+/// training-side layers padded with +1).
+///
+/// # Panics
+/// Panics unless `plane.len() == c·h·w`, `k, stride > 0` and the kernel
+/// fits the padded input.
+#[allow(clippy::too_many_arguments)] // conv geometry is irreducibly 5 scalars
+pub fn packed_im2col(
+    plane: &BitPlane,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    pad_one: bool,
+) -> PackedMatrix {
+    assert_eq!(plane.len(), c * h * w, "plane length mismatch");
+    assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+    assert!(
+        h + 2 * pad >= k && w + 2 * pad >= k,
+        "kernel exceeds padded input"
+    );
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let width = c * k * k;
+    let mut m = if pad_one {
+        PackedMatrix::ones(oh * ow, width)
+    } else {
+        PackedMatrix::zeros(oh * ow, width)
+    };
+    let wpr = m.words_per_row();
+    let src = plane.words();
+    let dst = m.storage.as_mut_slice();
+    for oy in 0..oh {
+        let y0 = oy * stride;
+        let pix_base = oy * ow;
+        for ky in 0..k {
+            let iy = y0 + ky;
+            if iy < pad || iy >= h + pad {
+                continue; // padding row: keep the fill
+            }
+            let iy = iy - pad;
+            // Pixels whose kernel row needs no clipping: pad ≤ x0 and
+            // x0 + k ≤ w + pad.
+            let ox_lo = pad.div_ceil(stride).min(ow);
+            let ox_hi = ((w + pad).saturating_sub(k) / stride + 1).clamp(ox_lo, ow);
+            for ci in 0..c {
+                let src_off = (ci * h + iy) * w;
+                let dst_off = (ci * k + ky) * k;
+                // Clipped border pixels: compute the valid sub-range.
+                for ox in (0..ox_lo).chain(ox_hi..ow) {
+                    let x0 = ox * stride;
+                    // Valid kernel-column sub-range: 0 ≤ x0 + kx − pad < w.
+                    let kx0 = pad.saturating_sub(x0).min(k);
+                    let kx1 = (w + pad).saturating_sub(x0).min(k);
+                    if kx1 <= kx0 {
+                        continue;
+                    }
+                    let len = kx1 - kx0;
+                    let d = (pix_base + ox) * wpr * 64 + dst_off + kx0;
+                    let s = src_off + x0 + kx0 - pad;
+                    if len <= 64 {
+                        write_bits(dst, d, read_bits(src, s, len), len, pad_one);
+                    } else {
+                        copy_bits_range(dst, d, src, s, len);
+                    }
+                }
+                // Interior: whole kernel rows, incremental offsets only.
+                if k <= 64 {
+                    let mut s = src_off + ox_lo * stride - pad.min(ox_lo * stride);
+                    let mut d = (pix_base + ox_lo) * wpr * 64 + dst_off;
+                    for _ in ox_lo..ox_hi {
+                        write_bits(dst, d, read_bits(src, s, k), k, pad_one);
+                        s += stride;
+                        d += wpr * 64;
+                    }
+                } else {
+                    for ox in ox_lo..ox_hi {
+                        copy_bits_range(
+                            dst,
+                            (pix_base + ox) * wpr * 64 + dst_off,
+                            src,
+                            src_off + ox * stride - pad,
+                            k,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
 impl BitPlane {
     /// An all-zero (all-`−1`) plane of `len` bits.
     pub fn zeros(len: usize) -> Self {
@@ -336,6 +576,22 @@ impl PackedMatrix {
         }
     }
 
+    /// An all-one (all-`+1`) matrix. Row bits past `width` stay zero, so
+    /// whole-row popcounts need no masking.
+    pub fn ones(rows: usize, width: usize) -> Self {
+        let mut m = Self::zeros(rows, width);
+        let words = width / 64;
+        let rem = width % 64;
+        for r in 0..rows {
+            let row = &mut m.storage[r * m.words_per_row..(r + 1) * m.words_per_row];
+            row[..words].fill(u64::MAX);
+            if rem > 0 {
+                row[words] = (1u64 << rem) - 1;
+            }
+        }
+        m
+    }
+
     /// Packs a row-major `[rows × width]` sign matrix (`v ≥ 0` = `+1`).
     ///
     /// # Panics
@@ -391,6 +647,50 @@ impl PackedMatrix {
     pub fn row_words(&self, r: usize) -> &[u64] {
         assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
         &self.storage[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The packed words of row `r`, mutable — for kernels that assemble
+    /// whole words per row (vectorized sign packing, the batched deploy
+    /// engine's channel loop). Callers must keep row bits past `width`
+    /// zero.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &mut self.storage[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The whole backing buffer, row stride [`Self::words_per_row`] —
+    /// lets batched kernels walk rows with `chunks_exact` instead of
+    /// per-row slicing.
+    #[inline]
+    pub fn storage(&self) -> &[u64] {
+        &self.storage
+    }
+
+    /// The whole backing buffer, mutable, row stride
+    /// [`Self::words_per_row`] — the scatter target of the word-level
+    /// im2col gather ([`packed_im2col`] writes receptive-field spans at
+    /// `row · words_per_row · 64 + bit` offsets). Callers must keep row
+    /// bits past `width` zero.
+    #[inline]
+    pub fn storage_mut(&mut self) -> &mut [u64] {
+        &mut self.storage
+    }
+
+    /// Concatenates all rows tightly (row `r` at bit `r · width`) into one
+    /// [`BitPlane`] — the word-level inverse of row padding, used to turn a
+    /// `[channels × pixels]` output matrix into a flat `[C, H, W]` feature
+    /// plane.
+    pub fn concat_rows(&self) -> BitPlane {
+        let len = self.rows * self.width;
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for r in 0..self.rows {
+            or_shifted_range(&mut words, r * self.width, self.row_words(r), 0, self.width);
+        }
+        BitPlane::from_words(words, len)
     }
 
     /// The bit at `(r, i)`.
@@ -627,6 +927,127 @@ mod tests {
         let p = m.row_plane(0);
         assert!(p.is_empty());
         assert_eq!(p.words().len(), 0);
+    }
+
+    #[test]
+    fn shifted_copies_match_per_bit_reference() {
+        let bits = pseudo_bools(300, 13);
+        let src = BitPlane::from_bools(&bits);
+        for &(dst_start, src_start, len) in &[
+            (0usize, 0usize, 300usize),
+            (1, 0, 64),
+            (0, 1, 64),
+            (63, 65, 130),
+            (64, 64, 64),
+            (37, 191, 109),
+            (250, 299, 1),
+            (10, 10, 0),
+        ] {
+            // OR into a pre-seeded buffer: old bits survive.
+            let seed = pseudo_bools(384, 17);
+            let mut ored = BitPlane::from_bools(&seed);
+            or_shifted_range(&mut ored.words, dst_start, src.words(), src_start, len);
+            // Overwrite copy into the same seed: old bits in range die.
+            let mut copied = BitPlane::from_bools(&seed);
+            copy_bits_range(&mut copied.words, dst_start, src.words(), src_start, len);
+            for i in 0..384 {
+                let in_range = i >= dst_start && i < dst_start + len;
+                let moved = in_range && bits[src_start + (i - dst_start)];
+                assert_eq!(
+                    ored.get(i),
+                    seed[i] || moved,
+                    "or: bit {i} (dst {dst_start} src {src_start} len {len})"
+                );
+                assert_eq!(
+                    copied.get(i),
+                    if in_range { moved } else { seed[i] },
+                    "copy: bit {i} (dst {dst_start} src {src_start} len {len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compress_even_bits_packs_alternating_positions() {
+        assert_eq!(compress_even_bits(0), 0);
+        assert_eq!(compress_even_bits(u64::MAX), 0xffff_ffff);
+        assert_eq!(compress_even_bits(0x5555_5555_5555_5555), 0xffff_ffff);
+        // Odd positions are ignored.
+        assert_eq!(compress_even_bits(0xaaaa_aaaa_aaaa_aaaa), 0);
+        for salt in 0..8u64 {
+            let x = salt
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(salt as u32 * 7);
+            let mut expect = 0u64;
+            for i in 0..32 {
+                if (x >> (2 * i)) & 1 == 1 {
+                    expect |= 1 << i;
+                }
+            }
+            assert_eq!(compress_even_bits(x), expect, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn packed_im2col_matches_per_bit_gather() {
+        // 2 channels, 5×7, 3×3 kernel, stride 2, pad 1 — boundary-heavy.
+        let (c, h, w, k, stride, pad) = (2usize, 5usize, 7usize, 3usize, 2usize, 1usize);
+        let bits = pseudo_bools(c * h * w, 21);
+        let plane = BitPlane::from_bools(&bits);
+        for pad_one in [false, true] {
+            let m = packed_im2col(&plane, c, h, w, k, stride, pad, pad_one);
+            let oh = (h + 2 * pad - k) / stride + 1;
+            let ow = (w + 2 * pad - k) / stride + 1;
+            assert_eq!((m.rows(), m.width()), (oh * ow, c * k * k));
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                let inside =
+                                    iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize;
+                                let expect = if inside {
+                                    bits[(ci * h + iy as usize) * w + ix as usize]
+                                } else {
+                                    pad_one
+                                };
+                                assert_eq!(
+                                    m.get(oy * ow + ox, (ci * k + ky) * k + kx),
+                                    expect,
+                                    "pad_one {pad_one} pixel ({oy},{ox}) ch {ci} k ({ky},{kx})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ones_matrix_keeps_row_tails_clear() {
+        let m = PackedMatrix::ones(3, 70);
+        for r in 0..3 {
+            assert_eq!(m.row_plane(r).count_ones(), 70, "row {r}");
+            assert_eq!(m.row_words(r)[1] >> 6, 0, "row {r} tail");
+        }
+    }
+
+    #[test]
+    fn concat_rows_is_tight_row_major() {
+        let values: Vec<f32> = (0..3 * 70)
+            .map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = PackedMatrix::from_signs(&values, 3, 70);
+        let plane = m.concat_rows();
+        assert_eq!(plane.len(), 210);
+        for r in 0..3 {
+            for i in 0..70 {
+                assert_eq!(plane.get(r * 70 + i), m.get(r, i), "({r}, {i})");
+            }
+        }
     }
 
     #[test]

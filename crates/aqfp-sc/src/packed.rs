@@ -1,6 +1,6 @@
 //! Bit-packed stochastic streams for throughput-critical SC simulation.
 //!
-//! [`Bitstream`] stores one [`Bit`] per element,
+//! [`Bitstream`] stores one [`Bit`](aqfp_device::Bit) per element,
 //! which is convenient for the short observation windows SupeRBNN needs
 //! (L = 16–32) but far too slow for simulating the *pure* stochastic
 //! computing baseline (SC-AQFP, paper Section 2.3), whose streams run to
@@ -10,7 +10,7 @@
 //!
 //! The word layout, tail-masking invariant and popcount kernels are shared
 //! with every other packed fast path in the workspace through
-//! [`BitPlane`](crate::bitplane::BitPlane): a `PackedStream` is a `BitPlane`
+//! [`BitPlane`]: a `PackedStream` is a `BitPlane`
 //! whose index axis is *time* (stream position `t` lives in word `t / 64`,
 //! bit `t % 64`) plus the stochastic-number value readouts.
 

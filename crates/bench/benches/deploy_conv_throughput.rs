@@ -1,0 +1,128 @@
+//! Conv-pipeline throughput: the scalar digital reference vs the packed
+//! layer pipeline on the CIFAR-class VGG workload.
+//!
+//! The dense engine's baseline lives in `deploy_throughput` /
+//! `BENCH_deploy.json`; this bench measures what the bitplane im2col +
+//! packed conv/pool stages buy on the paper's headline scenario — a
+//! VGG-small on CIFAR-shaped (3-channel SynthObjects) images, where the
+//! scalar path gathers every receptive field element-by-element.
+//!
+//! Run with `cargo bench --bench deploy_conv_throughput`. Besides printing
+//! the measurements it verifies the engines are bit-identical on every
+//! sample and writes the machine-readable baseline to
+//! `BENCH_deploy_conv.json` at the workspace root (override with the
+//! `DEPLOY_CONV_BENCH_OUT` env var).
+
+use bnn_datasets::{objects::generate_objects, SynthConfig};
+use std::time::{Duration, Instant};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::deploy;
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+/// Times `run` (which processes `samples` samples per call) until at least
+/// ~0.6 s has elapsed and returns samples/second.
+fn samples_per_second(samples: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up
+    let mut calls = 0usize;
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(600) || calls == 0 {
+        run();
+        calls += 1;
+    }
+    (calls * samples) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let data = generate_objects(&SynthConfig {
+        samples_per_class: 10,
+        ..Default::default()
+    });
+    let spec = NetSpec::vgg_small([3, 16, 16], 8, 10);
+    let mut model = spec.build_software(&hw, 42);
+    // One epoch so BN statistics (and hence the programmed thresholds)
+    // are non-trivial; the bench measures engines, not accuracy.
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        lr: 0.02,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    let packed = deployed.to_packed();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let n = data.len();
+    println!(
+        "deploy_conv_throughput: VGG-small 8-16-32, 3x16x16 inputs, {n} samples, 32x16 crossbars"
+    );
+    println!(
+        "pipeline: {} stages ({})",
+        packed.layers().len(),
+        packed
+            .layers()
+            .iter()
+            .map(superbnn::deploy::PackedLayer::name)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // Differential check first: the packed pipeline must be bit-identical
+    // to the scalar digital reference on every sample.
+    let batch = packed.classify_batch(&data.images, None);
+    for (i, got) in batch.iter().enumerate() {
+        let want = deployed.classify_digital(&data.images, i);
+        assert_eq!(*got, want, "packed/scalar divergence at sample {i}");
+    }
+    println!("bit-identical predictions: ok ({n} samples)");
+
+    let scalar = samples_per_second(n, || {
+        for i in 0..n {
+            std::hint::black_box(deployed.classify_digital(&data.images, i));
+        }
+    });
+    let packed_1t = {
+        let one = deployed.to_packed().with_workers(1);
+        samples_per_second(n, || {
+            std::hint::black_box(one.classify_batch(&data.images, None));
+        })
+    };
+    let packed_mt = samples_per_second(n, || {
+        std::hint::black_box(packed.classify_batch(&data.images, None));
+    });
+
+    let speedup_1t = packed_1t / scalar;
+    let speedup_mt = packed_mt / scalar;
+    println!("scalar digital engine : {scalar:>12.1} samples/s");
+    println!("packed pipeline (1 thr) : {packed_1t:>12.1} samples/s  ({speedup_1t:.1}x)");
+    println!("packed pipeline ({workers} thr) : {packed_mt:>12.1} samples/s  ({speedup_mt:.1}x)");
+    if speedup_1t < 4.0 {
+        println!("WARNING: single-thread packed conv speedup below the 4x target");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"deploy_conv_throughput\",\n  \
+         \"model\": \"vgg_small_objects_8-16-32\",\n  \
+         \"input\": \"3x16x16\",\n  \"crossbar\": \"32x16\",\n  \
+         \"samples\": {n},\n  \"workers\": {workers},\n  \
+         \"bit_identical\": true,\n  \
+         \"scalar_digital_samples_per_s\": {scalar:.1},\n  \
+         \"packed_1thread_samples_per_s\": {packed_1t:.1},\n  \
+         \"packed_batch_samples_per_s\": {packed_mt:.1},\n  \
+         \"speedup_packed_1thread\": {speedup_1t:.2},\n  \
+         \"speedup_packed_batch\": {speedup_mt:.2}\n}}\n"
+    );
+    let out = std::env::var("DEPLOY_CONV_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_deploy_conv.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&out, &json).expect("write bench baseline");
+    println!("baseline written to {out}");
+}

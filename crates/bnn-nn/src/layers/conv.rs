@@ -111,10 +111,14 @@ impl Conv2d {
         )
     }
 
-    /// Eval-time fast path for binarized weights on ±1 inputs: im2col →
-    /// packed XNOR + popcount GEMM (see [`crate::packed`]), producing
-    /// `α_o · dot(sign(W_o), field)` per output pixel. The integer dots
-    /// are exact; outputs can differ from
+    /// Eval-time fast path for binarized weights on ±1 inputs: bitplane
+    /// im2col → packed XNOR + popcount GEMM, producing
+    /// `α_o · dot(sign(W_o), field)` per output pixel. Receptive fields
+    /// are gathered by [`aqfp_sc::bitplane::packed_im2col`] — whole `u64`
+    /// words per kernel row — which is the *same* gather kernel the
+    /// crossbar deploy engine's packed conv stage runs, so training-side
+    /// eval and deploy-side inference cannot drift apart. The integer
+    /// dots are exact; outputs can differ from
     /// [`Layer::forward`](super::Layer::forward) only in the last ulp
     /// because α scales the whole dot instead of each term. Inputs (and
     /// the padding fill) are read by sign, so callers must feed ±1
@@ -140,22 +144,32 @@ impl Conv2d {
         let oh = conv_out(h, self.kernel, self.stride, self.pad);
         let ow = conv_out(w, self.kernel, self.stride, self.pad);
         let hw = oh * ow;
+        let pad_one = self.pad > 0 && self.pad_value >= 0.0;
 
-        let cols = im2col_filled(input, self.kernel, self.stride, self.pad, self.pad_value);
-        let acts = crate::packed::pack_sign_columns(&cols); // [N·oh·ow × fan_in]
         let wp = crate::packed::pack_sign_rows(&self.weight);
-        let dots = crate::packed::sign_gemm(&wp, &acts); // [O × N·oh·ow]
-
         let fan_in = self.in_channels * self.kernel * self.kernel;
         let alphas: Vec<f32> = (0..self.out_channels)
             .map(|o| binarize_weights(&self.weight.data()[o * fan_in..(o + 1) * fan_in]).1)
             .collect();
+        let per = self.in_channels * h * w;
         let mut out = vec![0.0f32; n * self.out_channels * hw];
-        for o in 0..self.out_channels {
-            for ni in 0..n {
-                for p in 0..hw {
-                    out[(ni * self.out_channels + o) * hw + p] =
-                        alphas[o] * dots[o * (n * hw) + ni * hw + p] as f32;
+        for ni in 0..n {
+            let plane = aqfp_sc::BitPlane::from_signs(&input.data()[ni * per..(ni + 1) * per]);
+            let fields = aqfp_sc::bitplane::packed_im2col(
+                &plane,
+                self.in_channels,
+                h,
+                w,
+                self.kernel,
+                self.stride,
+                self.pad,
+                pad_one,
+            );
+            let dots = crate::packed::sign_gemm(&wp, &fields); // [O × oh·ow]
+            for o in 0..self.out_channels {
+                let dst = &mut out[(ni * self.out_channels + o) * hw..][..hw];
+                for (d, &dot) in dst.iter_mut().zip(&dots[o * hw..(o + 1) * hw]) {
+                    *d = alphas[o] * dot as f32;
                 }
             }
         }

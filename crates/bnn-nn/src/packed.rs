@@ -32,6 +32,11 @@ pub fn pack_sign_rows(t: &Tensor) -> PackedMatrix {
 /// receptive fields) into one plane per column: row `j` of the result is
 /// column `j` of the input.
 ///
+/// Vectorized: the input is walked in 64-row blocks, accumulating one
+/// whole `u64` word per output plane in registers and storing it with a
+/// single write, instead of a read-modify-write `set` per bit. Both the
+/// input scan and the per-block accumulator stay sequential in memory.
+///
 /// # Panics
 /// Panics if `t` is not 2-D.
 pub fn pack_sign_columns(t: &Tensor) -> PackedMatrix {
@@ -39,13 +44,26 @@ pub fn pack_sign_columns(t: &Tensor) -> PackedMatrix {
     let (width, cols) = (t.shape()[0], t.shape()[1]);
     let data = t.data();
     let mut m = PackedMatrix::zeros(cols, width);
-    for i in 0..width {
-        let row = &data[i * cols..(i + 1) * cols];
-        for (j, &v) in row.iter().enumerate() {
-            if v >= 0.0 {
-                m.set(j, i, true);
+    let mut cur = vec![0u64; cols];
+    let mut word = 0usize;
+    let mut i = 0usize;
+    while i < width {
+        let block = (width - i).min(64);
+        cur.fill(0);
+        for bi in 0..block {
+            let bit = 1u64 << bi;
+            let row = &data[(i + bi) * cols..(i + bi + 1) * cols];
+            for (j, &v) in row.iter().enumerate() {
+                if v >= 0.0 {
+                    cur[j] |= bit;
+                }
             }
         }
+        for (j, &w) in cur.iter().enumerate() {
+            m.row_words_mut(j)[word] = w;
+        }
+        i += block;
+        word += 1;
     }
     m
 }

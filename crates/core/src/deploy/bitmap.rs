@@ -185,7 +185,7 @@ impl BitMap {
         self.bits.iter().map(|b| b.to_value() as f32).collect()
     }
 
-    /// Packs the map into a [`BitPlane`] in the same `[C, H, W]` row-major
+    /// Packs the map into a [`BitPlane`](aqfp_sc::BitPlane) in the same `[C, H, W]` row-major
     /// bit order (the packed engine's activation layout).
     pub fn to_plane(&self) -> aqfp_sc::BitPlane {
         aqfp_sc::BitPlane::from_bits(&self.bits)

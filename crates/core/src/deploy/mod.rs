@@ -29,6 +29,26 @@
 //! across `std::thread::scope` workers — use it whenever you need
 //! throughput (accuracy sweeps, fault-injection campaigns, serving).
 //!
+//! # The packed layer pipeline (see [`pipeline`] and [`packed`])
+//!
+//! The packed engine is not a dense-only special case: lowering
+//! ([`PackedModel::from_deployed`]) turns any deployed cell stack into a
+//! linear plan of [`PackedLayer`] stages, each consuming and producing
+//! packed `[C, H, W]` planes:
+//!
+//! | stage | kernel | fast path |
+//! |---|---|---|
+//! | [`PackedLayer::Conv`] | bitplane im2col (`aqfp_sc::bitplane::packed_im2col`) + tiled XNOR–popcount | word-shift gathers, SWAR tile lanes |
+//! | [`PackedLayer::Pool`] | 2×2 OR/AND fold + even-bit compress | whole-word arithmetic |
+//! | [`PackedLayer::Linear`] | one tiled XNOR–popcount evaluation | SWAR tile lanes |
+//! | [`PackedLayer::Flatten`] | shape rewrite only | free |
+//!
+//! Lowering rules: conv cell → Conv (+ Pool if the cell pools); dense
+//! cell → Linear, with a Flatten inserted when the incoming shape is
+//! still spatial; the classifier head consumes the final plane directly.
+//! Every stage — not just dense — hits the packed fast path, which is
+//! what lets the CIFAR VGG workload run end-to-end on bitplanes.
+//!
 //! # Packed layout (see [`packed`] for details)
 //!
 //! Bits are packed little-endian in the flat `[C, H, W]` feature index
@@ -43,8 +63,10 @@ mod bitmap;
 mod layer;
 mod model;
 pub mod packed;
+pub mod pipeline;
 
 pub use bitmap::BitMap;
 pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};
 pub use packed::{PackedModel, PackedTiledMatrix};
+pub use pipeline::{PackedConvStage, PackedLayer, PackedLinearStage, PackedPoolStage};

@@ -7,10 +7,14 @@
 //! ties to '1', dead-column overrides, flip channels, popcount classifier
 //! head — but every XNOR-product sum is a masked popcount over packed
 //! weight/activation planes instead of a per-element loop, and batches are
-//! split across `std::thread::scope` workers. The two engines are
-//! differentially tested to be bit-identical on every input; the packed
-//! one is an order of magnitude faster (see the `deploy_throughput`
-//! bench).
+//! split across `std::thread::scope` workers. The model is *lowered* into
+//! a [`PackedLayer`] pipeline plan (see [`super::pipeline`]): conv cells
+//! gather receptive fields with the word-level bitplane im2col, pool cells
+//! fold words, dense cells run one tiled evaluation — heterogeneous
+//! stacks (CIFAR VGG) and MLPs ride the same substrate. The two engines
+//! are differentially tested to be bit-identical on every input; the
+//! packed one is an order of magnitude faster (see the
+//! `deploy_throughput` / `deploy_conv_throughput` benches).
 //!
 //! # Packed layout
 //!
@@ -35,8 +39,9 @@
 //! the tile vote.
 
 use super::bitmap::BitMap;
-use super::layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
+use super::layer::{DeployedCell, TiledMatrix};
 use super::model::{argmax, DeployedClassifier, DeployedModel};
+use super::pipeline::PackedLayer;
 use aqfp_sc::{BitPlane, PackedMatrix};
 use bnn_nn::Tensor;
 
@@ -54,11 +59,64 @@ pub struct PackedTiledMatrix {
     /// `[out × k]` channel-major dead-column overrides
     /// (0 = live, 1 = stuck '0', 2 = stuck '1').
     dead: Vec<u8>,
+    /// Per-tile word spans and boundary masks, aligned with the row
+    /// tiles: tile `r`'s XNOR matches are the masked popcounts of words
+    /// `first..=last` — precomputed once so the per-pixel tile loop does
+    /// no index or mask arithmetic.
+    spans: Vec<TileSpan>,
     /// SWAR acceleration for uniform power-of-two tile widths.
     swar: Option<Swar>,
     flips: Vec<bool>,
     fan_in: usize,
     out: usize,
+}
+
+/// One row tile's precomputed word coverage: bit range
+/// `[64·first + lo offset, 64·last + hi offset)` with `lo`/`hi` the valid
+/// bit masks of the boundary words (interior words are whole).
+#[derive(Debug, Clone)]
+struct TileSpan {
+    first: usize,
+    last: usize,
+    lo: u64,
+    hi: u64,
+    /// Tile width in bits (`end − start`), cached for the vote compare.
+    len: i64,
+}
+
+impl TileSpan {
+    fn new(start: usize, end: usize) -> Self {
+        let first = start / 64;
+        let last = (end - 1) / 64;
+        let lo = u64::MAX << (start % 64);
+        let hi_bits = end % 64;
+        let hi = if hi_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << hi_bits) - 1
+        };
+        Self {
+            first,
+            last,
+            lo,
+            hi,
+            len: (end - start) as i64,
+        }
+    }
+
+    /// XNOR match count of the tile over `row`/`acts`.
+    #[inline]
+    fn matches(&self, row: &[u64], acts: &[u64]) -> usize {
+        if self.first == self.last {
+            return (!(row[self.first] ^ acts[self.first]) & self.lo & self.hi).count_ones()
+                as usize;
+        }
+        let mut m = (!(row[self.first] ^ acts[self.first]) & self.lo).count_ones() as usize;
+        for w in self.first + 1..self.last {
+            m += (!(row[w] ^ acts[w])).count_ones() as usize;
+        }
+        m + ((!(row[self.last] ^ acts[self.last]) & self.hi).count_ones() as usize)
+    }
 }
 
 /// SWAR (SIMD-within-a-register) tile evaluation: when every row tile is
@@ -134,12 +192,16 @@ impl PackedTiledMatrix {
         }
         let mut row_starts: Vec<usize> = plan.tiles[..k].iter().map(|t| t.row_start).collect();
         row_starts.push(fan_in);
+        let spans = (0..k)
+            .map(|r| TileSpan::new(row_starts[r], row_starts[r + 1]))
+            .collect();
         let swar = Self::build_swar(&row_starts, &min_sums, &dead, out);
         Self {
             weights,
             row_starts,
             min_sums,
             dead,
+            spans,
             swar,
             flips: m.flips().to_vec(),
             fan_in,
@@ -207,208 +269,126 @@ impl PackedTiledMatrix {
         self.out
     }
 
+    /// Per-channel loop-invariant state hoisted out of per-pixel inner
+    /// loops: the weight row, SWAR bias slice, and the channel's slices of
+    /// the tile threshold/override tables.
+    #[inline]
+    fn channel_ctx(&self, channel: usize) -> ChannelCtx<'_> {
+        let k = self.row_starts.len() - 1;
+        let base = channel * k;
+        ChannelCtx {
+            row: self.weights.row_words(channel),
+            bias: self
+                .swar
+                .as_ref()
+                .map(|sw| &sw.bias[channel * sw.words..(channel + 1) * sw.words]),
+            min_sums: &self.min_sums[base..base + k],
+            dead: &self.dead[base..base + k],
+            flip: self.flips[channel],
+        }
+    }
+
+    /// The output bit of one channel for one activation word slice: SWAR
+    /// lane votes over the uniform tile prefix (the XNOR word is formed on
+    /// the fly — no scratch buffer), precomputed-span masked popcounts for
+    /// the tail tiles, majority vote with ties to '1', dead-column
+    /// overrides, flip. The one decision kernel both
+    /// [`Self::forward_plane`] and [`Self::forward_matrix`] evaluate
+    /// through.
+    #[inline]
+    fn channel_bit(&self, ctx: &ChannelCtx<'_>, acts: &[u64]) -> bool {
+        let k = self.spans.len();
+        let mut votes = 0usize;
+        let mut tail = 0usize;
+        if let (Some(sw), Some(bias)) = (&self.swar, ctx.bias) {
+            for i in 0..sw.words {
+                let x = !(ctx.row[i] ^ acts[i]);
+                votes += ((lane_counts(x, sw.lane) + bias[i]) & sw.msb_mask).count_ones() as usize;
+            }
+            tail = sw.tail_tile;
+        }
+        for r in tail..k {
+            let vote = match ctx.dead[r] {
+                1 => false,
+                2 => true,
+                _ => {
+                    let sp = &self.spans[r];
+                    2 * sp.matches(ctx.row, acts) as i64 - sp.len >= ctx.min_sums[r]
+                }
+            };
+            votes += vote as usize;
+        }
+        (2 * votes >= k) != ctx.flip
+    }
+
     /// Evaluates all output channels for one packed activation plane —
     /// the word-parallel counterpart of [`TiledMatrix::forward_digital`].
     ///
-    /// Per channel the XNOR product is computed once as whole words; each
-    /// tile's partial sum is then a masked popcount of its bit range, so
-    /// the cost per channel is `O(words + tiles)` instead of `O(fan_in)`.
+    /// Per channel the XNOR product is formed word-by-word inside the
+    /// vote kernel; each tile's partial sum is a masked popcount of its
+    /// bit range, so the cost per channel is `O(words + tiles)` instead of
+    /// `O(fan_in)`.
     ///
     /// # Panics
     /// Panics if `act.len() != fan_in`.
     pub fn forward_plane(&self, act: &BitPlane) -> BitPlane {
-        let mut xnor = vec![0u64; self.weights.words_per_row()];
-        self.forward_plane_with(act, &mut xnor)
-    }
-
-    /// [`Self::forward_plane`] with a caller-provided XNOR scratch buffer
-    /// (`words_per_row` words), so per-pixel conv loops allocate nothing.
-    pub(crate) fn forward_plane_with(&self, act: &BitPlane, xnor: &mut [u64]) -> BitPlane {
         assert_eq!(act.len(), self.fan_in, "input length mismatch");
-        let k = self.row_starts.len() - 1;
         let mut out = BitPlane::zeros(self.out);
         let acts = act.words();
         for channel in 0..self.out {
-            let row = self.weights.row_words(channel);
-            for (x, (&w, &a)) in xnor.iter_mut().zip(row.iter().zip(acts)) {
-                *x = !(w ^ a);
-            }
-            let mut votes = 0usize;
-            let base = channel * k;
-            let mut tail = 0usize;
-            if let Some(sw) = &self.swar {
-                let bias = &sw.bias[channel * sw.words..(channel + 1) * sw.words];
-                for (&x, &b) in xnor[..sw.words].iter().zip(bias) {
-                    votes += ((lane_counts(x, sw.lane) + b) & sw.msb_mask).count_ones() as usize;
-                }
-                tail = sw.tail_tile;
-            }
-            for r in tail..k {
-                let vote = match self.dead[base + r] {
-                    1 => false,
-                    2 => true,
-                    _ => {
-                        let start = self.row_starts[r];
-                        let end = self.row_starts[r + 1];
-                        let matches = aqfp_sc::bitplane::count_ones_range(xnor, start, end - start);
-                        2 * matches as i64 - (end - start) as i64 >= self.min_sums[base + r]
-                    }
-                };
-                votes += vote as usize;
-            }
-            if (2 * votes >= k) != self.flips[channel] {
+            if self.channel_bit(&self.channel_ctx(channel), acts) {
                 out.set(channel, true);
+            }
+        }
+        out
+    }
+
+    /// Evaluates all output channels for *every row* of a packed
+    /// activation matrix — the batched kernel of the packed conv stage,
+    /// where the rows are the im2col receptive fields of all output
+    /// pixels. Returns a `[out × acts.rows()]` matrix whose row `ch` holds
+    /// channel `ch`'s bit per activation row; output bits are assembled as
+    /// whole `u64` words, never set one at a time.
+    ///
+    /// # Panics
+    /// Panics if `acts.width() != fan_in`.
+    pub fn forward_matrix(&self, acts: &PackedMatrix) -> PackedMatrix {
+        assert_eq!(acts.width(), self.fan_in, "input width mismatch");
+        let n = acts.rows();
+        let stride = acts.words_per_row();
+        let act_words = acts.storage();
+        let mut out = PackedMatrix::zeros(self.out, n);
+        for channel in 0..self.out {
+            let ctx = self.channel_ctx(channel);
+            let mut cur = 0u64;
+            let out_row = out.row_words_mut(channel);
+            for (a, acts) in act_words.chunks_exact(stride.max(1)).take(n).enumerate() {
+                cur |= (self.channel_bit(&ctx, acts) as u64) << (a % 64);
+                if a % 64 == 63 {
+                    out_row[a / 64] = cur;
+                    cur = 0;
+                }
+            }
+            if !n.is_multiple_of(64) {
+                out_row[n / 64] = cur;
             }
         }
         out
     }
 }
 
-/// One packed cell of the pipeline.
-#[derive(Debug, Clone)]
-enum PackedCell {
-    Conv {
-        matrix: PackedTiledMatrix,
-        in_c: usize,
-        out_c: usize,
-        k: usize,
-        stride: usize,
-        pad: usize,
-        pool: bool,
-    },
-    Dense {
-        matrix: PackedTiledMatrix,
-    },
+/// Loop-invariant per-channel slices of a [`PackedTiledMatrix`] (see
+/// [`PackedTiledMatrix::channel_ctx`]).
+struct ChannelCtx<'a> {
+    row: &'a [u64],
+    bias: Option<&'a [u64]>,
+    min_sums: &'a [i64],
+    dead: &'a [u8],
+    flip: bool,
 }
 
-impl PackedCell {
-    fn from_conv(cell: &DeployedConv) -> Self {
-        let (in_c, k, stride, pad, pool) = cell.geometry();
-        PackedCell::Conv {
-            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
-            in_c,
-            out_c: cell.matrix().out(),
-            k,
-            stride,
-            pad,
-            pool,
-        }
-    }
-
-    fn from_dense(cell: &DeployedDense) -> Self {
-        PackedCell::Dense {
-            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
-        }
-    }
-
-    /// Runs the cell on one sample's packed `[C, H, W]` plane.
-    fn forward(&self, input: &BitPlane, shape: [usize; 3]) -> (BitPlane, [usize; 3]) {
-        match self {
-            PackedCell::Dense { matrix } => {
-                let out = matrix.forward_plane(input);
-                let len = out.len();
-                (out, [len, 1, 1])
-            }
-            PackedCell::Conv {
-                matrix,
-                in_c,
-                out_c,
-                k,
-                stride,
-                pad,
-                pool,
-            } => {
-                let [c, h, w] = shape;
-                assert_eq!(c, *in_c, "channel mismatch");
-                let oh = (h + 2 * pad - k) / stride + 1;
-                let ow = (w + 2 * pad - k) / stride + 1;
-                let mut out = BitPlane::zeros(out_c * oh * ow);
-                let mut xnor = vec![0u64; matrix.weights.words_per_row()];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        // Gather the receptive field channel-major with
-                        // '0' (−1) padding, matching
-                        // `BitMap::receptive_field`.
-                        let mut field = BitPlane::zeros(in_c * k * k);
-                        let mut f = 0usize;
-                        for ci in 0..*in_c {
-                            for ky in 0..*k {
-                                let iy = (oy * stride + ky) as isize - *pad as isize;
-                                for kx in 0..*k {
-                                    let ix = (ox * stride + kx) as isize - *pad as isize;
-                                    if iy >= 0
-                                        && iy < h as isize
-                                        && ix >= 0
-                                        && ix < w as isize
-                                        && input.get((ci * h + iy as usize) * w + ix as usize)
-                                    {
-                                        field.set(f, true);
-                                    }
-                                    f += 1;
-                                }
-                            }
-                        }
-                        let bits = matrix.forward_plane_with(&field, &mut xnor);
-                        for ch in 0..*out_c {
-                            if bits.get(ch) {
-                                out.set((ch * oh + oy) * ow + ox, true);
-                            }
-                        }
-                    }
-                }
-                if *pool {
-                    let (ph, pw) = (oh / 2, ow / 2);
-                    (
-                        pool2_mixed_plane(&out, *out_c, oh, ow, &matrix.flips),
-                        [*out_c, ph, pw],
-                    )
-                } else {
-                    (out, [*out_c, oh, ow])
-                }
-            }
-        }
-    }
-}
-
-/// 2×2 OR/AND pooling on a packed `[C, H, W]` plane — bit-identical to
-/// [`BitMap::pool2_mixed`] (AND for γ < 0 channels).
-///
-/// # Panics
-/// Panics on odd spatial dims.
-#[allow(clippy::needless_range_loop)] // ci indexes both plane and flags
-fn pool2_mixed_plane(
-    plane: &BitPlane,
-    c: usize,
-    h: usize,
-    w: usize,
-    and_channel: &[bool],
-) -> BitPlane {
-    assert!(
-        h.is_multiple_of(2) && w.is_multiple_of(2),
-        "pool needs even spatial dims, got {h}×{w}"
-    );
-    let (oh, ow) = (h / 2, w / 2);
-    let mut out = BitPlane::zeros(c * oh * ow);
-    for ci in 0..c {
-        for y in 0..oh {
-            for x in 0..ow {
-                let at = |dy: usize, dx: usize| plane.get((ci * h + 2 * y + dy) * w + 2 * x + dx);
-                let quad = [at(0, 0), at(0, 1), at(1, 0), at(1, 1)];
-                let v = if and_channel[ci] {
-                    quad.iter().all(|&b| b)
-                } else {
-                    quad.iter().any(|&b| b)
-                };
-                if v {
-                    out.set((ci * oh + y) * ow + x, true);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// The batched bit-packed deploy engine.
+/// The batched bit-packed deploy engine: a lowered [`PackedLayer`]
+/// pipeline plus the digital classifier head.
 ///
 /// Built once from a [`DeployedModel`] (carrying over any injected
 /// faults), then evaluated on whole batches without RNG. Predictions are
@@ -416,29 +396,47 @@ fn pool2_mixed_plane(
 #[derive(Debug, Clone)]
 pub struct PackedModel {
     input_shape: [usize; 3],
-    cells: Vec<PackedCell>,
+    layers: Vec<PackedLayer>,
     classifier: DeployedClassifier,
     workers: usize,
 }
 
 impl PackedModel {
-    /// Packs a deployed model.
+    /// Lowers a deployed model into its packed pipeline plan (see
+    /// [`super::pipeline`] for the lowering rules): conv cells become
+    /// conv (+ pool) stages, dense cells become linear stages with a
+    /// [`PackedLayer::Flatten`] inserted wherever the incoming shape is
+    /// still spatial.
     pub fn from_deployed(model: &DeployedModel) -> Self {
-        let cells = model
-            .cells()
-            .iter()
-            .map(|cell| match cell {
-                DeployedCell::Conv(c) => PackedCell::from_conv(c),
-                DeployedCell::Dense(d) => PackedCell::from_dense(d),
-            })
-            .collect();
+        let mut layers = Vec::new();
+        let mut shape = model.input_shape();
+        for cell in model.cells() {
+            if matches!(cell, DeployedCell::Dense(_)) && shape[1] * shape[2] != 1 {
+                layers.push(PackedLayer::Flatten);
+                shape = [shape[0] * shape[1] * shape[2], 1, 1];
+            }
+            for stage in PackedLayer::lower(cell) {
+                shape = stage.out_shape(shape);
+                layers.push(stage);
+            }
+        }
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self {
             input_shape: model.input_shape(),
-            cells,
+            layers,
             classifier: model.classifier().clone(),
             workers,
         }
+    }
+
+    /// The lowered pipeline stages, in execution order.
+    pub fn layers(&self) -> &[PackedLayer] {
+        &self.layers
+    }
+
+    /// The digital classifier head the pipeline's final plane feeds.
+    pub fn classifier(&self) -> &DeployedClassifier {
+        &self.classifier
     }
 
     /// Overrides the worker-thread count of the batch entry points
@@ -480,12 +478,13 @@ impl PackedModel {
         batch
     }
 
-    /// Classifies one packed `[C, H, W]` input plane.
+    /// Classifies one packed `[C, H, W]` input plane by folding it through
+    /// the pipeline plan.
     pub fn classify_plane(&self, plane: &BitPlane) -> (usize, Vec<f32>) {
         let mut act = plane.clone();
         let mut shape = self.input_shape;
-        for cell in &self.cells {
-            let (next, next_shape) = cell.forward(&act, shape);
+        for layer in &self.layers {
+            let (next, next_shape) = layer.forward(act, shape);
             act = next;
             shape = next_shape;
         }

@@ -1,0 +1,302 @@
+//! The packed layer pipeline IR: every deployed cell lowered onto one
+//! bit-packed substrate.
+//!
+//! [`PackedModel`](super::PackedModel) no longer assumes an MLP-shaped
+//! stack: [`PackedModel::from_deployed`](super::PackedModel::from_deployed)
+//! *lowers* a [`DeployedModel`](super::DeployedModel) into a linear plan of
+//! [`PackedLayer`] stages, and the engine just folds a sample's
+//! [`BitPlane`] through the plan. Every stage consumes and produces packed
+//! `[C, H, W]` planes, so heterogeneous pipelines (CIFAR VGG's
+//! conv → pool → … → flatten → classifier) ride the same word-parallel
+//! fast path the dense engine already had.
+//!
+//! # Lowering rules
+//!
+//! | deployed cell | lowered stages |
+//! |---|---|
+//! | [`DeployedConv`] without pool | [`PackedLayer::Conv`] |
+//! | [`DeployedConv`] with pool | [`PackedLayer::Conv`] + [`PackedLayer::Pool`] |
+//! | [`DeployedDense`] after a spatial stage | [`PackedLayer::Flatten`] + [`PackedLayer::Linear`] |
+//! | [`DeployedDense`] on flat input | [`PackedLayer::Linear`] |
+//!
+//! The classifier head is not a stage — it consumes the final plane
+//! directly (`DeployedClassifier::scores_plane`).
+//!
+//! # Stage kernels
+//!
+//! * **Conv** — receptive fields are gathered by
+//!   [`aqfp_sc::bitplane::packed_im2col`], which moves whole `u64` words
+//!   per kernel row instead of setting one bit at a time, then evaluated
+//!   through [`PackedTiledMatrix::forward_matrix`] (XNOR + masked
+//!   popcount per crossbar tile, SWAR lanes where the tile geometry
+//!   allows). Output bits are assembled as whole words per output channel
+//!   and concatenated into the `[C, H, W]` plane with word shifts.
+//! * **Pool** — 2×2 max-pool in the ±1 domain as pure word arithmetic:
+//!   rows are aligned with [`copy_bits_range`], folded vertically with one
+//!   OR/AND per word, folded horizontally into even bit slots, and packed
+//!   with [`compress_even_bits`]. γ < 0 channels AND instead of OR
+//!   (BN is decreasing there), matching `BitMap::pool2_mixed`.
+//! * **Linear** — one [`PackedTiledMatrix::forward_plane`] call.
+//! * **Flatten** — free: it only rewrites the shape.
+
+use super::layer::{DeployedConv, DeployedDense};
+use super::packed::PackedTiledMatrix;
+use aqfp_sc::bitplane::{compress_even_bits, copy_bits_range, or_shifted_range, packed_im2col};
+use aqfp_sc::BitPlane;
+
+/// One stage of the packed pipeline.
+#[derive(Debug, Clone)]
+pub enum PackedLayer {
+    /// Packed convolution (bitplane im2col + tiled XNOR–popcount).
+    Conv(PackedConvStage),
+    /// 2×2 packed max-pool (OR, AND for γ < 0 channels).
+    Pool(PackedPoolStage),
+    /// Packed fully-connected stage.
+    Linear(PackedLinearStage),
+    /// Shape-only flatten to `[C·H·W, 1, 1]`.
+    Flatten,
+}
+
+impl PackedLayer {
+    /// Lowers one deployed cell into its packed stages (see the module
+    /// docs for the rules). Dense cells lower without the leading
+    /// [`PackedLayer::Flatten`]; the model-level lowering inserts it when
+    /// the incoming shape is spatial.
+    pub fn lower(cell: &super::DeployedCell) -> Vec<PackedLayer> {
+        match cell {
+            super::DeployedCell::Conv(c) => {
+                let pooled = c.geometry().4;
+                let mut stages = vec![PackedLayer::Conv(PackedConvStage::from_deployed(c))];
+                if pooled {
+                    stages.push(PackedLayer::Pool(PackedPoolStage::new(
+                        c.matrix().flips().to_vec(),
+                    )));
+                }
+                stages
+            }
+            super::DeployedCell::Dense(d) => {
+                vec![PackedLayer::Linear(PackedLinearStage::from_deployed(d))]
+            }
+        }
+    }
+
+    /// Runs the stage on one sample, consuming its plane.
+    ///
+    /// # Panics
+    /// Panics if `shape` does not match the plane or the stage geometry.
+    pub fn forward(&self, input: BitPlane, shape: [usize; 3]) -> (BitPlane, [usize; 3]) {
+        match self {
+            PackedLayer::Conv(c) => c.forward(&input, shape),
+            PackedLayer::Pool(p) => p.forward(&input, shape),
+            PackedLayer::Linear(l) => {
+                let out = l.forward(&input);
+                let f = out.len();
+                (out, [f, 1, 1])
+            }
+            PackedLayer::Flatten => {
+                let [c, h, w] = shape;
+                (input, [c * h * w, 1, 1])
+            }
+        }
+    }
+
+    /// The output shape for an input of `shape`.
+    pub fn out_shape(&self, shape: [usize; 3]) -> [usize; 3] {
+        match self {
+            PackedLayer::Conv(c) => c.out_shape(shape),
+            PackedLayer::Pool(_) => [shape[0], shape[1] / 2, shape[2] / 2],
+            PackedLayer::Linear(l) => [l.matrix().out(), 1, 1],
+            PackedLayer::Flatten => [shape[0] * shape[1] * shape[2], 1, 1],
+        }
+    }
+
+    /// A short stage name for logs and per-stage timing reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackedLayer::Conv(_) => "conv",
+            PackedLayer::Pool(_) => "pool",
+            PackedLayer::Linear(_) => "linear",
+            PackedLayer::Flatten => "flatten",
+        }
+    }
+}
+
+/// Packed convolution: word-level im2col gather + tiled XNOR–popcount.
+#[derive(Debug, Clone)]
+pub struct PackedConvStage {
+    matrix: PackedTiledMatrix,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl PackedConvStage {
+    /// Packs a deployed convolution cell (faults included; the cell's pool
+    /// flag lowers to a separate [`PackedPoolStage`]).
+    pub fn from_deployed(cell: &DeployedConv) -> Self {
+        let (in_c, k, stride, pad, _pool) = cell.geometry();
+        Self {
+            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
+            in_c,
+            out_c: cell.matrix().out(),
+            k,
+            stride,
+            pad,
+        }
+    }
+
+    /// The packed weight matrix.
+    pub fn matrix(&self) -> &PackedTiledMatrix {
+        &self.matrix
+    }
+
+    /// Output shape (pre-pool) for an input of `shape`.
+    ///
+    /// # Panics
+    /// Panics on a channel mismatch.
+    pub fn out_shape(&self, shape: [usize; 3]) -> [usize; 3] {
+        let [c, h, w] = shape;
+        assert_eq!(c, self.in_c, "channel mismatch");
+        let oh = (h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.k) / self.stride + 1;
+        [self.out_c, oh, ow]
+    }
+
+    /// Runs the convolution on one packed `[C, H, W]` plane. Padding reads
+    /// as '0' (−1), matching the software model's −1 padding.
+    pub fn forward(&self, input: &BitPlane, shape: [usize; 3]) -> (BitPlane, [usize; 3]) {
+        let [c, h, w] = shape;
+        assert_eq!(input.len(), c * h * w, "plane/shape mismatch");
+        let out_shape = self.out_shape(shape);
+        let fields = packed_im2col(input, c, h, w, self.k, self.stride, self.pad, false);
+        let out = self.matrix.forward_matrix(&fields);
+        (out.concat_rows(), out_shape)
+    }
+}
+
+/// Packed 2×2 max-pool with a per-channel OR/AND choice (AND for γ < 0
+/// channels, where BN is decreasing) — bit-identical to
+/// `BitMap::pool2_mixed`, evaluated as whole-word arithmetic.
+#[derive(Debug, Clone)]
+pub struct PackedPoolStage {
+    and_channel: Vec<bool>,
+}
+
+impl PackedPoolStage {
+    /// Builds the stage; `and_channel[c]` selects AND pooling for channel
+    /// `c`.
+    pub fn new(and_channel: Vec<bool>) -> Self {
+        Self { and_channel }
+    }
+
+    /// Pools one packed `[C, H, W]` plane to `[C, H/2, W/2]`.
+    ///
+    /// # Panics
+    /// Panics on odd spatial dims or a channel-count mismatch.
+    pub fn forward(&self, input: &BitPlane, shape: [usize; 3]) -> (BitPlane, [usize; 3]) {
+        let [c, h, w] = shape;
+        assert_eq!(input.len(), c * h * w, "plane/shape mismatch");
+        assert_eq!(self.and_channel.len(), c, "per-channel flag count mismatch");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "pool needs even spatial dims, got {h}×{w}"
+        );
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0u64; (c * oh * ow).div_ceil(64)];
+        let row_words = w.div_ceil(64);
+        let mut ra = vec![0u64; row_words];
+        let mut rb = vec![0u64; row_words];
+        let mut packed = vec![0u64; ow.div_ceil(64)];
+        let src = input.words();
+        for (ci, &and) in self.and_channel.iter().enumerate() {
+            for y in 0..oh {
+                // Align the two input rows to word boundaries…
+                copy_bits_range(&mut ra, 0, src, (ci * h + 2 * y) * w, w);
+                copy_bits_range(&mut rb, 0, src, (ci * h + 2 * y + 1) * w, w);
+                // …fold vertically, then fold horizontal pairs into their
+                // even bit slots and compress: source word j yields pooled
+                // outputs 32·j … 32·j + 31.
+                for j in 0..row_words {
+                    let v = if and { ra[j] & rb[j] } else { ra[j] | rb[j] };
+                    let pairs = if and { v & (v >> 1) } else { v | (v >> 1) };
+                    let half = compress_even_bits(pairs);
+                    packed[j / 2] = if j % 2 == 0 {
+                        half
+                    } else {
+                        packed[j / 2] | (half << 32)
+                    };
+                }
+                or_shifted_range(&mut out, (ci * oh + y) * ow, &packed, 0, ow);
+            }
+        }
+        (BitPlane::from_words(out, c * oh * ow), [c, oh, ow])
+    }
+}
+
+/// Packed fully-connected stage: one tiled XNOR–popcount evaluation.
+#[derive(Debug, Clone)]
+pub struct PackedLinearStage {
+    matrix: PackedTiledMatrix,
+}
+
+impl PackedLinearStage {
+    /// Packs a deployed dense cell (faults included).
+    pub fn from_deployed(cell: &DeployedDense) -> Self {
+        Self {
+            matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
+        }
+    }
+
+    /// The packed weight matrix.
+    pub fn matrix(&self) -> &PackedTiledMatrix {
+        &self.matrix
+    }
+
+    /// Evaluates the stage on a flat packed plane.
+    pub fn forward(&self, input: &BitPlane) -> BitPlane {
+        self.matrix.forward_plane(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::BitMap;
+    use aqfp_device::Bit;
+
+    fn pseudo_map(c: usize, h: usize, w: usize, salt: usize) -> BitMap {
+        let bits: Vec<Bit> = (0..c * h * w)
+            .map(|i| Bit::from_bool((i * 7 + salt * 13 + 2) % 5 < 2))
+            .collect();
+        BitMap::from_bits(c, h, w, bits)
+    }
+
+    #[test]
+    fn packed_pool_matches_scalar_mixed_pool() {
+        for (c, h, w, salt) in [
+            (1usize, 2usize, 2usize, 1usize),
+            (3, 4, 6, 2),
+            (5, 8, 70, 3),
+        ] {
+            let map = pseudo_map(c, h, w, salt);
+            let and_channel: Vec<bool> = (0..c).map(|i| i % 2 == 1).collect();
+            let stage = PackedPoolStage::new(and_channel.clone());
+            let (plane, shape) = stage.forward(&map.to_plane(), [c, h, w]);
+            let expect = map.pool2_mixed(&and_channel);
+            assert_eq!(shape, [c, h / 2, w / 2], "{c}x{h}x{w}");
+            assert_eq!(plane.to_bits(), expect.bits(), "{c}x{h}x{w}");
+        }
+    }
+
+    #[test]
+    fn flatten_only_rewrites_shape() {
+        let map = pseudo_map(2, 3, 5, 4);
+        let plane = map.to_plane();
+        let (out, shape) = PackedLayer::Flatten.forward(plane.clone(), [2, 3, 5]);
+        assert_eq!(out, plane);
+        assert_eq!(shape, [30, 1, 1]);
+        assert_eq!(PackedLayer::Flatten.out_shape([2, 3, 5]), [30, 1, 1]);
+    }
+}

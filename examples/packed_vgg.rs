@@ -1,0 +1,124 @@
+//! The packed layer pipeline on the CIFAR-class VGG: lower a deployed
+//! VGG-small onto the bitplane substrate, verify bit-exactness against the
+//! scalar digital reference, and time every pipeline stage.
+//!
+//! Run with: `cargo run --release --example packed_vgg`
+
+use bnn_datasets::{objects::generate_objects, SynthConfig};
+use std::time::{Duration, Instant};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::deploy;
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+fn main() {
+    // CIFAR-shaped synthetic images: 3-channel SynthObjects textures.
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let data = generate_objects(&SynthConfig {
+        samples_per_class: 8,
+        ..Default::default()
+    });
+    let spec = NetSpec::vgg_small([3, 16, 16], 8, 10);
+    let mut model = spec.build_software(&hw, 7);
+    println!("training the objects VGG-small (8-16-32)...");
+    Trainer::new(TrainConfig {
+        epochs: 2,
+        lr: 0.02,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    let packed = deployed.to_packed();
+    let n = data.len();
+    println!(
+        "pipeline plan: {} stages ({})",
+        packed.layers().len(),
+        packed
+            .layers()
+            .iter()
+            .map(superbnn::deploy::PackedLayer::name)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // Bit-exactness: the packed pipeline must reproduce the scalar digital
+    // engine on every sample.
+    let batch = packed.classify_batch(&data.images, None);
+    let mut agree = 0usize;
+    for (i, got) in batch.iter().enumerate() {
+        if *got == deployed.classify_digital(&data.images, i) {
+            agree += 1;
+        }
+    }
+    println!("bit-identical predictions: {agree}/{n}");
+    assert_eq!(agree, n, "packed and scalar digital engines diverged");
+
+    // Per-stage timings: drive the plan by hand over the whole batch.
+    let reps = 20usize;
+    let mut stage_time = vec![Duration::ZERO; packed.layers().len()];
+    let batch_planes = superbnn::deploy::PackedModel::pack_batch(&data.images, n);
+    let start = Instant::now();
+    for _ in 0..reps {
+        for s in 0..n {
+            let mut plane = batch_planes.row_plane(s);
+            let mut shape = packed.input_shape();
+            for (li, layer) in packed.layers().iter().enumerate() {
+                let t0 = Instant::now();
+                let (next, next_shape) = layer.forward(plane, shape);
+                stage_time[li] += t0.elapsed();
+                plane = next;
+                shape = next_shape;
+            }
+            std::hint::black_box(packed.classifier().scores_plane(&plane));
+        }
+    }
+    let total = start.elapsed();
+    println!("\nper-stage timings over {n} samples x {reps} reps:");
+    let mut shape = packed.input_shape();
+    for (li, layer) in packed.layers().iter().enumerate() {
+        let out_shape = layer.out_shape(shape);
+        println!(
+            "  stage {li:>2} {:<8} {:>3}x{}x{} -> {:>3}x{}x{}  {:>8.2} ms  ({:>4.1}%)",
+            layer.name(),
+            shape[0],
+            shape[1],
+            shape[2],
+            out_shape[0],
+            out_shape[1],
+            out_shape[2],
+            stage_time[li].as_secs_f64() * 1e3,
+            100.0 * stage_time[li].as_secs_f64() / total.as_secs_f64(),
+        );
+        shape = out_shape;
+    }
+    println!(
+        "  total {:.2} ms  ({:.0} samples/s single-thread)",
+        total.as_secs_f64() * 1e3,
+        (reps * n) as f64 / total.as_secs_f64()
+    );
+
+    // Throughput against the scalar reference.
+    let start = Instant::now();
+    let acc_scalar = deployed.accuracy_digital(&data, None);
+    let t_scalar = start.elapsed();
+    let start = Instant::now();
+    let acc_packed = packed.accuracy(&data, None);
+    let t_packed = start.elapsed();
+    println!(
+        "\nscalar digital engine: accuracy {:.1}% in {:.1} ms",
+        100.0 * acc_scalar,
+        t_scalar.as_secs_f64() * 1e3
+    );
+    println!(
+        "packed pipeline      : accuracy {:.1}% in {:.1} ms  ({:.1}x faster)",
+        100.0 * acc_packed,
+        t_packed.as_secs_f64() * 1e3,
+        t_scalar.as_secs_f64() / t_packed.as_secs_f64()
+    );
+    assert_eq!(acc_scalar, acc_packed);
+}

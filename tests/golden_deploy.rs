@@ -60,6 +60,97 @@ fn golden_pipeline() -> (DeployedModel, bnn_datasets::Dataset) {
     (deployed, data)
 }
 
+const GOLDEN_CONV_SAMPLES: usize = 4;
+
+/// Expected top-1 labels of samples `0..4` of the conv pipeline.
+const GOLDEN_CONV_LABELS: [usize; GOLDEN_CONV_SAMPLES] = [9, 9, 7, 0];
+
+/// Expected logits of the conv pipeline, as `f32::to_bits` patterns.
+#[rustfmt::skip]
+const GOLDEN_CONV_SCORE_BITS: [[u32; 10]; GOLDEN_CONV_SAMPLES] = [
+    [0x3f4c92bc, 0xc02f672e, 0xbe88b7e3, 0xc05d0a34, 0xbf938d02, 0xbf503b9f, 0xbead82bb, 0x3fb2ad91, 0xbf29e6d7, 0x3fc13944],
+    [0x3f0861d3, 0xc069dee8, 0x00000000, 0xc07324d2, 0xbf5d5383, 0x00000000, 0x00000000, 0x3f86022d, 0xbf7eda42, 0x3f9a9436],
+    [0x3f0861d3, 0xc069dee8, 0x3f08b7e3, 0xc046ef95, 0xbe938d02, 0xbf0ad26a, 0x00000000, 0x3f86022d, 0xbfd4608d, 0x3f1a9436],
+    [0x3f8861d3, 0xc069dee8, 0x3f08b7e3, 0xc07324d2, 0xbe938d02, 0xbf0ad26a, 0x3f2d82bb, 0x3f86022d, 0xbfd4608d, 0x3f1a9436],
+];
+
+/// The deterministic conv pipeline behind the conv fixture: a seeded
+/// (untrained — the fixture pins the *mapping*, not accuracy) VGG-small
+/// on digits-shaped inputs, 32×16 crossbars. Exercises the full packed
+/// pipeline: conv, mixed OR/AND pool, flatten, classifier.
+fn golden_conv_pipeline() -> (DeployedModel, bnn_datasets::Dataset) {
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 1,
+        ..Default::default()
+    });
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let spec = NetSpec::vgg_small([1, 16, 16], 4, 10);
+    let model = spec.build_software(&hw, 11);
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    (deployed, data)
+}
+
+#[test]
+fn conv_pipeline_reproduces_the_committed_fixture() {
+    let (deployed, data) = golden_conv_pipeline();
+    let packed = deployed.to_packed();
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let mut labels = Vec::new();
+        let mut rows = Vec::new();
+        for i in 0..GOLDEN_CONV_SAMPLES {
+            let (label, scores) = deployed.classify_digital(&data.images, i);
+            labels.push(label.to_string());
+            let bits: Vec<String> = scores
+                .iter()
+                .map(|s| format!("0x{:08x}", s.to_bits()))
+                .collect();
+            rows.push(format!("    [{}],", bits.join(", ")));
+        }
+        println!(
+            "const GOLDEN_CONV_LABELS: [usize; GOLDEN_CONV_SAMPLES] = [{}];",
+            labels.join(", ")
+        );
+        println!("const GOLDEN_CONV_SCORE_BITS: [[u32; 10]; GOLDEN_CONV_SAMPLES] = [");
+        for r in rows {
+            println!("{r}");
+        }
+        println!("];");
+        return;
+    }
+
+    for i in 0..GOLDEN_CONV_SAMPLES {
+        let (scalar_label, scalar_scores) = deployed.classify_digital(&data.images, i);
+        let (packed_label, packed_scores) = packed.classify(&data.images, i);
+        assert_eq!(
+            scalar_label, GOLDEN_CONV_LABELS[i],
+            "scalar conv label, sample {i}"
+        );
+        assert_eq!(
+            packed_label, GOLDEN_CONV_LABELS[i],
+            "packed conv label, sample {i}"
+        );
+        for c in 0..10 {
+            assert_eq!(
+                scalar_scores[c].to_bits(),
+                GOLDEN_CONV_SCORE_BITS[i][c],
+                "scalar conv logit, sample {i} class {c} ({})",
+                scalar_scores[c]
+            );
+            assert_eq!(
+                packed_scores[c].to_bits(),
+                GOLDEN_CONV_SCORE_BITS[i][c],
+                "packed conv logit, sample {i} class {c} ({})",
+                packed_scores[c]
+            );
+        }
+    }
+}
+
 #[test]
 fn both_engines_reproduce_the_committed_fixture() {
     let (deployed, data) = golden_pipeline();

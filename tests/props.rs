@@ -13,7 +13,10 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use superbnn::bnmatch::{bn_match, matched_decision, reference_decision};
 use superbnn::config::HardwareConfig;
-use superbnn::deploy::{PackedTiledMatrix, TiledMatrix};
+use superbnn::deploy::{
+    deploy, BitMap, DeployedCell, DeployedConv, PackedLayer, PackedTiledMatrix, TiledMatrix,
+};
+use superbnn::spec::{CellSpec, NetSpec};
 
 /// A deterministic pseudo-random ±1 matrix.
 fn sign_matrix(rng: &mut rand::rngs::StdRng, n: usize) -> Vec<f32> {
@@ -265,6 +268,148 @@ proptest! {
             let scalar = m.forward_digital(&input);
             let plane = packed.forward_plane(&BitPlane::from_bits(&input));
             prop_assert_eq!(plane.to_bits(), scalar);
+        }
+    }
+
+    /// The word-level bitplane im2col gathers exactly the scalar
+    /// receptive fields for arbitrary conv geometries (random kernel,
+    /// stride, padding, ragged channel counts and non-square inputs).
+    #[test]
+    fn packed_im2col_matches_scalar_receptive_fields(
+        c in 1usize..5,
+        h in 1usize..9,
+        w in 1usize..9,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bits: Vec<Bit> = (0..c * h * w).map(|_| Bit::from_bool(rng.gen())).collect();
+        let map = BitMap::from_bits(c, h, w, bits);
+        let fields = aqfp_sc::bitplane::packed_im2col(
+            &map.to_plane(), c, h, w, k, stride, pad, false,
+        );
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (w + 2 * pad - k) / stride + 1;
+        prop_assert_eq!((fields.rows(), fields.width()), (oh * ow, c * k * k));
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let expect = map.receptive_field(oy, ox, k, stride, pad);
+                prop_assert_eq!(
+                    fields.row_plane(oy * ow + ox).to_bits(),
+                    expect,
+                    "pixel ({}, {})", oy, ox
+                );
+            }
+        }
+    }
+
+    /// A lowered packed conv (+ pool) stage sequence is bit-exactly the
+    /// scalar digital conv cell for random geometries, thresholds, flips
+    /// and tile shapes — the conv analogue of
+    /// `packed_deploy_matrix_is_bit_exact_vs_scalar`.
+    #[test]
+    fn packed_conv_pipeline_is_bit_exact_vs_scalar(
+        in_c in 1usize..4,
+        out_c in 1usize..6,
+        h in 2usize..8,
+        w in 2usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        rows in 1usize..24,
+        cols in 1usize..12,
+        pool in prop::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (w + 2 * pad - k) / stride + 1;
+        // Pooling needs even pre-pool spatial dims.
+        let pool = pool && oh % 2 == 0 && ow % 2 == 0;
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fan_in = in_c * k * k;
+        let signs = sign_matrix(&mut rng, fan_in * out_c);
+        let vth: Vec<f64> = (0..out_c).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let flips: Vec<bool> = (0..out_c).map(|_| rng.gen()).collect();
+        let cell = DeployedConv::new(
+            &signs, in_c, out_c, k, stride, pad, pool, vth, flips, &hw,
+        );
+        let stages = PackedLayer::lower(&DeployedCell::Conv(cell.clone()));
+        prop_assert_eq!(stages.len(), 1 + pool as usize);
+        for salt in 0..3u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (salt << 32));
+            let bits: Vec<Bit> = (0..in_c * h * w).map(|_| Bit::from_bool(rng.gen())).collect();
+            let map = BitMap::from_bits(in_c, h, w, bits);
+            let scalar = cell.forward_digital(&map);
+            let mut plane = map.to_plane();
+            let mut shape = [in_c, h, w];
+            for stage in &stages {
+                let (next, next_shape) = stage.forward(plane, shape);
+                plane = next;
+                shape = next_shape;
+            }
+            prop_assert_eq!(shape, [scalar.c, scalar.h, scalar.w], "salt {}", salt);
+            prop_assert_eq!(plane.to_bits(), scalar.bits(), "salt {}", salt);
+        }
+    }
+
+    /// An end-to-end conv model (binarize → conv → flatten → classifier)
+    /// with random geometry lowers through `PackedModel` and classifies
+    /// bit-identically to `classify_digital` — logits and labels.
+    #[test]
+    fn packed_conv_model_matches_classify_digital(
+        out_c in 1usize..5,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..200,
+    ) {
+        let (c, h, w) = (2usize, 6usize, 6usize);
+        prop_assume!(h + 2 * pad >= k);
+        let spec = NetSpec {
+            input_shape: [c, h, w],
+            cells: vec![
+                CellSpec::BinarizeInput,
+                CellSpec::Conv { in_c: c, out_c, k, stride, pad, pool: false },
+                CellSpec::Flatten,
+                CellSpec::Classifier {
+                    in_f: {
+                        let s = ((h + 2 * pad - k) / stride + 1)
+                            * ((w + 2 * pad - k) / stride + 1);
+                        out_c * s
+                    },
+                    classes: 4,
+                },
+            ],
+        };
+        let hw = HardwareConfig {
+            crossbar_rows: 8,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let model = spec.build_software(&hw, seed);
+        let deployed = deploy(&spec, &model, &hw).unwrap();
+        let packed = deployed.to_packed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let n = 2usize;
+        let images = bnn_nn::Tensor::from_vec(
+            &[n, c, h, w],
+            (0..n * c * h * w).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        for i in 0..n {
+            prop_assert_eq!(
+                packed.classify(&images, i),
+                deployed.classify_digital(&images, i),
+                "sample {}", i
+            );
         }
     }
 
