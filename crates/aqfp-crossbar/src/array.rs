@@ -65,6 +65,13 @@ pub enum CrossbarError {
         /// Provided threshold count.
         got: usize,
     },
+    /// A fault-model probability was outside `[0, 1]`.
+    FaultRateOutOfRange {
+        /// Which rate was rejected (`"stuck-cell"` or `"dead-column"`).
+        name: &'static str,
+        /// The offending value.
+        rate: f64,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -91,6 +98,9 @@ impl fmt::Display for CrossbarError {
                     f,
                     "threshold vector length {got} does not match {expected} columns"
                 )
+            }
+            CrossbarError::FaultRateOutOfRange { name, rate } => {
+                write!(f, "{name} fault rate {rate} is outside [0, 1]")
             }
         }
     }

@@ -14,14 +14,19 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A fabrication-fault model for crossbar arrays.
+///
+/// The fields are private so the `[0, 1]` rate invariant established by
+/// [`FaultModel::new`] cannot be bypassed with a struct literal; read the
+/// rates through [`stuck_cell_rate`](Self::stuck_cell_rate) /
+/// [`dead_column_rate`](Self::dead_column_rate).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultModel {
     /// Probability that a LiM cell's stored weight is stuck (at a uniform
     /// random polarity fixed at fabrication time).
-    pub stuck_cell_rate: f64,
+    stuck_cell_rate: f64,
     /// Probability that an entire column's neuron is stuck (its output is a
     /// fabrication-time constant regardless of the input current).
-    pub dead_column_rate: f64,
+    dead_column_rate: f64,
 }
 
 impl FaultModel {
@@ -33,23 +38,35 @@ impl FaultModel {
         }
     }
 
-    /// Creates a model.
+    /// Creates a model, validating that both probabilities are actual
+    /// probabilities.
     ///
-    /// # Panics
-    /// Panics unless both rates are in `[0, 1]`.
-    pub fn new(stuck_cell_rate: f64, dead_column_rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&stuck_cell_rate),
-            "stuck-cell rate {stuck_cell_rate} out of range"
-        );
-        assert!(
-            (0.0..=1.0).contains(&dead_column_rate),
-            "dead-column rate {dead_column_rate} out of range"
-        );
-        Self {
+    /// # Errors
+    /// [`CrossbarError::FaultRateOutOfRange`](crate::CrossbarError::FaultRateOutOfRange)
+    /// unless both rates are in `[0, 1]` (NaN rates are rejected too).
+    pub fn new(stuck_cell_rate: f64, dead_column_rate: f64) -> crate::Result<Self> {
+        for (name, rate) in [
+            ("stuck-cell", stuck_cell_rate),
+            ("dead-column", dead_column_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(crate::CrossbarError::FaultRateOutOfRange { name, rate });
+            }
+        }
+        Ok(Self {
             stuck_cell_rate,
             dead_column_rate,
-        }
+        })
+    }
+
+    /// Probability that a LiM cell's stored weight is stuck.
+    pub fn stuck_cell_rate(&self) -> f64 {
+        self.stuck_cell_rate
+    }
+
+    /// Probability that an entire column's neuron is stuck.
+    pub fn dead_column_rate(&self) -> f64 {
+        self.dead_column_rate
     }
 }
 
@@ -101,6 +118,27 @@ pub fn draw_faults<R: Rng + ?Sized>(
     }
 }
 
+/// Draws the fabrication faults of a whole tiled deployment: one
+/// [`InjectedFaults`] per `(rows, cols)` die, in the order given.
+///
+/// This is the fault-drawing entry point for *packed* crossbar geometry,
+/// where the physical dies have been re-assembled into bitplanes and no
+/// `Crossbar` objects exist to iterate over. It consumes the RNG exactly
+/// like the equivalent sequence of per-die [`draw_faults`] calls, so a
+/// campaign that injects into the packed engine draws the *same* defects
+/// as a scalar deployment walking its tile crossbars in plan order from
+/// the same seed — the property the packed/scalar differential tests rely
+/// on.
+pub fn draw_faults_tiled<R: Rng + ?Sized>(
+    model: &FaultModel,
+    dims: &[(usize, usize)],
+    rng: &mut R,
+) -> Vec<InjectedFaults> {
+    dims.iter()
+        .map(|&(rows, cols)| draw_faults(model, rows, cols, rng))
+        .collect()
+}
+
 /// Applies stuck-cell faults to a crossbar by overwriting the stored
 /// weights (the physical effect of a damaged storage loop: the programmed
 /// weight is lost). Dead columns cannot be expressed through weights; the
@@ -139,7 +177,7 @@ mod tests {
 
     #[test]
     fn rates_control_defect_density() {
-        let model = FaultModel::new(0.1, 0.0);
+        let model = FaultModel::new(0.1, 0.0).unwrap();
         let f = draw_faults(&model, 100, 100, &mut rng());
         // 10 000 cells at 10 %: expect ~1 000, allow wide Monte-Carlo slack.
         assert!(
@@ -152,10 +190,24 @@ mod tests {
 
     #[test]
     fn faults_are_deterministic_per_seed() {
-        let model = FaultModel::new(0.05, 0.02);
+        let model = FaultModel::new(0.05, 0.02).unwrap();
         let a = draw_faults(&model, 32, 32, &mut rng());
         let b = draw_faults(&model, 32, 32, &mut rng());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiled_draw_consumes_rng_like_per_die_draws() {
+        let model = FaultModel::new(0.1, 0.3).unwrap();
+        let dims = [(8usize, 5usize), (3, 5), (8, 2), (3, 2)];
+        let tiled = draw_faults_tiled(&model, &dims, &mut rng());
+        let mut r = rng();
+        let per_die: Vec<InjectedFaults> = dims
+            .iter()
+            .map(|&(rows, cols)| draw_faults(&model, rows, cols, &mut r))
+            .collect();
+        assert_eq!(tiled, per_die);
+        assert_eq!(tiled.len(), dims.len());
     }
 
     #[test]
@@ -187,8 +239,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_rate() {
-        FaultModel::new(1.5, 0.0);
+    fn rejects_bad_rates_through_the_error_seam() {
+        use crate::CrossbarError;
+        assert!(matches!(
+            FaultModel::new(1.5, 0.0),
+            Err(CrossbarError::FaultRateOutOfRange {
+                name: "stuck-cell",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultModel::new(0.0, -0.1),
+            Err(CrossbarError::FaultRateOutOfRange {
+                name: "dead-column",
+                ..
+            })
+        ));
+        assert!(FaultModel::new(f64::NAN, 0.0).is_err());
+        assert!(FaultModel::new(0.0, 1.0).is_ok());
     }
 }

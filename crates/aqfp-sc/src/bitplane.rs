@@ -15,11 +15,59 @@
 //! hardware datapath. [`xnor_ones_range`] additionally counts matches over
 //! an arbitrary bit range, which is what crossbar *tiles* (sub-ranges of a
 //! layer's fan-in) need.
+//!
+//! # Word layout invariant
+//!
+//! Every kernel in this module — and every consumer in the workspace, from
+//! the training-side packed GEMM to the batched deploy engine — assumes
+//! **little-endian-in-index** packing: element `i` lives in word `i / 64`
+//! at bit position `i % 64`, logic '1' encodes the value `+1`, and bits
+//! past the declared length (the *tail* of the last word, and row bits
+//! past `width` in a [`PackedMatrix`]) are zero. Constructors establish
+//! the tail invariant and safe mutators preserve it; the raw-word escape
+//! hatches ([`PackedMatrix::storage_mut`], [`PackedMatrix::row_words_mut`],
+//! [`PackedMatrix::apply_row_mask`]) document it as a caller obligation.
+//! Breaking it silently corrupts whole-plane popcounts.
+//!
+//! # Worked example: pack → `packed_im2col` → sign-GEMM
+//!
+//! The three steps every packed convolution takes — binarize and pack a
+//! feature map, unfold its receptive fields by whole-word shifts, and hit
+//! the fields with an XNOR–popcount GEMM:
+//!
+//! ```
+//! use aqfp_sc::bitplane::{packed_im2col, BitPlane, PackedMatrix};
+//!
+//! // 1. Pack a 1-channel 4×4 feature map by sign (v ≥ 0 packs as +1).
+//! let values: Vec<f32> = (0..16).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+//! let plane = BitPlane::from_signs(&values);
+//! assert_eq!(plane.len(), 16);
+//!
+//! // 2. Unfold 3×3 receptive fields (stride 1, pad 1 reads as −1):
+//! //    one row per output pixel, c·k·k = 9 bits per row.
+//! let fields = packed_im2col(&plane, 1, 4, 4, 3, 1, 1, false);
+//! assert_eq!((fields.rows(), fields.width()), (16, 9));
+//!
+//! // 3. Two ±1 filters as packed rows; the GEMM returns every signed dot
+//! //    `2·popcount(XNOR) − 9` in `[filters × pixels]` row-major order.
+//! let filters = PackedMatrix::from_signs(&[1.0; 18], 2, 9);
+//! let dots = filters.xnor_gemm(&fields);
+//! assert_eq!(dots.len(), 2 * 16);
+//! // An all-(+1) filter's dot is the field's popcount scaled to ±1.
+//! let field0 = fields.row_plane(0);
+//! assert_eq!(dots[0], 2 * field0.count_ones() as i64 - 9);
+//! ```
 
 use aqfp_device::Bit;
 use serde::{Deserialize, Serialize};
 
 /// A packed vector of ±1 values: bit `1` carries `+1`, bit `0` carries `−1`.
+///
+/// Layout invariant (see the [module docs](self)): element `i` is stored
+/// little-endian in the index — word `i / 64`, bit `i % 64` — and all bits
+/// of the last word past [`len`](BitPlane::len) are zero, so whole-plane
+/// popcounts ([`count_ones`](BitPlane::count_ones), XNOR dots) never need a
+/// tail mask.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BitPlane {
     words: Vec<u64>,
@@ -556,6 +604,10 @@ impl BitPlane {
 /// word-aligned slice — the layout packed GEMMs and the batched deploy
 /// engine iterate over (row index = output channel or batch sample, stride
 /// = `words_per_row()`).
+///
+/// Each row obeys the [`BitPlane`] layout invariant: bit `i` of a row is
+/// word `i / 64`, bit `i % 64` of that row's slice, and row bits past
+/// [`width`](PackedMatrix::width) stay zero (padding words included).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PackedMatrix {
     storage: Vec<u64>,
@@ -660,6 +712,32 @@ impl PackedMatrix {
     pub fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
         assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
         &mut self.storage[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Applies a clear/set mask pair to word `w` of row `r`: bits in
+    /// `clear` are zeroed first, then bits in `set` are ORed in
+    /// (`word = (word & !clear) | set`).
+    ///
+    /// This is the masked mutation primitive of stuck-at fault injection
+    /// on packed weight planes: a die's stuck cells for one output channel
+    /// reduce to one mask pair per covered word (`clear` = every stuck
+    /// position, `set` = the positions stuck at '1'), applied without
+    /// unpacking the row. Callers must keep row bits past
+    /// [`width`](Self::width) zero, i.e. `set` must not reach into the
+    /// tail of the last data word.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows` or `w >= words_per_row`.
+    #[inline]
+    pub fn apply_row_mask(&mut self, r: usize, w: usize, clear: u64, set: u64) {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        assert!(
+            w < self.words_per_row,
+            "word {w} out of range ({} words per row)",
+            self.words_per_row
+        );
+        let word = &mut self.storage[r * self.words_per_row + w];
+        *word = (*word & !clear) | set;
     }
 
     /// The whole backing buffer, row stride [`Self::words_per_row`] —
@@ -1024,6 +1102,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_row_mask_clears_then_sets() {
+        let mut m = PackedMatrix::zeros(3, 130);
+        for i in 0..130 {
+            m.set(1, i, i % 2 == 0);
+        }
+        // Word 1 of row 1 covers bits 64..128: stick bits 64, 65, 70
+        // (clear all three, re-set 65 and 70 to '1').
+        m.apply_row_mask(1, 1, 0b100_0011, 0b100_0010);
+        assert!(!m.get(1, 64)); // was 1 (even), stuck at 0
+        assert!(m.get(1, 65)); // was 0 (odd), stuck at 1
+        assert!(m.get(1, 70)); // was 1, stuck at 1
+        assert!(m.get(1, 66) && !m.get(1, 67)); // untouched bits survive
+        assert_eq!(m.row_plane(0).count_ones(), 0, "other rows untouched");
+        assert_eq!(m.row_plane(2).count_ones(), 0, "other rows untouched");
     }
 
     #[test]

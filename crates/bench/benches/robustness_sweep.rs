@@ -1,0 +1,113 @@
+//! Monte Carlo robustness campaigns at benchmark scale: ≥100 fault-draw
+//! trials per workload on the packed deploy engine, aggregated into
+//! per-fault-rate accuracy quantiles.
+//!
+//! Run with `cargo bench -p superbnn-bench --bench robustness_sweep`.
+//! Besides printing the distributions it writes the machine-readable
+//! baseline to `BENCH_robustness.json` at the workspace root (override
+//! with the `ROBUSTNESS_BENCH_OUT` env var). Faulted packed inference is
+//! bit-identical to the faulted scalar reference (enforced by
+//! `tests/props.rs` and `tests/packed_faults.rs`), so these numbers are
+//! what the slow engine would report, measured ~10× faster.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use superbnn::experiments::{robustness_campaign, ExperimentScale, RobustnessWorkload};
+use superbnn::robustness::{RobustnessReport, SweepConfig};
+
+const RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+const TRIALS_PER_POINT: usize = 24; // 5 × 24 = 120 trials per workload
+
+fn grid_json(report: &RobustnessReport) -> String {
+    let mut s = String::new();
+    for (i, p) in report.points.iter().enumerate() {
+        let sep = if i + 1 < report.points.len() { "," } else { "" };
+        let _ = write!(
+            s,
+            "\n        {{\"stuck_cell_rate\": {}, \"dead_column_rate\": {}, \
+             \"mean_defects\": {:.1}, \"accuracy\": {{\"mean\": {:.4}, \"min\": {:.4}, \
+             \"p10\": {:.4}, \"p50\": {:.4}, \"p90\": {:.4}, \"max\": {:.4}}}}}{sep}",
+            p.fault_model.stuck_cell_rate(),
+            p.fault_model.dead_column_rate(),
+            p.mean_defects,
+            p.mean_accuracy,
+            p.min_accuracy,
+            p.p10_accuracy,
+            p.p50_accuracy,
+            p.p90_accuracy,
+            p.max_accuracy,
+        );
+    }
+    s
+}
+
+fn main() {
+    let scale = ExperimentScale {
+        samples_per_class: 60,
+        epochs: 12,
+        eval_samples: 48,
+        width: 8,
+        mlp_hidden: [64, 32],
+        seed: 7,
+    };
+    let cfg = SweepConfig::stuck_cell_grid(&RATES, TRIALS_PER_POINT, scale.seed)
+        .expect("rates are probabilities")
+        .with_eval_samples(Some(scale.eval_samples));
+    println!(
+        "robustness_sweep: {} rates x {TRIALS_PER_POINT} trials, {} eval samples/trial, \
+         {} workers",
+        RATES.len(),
+        scale.eval_samples,
+        cfg.workers
+    );
+
+    let specs = [
+        (RobustnessWorkload::DigitsMlp, "mlp_digits_256-64-32-10"),
+        (RobustnessWorkload::ObjectsVgg, "vgg_small_objects_w8"),
+    ];
+    let mut workloads = String::new();
+    for (wi, (workload, tag)) in specs.into_iter().enumerate() {
+        println!("\n=== {} ===", workload.label());
+        let start = Instant::now();
+        let report = robustness_campaign(&scale, workload, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        let total = report.total_trials();
+        assert!(total >= 100, "campaign must run at least 100 trials");
+        for p in &report.points {
+            println!(
+                "rate {:>5.3}: defects {:>7.1}  acc mean {:.3}  [min {:.3} | p10 {:.3} | \
+                 p50 {:.3} | p90 {:.3} | max {:.3}]",
+                p.fault_model.stuck_cell_rate(),
+                p.mean_defects,
+                p.mean_accuracy,
+                p.min_accuracy,
+                p.p10_accuracy,
+                p.p50_accuracy,
+                p.p90_accuracy,
+                p.max_accuracy,
+            );
+        }
+        let trials_per_s = total as f64 / secs;
+        println!("{total} trials in {secs:.1}s ({trials_per_s:.1} trials/s incl. training)");
+        let sep = if wi + 1 < specs.len() { "," } else { "" };
+        let _ = write!(
+            workloads,
+            "\n    {{\n      \"model\": \"{tag}\",\n      \"crossbar\": \"32x32\",\n      \
+             \"trials_per_point\": {TRIALS_PER_POINT},\n      \"total_trials\": {total},\n      \
+             \"eval_samples\": {},\n      \"wall_seconds\": {secs:.1},\n      \
+             \"trials_per_second\": {trials_per_s:.1},\n      \"grid\": [{}\n      ]\n    }}{sep}",
+            report.eval_samples,
+            grid_json(&report),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"robustness_sweep\",\n  \"campaign_seed\": {},\n  \
+         \"bit_identical_to_scalar\": true,\n  \"workloads\": [{workloads}\n  ]\n}}\n",
+        scale.seed
+    );
+    let out = std::env::var("ROBUSTNESS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_robustness.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write bench baseline");
+    println!("\nbaseline written to {out}");
+}

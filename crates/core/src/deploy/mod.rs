@@ -49,6 +49,14 @@
 //! Every stage — not just dense — hits the packed fast path, which is
 //! what lets the CIFAR VGG workload run end-to-end on bitplanes.
 //!
+//! Fabrication faults can be injected on either side of lowering with
+//! identical results: into the [`DeployedModel`] before `to_packed()`
+//! (stuck cells overwrite crossbar weights) or directly into the lowered
+//! [`PackedModel`] ([`PackedModel::inject_faults`] — word masks on the
+//! weight planes, dead columns folded into the SWAR biases). The latter
+//! is what the Monte Carlo robustness engine
+//! ([`crate::robustness`]) clones and mutates per trial.
+//!
 //! # Packed layout (see [`packed`] for details)
 //!
 //! Bits are packed little-endian in the flat `[C, H, W]` feature index

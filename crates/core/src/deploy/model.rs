@@ -480,7 +480,7 @@ mod tests {
         let mut deployed = deploy(&spec, &model, &hw).unwrap();
         // 100% dead columns: every crossbar output is a fabrication
         // constant; the model still runs and produces labels.
-        let fm = aqfp_crossbar::faults::FaultModel::new(0.0, 1.0);
+        let fm = aqfp_crossbar::faults::FaultModel::new(0.0, 1.0).unwrap();
         let mut rng = DeviceRng::seed_from_u64(3);
         let defects = deployed.inject_faults(&fm, &mut rng);
         assert!(defects > 0);

@@ -42,8 +42,11 @@ use super::bitmap::BitMap;
 use super::layer::{DeployedCell, TiledMatrix};
 use super::model::{argmax, DeployedClassifier, DeployedModel};
 use super::pipeline::PackedLayer;
+use aqfp_crossbar::faults::{draw_faults_tiled, FaultModel, InjectedFaults};
+use aqfp_device::Bit;
 use aqfp_sc::{BitPlane, PackedMatrix};
 use bnn_nn::Tensor;
+use rand::Rng;
 
 /// The packed twin of a [`TiledMatrix`]: weight bitplanes (one row per
 /// output channel, faults included), per-tile integer comparator
@@ -54,6 +57,10 @@ pub struct PackedTiledMatrix {
     weights: PackedMatrix,
     /// Row-tile boundaries over the fan-in (`k + 1` entries).
     row_starts: Vec<usize>,
+    /// Column-group boundaries over the output channels (`groups + 1`
+    /// entries) — kept so faults drawn per physical die can be mapped back
+    /// onto the packed planes.
+    col_starts: Vec<usize>,
     /// `[out × k]` channel-major integer thresholds.
     min_sums: Vec<i64>,
     /// `[out × k]` channel-major dead-column overrides
@@ -192,6 +199,11 @@ impl PackedTiledMatrix {
         }
         let mut row_starts: Vec<usize> = plan.tiles[..k].iter().map(|t| t.row_start).collect();
         row_starts.push(fan_in);
+        // Plan tiles are emitted column-major (all row tiles of one column
+        // group consecutively), so every k-th tile starts a new group.
+        let mut col_starts: Vec<usize> =
+            plan.tiles.iter().step_by(k).map(|t| t.col_start).collect();
+        col_starts.push(out);
         let spans = (0..k)
             .map(|r| TileSpan::new(row_starts[r], row_starts[r + 1]))
             .collect();
@@ -199,6 +211,7 @@ impl PackedTiledMatrix {
         Self {
             weights,
             row_starts,
+            col_starts,
             min_sums,
             dead,
             spans,
@@ -267,6 +280,117 @@ impl PackedTiledMatrix {
     /// Output channels.
     pub fn out(&self) -> usize {
         self.out
+    }
+
+    /// The `(rows, cols)` of every physical crossbar die behind this
+    /// packed matrix, in deployment plan order (column groups outer, row
+    /// tiles inner). This is the geometry
+    /// [`aqfp_crossbar::faults::draw_faults_tiled`] needs so a packed
+    /// fault campaign consumes the RNG exactly like the scalar
+    /// [`TiledMatrix::inject_faults`] walking its crossbars.
+    pub fn tile_dims(&self) -> Vec<(usize, usize)> {
+        let k = self.row_starts.len() - 1;
+        let groups = self.col_starts.len() - 1;
+        let mut dims = Vec::with_capacity(groups * k);
+        for g in 0..groups {
+            let cols = self.col_starts[g + 1] - self.col_starts[g];
+            for r in 0..k {
+                dims.push((self.row_starts[r + 1] - self.row_starts[r], cols));
+            }
+        }
+        dims
+    }
+
+    /// Applies pre-drawn fabrication faults directly to the packed state —
+    /// the word-level twin of
+    /// [`apply_stuck_cells`](aqfp_crossbar::faults::apply_stuck_cells) plus
+    /// dead-column registration, with the same semantics as re-lowering a
+    /// faulted [`TiledMatrix`]:
+    ///
+    /// * stuck LiM cells overwrite weight bits, applied as per-word
+    ///   clear/set masks on the packed planes
+    ///   ([`PackedMatrix::apply_row_mask`]) instead of per-bit writes;
+    /// * dead columns pin their tile's vote, folded into the SWAR lane
+    ///   biases in place where the tile geometry uses them.
+    ///
+    /// `faults` must be aligned with [`Self::tile_dims`] (one entry per
+    /// die, plan order); out-of-range cells within an entry are ignored,
+    /// matching the scalar applier.
+    ///
+    /// # Panics
+    /// Panics if `faults.len()` does not match the tile count.
+    pub fn apply_faults(&mut self, faults: &[InjectedFaults]) {
+        let k = self.row_starts.len() - 1;
+        assert_eq!(
+            faults.len(),
+            (self.col_starts.len() - 1) * k,
+            "fault draw / tile count mismatch"
+        );
+        for (idx, f) in faults.iter().enumerate() {
+            let (g, r) = (idx / k, idx % k);
+            let row_start = self.row_starts[r];
+            let rows = self.row_starts[r + 1] - row_start;
+            let col_start = self.col_starts[g];
+            let cols = self.col_starts[g + 1] - col_start;
+            if !f.stuck_cells.is_empty() {
+                // Fold this die's stuck cells into one clear/set mask pair
+                // per (channel, covered word) and apply them wholesale.
+                let first = row_start / 64;
+                let span = (row_start + rows - 1) / 64 - first + 1;
+                let mut masks = vec![(0u64, 0u64); cols * span];
+                for &(row, col, v) in &f.stuck_cells {
+                    if row >= rows || col >= cols {
+                        continue;
+                    }
+                    let bit = row_start + row;
+                    let m = &mut masks[col * span + (bit / 64 - first)];
+                    m.0 |= 1 << (bit % 64);
+                    if v.as_bool() {
+                        m.1 |= 1 << (bit % 64);
+                    }
+                }
+                for c in 0..cols {
+                    for w in 0..span {
+                        let (clear, set) = masks[c * span + w];
+                        if clear != 0 {
+                            self.weights
+                                .apply_row_mask(col_start + c, first + w, clear, set);
+                        }
+                    }
+                }
+            }
+            for &(col, b) in &f.dead_columns {
+                if col < cols {
+                    self.set_dead(col_start + col, r, b);
+                }
+            }
+        }
+    }
+
+    /// Pins one channel's row-tile vote to a fabrication constant: updates
+    /// the dead-override table and patches the affected SWAR bias lane in
+    /// place (dead columns are encoded as comparator thresholds `t = 0`
+    /// for stuck '1' / `t = lane + 1` for stuck '0'; see
+    /// [`Self::build_swar`]).
+    fn set_dead(&mut self, channel: usize, r: usize, stuck: Bit) {
+        let k = self.row_starts.len() - 1;
+        self.dead[channel * k + r] = if stuck.as_bool() { 2 } else { 1 };
+        if let Some(sw) = &mut self.swar {
+            if r < sw.tail_tile {
+                let lanes_per_word = (64 / sw.lane) as usize;
+                let (i, j) = (r / lanes_per_word, r % lanes_per_word);
+                let shift = (j as u32) * sw.lane;
+                let msb = 1u64 << (sw.lane - 1);
+                let t = if stuck.as_bool() {
+                    0
+                } else {
+                    sw.lane as u64 + 1
+                };
+                let lane_mask = ((1u64 << sw.lane) - 1) << shift;
+                let word = &mut sw.bias[channel * sw.words + i];
+                *word = (*word & !lane_mask) | ((msb - t) << shift);
+            }
+        }
     }
 
     /// Per-channel loop-invariant state hoisted out of per-pixel inner
@@ -456,6 +580,29 @@ impl PackedModel {
         self.input_shape
     }
 
+    /// Injects fabrication faults directly into the lowered pipeline — the
+    /// packed twin of [`DeployedModel::inject_faults`], built for Monte
+    /// Carlo robustness campaigns where re-deploying and re-lowering the
+    /// whole model per trial would dominate the runtime. Faults are drawn
+    /// per physical die with the *same* RNG consumption order as the
+    /// scalar path (layer by layer, tiles in plan order), so the same seed
+    /// produces the same defects on either engine and faulted predictions
+    /// stay bit-identical to the faulted scalar reference. The digital
+    /// classifier head is assumed testable/repairable and stays clean.
+    /// Returns the total defect count.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, model: &FaultModel, rng: &mut R) -> usize {
+        let mut defects = 0usize;
+        for layer in &mut self.layers {
+            let Some(m) = layer.matrix_mut() else {
+                continue;
+            };
+            let faults = draw_faults_tiled(model, &m.tile_dims(), rng);
+            defects += faults.iter().map(InjectedFaults::count).sum::<usize>();
+            m.apply_faults(&faults);
+        }
+        defects
+    }
+
     /// Packs samples `[0, n)` of a `[N, C, H, W]` tensor into the
     /// batch-major activation matrix (one row per sample, sign-binarized
     /// like [`BitMap::from_tensor_sample`]).
@@ -624,6 +771,53 @@ mod tests {
                 deployed.classify_digital(&data.images, i),
                 "sample {i}"
             );
+        }
+    }
+
+    #[test]
+    fn tile_dims_cover_the_matrix() {
+        let h = hw(8, 4);
+        let (fan_in, out) = (70, 6);
+        let signs = pseudo_signs(fan_in * out, 2);
+        let m = TiledMatrix::new(&signs, fan_in, out, vec![0.0; out], vec![false; out], &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let dims = packed.tile_dims();
+        assert_eq!(dims.len(), m.plan().tiles.len());
+        for (d, t) in dims.iter().zip(&m.plan().tiles) {
+            assert_eq!(*d, (t.rows, t.cols));
+        }
+        let cells: usize = dims.iter().map(|&(r, c)| r * c).sum();
+        assert_eq!(cells, fan_in * out);
+    }
+
+    /// Injecting the same seed into the scalar deployment and into the
+    /// lowered packed pipeline must produce the same defects and
+    /// bit-identical classifications — including saturated dead-column
+    /// rates that exercise the SWAR bias patching.
+    #[test]
+    fn packed_injection_matches_scalar_injection() {
+        use aqfp_device::{DeviceRng, SeedableRng};
+        let h = hw(16, 16); // 16-bit SWAR lanes on the dense stages
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 9);
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        for (stuck, dead) in [(0.0, 0.0), (0.3, 0.0), (0.0, 1.0), (0.2, 0.4)] {
+            let fm = FaultModel::new(stuck, dead).unwrap();
+            let mut deployed = deploy(&spec, &model, &h).unwrap();
+            let mut packed = deployed.to_packed().with_workers(2);
+            let scalar_defects = deployed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(21));
+            let packed_defects = packed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(21));
+            assert_eq!(scalar_defects, packed_defects, "rates ({stuck}, {dead})");
+            for i in 0..data.len() {
+                assert_eq!(
+                    packed.classify(&data.images, i),
+                    deployed.classify_digital(&data.images, i),
+                    "rates ({stuck}, {dead}), sample {i}"
+                );
+            }
         }
     }
 

@@ -110,6 +110,18 @@ impl PackedLayer {
         }
     }
 
+    /// Mutable access to the stage's packed weight matrix — the
+    /// fault-injection hook of the Monte Carlo robustness engine. `None`
+    /// for weight-free stages (pool, flatten), which have no crossbar dies
+    /// to be defective.
+    pub fn matrix_mut(&mut self) -> Option<&mut PackedTiledMatrix> {
+        match self {
+            PackedLayer::Conv(c) => Some(c.matrix_mut()),
+            PackedLayer::Linear(l) => Some(l.matrix_mut()),
+            PackedLayer::Pool(_) | PackedLayer::Flatten => None,
+        }
+    }
+
     /// A short stage name for logs and per-stage timing reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -150,6 +162,11 @@ impl PackedConvStage {
     /// The packed weight matrix.
     pub fn matrix(&self) -> &PackedTiledMatrix {
         &self.matrix
+    }
+
+    /// Mutable access to the packed weight matrix (fault injection).
+    pub fn matrix_mut(&mut self) -> &mut PackedTiledMatrix {
+        &mut self.matrix
     }
 
     /// Output shape (pre-pool) for an input of `shape`.
@@ -252,6 +269,11 @@ impl PackedLinearStage {
     /// The packed weight matrix.
     pub fn matrix(&self) -> &PackedTiledMatrix {
         &self.matrix
+    }
+
+    /// Mutable access to the packed weight matrix (fault injection).
+    pub fn matrix_mut(&mut self) -> &mut PackedTiledMatrix {
+        &mut self.matrix
     }
 
     /// Evaluates the stage on a flat packed plane.

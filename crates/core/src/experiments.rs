@@ -357,7 +357,8 @@ pub fn fault_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<FaultPoint> {
         .iter()
         .map(|&rate| {
             let mut deployed = deploy(&spec, &model, &hw).expect("spec matches model");
-            let fm = aqfp_crossbar::faults::FaultModel::new(rate, rate / 10.0);
+            let fm = aqfp_crossbar::faults::FaultModel::new(rate, rate / 10.0)
+                .expect("sweep rates are probabilities");
             let mut rng = DeviceRng::seed_from_u64(scale.seed ^ rate.to_bits());
             let defects = deployed.inject_faults(&fm, &mut rng);
             let accuracy = deployed.accuracy(&test, &mut rng, Some(scale.eval_samples));
@@ -368,6 +369,72 @@ pub fn fault_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<FaultPoint> {
             }
         })
         .collect()
+}
+
+/// Which deployed workload a Monte Carlo robustness campaign runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustnessWorkload {
+    /// The MNIST-class digits MLP.
+    DigitsMlp,
+    /// The CIFAR-class objects VGG-Small.
+    ObjectsVgg,
+}
+
+impl RobustnessWorkload {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RobustnessWorkload::DigitsMlp => "digits MLP",
+            RobustnessWorkload::ObjectsVgg => "objects VGG-Small",
+        }
+    }
+}
+
+/// Runs a Monte Carlo fault-robustness campaign on the packed deploy
+/// engine (see [`crate::robustness`]): trains the workload once, deploys
+/// and lowers it once, then measures the accuracy distribution of
+/// `cfg.trials` independent fault draws per grid point. Where
+/// [`fault_sweep`] reports a single draw per rate through the slow
+/// stochastic engine, this driver reports mean/min/quantiles per rate at
+/// batched XNOR–popcount speed.
+///
+/// The operating point is deliberately *near-deterministic* (32×32
+/// crossbars, a narrow 0.4 µA gray-zone): the packed engine evaluates the
+/// gray-zone → 0 digital limit, so campaigns train where that limit is
+/// most faithful and heavy-tiling partial-sum saturation (which would
+/// otherwise dominate the fault signal) stays moderate.
+pub fn robustness_campaign(
+    scale: &ExperimentScale,
+    workload: RobustnessWorkload,
+    cfg: &crate::robustness::SweepConfig,
+) -> crate::robustness::RobustnessReport {
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 32,
+        grayzone_ua: 0.4,
+        bitstream_len: 16,
+        ..Default::default()
+    };
+    let (spec, (train, test)) = match workload {
+        RobustnessWorkload::DigitsMlp => (
+            NetSpec::mlp(
+                &[1, 16, 16],
+                &[scale.mlp_hidden[0], scale.mlp_hidden[1]],
+                10,
+            ),
+            scale.digits_data(),
+        ),
+        RobustnessWorkload::ObjectsVgg => (
+            NetSpec::vgg_small([3, 16, 16], scale.width, 10),
+            scale.objects_data(),
+        ),
+    };
+    let (model, _) = train_model(&spec, &hw, scale, &train);
+    let deployed = deploy(&spec, &model, &hw).expect("spec matches model");
+    // Interleave the (class-grouped) test split so the truncated per-trial
+    // evaluation covers every class.
+    let eval = crate::robustness::interleaved_eval_set(&test, cfg.eval_samples);
+    crate::robustness::run_sweep(&deployed.to_packed(), &eval, cfg)
 }
 
 /// One point of the operating-temperature sweep (extension experiment).
@@ -655,6 +722,28 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.apc_accuracy));
             assert!((0.0..=1.0).contains(&p.mux_accuracy));
         }
+    }
+
+    #[test]
+    fn quick_robustness_campaign_runs() {
+        let mut scale = ExperimentScale::quick();
+        scale.samples_per_class = 16;
+        scale.epochs = 2;
+        scale.eval_samples = 12;
+        let cfg = crate::robustness::SweepConfig::stuck_cell_grid(&[0.0, 0.3], 2, scale.seed)
+            .unwrap()
+            .with_eval_samples(Some(scale.eval_samples));
+        let report = robustness_campaign(&scale, RobustnessWorkload::DigitsMlp, &cfg);
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.total_trials(), 4);
+        // The pristine point is deterministic: both trials agree exactly.
+        let clean = &report.points[0];
+        assert_eq!(clean.min_accuracy, clean.max_accuracy);
+        assert!(report
+            .points
+            .iter()
+            .flat_map(|p| &p.trials)
+            .all(|t| (0.0..=1.0).contains(&t.accuracy)));
     }
 
     #[test]

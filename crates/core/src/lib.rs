@@ -20,7 +20,11 @@
 //! * [`trainer`] — the training loop (SGD + cosine schedule + warmup +
 //!   ReCU) of Section 6.1;
 //! * [`experiments`] — drivers for every figure/table reproduction
-//!   (Fig. 10, Fig. 11, Table 2, Table 3, ablations).
+//!   (Fig. 10, Fig. 11, Table 2, Table 3, ablations);
+//! * [`robustness`] — Monte Carlo fault-robustness campaigns on the
+//!   packed deploy engine: per-trial fault draws injected directly into
+//!   the lowered bitplanes, fanned across threads, aggregated into
+//!   per-rate accuracy distributions.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub mod deploy;
 pub mod energy;
 pub mod experiments;
 pub mod optimize;
+pub mod robustness;
 pub mod spec;
 pub mod trainer;
 

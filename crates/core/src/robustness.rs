@@ -1,0 +1,393 @@
+//! Monte Carlo fault-robustness sweeps on the packed deploy engine.
+//!
+//! The paper's central claim is that stochastic-computing BNN inference on
+//! AQFP crossbars degrades gracefully under device-level imperfections —
+//! the "immature manufacturing technology" of Section 1. Measuring that
+//! claim properly needs *distributions*, not single draws: at a given
+//! defect rate, two fabricated dies differ wildly in where their stuck
+//! cells land, so a robustness figure is a quantile band over many
+//! independent fault draws.
+//!
+//! This module runs such campaigns at hardware speed. The model is trained,
+//! deployed, and lowered to a [`PackedModel`] **once**; every trial then
+//!
+//! 1. clones the packed pipeline (cheap per-tile state: weight bitplanes,
+//!    comparator tables, SWAR biases — no re-deployment, no re-lowering),
+//! 2. injects a fresh fault draw directly into the clone
+//!    ([`PackedModel::inject_faults`]: stuck cells as word masks on the
+//!    weight planes, dead columns folded into the SWAR lane biases), and
+//! 3. evaluates accuracy through the batched XNOR–popcount engine.
+//!
+//! Trials fan out across `std::thread::scope` workers. Every trial is
+//! deterministic: trial `t` (globally indexed across the fault-rate grid)
+//! draws its faults from `seed = campaign_seed ^ t`, so any individual
+//! trial can be reproduced in isolation and whole campaigns are
+//! reproducible across machines and worker counts. Faulted packed
+//! inference is bit-identical to faulted scalar inference (differentially
+//! tested in `tests/props.rs`), so the distributions measured here are
+//! exactly what the slow reference engine would report.
+
+use crate::deploy::PackedModel;
+use aqfp_crossbar::faults::FaultModel;
+use aqfp_device::{DeviceRng, SeedableRng};
+use bnn_datasets::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one Monte Carlo robustness campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// The fault-rate grid: one accuracy distribution is measured per
+    /// entry.
+    pub grid: Vec<FaultModel>,
+    /// Independent fault draws per grid point.
+    pub trials: usize,
+    /// Campaign seed; trial `t` (global index) draws from
+    /// `campaign_seed ^ t`.
+    pub campaign_seed: u64,
+    /// Test samples evaluated per trial (`None` = the whole dataset).
+    pub eval_samples: Option<usize>,
+    /// Worker threads trials are fanned across.
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// A campaign over an explicit fault-model grid, evaluating the whole
+    /// dataset with one worker per available core.
+    pub fn new(grid: Vec<FaultModel>, trials: usize, campaign_seed: u64) -> Self {
+        Self {
+            grid,
+            trials,
+            campaign_seed,
+            eval_samples: None,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// The standard stuck-cell sweep grid: each `rate` becomes a
+    /// [`FaultModel`] with that stuck-cell rate and a dead-column rate of
+    /// `rate / 10` (dead neurons are an order of magnitude rarer than dead
+    /// cells — the same convention as the scalar
+    /// [`fault_sweep`](crate::experiments::fault_sweep) experiment).
+    ///
+    /// # Errors
+    /// [`CrossbarError::FaultRateOutOfRange`](aqfp_crossbar::CrossbarError::FaultRateOutOfRange)
+    /// if any rate is not a probability.
+    pub fn stuck_cell_grid(
+        rates: &[f64],
+        trials: usize,
+        campaign_seed: u64,
+    ) -> aqfp_crossbar::Result<Self> {
+        let grid = rates
+            .iter()
+            .map(|&r| FaultModel::new(r, r / 10.0))
+            .collect::<aqfp_crossbar::Result<Vec<_>>>()?;
+        Ok(Self::new(grid, trials, campaign_seed))
+    }
+
+    /// Limits per-trial evaluation to the first `n` test samples.
+    #[must_use]
+    pub fn with_eval_samples(mut self, n: Option<usize>) -> Self {
+        self.eval_samples = n;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+}
+
+/// One fault draw evaluated to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Global trial index across the whole campaign.
+    pub trial: usize,
+    /// The RNG seed the faults were drawn from (`campaign_seed ^ trial`).
+    pub seed: u64,
+    /// Defects drawn across the whole pipeline.
+    pub defects: usize,
+    /// Top-1 accuracy of the faulted packed model.
+    pub accuracy: f64,
+}
+
+/// The measured accuracy/defect distribution of one fault-rate grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPointReport {
+    /// The fault model of this grid point.
+    pub fault_model: FaultModel,
+    /// Every trial, in global-trial-index order.
+    pub trials: Vec<TrialOutcome>,
+    /// Mean accuracy over the trials.
+    pub mean_accuracy: f64,
+    /// Worst-case accuracy.
+    pub min_accuracy: f64,
+    /// Best-case accuracy.
+    pub max_accuracy: f64,
+    /// 10th-percentile accuracy (nearest-rank).
+    pub p10_accuracy: f64,
+    /// Median accuracy (nearest-rank).
+    pub p50_accuracy: f64,
+    /// 90th-percentile accuracy (nearest-rank).
+    pub p90_accuracy: f64,
+    /// Mean defect count per draw.
+    pub mean_defects: f64,
+}
+
+impl GridPointReport {
+    fn from_trials(fault_model: FaultModel, trials: Vec<TrialOutcome>) -> Self {
+        assert!(!trials.is_empty(), "grid point with zero trials");
+        let n = trials.len() as f64;
+        let mean_accuracy = trials.iter().map(|t| t.accuracy).sum::<f64>() / n;
+        let mean_defects = trials.iter().map(|t| t.defects as f64).sum::<f64>() / n;
+        let mut sorted: Vec<f64> = trials.iter().map(|t| t.accuracy).collect();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            fault_model,
+            mean_accuracy,
+            min_accuracy: sorted[0],
+            max_accuracy: sorted[sorted.len() - 1],
+            p10_accuracy: quantile(&sorted, 0.10),
+            p50_accuracy: quantile(&sorted, 0.50),
+            p90_accuracy: quantile(&sorted, 0.90),
+            mean_defects,
+            trials,
+        }
+    }
+}
+
+/// The aggregated result of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// The campaign seed trials derived their draws from.
+    pub campaign_seed: u64,
+    /// Trials per grid point.
+    pub trials_per_point: usize,
+    /// Test samples evaluated per trial.
+    pub eval_samples: usize,
+    /// One distribution per fault-rate grid point, in grid order.
+    pub points: Vec<GridPointReport>,
+}
+
+impl RobustnessReport {
+    /// Total trials across all grid points.
+    pub fn total_trials(&self) -> usize {
+        self.points.iter().map(|p| p.trials.len()).sum()
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// A class-interleaved subset of up to `n` samples (all of them for
+/// `None`): samples are taken round-robin across the classes, preserving
+/// each class's internal order.
+///
+/// The synthetic dataset generators emit samples grouped by class and
+/// [`Dataset::split`](bnn_datasets::Dataset::split) preserves that order,
+/// so evaluating "the first `n` test samples" — what the per-trial
+/// `eval_samples` limit does — would cover only the first few classes.
+/// Campaign drivers interleave the evaluation set once up front so every
+/// truncated evaluation stays class-balanced.
+pub fn interleaved_eval_set(data: &Dataset, n: Option<usize>) -> Dataset {
+    let n = n.map_or(data.len(), |n| n.min(data.len()));
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.num_classes];
+    for (i, &label) in data.labels.iter().enumerate() {
+        by_class[label].push(i);
+    }
+    let mut indices = Vec::with_capacity(n);
+    let mut round = 0usize;
+    while indices.len() < n {
+        let before = indices.len();
+        for class in &by_class {
+            if let Some(&i) = class.get(round) {
+                indices.push(i);
+                if indices.len() == n {
+                    break;
+                }
+            }
+        }
+        assert!(indices.len() > before, "ran out of samples");
+        round += 1;
+    }
+    let (images, labels) = data.batch(&indices);
+    Dataset {
+        images,
+        labels,
+        num_classes: data.num_classes,
+    }
+}
+
+/// Runs a Monte Carlo robustness campaign: `cfg.trials` independent fault
+/// draws per grid point, injected into cheap clones of `packed` and
+/// evaluated on (the first `cfg.eval_samples` of) `data`, fanned across
+/// `cfg.workers` threads. Deterministic for a given configuration
+/// regardless of the worker count.
+///
+/// # Panics
+/// Panics if the grid or `data` is empty or `trials == 0`.
+pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> RobustnessReport {
+    assert!(!cfg.grid.is_empty(), "empty fault-rate grid");
+    assert!(cfg.trials > 0, "campaign with zero trials per point");
+    assert!(cfg.workers > 0, "need at least one worker");
+    let eval_samples = cfg.eval_samples.map_or(data.len(), |n| n.min(data.len()));
+    assert!(eval_samples > 0, "campaign over zero samples");
+
+    let total = cfg.grid.len() * cfg.trials;
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; total];
+    // Trials parallelize at the campaign level, so each trial evaluates
+    // its batch single-threaded (no nested fan-out).
+    let chunk = total.div_ceil(cfg.workers.min(total));
+    std::thread::scope(|s| {
+        for (ci, slots) in outcomes.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    let trial = ci * chunk + j;
+                    let seed = cfg.campaign_seed ^ trial as u64;
+                    let mut m = packed.clone().with_workers(1);
+                    let mut rng = DeviceRng::seed_from_u64(seed);
+                    let defects = m.inject_faults(&cfg.grid[trial / cfg.trials], &mut rng);
+                    let accuracy = m.accuracy(data, Some(eval_samples));
+                    *slot = Some(TrialOutcome {
+                        trial,
+                        seed,
+                        defects,
+                        accuracy,
+                    });
+                }
+            });
+        }
+    });
+
+    let mut outcomes = outcomes.into_iter().map(|o| o.expect("every trial ran"));
+    let points = cfg
+        .grid
+        .iter()
+        .map(|&fm| GridPointReport::from_trials(fm, outcomes.by_ref().take(cfg.trials).collect()))
+        .collect();
+    RobustnessReport {
+        campaign_seed: cfg.campaign_seed,
+        trials_per_point: cfg.trials,
+        eval_samples,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HardwareConfig;
+    use crate::deploy::deploy;
+    use crate::spec::NetSpec;
+    use bnn_datasets::{digits::generate_digits, SynthConfig};
+
+    fn tiny_campaign_model() -> (PackedModel, Dataset) {
+        let hw = HardwareConfig {
+            crossbar_rows: 8,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&hw, 5);
+        let deployed = deploy(&spec, &model, &hw).unwrap();
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        (deployed.to_packed(), data)
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_across_worker_counts() {
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0, 0.1], 3, 42).unwrap();
+        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1));
+        let b = run_sweep(&packed, &data, &cfg.with_workers(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pristine_grid_point_reproduces_the_clean_accuracy() {
+        let (packed, data) = tiny_campaign_model();
+        let clean = packed.accuracy(&data, None);
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0], 4, 7).unwrap();
+        let report = run_sweep(&packed, &data, &cfg);
+        assert_eq!(report.total_trials(), 4);
+        for t in &report.points[0].trials {
+            assert_eq!(t.defects, 0);
+            assert_eq!(t.accuracy, clean);
+        }
+        assert_eq!(report.points[0].mean_accuracy, clean);
+        assert_eq!(report.points[0].p50_accuracy, clean);
+    }
+
+    #[test]
+    fn report_statistics_are_ordered_and_seeds_are_derived() {
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.05, 0.3], 5, 99)
+            .unwrap()
+            .with_eval_samples(Some(10));
+        let report = run_sweep(&packed, &data, &cfg);
+        assert_eq!(report.eval_samples, 10);
+        assert_eq!(report.points.len(), 2);
+        for (g, p) in report.points.iter().enumerate() {
+            assert!(p.min_accuracy <= p.p10_accuracy);
+            assert!(p.p10_accuracy <= p.p50_accuracy);
+            assert!(p.p50_accuracy <= p.p90_accuracy);
+            assert!(p.p90_accuracy <= p.max_accuracy);
+            assert!(p.min_accuracy <= p.mean_accuracy && p.mean_accuracy <= p.max_accuracy);
+            for (i, t) in p.trials.iter().enumerate() {
+                let trial = g * cfg.trials + i;
+                assert_eq!(t.trial, trial);
+                assert_eq!(t.seed, 99 ^ trial as u64);
+            }
+        }
+        // Heavier faults draw more defects on average.
+        assert!(report.points[1].mean_defects > report.points[0].mean_defects);
+    }
+
+    #[test]
+    fn interleaved_eval_set_is_class_balanced() {
+        let data = generate_digits(&SynthConfig {
+            samples_per_class: 4,
+            ..Default::default()
+        });
+        // The generator groups by class; a 10-sample interleave must cover
+        // all 10 classes exactly once.
+        let eval = interleaved_eval_set(&data, Some(10));
+        assert_eq!(eval.len(), 10);
+        let mut seen = vec![0usize; 10];
+        for &l in &eval.labels {
+            seen[l] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        // Taking everything preserves the sample count.
+        assert_eq!(interleaved_eval_set(&data, None).len(), data.len());
+        assert_eq!(interleaved_eval_set(&data, Some(999)).len(), data.len());
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let sorted = [0.1, 0.2, 0.3, 0.4, 1.0];
+        assert_eq!(quantile(&sorted, 0.0), 0.1);
+        assert_eq!(quantile(&sorted, 0.5), 0.3);
+        assert_eq!(quantile(&sorted, 1.0), 1.0);
+        assert_eq!(quantile(&[0.7], 0.9), 0.7);
+    }
+
+    #[test]
+    fn stuck_cell_grid_validates_rates() {
+        assert!(SweepConfig::stuck_cell_grid(&[0.0, 1.5], 2, 0).is_err());
+        let cfg = SweepConfig::stuck_cell_grid(&[0.2], 2, 0).unwrap();
+        assert_eq!(cfg.grid[0].stuck_cell_rate(), 0.2);
+        assert_eq!(cfg.grid[0].dead_column_rate(), 0.02);
+    }
+}

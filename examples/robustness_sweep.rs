@@ -1,0 +1,88 @@
+//! Monte Carlo robustness sweep on the packed deploy engine: train the
+//! digits MLP and the objects VGG once each, lower them onto bitplanes,
+//! then measure the accuracy *distribution* under fabrication faults —
+//! many independent defect draws per fault rate, fanned across threads.
+//!
+//! Run with:
+//! `cargo run --release --example robustness_sweep -- [--trials N] [--eval N]`
+//! (CI smoke runs `--trials 4`.)
+
+use std::time::Instant;
+use superbnn::experiments::{robustness_campaign, ExperimentScale, RobustnessWorkload};
+use superbnn::robustness::SweepConfig;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = parse_flag(&args, "--trials", 8);
+    let eval = parse_flag(&args, "--eval", 30);
+
+    // Demo scale: small datasets and short training keep the focus on the
+    // sweep itself (the bench runs the ≥100-trial campaigns).
+    let scale = ExperimentScale {
+        samples_per_class: 60,
+        epochs: 15,
+        eval_samples: eval,
+        width: 8,
+        mlp_hidden: [64, 32],
+        seed: 7,
+    };
+    let rates = [0.0, 0.02, 0.05, 0.10];
+    let cfg = SweepConfig::stuck_cell_grid(&rates, trials, scale.seed)
+        .expect("rates are probabilities")
+        .with_eval_samples(Some(eval));
+    println!(
+        "robustness sweep: {} rates x {trials} trials, {eval} eval samples, {} workers",
+        rates.len(),
+        cfg.workers
+    );
+
+    for workload in [
+        RobustnessWorkload::DigitsMlp,
+        RobustnessWorkload::ObjectsVgg,
+    ] {
+        println!("\n=== {} ===", workload.label());
+        let start = Instant::now();
+        let report = robustness_campaign(&scale, workload, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{:>10}  {:>8}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>9}",
+            "stuck rate", "defects", "mean", "min", "p10", "p50", "p90", "max"
+        );
+        for p in &report.points {
+            println!(
+                "{:>10.3}  {:>8.1}  {:>6.3}  {:>6.3}  {:>6.3}  {:>6.3}  {:>6.3}  {:>9.3}",
+                p.fault_model.stuck_cell_rate(),
+                p.mean_defects,
+                p.mean_accuracy,
+                p.min_accuracy,
+                p.p10_accuracy,
+                p.p50_accuracy,
+                p.p90_accuracy,
+                p.max_accuracy,
+            );
+        }
+        let total = report.total_trials();
+        println!(
+            "{total} trials (train + deploy + sweep) in {secs:.1}s — {:.1} trials/s",
+            total as f64 / secs
+        );
+        // The pristine grid point must reproduce one deterministic value.
+        let clean = &report.points[0];
+        assert_eq!(clean.fault_model.stuck_cell_rate(), 0.0);
+        assert_eq!(
+            clean.min_accuracy, clean.max_accuracy,
+            "pristine trials diverged"
+        );
+    }
+}

@@ -35,7 +35,7 @@ fn saturating_fault_rates_never_panic_on_boundary_words() {
     // packed engine must still run and agree with the scalar reference.
     let mut deployed = digits_model();
     let mut rng = DeviceRng::seed_from_u64(3);
-    let defects = deployed.inject_faults(&FaultModel::new(0.5, 1.0), &mut rng);
+    let defects = deployed.inject_faults(&FaultModel::new(0.5, 1.0).unwrap(), &mut rng);
     assert!(defects > 0);
     let packed = deployed.to_packed();
     let data = generate_digits(&SynthConfig {
@@ -54,7 +54,7 @@ fn saturating_fault_rates_never_panic_on_boundary_words() {
 fn moderate_fault_rates_stay_bit_exact() {
     let mut deployed = digits_model();
     let mut rng = DeviceRng::seed_from_u64(9);
-    deployed.inject_faults(&FaultModel::new(0.05, 0.02), &mut rng);
+    deployed.inject_faults(&FaultModel::new(0.05, 0.02).unwrap(), &mut rng);
     let packed = deployed.to_packed();
     let data = generate_digits(&SynthConfig {
         samples_per_class: 2,
@@ -66,6 +66,34 @@ fn moderate_fault_rates_stay_bit_exact() {
             deployed.classify_digital(&data.images, i),
             "sample {i}"
         );
+    }
+}
+
+#[test]
+fn packed_injection_on_ragged_geometry_matches_scalar() {
+    // Inject directly into the lowered pipeline (the robustness engine's
+    // per-trial path) on the same deliberately awkward geometry: stuck
+    // cells land on boundary words of ragged tiles, dead columns on the
+    // uneven last column group. Same seed on either engine ⇒ same defects,
+    // bit-identical predictions.
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 2,
+        ..Default::default()
+    });
+    for (stuck, dead) in [(0.3, 0.0), (0.0, 1.0), (0.15, 0.25)] {
+        let fm = FaultModel::new(stuck, dead).unwrap();
+        let mut scalar = digits_model();
+        let mut packed = digits_model().to_packed();
+        let a = scalar.inject_faults(&fm, &mut DeviceRng::seed_from_u64(17));
+        let b = packed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(17));
+        assert_eq!(a, b, "defect counts at rates ({stuck}, {dead})");
+        for i in 0..data.len() {
+            assert_eq!(
+                packed.classify(&data.images, i),
+                scalar.classify_digital(&data.images, i),
+                "rates ({stuck}, {dead}), sample {i}"
+            );
+        }
     }
 }
 

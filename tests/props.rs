@@ -260,7 +260,7 @@ proptest! {
         let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
         let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
         let mut m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
-        let model = FaultModel::new(0.2 * stuck as f64, 0.15 * stuck as f64);
+        let model = FaultModel::new(0.2 * stuck as f64, 0.15 * stuck as f64).unwrap();
         m.inject_faults(&model, &mut rng);
         let packed = PackedTiledMatrix::from_tiled(&m);
         for _ in 0..3 {
@@ -268,6 +268,54 @@ proptest! {
             let scalar = m.forward_digital(&input);
             let plane = packed.forward_plane(&BitPlane::from_bits(&input));
             prop_assert_eq!(plane.to_bits(), scalar);
+        }
+    }
+
+    /// Random fault draws injected *after* lowering (word masks on the
+    /// packed bitplanes, SWAR-bias dead folds) classify bit-identically to
+    /// the scalar path (`apply_stuck_cells` on the tile crossbars +
+    /// `classify_digital`) — the invariant the Monte Carlo robustness
+    /// engine rests on. Also checks both engines draw the same defect
+    /// count and that re-lowering the faulted deployment agrees with
+    /// in-place packed injection.
+    #[test]
+    fn packed_fault_injection_matches_scalar_apply_and_classify(
+        rows in 1usize..24,
+        cols in 1usize..12,
+        hidden in 4usize..24,
+        stuck in 0u8..4,
+        dead in 0u8..3,
+        seed in 0u64..400,
+    ) {
+        use aqfp_device::{DeviceRng, SeedableRng};
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 6, 6], &[hidden], 4);
+        let model = spec.build_software(&hw, seed);
+        let fm = FaultModel::new(0.25 * stuck as f64, 0.5 * dead as f64).unwrap();
+        // Scalar reference: faults applied to the deployed tile crossbars.
+        let mut scalar = deploy(&spec, &model, &hw).unwrap();
+        let scalar_defects =
+            scalar.inject_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ 0xFA17));
+        // Packed path: the same draw injected into the lowered pipeline.
+        let mut packed = deploy(&spec, &model, &hw).unwrap().to_packed();
+        let packed_defects =
+            packed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ 0xFA17));
+        prop_assert_eq!(scalar_defects, packed_defects);
+        // Re-lowering the faulted scalar deployment is a third witness.
+        let relowered = scalar.to_packed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let images = bnn_nn::Tensor::from_vec(
+            &[3, 1, 6, 6],
+            (0..3 * 36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        for i in 0..3 {
+            let want = scalar.classify_digital(&images, i);
+            prop_assert_eq!(packed.classify(&images, i), want.clone(), "sample {}", i);
+            prop_assert_eq!(relowered.classify(&images, i), want, "relowered sample {}", i);
         }
     }
 
@@ -408,6 +456,54 @@ proptest! {
             prop_assert_eq!(
                 packed.classify(&images, i),
                 deployed.classify_digital(&images, i),
+                "sample {}", i
+            );
+        }
+    }
+
+    /// Fault injection through the lowered *conv* pipeline (faults land in
+    /// the conv stage's packed im2col weights) stays bit-identical to the
+    /// faulted scalar conv reference.
+    #[test]
+    fn packed_conv_fault_injection_matches_scalar(
+        out_c in 1usize..5,
+        k in 1usize..4,
+        rows in 1usize..16,
+        stuck in 0u8..3,
+        seed in 0u64..200,
+    ) {
+        use aqfp_device::{DeviceRng, SeedableRng};
+        let (c, h, w) = (2usize, 6usize, 6usize);
+        let s = (h - k + 1) * (w - k + 1);
+        let spec = NetSpec {
+            input_shape: [c, h, w],
+            cells: vec![
+                CellSpec::BinarizeInput,
+                CellSpec::Conv { in_c: c, out_c, k, stride: 1, pad: 0, pool: false },
+                CellSpec::Flatten,
+                CellSpec::Classifier { in_f: out_c * s, classes: 4 },
+            ],
+        };
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let model = spec.build_software(&hw, seed);
+        let fm = FaultModel::new(0.3 * stuck as f64, 0.2 * stuck as f64).unwrap();
+        let mut scalar = deploy(&spec, &model, &hw).unwrap();
+        scalar.inject_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ 0xC0DE));
+        let mut packed = deploy(&spec, &model, &hw).unwrap().to_packed();
+        packed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ 0xC0DE));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD00D);
+        let images = bnn_nn::Tensor::from_vec(
+            &[2, c, h, w],
+            (0..2 * c * h * w).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        for i in 0..2 {
+            prop_assert_eq!(
+                packed.classify(&images, i),
+                scalar.classify_digital(&images, i),
                 "sample {}", i
             );
         }
