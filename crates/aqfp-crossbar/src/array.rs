@@ -36,6 +36,28 @@ impl Default for CrossbarConfig {
     }
 }
 
+impl CrossbarConfig {
+    /// The operating conditions under a device-parameter variation: the
+    /// gray-zone width picks up the variation's effective width (scale ×
+    /// thermal ratio) and the attenuation model its drive scale.
+    ///
+    /// This is the **single definition** of how a
+    /// [`VariationModel`](aqfp_device::VariationModel) lands on crossbar
+    /// operating conditions — the scalar drift path
+    /// (`TiledMatrix::apply_variation`), the recalibration path
+    /// (`HardwareConfig::with_variation`) and the packed stochastic
+    /// engine's flip tables all go through it, which is what keeps the
+    /// scalar and packed engines evaluating the identical effective law
+    /// (and therefore seed-matched) under any variation.
+    #[must_use]
+    pub fn with_variation(&self, vm: &aqfp_device::VariationModel) -> Self {
+        Self {
+            grayzone_ua: vm.effective_grayzone_ua(self.grayzone_ua),
+            attenuation: self.attenuation.with_drive_scale(vm.drive_scale()),
+        }
+    }
+}
+
 /// Errors raised by crossbar construction and use.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -167,6 +189,18 @@ impl Crossbar {
     /// The shared configuration.
     pub fn config(&self) -> &CrossbarConfig {
         &self.config
+    }
+
+    /// Replaces the operating conditions (gray-zone width, attenuation)
+    /// without touching the stored weights or the programmed thresholds —
+    /// the seam device-parameter *variation* flows through: a drifted die
+    /// keeps its calibration-time programming but senses and merges
+    /// currents under the new conditions. A zero gray-zone width is only
+    /// usable by the deterministic entry points ([`Crossbar::compute_ideal`],
+    /// [`Crossbar::raw_sum`]); the stochastic ones reject it when they
+    /// build their neuron law.
+    pub fn set_config(&mut self, config: CrossbarConfig) {
+        self.config = config;
     }
 
     /// The attenuated unit current `I1(rows)` of this crossbar, in µA.

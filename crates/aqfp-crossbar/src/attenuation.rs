@@ -64,6 +64,27 @@ impl AttenuationModel {
         grayzone_ua / self.i1_ua(cs)
     }
 
+    /// The same decay law with the drive amplitude scaled by `scale` —
+    /// every `I1(Cs)` picks up the factor uniformly. This is how a
+    /// device-parameter variation's attenuation drift
+    /// (`aqfp_device::VariationModel::drive_scale`) lands on the model:
+    /// the die's merged currents run at `scale × I1` while the programmed
+    /// thresholds stay where calibration put them.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is positive and finite.
+    #[must_use]
+    pub fn with_drive_scale(&self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "drive scale must be positive and finite, got {scale}"
+        );
+        Self {
+            a_ua: self.a_ua * scale,
+            b: self.b,
+        }
+    }
+
     /// Fits a power law to `(size, current)` samples by least squares in
     /// log-log space — the "mathematical fitting curve" step of Fig. 5.
     ///

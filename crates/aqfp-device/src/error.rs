@@ -16,6 +16,15 @@ pub enum DeviceError {
         /// The rejected frequency in GHz.
         frequency_ghz: f64,
     },
+    /// A device-parameter variation knob was outside its physical range
+    /// (see [`crate::VariationModel::new`]).
+    VariationOutOfRange {
+        /// Which knob was rejected (`"gray-zone scale"`,
+        /// `"attenuation delta"` or `"temperature drift"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -30,6 +39,9 @@ impl fmt::Display for DeviceError {
                     f,
                     "clock frequency must be positive and finite, got {frequency_ghz} GHz"
                 )
+            }
+            DeviceError::VariationOutOfRange { field, value } => {
+                write!(f, "variation {field} {value} is outside the physical range")
             }
         }
     }
@@ -47,5 +59,10 @@ mod tests {
         assert!(e.to_string().contains("at least 3"));
         let e = DeviceError::InvalidFrequency { frequency_ghz: 0.0 };
         assert!(e.to_string().contains("positive"));
+        let e = DeviceError::VariationOutOfRange {
+            field: "gray-zone scale",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("gray-zone scale"));
     }
 }

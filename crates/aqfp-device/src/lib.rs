@@ -46,6 +46,7 @@ pub mod erf;
 pub mod grayzone;
 pub mod logic;
 pub mod noise;
+pub mod variation;
 
 mod buffer;
 mod error;
@@ -56,6 +57,7 @@ pub use clock::ClockScheme;
 pub use error::DeviceError;
 pub use grayzone::GrayZone;
 pub use logic::Bit;
+pub use variation::VariationModel;
 
 /// Crate-wide result alias: every fallible device-layer API fails with
 /// [`DeviceError`].

@@ -1,0 +1,240 @@
+//! Per-die device-parameter variation: the drift axis of robustness
+//! campaigns.
+//!
+//! Fabricated AQFP dies do not all sit at the calibrated operating point:
+//! comparator gray-zones come out wider or narrower than the 2.4 µA design
+//! value, merging networks attenuate more or less than the fitted `I1(Cs)`
+//! curve, and the cryostat drifts away from 4.2 K under thermal load
+//! (thermal-cycling reliability studies sweep exactly these axes). A
+//! [`VariationModel`] captures one such *operating condition* as three
+//! validated knobs applied on top of the nominal hardware configuration:
+//!
+//! * **gray-zone width scale** — multiplies the comparator gray-zone
+//!   `ΔIin`. `1.0` is nominal; `0.0` is the deterministic limit (only
+//!   meaningful to engines that accept a zero-width law, e.g. the packed
+//!   stochastic deploy engine's flip tables).
+//! * **attenuation delta** — relative drift of the merged unit current:
+//!   the effective `I1` becomes `I1 · (1 + delta)`. Because the neuron
+//!   thresholds stay where they were *programmed*, a non-zero delta models
+//!   the mismatch between calibration-time and run-time currents.
+//! * **temperature drift** — kelvins away from the 4.2 K operating point.
+//!   The gray-zone width follows the calibrated thermal/quantum
+//!   [`NoiseModel`]: the effective width picks up
+//!   the factor `Δ(T₀ + dT) / Δ(T₀)`.
+//!
+//! The model is deliberately *post-deployment*: thresholds, BN matching and
+//! the digital comparator quantization are all derived from the nominal
+//! configuration, and variation only changes the conditions the stochastic
+//! datapath *operates* under — the same convention as the crossbar layer's
+//! `FaultModel`-style fabrication faults, which also land on an
+//! already-programmed die.
+
+use crate::consts::OPERATING_TEMPERATURE_K;
+use crate::noise::NoiseModel;
+use crate::DeviceError;
+use serde::{Deserialize, Serialize};
+
+/// A validated per-trial device-parameter variation.
+///
+/// The fields are private so the invariants established by
+/// [`VariationModel::new`] cannot be bypassed with a struct literal; read
+/// them back through the accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Multiplicative scale on the gray-zone width `ΔIin` (`≥ 0`, finite).
+    grayzone_scale: f64,
+    /// Relative drift of the attenuated unit current (`> −1`, finite).
+    attenuation_delta: f64,
+    /// Temperature drift from the 4.2 K operating point, in kelvin
+    /// (finite, resulting temperature `≥ 0`).
+    temperature_delta_k: f64,
+}
+
+impl VariationModel {
+    /// The nominal operating point: every knob at identity. Applying it
+    /// changes nothing — `effective_grayzone_ua` returns its argument
+    /// bit-for-bit and `drive_scale` is exactly `1.0`.
+    pub fn nominal() -> Self {
+        Self {
+            grayzone_scale: 1.0,
+            attenuation_delta: 0.0,
+            temperature_delta_k: 0.0,
+        }
+    }
+
+    /// Creates a variation, validating every field (the same discipline as
+    /// `FaultModel::new` over fault rates).
+    ///
+    /// # Errors
+    /// [`DeviceError::VariationOutOfRange`] if `grayzone_scale` is negative
+    /// or non-finite, `attenuation_delta` is `≤ −1` or non-finite (the
+    /// drifted unit current must stay positive), or `temperature_delta_k`
+    /// is non-finite or would take the die below 0 K.
+    pub fn new(
+        grayzone_scale: f64,
+        attenuation_delta: f64,
+        temperature_delta_k: f64,
+    ) -> crate::Result<Self> {
+        if !grayzone_scale.is_finite() || grayzone_scale < 0.0 {
+            return Err(DeviceError::VariationOutOfRange {
+                field: "gray-zone scale",
+                value: grayzone_scale,
+            });
+        }
+        if !attenuation_delta.is_finite() || attenuation_delta <= -1.0 {
+            return Err(DeviceError::VariationOutOfRange {
+                field: "attenuation delta",
+                value: attenuation_delta,
+            });
+        }
+        if !temperature_delta_k.is_finite() || OPERATING_TEMPERATURE_K + temperature_delta_k < 0.0 {
+            return Err(DeviceError::VariationOutOfRange {
+                field: "temperature drift",
+                value: temperature_delta_k,
+            });
+        }
+        Ok(Self {
+            grayzone_scale,
+            attenuation_delta,
+            temperature_delta_k,
+        })
+    }
+
+    /// A pure gray-zone-width variation (`scale × ΔIin`), the axis the
+    /// gray-zone × fault-rate robustness sweeps walk.
+    ///
+    /// # Errors
+    /// As [`VariationModel::new`].
+    pub fn grayzone_scale_only(scale: f64) -> crate::Result<Self> {
+        Self::new(scale, 0.0, 0.0)
+    }
+
+    /// The gray-zone width scale.
+    pub fn grayzone_scale(&self) -> f64 {
+        self.grayzone_scale
+    }
+
+    /// The relative unit-current drift.
+    pub fn attenuation_delta(&self) -> f64 {
+        self.attenuation_delta
+    }
+
+    /// The temperature drift from the 4.2 K operating point, in kelvin.
+    pub fn temperature_delta_k(&self) -> f64 {
+        self.temperature_delta_k
+    }
+
+    /// Whether every knob sits at identity.
+    pub fn is_nominal(&self) -> bool {
+        self.grayzone_scale == 1.0
+            && self.attenuation_delta == 0.0
+            && self.temperature_delta_k == 0.0
+    }
+
+    /// The effective gray-zone width for a nominal width of `nominal_ua`:
+    /// the width scale times the thermal ratio `Δ(T₀ + dT) / Δ(T₀)` of the
+    /// calibrated [`NoiseModel`]. At the nominal variation this is the
+    /// identity, bit-for-bit.
+    pub fn effective_grayzone_ua(&self, nominal_ua: f64) -> f64 {
+        let mut width = nominal_ua * self.grayzone_scale;
+        if self.temperature_delta_k != 0.0 {
+            let noise = NoiseModel::calibrated();
+            width *= noise.grayzone_width_ua(OPERATING_TEMPERATURE_K + self.temperature_delta_k)
+                / noise.grayzone_width_ua(OPERATING_TEMPERATURE_K);
+        }
+        width
+    }
+
+    /// The multiplicative drive scale the attenuation model picks up:
+    /// `1 + attenuation_delta` (always positive by construction).
+    pub fn drive_scale(&self) -> f64 {
+        1.0 + self.attenuation_delta
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let vm = VariationModel::nominal();
+        assert!(vm.is_nominal());
+        // Exact identity, not approximate: the packed stochastic engine
+        // relies on nominal tables matching the unvaried scalar law
+        // bit-for-bit.
+        assert_eq!(vm.effective_grayzone_ua(2.4), 2.4);
+        assert_eq!(vm.drive_scale(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_grayzone_scale() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                VariationModel::new(bad, 0.0, 0.0),
+                Err(DeviceError::VariationOutOfRange {
+                    field: "gray-zone scale",
+                    ..
+                })
+            ));
+        }
+        // Zero is the deterministic limit, not an error.
+        assert!(VariationModel::new(0.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_attenuation_delta() {
+        for bad in [-1.0, -2.0, f64::NAN, f64::NEG_INFINITY] {
+            assert!(matches!(
+                VariationModel::new(1.0, bad, 0.0),
+                Err(DeviceError::VariationOutOfRange {
+                    field: "attenuation delta",
+                    ..
+                })
+            ));
+        }
+        assert!(VariationModel::new(1.0, -0.5, 0.0).is_ok());
+        assert!(VariationModel::new(1.0, 0.5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_temperature_drift() {
+        for bad in [-OPERATING_TEMPERATURE_K - 0.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                VariationModel::new(1.0, 0.0, bad),
+                Err(DeviceError::VariationOutOfRange {
+                    field: "temperature drift",
+                    ..
+                })
+            ));
+        }
+        // Cooling all the way to 0 K is allowed.
+        assert!(VariationModel::new(1.0, 0.0, -OPERATING_TEMPERATURE_K).is_ok());
+    }
+
+    #[test]
+    fn grayzone_scale_multiplies_width() {
+        let vm = VariationModel::new(2.5, 0.0, 0.0).unwrap();
+        assert!((vm.effective_grayzone_ua(2.4) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warming_widens_and_cooling_narrows() {
+        let warm = VariationModel::new(1.0, 0.0, 10.0).unwrap();
+        let cool = VariationModel::new(1.0, 0.0, -3.0).unwrap();
+        assert!(warm.effective_grayzone_ua(2.4) > 2.4);
+        assert!(cool.effective_grayzone_ua(2.4) < 2.4);
+    }
+
+    #[test]
+    fn drive_scale_follows_delta() {
+        let vm = VariationModel::new(1.0, -0.2, 0.0).unwrap();
+        assert!((vm.drive_scale() - 0.8).abs() < 1e-12);
+    }
+}

@@ -269,6 +269,102 @@ pub fn copy_bits_range(
     }
 }
 
+/// Draw threshold of the "never" Bernoulli law (`p ≤ 0`): sampling
+/// consumes **no** RNG draws and every lane reads '0' — mirroring the
+/// saturated fast path of the scalar gray-zone sampler
+/// (`GrayZone::sample` skips the draw outside the gray-zone).
+pub const BERNOULLI_NEVER: u64 = 0;
+
+/// Draw threshold of the "always" Bernoulli law (`p ≥ 1`): sampling
+/// consumes **no** RNG draws and every lane reads '1'.
+pub const BERNOULLI_ALWAYS: u64 = u64::MAX;
+
+/// Quantizes a Bernoulli probability into the integer draw threshold the
+/// packed samplers compare against: `⌈p · 2⁵³⌉` for `p ∈ (0, 1)`, or the
+/// draw-free sentinels [`BERNOULLI_NEVER`] / [`BERNOULLI_ALWAYS`] for the
+/// saturated cases (NaN quantizes to never, like the `f64` comparison it
+/// replaces).
+///
+/// The threshold is *exact*, not approximate: a 53-bit uniform draw `u`
+/// (one `next_u64() >> 11`) satisfies `u < ⌈p·2⁵³⌉` **iff**
+/// `u · 2⁻⁵³ < p`, which is precisely the `rng.gen::<f64>() < p` decision
+/// of the scalar stochastic datapath — both consume one `u64` draw per
+/// sample. This is what lets the packed stochastic deploy engine
+/// reproduce the scalar reference flip-for-flip from the same seed.
+pub fn bernoulli_threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        BERNOULLI_ALWAYS
+    } else if p > 0.0 {
+        // Exact: p has a 53-bit mantissa, so p·2⁵³ and its ceiling are
+        // representable without rounding. The result is in 1..=2⁵³, which
+        // cannot collide with either sentinel.
+        (p * (1u64 << 53) as f64).ceil() as u64
+    } else {
+        BERNOULLI_NEVER
+    }
+}
+
+/// Samples `len` i.i.d. Bernoulli bits into a packed word slice
+/// ([`BitPlane`] bit order, tail bits of the last touched word cleared):
+/// bit `t` is '1' iff `rng.next_u64() >> 11 < threshold`.
+///
+/// With a sentinel threshold ([`BERNOULLI_NEVER`] / [`BERNOULLI_ALWAYS`])
+/// the words are filled constant and **no draws are consumed** — the
+/// packed mirror of the scalar `AqfpBuffer::observe` saturation fast
+/// path. Otherwise exactly `len` draws are consumed, each deciding one
+/// lane, in stream order: the draw sequence (count *and* decisions) is
+/// identical to `len` scalar `rng.gen::<f64>() < p` samples of the same
+/// probability (see [`bernoulli_threshold`]).
+///
+/// # Panics
+/// Panics if `out` is shorter than `⌈len/64⌉` words.
+pub fn sample_bernoulli_words<R: rand::RngCore + ?Sized>(
+    threshold: u64,
+    len: usize,
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    let words = len.div_ceil(64);
+    assert!(words <= out.len(), "mask slice too short for {len} bits");
+    match threshold {
+        BERNOULLI_NEVER => out[..words].fill(0),
+        BERNOULLI_ALWAYS => {
+            out[..words].fill(u64::MAX);
+            let rem = len % 64;
+            if rem > 0 {
+                out[words - 1] = (1u64 << rem) - 1;
+            }
+        }
+        thr => {
+            for (w, slot) in out[..words].iter_mut().enumerate() {
+                let bits = (len - w * 64).min(64);
+                let mut word = 0u64;
+                for t in 0..bits {
+                    word |= (((rng.next_u64() >> 11) < thr) as u64) << t;
+                }
+                *slot = word;
+            }
+        }
+    }
+}
+
+/// Samples up to 64 i.i.d. Bernoulli bits as one packed word mask — the
+/// single-word convenience form of [`sample_bernoulli_words`], used for
+/// observation windows that fit one `u64` (the common `L ≤ 64` case).
+///
+/// # Panics
+/// Panics if `len > 64`.
+pub fn sample_bernoulli_mask<R: rand::RngCore + ?Sized>(
+    threshold: u64,
+    len: usize,
+    rng: &mut R,
+) -> u64 {
+    assert!(len <= 64, "a word mask holds at most 64 lanes, got {len}");
+    let mut word = [0u64; 1];
+    sample_bernoulli_words(threshold, len, &mut word, rng);
+    word[0]
+}
+
 /// Compresses the even-position bits of `x` (positions 0, 2, 4, …) into
 /// the low 32 bits — the classic shift-or bit-compress for the mask
 /// `0x5555…`. Odd-position bits of `x` are ignored. This is the
@@ -1143,6 +1239,77 @@ mod tests {
                 assert_eq!(plane.get(r * 70 + i), m.get(r, i), "({r}, {i})");
             }
         }
+    }
+
+    #[test]
+    fn bernoulli_threshold_quantizes_exactly() {
+        assert_eq!(bernoulli_threshold(0.0), BERNOULLI_NEVER);
+        assert_eq!(bernoulli_threshold(-0.5), BERNOULLI_NEVER);
+        assert_eq!(bernoulli_threshold(f64::NAN), BERNOULLI_NEVER);
+        assert_eq!(bernoulli_threshold(1.0), BERNOULLI_ALWAYS);
+        assert_eq!(bernoulli_threshold(1.5), BERNOULLI_ALWAYS);
+        assert_eq!(bernoulli_threshold(0.5), 1u64 << 52);
+        // Open interval probabilities stay clear of both sentinels.
+        for p in [1e-300, 0.25, 0.999_999, 1.0 - f64::EPSILON] {
+            let t = bernoulli_threshold(p);
+            assert!(t > BERNOULLI_NEVER && t < BERNOULLI_ALWAYS, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_mask_matches_scalar_f64_draws() {
+        use rand::{Rng as _, SeedableRng as _};
+        // The packed sampler must reproduce the scalar `gen::<f64>() < p`
+        // decision sequence draw-for-draw from the same seed — the
+        // property the packed stochastic deploy engine is built on.
+        for (seed, p, len) in [
+            (1u64, 0.5f64, 64usize),
+            (2, 0.123456789, 37),
+            (3, 0.9999, 64),
+            (4, 1e-9, 10),
+            (5, 0.75, 1),
+        ] {
+            let thr = bernoulli_threshold(p);
+            let mut packed_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mask = sample_bernoulli_mask(thr, len, &mut packed_rng);
+            let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for t in 0..len {
+                let want = scalar_rng.gen::<f64>() < p;
+                assert_eq!((mask >> t) & 1 == 1, want, "p {p} bit {t}");
+            }
+            if len < 64 {
+                assert_eq!(mask >> len, 0, "bits past the window stay clear");
+            }
+            // Both consumed the same number of draws: the next value agrees.
+            assert_eq!(packed_rng.gen::<u64>(), scalar_rng.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn saturated_bernoulli_consumes_no_draws() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let untouched = rand::rngs::StdRng::seed_from_u64(9).gen::<u64>();
+        let mut out = [u64::MAX; 2];
+        sample_bernoulli_words(BERNOULLI_NEVER, 70, &mut out, &mut rng);
+        assert_eq!(out, [0, 0]);
+        sample_bernoulli_words(BERNOULLI_ALWAYS, 70, &mut out, &mut rng);
+        assert_eq!(out, [u64::MAX, (1 << 6) - 1], "tail bits stay clear");
+        assert_eq!(rng.gen::<u64>(), untouched, "no draws were consumed");
+    }
+
+    #[test]
+    fn multi_word_bernoulli_covers_every_lane() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let thr = bernoulli_threshold(0.6);
+        let len = 200;
+        let mut out = [0u64; 4];
+        sample_bernoulli_words(thr, len, &mut out, &mut rng);
+        let ones: u32 = out.iter().map(|w| w.count_ones()).sum();
+        // 6σ binomial bound around 120.
+        assert!((78..=162).contains(&ones), "{ones} ones of {len}");
+        assert_eq!(out[3] >> (len - 192), 0, "tail bits stay clear");
     }
 
     #[test]

@@ -104,6 +104,27 @@ impl HardwareConfig {
         Binarizer::Randomized(GrayZone::new(0.0, self.training_grayzone()))
     }
 
+    /// The configuration under a device-parameter variation: the
+    /// gray-zone width and attenuation model drift per
+    /// [`aqfp_device::VariationModel`], everything else unchanged.
+    ///
+    /// Deploying *with* this config models a **recalibrated** die (the BN
+    /// matching and comparator quantization see the drifted values);
+    /// deploying with the nominal config and then applying the variation
+    /// post-deployment (`DeployedModel::apply_variation`, or the packed
+    /// engine's variation-parameterized `stochastic_tables`) models
+    /// **drift after calibration** — the reliability axis robustness
+    /// sweeps measure.
+    #[must_use]
+    pub fn with_variation(&self, vm: &aqfp_device::VariationModel) -> Self {
+        let varied = self.crossbar_config().with_variation(vm);
+        Self {
+            grayzone_ua: varied.grayzone_ua,
+            attenuation: varied.attenuation,
+            ..*self
+        }
+    }
+
     /// The crossbar configuration shared by all deployed arrays.
     pub fn crossbar_config(&self) -> CrossbarConfig {
         CrossbarConfig {

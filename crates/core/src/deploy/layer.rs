@@ -143,6 +143,30 @@ impl TiledMatrix {
         &self.flips
     }
 
+    /// The SC observation window `L` (bit-stream length) of the
+    /// stochastic datapath.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The parallel-counter implementation of the SC accumulation module.
+    pub fn counter(&self) -> aqfp_sc::accumulate::CounterKind {
+        self.counter
+    }
+
+    /// Applies a device-parameter variation to the *operating conditions*
+    /// of every tile crossbar: the gray-zone width and the attenuation
+    /// model drift, while the programmed thresholds — and the digital
+    /// engines' quantized comparator tables, which model the
+    /// calibration-time programming — stay untouched. Only the stochastic
+    /// datapath ([`TiledMatrix::forward`]) sees the drift, exactly like
+    /// the packed engine's variation-parameterized flip tables.
+    pub fn apply_variation(&mut self, vm: &aqfp_device::VariationModel) {
+        for xbar in &mut self.tiles {
+            xbar.set_config(xbar.config().with_variation(vm));
+        }
+    }
+
     /// Evaluates all output channels for one input vector through the full
     /// stochastic datapath: crossbar observation windows → APC accumulation
     /// → comparator → (optional) inversion.

@@ -9,25 +9,41 @@
 //! α/bias affine applied at read-out (see DESIGN.md §2 for the
 //! substitution note on the output layer).
 //!
-//! # Three inference engines
+//! # Four inference engines
 //!
 //! | engine | entry point | RNG | speed |
 //! |---|---|---|---|
-//! | stochastic | [`DeployedModel::classify`] | yes | slowest |
+//! | scalar stochastic | [`DeployedModel::classify`] | yes | slowest |
+//! | packed stochastic | [`PackedModel::classify_stochastic`] | yes | fast |
 //! | scalar digital | [`DeployedModel::classify_digital`] | no | slow |
 //! | packed digital | [`PackedModel::classify_batch`] | no | fastest |
 //!
-//! The *stochastic* engine simulates the full SC datapath (gray-zone
-//! neuron noise, observation windows, APC accumulation) and is what
-//! accuracy-vs-noise experiments use. The *digital* engines evaluate its
-//! deterministic limit (gray-zone → 0, exact counters): per-tile
-//! saturating comparators against integer thresholds, majority-vote
-//! accumulation with ties to '1', dead-column overrides. The scalar one
-//! walks activations bit-by-bit through per-element loops and exists as
-//! the differential reference; the packed one computes the identical
-//! decisions as XNOR + popcount over `u64` bitplanes, batch-major, fanned
-//! across `std::thread::scope` workers — use it whenever you need
-//! throughput (accuracy sweeps, fault-injection campaigns, serving).
+//! The *stochastic* engines simulate the full SC datapath (gray-zone
+//! neuron noise, observation windows, APC accumulation) and are what
+//! accuracy-vs-noise and variation-aware robustness experiments use. The
+//! scalar one walks the datapath element by element and is the hardware
+//! reference; the packed one ([`stochastic`]) evaluates **the same
+//! semantics** on the `PackedLayer` pipeline — per-tile sums from the
+//! SWAR popcount kernels, per-cell gray-zone probabilities precomputed
+//! into Bernoulli draw-threshold tables, observation windows sampled as
+//! packed word masks — consuming the RNG draw-for-draw like the scalar
+//! engine, so the *same seed produces the same flips, labels and scores*
+//! (several times faster; see `BENCH_stochastic.json`). Per-trial device
+//! variation ([`aqfp_device::VariationModel`]: gray-zone width scale,
+//! attenuation drift, temperature drift) parameterizes the packed tables
+//! ([`PackedModel::stochastic_tables`]) and, on the scalar side, the
+//! crossbars' operating conditions ([`DeployedModel::apply_variation`]) —
+//! the two stay seed-matched under any variation.
+//!
+//! The *digital* engines evaluate the deterministic limit (gray-zone → 0,
+//! exact counters): per-tile saturating comparators against integer
+//! thresholds, majority-vote accumulation with ties to '1', dead-column
+//! overrides. The scalar one walks activations bit-by-bit through
+//! per-element loops and exists as the differential reference; the packed
+//! one computes the identical decisions as XNOR + popcount over `u64`
+//! bitplanes, batch-major, fanned across `std::thread::scope` workers —
+//! use it whenever you need deterministic throughput (accuracy sweeps,
+//! fault-injection campaigns, serving).
 //!
 //! # The packed layer pipeline (see [`pipeline`] and [`packed`])
 //!
@@ -72,9 +88,11 @@ mod layer;
 mod model;
 pub mod packed;
 pub mod pipeline;
+pub mod stochastic;
 
 pub use bitmap::BitMap;
 pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};
 pub use packed::{PackedModel, PackedTiledMatrix};
 pub use pipeline::{PackedConvStage, PackedLayer, PackedLinearStage, PackedPoolStage};
+pub use stochastic::{MatrixStochasticTables, StochasticTables};

@@ -246,6 +246,27 @@ impl DeployedModel {
         defects
     }
 
+    /// Applies a device-parameter variation (gray-zone width scale,
+    /// attenuation drift, temperature drift) to the *operating conditions*
+    /// of every crossbar — see
+    /// [`TiledMatrix::apply_variation`](super::TiledMatrix::apply_variation).
+    /// Programmed thresholds and the digital
+    /// engines' comparator quantization stay at their calibration-time
+    /// values; only the stochastic datapath ([`DeployedModel::classify`])
+    /// sees the drift. This is the scalar reference of the packed
+    /// stochastic engine's variation-parameterized tables
+    /// ([`super::PackedModel::stochastic_tables`]): both evaluate the same
+    /// effective law, so classifications stay seed-matched under
+    /// variation.
+    pub fn apply_variation(&mut self, vm: &aqfp_device::VariationModel) {
+        for cell in &mut self.cells {
+            match cell {
+                DeployedCell::Conv(c) => c.matrix_mut().apply_variation(vm),
+                DeployedCell::Dense(d) => d.matrix_mut().apply_variation(vm),
+            }
+        }
+    }
+
     /// Hardware inventory.
     pub fn stats(&self, hw: &HardwareConfig) -> DeployStats {
         let mut crossbars = 0usize;

@@ -73,6 +73,19 @@ pub struct PackedTiledMatrix {
     spans: Vec<TileSpan>,
     /// SWAR acceleration for uniform power-of-two tile widths.
     swar: Option<Swar>,
+    /// `[out × k]` channel-major programmed neuron thresholds in µA — the
+    /// *analog* source the digital `min_sums` were quantized from, kept so
+    /// the stochastic engine can evaluate finite-gray-zone flip
+    /// probabilities (`super::stochastic`).
+    thresholds_ua: Vec<f64>,
+    /// Gray-zone width `ΔIin` of the neuron buffers at deployment, in µA.
+    grayzone_ua: f64,
+    /// Current-attenuation model at deployment.
+    attenuation: aqfp_crossbar::AttenuationModel,
+    /// SC observation window `L`.
+    window: usize,
+    /// Parallel-counter implementation of the SC accumulation module.
+    counter: aqfp_sc::accumulate::CounterKind,
     flips: Vec<bool>,
     fan_in: usize,
     out: usize,
@@ -178,6 +191,7 @@ impl PackedTiledMatrix {
         let (fan_in, out) = (m.fan_in(), m.out());
         let mut weights = PackedMatrix::zeros(out, fan_in);
         let mut min_sums = vec![0i64; out * k];
+        let mut thresholds_ua = vec![0f64; out * k];
         let mut dead = vec![0u8; out * k];
         let xbars = m.tile_crossbars();
         let mins = m.digital_min_sums();
@@ -192,11 +206,13 @@ impl PackedTiledMatrix {
                     }
                 }
                 min_sums[channel * k + r] = mins[idx][c];
+                thresholds_ua[channel * k + r] = xbars[idx].thresholds_ua()[c];
                 if let Some(&b) = m.dead_outputs().get(&(idx, c)) {
                     dead[channel * k + r] = if b.as_bool() { 2 } else { 1 };
                 }
             }
         }
+        let config = *xbars[0].config();
         let mut row_starts: Vec<usize> = plan.tiles[..k].iter().map(|t| t.row_start).collect();
         row_starts.push(fan_in);
         // Plan tiles are emitted column-major (all row tiles of one column
@@ -216,6 +232,11 @@ impl PackedTiledMatrix {
             dead,
             spans,
             swar,
+            thresholds_ua,
+            grayzone_ua: config.grayzone_ua,
+            attenuation: config.attenuation,
+            window: m.window(),
+            counter: m.counter(),
             flips: m.flips().to_vec(),
             fan_in,
             out,
@@ -280,6 +301,105 @@ impl PackedTiledMatrix {
     /// Output channels.
     pub fn out(&self) -> usize {
         self.out
+    }
+
+    /// Number of row tiles `k` (crossbars accumulated per output channel).
+    pub fn row_tiles(&self) -> usize {
+        self.row_starts.len() - 1
+    }
+
+    /// The fan-in rows merged by row tile `r` (the `Cs` of the
+    /// attenuation law for that die).
+    pub fn tile_rows(&self, r: usize) -> usize {
+        self.row_starts[r + 1] - self.row_starts[r]
+    }
+
+    /// Column-group boundaries over the output channels (`groups + 1`
+    /// ascending entries, last = `out()`) — the deployment-plan grouping
+    /// the scalar engine walks, exposed so the stochastic engine can
+    /// consume the RNG in the identical (group, tile, column) order.
+    pub fn col_group_starts(&self) -> &[usize] {
+        &self.col_starts
+    }
+
+    /// The SC observation window `L` of the stochastic datapath.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The parallel-counter implementation of the SC accumulation module.
+    pub fn counter(&self) -> aqfp_sc::accumulate::CounterKind {
+        self.counter
+    }
+
+    /// The programmed neuron threshold of `channel` at row tile `r`, µA.
+    pub fn threshold_ua(&self, channel: usize, r: usize) -> f64 {
+        self.thresholds_ua[channel * self.row_tiles() + r]
+    }
+
+    /// Gray-zone width `ΔIin` the matrix was deployed with, in µA.
+    pub fn grayzone_ua(&self) -> f64 {
+        self.grayzone_ua
+    }
+
+    /// The current-attenuation model the matrix was deployed with.
+    pub fn attenuation(&self) -> &aqfp_crossbar::AttenuationModel {
+        &self.attenuation
+    }
+
+    /// Per-channel output-inversion flags (γ < 0 channels).
+    pub fn flips(&self) -> &[bool] {
+        &self.flips
+    }
+
+    /// The dead-column override of `channel` at row tile `r`, if that
+    /// die's neuron is stuck.
+    pub fn dead_override(&self, channel: usize, r: usize) -> Option<Bit> {
+        match self.dead[channel * self.row_tiles() + r] {
+            1 => Some(Bit::Zero),
+            2 => Some(Bit::One),
+            _ => None,
+        }
+    }
+
+    /// Writes every channel's per-row-tile XNOR match count for one packed
+    /// activation word slice into `out` (channel-major `[out × k]`,
+    /// `matches ∈ 0..=tile_rows(r)`; the tile's signed partial sum is
+    /// `2·matches − tile_rows(r)`).
+    ///
+    /// This is the counting stage of the stochastic engine: where the
+    /// digital vote kernel ([`Self::forward_plane`]) only needs the
+    /// *threshold* bit of each SWAR lane, the stochastic datapath needs
+    /// the full per-tile sums (they set the gray-zone flip probability),
+    /// so the same `lane_counts` reduction is read out lane-by-lane
+    /// instead of being bias-compared.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != out() · row_tiles()` or the activation
+    /// slice is shorter than the weight rows.
+    pub fn matches_into(&self, acts: &[u64], out: &mut [u32]) {
+        let k = self.spans.len();
+        assert_eq!(out.len(), self.out * k, "match buffer shape mismatch");
+        for channel in 0..self.out {
+            let row = self.weights.row_words(channel);
+            let dst = &mut out[channel * k..(channel + 1) * k];
+            let mut tail = 0usize;
+            if let Some(sw) = &self.swar {
+                let lanes_per_word = (64 / sw.lane) as usize;
+                let lane_mask = (1u64 << sw.lane) - 1;
+                for i in 0..sw.words {
+                    let counts = lane_counts(!(row[i] ^ acts[i]), sw.lane);
+                    for j in 0..lanes_per_word {
+                        dst[i * lanes_per_word + j] =
+                            ((counts >> (j as u32 * sw.lane)) & lane_mask) as u32;
+                    }
+                }
+                tail = sw.tail_tile;
+            }
+            for (r, slot) in dst.iter_mut().enumerate().skip(tail) {
+                *slot = self.spans[r].matches(row, acts) as u32;
+            }
+        }
     }
 
     /// The `(rows, cols)` of every physical crossbar die behind this

@@ -169,6 +169,12 @@ impl PackedConvStage {
         &mut self.matrix
     }
 
+    /// `(input channels, kernel, stride, pad)` — the im2col geometry,
+    /// shared by the digital and stochastic stage kernels.
+    pub fn geometry(&self) -> (usize, usize, usize, usize) {
+        (self.in_c, self.k, self.stride, self.pad)
+    }
+
     /// Output shape (pre-pool) for an input of `shape`.
     ///
     /// # Panics

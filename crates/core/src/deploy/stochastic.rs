@@ -1,0 +1,604 @@
+//! The packed stochastic engine: the full SC datapath evaluated on
+//! bitplanes, flip-for-flip compatible with the scalar reference.
+//!
+//! [`DeployedModel::classify`](super::DeployedModel::classify) simulates
+//! the stochastic datapath one element at a time: per output pixel, per
+//! crossbar tile, per column it computes the merged current, evaluates the
+//! erf-shaped gray-zone law, draws an `L`-bit observation window and feeds
+//! the streams through the APC accumulator. That fidelity is exactly what
+//! variation-aware robustness sweeps need — and far too slow to run at
+//! Monte Carlo scale. This module is the word-parallel twin on the
+//! [`PackedLayer`] pipeline IR, built from three pieces:
+//!
+//! 1. **Packed tile sums** — per-tile XNOR match counts come from the same
+//!    SWAR `lane_counts` reduction and masked-popcount spans the digital
+//!    engine votes with ([`PackedTiledMatrix::matches_into`]), instead of
+//!    per-element multiply loops.
+//! 2. **Flip-probability tables** — every `(tile, column)` cell's
+//!    gray-zone law is evaluated **once per operating condition** over all
+//!    integer sums it can produce, quantized into Bernoulli draw
+//!    thresholds ([`aqfp_sc::bitplane::bernoulli_threshold`]). Per-trial
+//!    [`VariationModel`] state (gray-zone width scale, attenuation delta,
+//!    temperature drift) enters here: the tables are built from the
+//!    *effective* width and unit currents while the programmed thresholds
+//!    stay at their calibration-time values.
+//! 3. **Packed Bernoulli streams** — each cell's `L`-cycle observation
+//!    window is sampled as a word mask
+//!    ([`aqfp_sc::bitplane::sample_bernoulli_words`]); APC accumulation
+//!    reduces to popcounts over the masks (exact counter) or a
+//!    cycle-transposed walk of the same masks (approximate counter).
+//!
+//! # One semantics, shared with the scalar reference
+//!
+//! The engine consumes the RNG in **exactly** the scalar order (pixel →
+//! column group → row tile → column → cycle), draws one `u64` per
+//! unsaturated cycle bit, and skips draws for saturated probabilities
+//! precisely where `AqfpBuffer::observe` does. The integer-threshold
+//! comparison is bit-equivalent to the scalar `gen::<f64>() < p` (see
+//! [`bernoulli_threshold`]), so
+//! **same seed ⇒ same per-element flip decisions ⇒ identical
+//! classifications** — enforced by seed-matched differential proptests
+//! over ragged geometries (`tests/props.rs`). The speedup comes from
+//! everything around the draws: popcounted tile sums, table lookups
+//! instead of per-element erf evaluations, mask words instead of
+//! per-cycle `Vec<Bit>` allocations (see `BENCH_stochastic.json`).
+//!
+//! In the gray-zone → 0 limit (`VariationModel` width scale 0) every
+//! table entry saturates and the engine degenerates to the digital
+//! decision rule away from exact comparator ties.
+
+use super::model::argmax;
+use super::packed::PackedTiledMatrix;
+use super::pipeline::{PackedConvStage, PackedLayer};
+use super::{BitMap, PackedModel};
+use aqfp_device::{Bit, GrayZone, VariationModel};
+use aqfp_sc::accumulate::CounterKind;
+use aqfp_sc::bitplane::{
+    bernoulli_threshold, packed_im2col, sample_bernoulli_words, BERNOULLI_ALWAYS, BERNOULLI_NEVER,
+};
+use aqfp_sc::{Apc, BitPlane, PackedMatrix};
+use bnn_nn::Tensor;
+use rand::Rng;
+
+/// The per-cell Bernoulli draw thresholds of one [`PackedTiledMatrix`] at
+/// one operating condition, indexed by XNOR match count: entry
+/// `(channel, tile, matches)` is the quantized probability that the
+/// tile's neuron reads '1' for that integer sum, with the draw-free
+/// sentinels of [`aqfp_sc::bitplane::bernoulli_threshold`] marking
+/// saturated cells. Built by [`PackedTiledMatrix::stochastic_tables`].
+#[derive(Debug, Clone)]
+pub struct MatrixStochasticTables {
+    /// `[out × stride]` channel-major thresholds; a channel's slice is
+    /// indexed `base[r] + matches`.
+    thr: Vec<u64>,
+    /// `k + 1` prefix offsets (tile `r`'s sub-table spans
+    /// `base[r]..base[r] + tile_rows(r) + 1`).
+    base: Vec<usize>,
+    /// Entries per channel (`base[k]`).
+    stride: usize,
+    /// Output channels the tables were built for.
+    out: usize,
+}
+
+impl MatrixStochasticTables {
+    fn build(m: &PackedTiledMatrix, vm: &VariationModel) -> Self {
+        let k = m.row_tiles();
+        // The one shared definition of how variation lands on operating
+        // conditions — the same call the scalar drift path makes, so both
+        // engines evaluate the identical effective law.
+        let varied = aqfp_crossbar::array::CrossbarConfig {
+            grayzone_ua: m.grayzone_ua(),
+            attenuation: *m.attenuation(),
+        }
+        .with_variation(vm);
+        let width = varied.grayzone_ua;
+        let attenuation = varied.attenuation;
+        let mut base = Vec::with_capacity(k + 1);
+        let mut stride = 0usize;
+        for r in 0..k {
+            base.push(stride);
+            stride += m.tile_rows(r) + 1;
+        }
+        base.push(stride);
+        let mut thr = Vec::with_capacity(m.out() * stride);
+        for c in 0..m.out() {
+            for r in 0..k {
+                let rows = m.tile_rows(r);
+                // The drifted unit current and gray-zone width; the
+                // programmed threshold stays where calibration put it —
+                // evaluating exactly the law the (varied) scalar crossbar
+                // senses with, so probabilities agree bit-for-bit.
+                let i1 = attenuation.i1_ua(rows);
+                let th = m.threshold_ua(c, r);
+                let law = if width > 0.0 {
+                    GrayZone::new(th, width)
+                } else {
+                    GrayZone::deterministic(th)
+                };
+                for matches in 0..=rows {
+                    let sum = 2 * matches as i64 - rows as i64;
+                    thr.push(bernoulli_threshold(law.probability_one(sum as f64 * i1)));
+                }
+            }
+        }
+        Self {
+            thr,
+            base,
+            stride,
+            out: m.out(),
+        }
+    }
+
+    #[inline]
+    fn threshold(&self, channel: usize, r: usize, matches: usize) -> u64 {
+        self.thr[channel * self.stride + self.base[r] + matches]
+    }
+
+    fn check(&self, m: &PackedTiledMatrix) {
+        let tiles_match = self.base.len() == m.row_tiles() + 1
+            && (0..m.row_tiles()).all(|r| self.base[r + 1] - self.base[r] == m.tile_rows(r) + 1);
+        assert!(
+            self.out == m.out() && tiles_match,
+            "stochastic tables were built for a different matrix geometry"
+        );
+    }
+}
+
+/// Reusable per-evaluation buffers of the stochastic engine (tile match
+/// counts, packed observation streams, the APC's cycle word).
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    matches: Vec<u32>,
+    streams: Vec<u64>,
+    word: Vec<Bit>,
+    cur: Vec<u64>,
+}
+
+/// Evaluates one packed activation word slice through the stochastic
+/// datapath of `m`, reporting each channel's output bit through `sink`.
+///
+/// RNG consumption follows the scalar engine exactly: column groups in
+/// plan order, row tiles within a group, columns within a tile, cycles
+/// within a window; saturated cells and draw-free sentinels consume
+/// nothing. Dead columns draw their (discarded) stream like the scalar
+/// path, then read constant.
+fn eval_channels<R: Rng + ?Sized>(
+    m: &PackedTiledMatrix,
+    tables: &MatrixStochasticTables,
+    acts: &[u64],
+    rng: &mut R,
+    scratch: &mut Scratch,
+    mut sink: impl FnMut(usize, bool),
+) {
+    let k = m.row_tiles();
+    let out = m.out();
+    let window = m.window();
+    let stream_words = window.div_ceil(64);
+    tables.check(m);
+
+    scratch.matches.resize(out * k, 0);
+    m.matches_into(acts, &mut scratch.matches);
+    scratch.streams.resize(out * k * stream_words, 0);
+
+    // RNG pass, scalar draw order.
+    let groups = m.col_group_starts();
+    for g in 0..groups.len() - 1 {
+        for r in 0..k {
+            for c in groups[g]..groups[g + 1] {
+                let idx = c * k + r;
+                let thr = tables.threshold(c, r, scratch.matches[idx] as usize);
+                let slot = &mut scratch.streams[idx * stream_words..(idx + 1) * stream_words];
+                sample_bernoulli_words(thr, window, slot, rng);
+                if let Some(b) = m.dead_override(c, r) {
+                    // The die's neuron drew its window above (the RNG
+                    // stream must stay aligned with the scalar engine),
+                    // but the stuck output reads a constant.
+                    let pin = if b.as_bool() {
+                        BERNOULLI_ALWAYS
+                    } else {
+                        BERNOULLI_NEVER
+                    };
+                    sample_bernoulli_words(pin, window, slot, rng);
+                }
+            }
+        }
+    }
+
+    // APC accumulation + midpoint comparator (ties to '1'), per channel.
+    let half = (k * window) as u64; // doubled threshold, like the scalar module
+    match m.counter() {
+        CounterKind::Exact => {
+            for c in 0..out {
+                let total: u64 = scratch.streams[c * k * stream_words..(c + 1) * k * stream_words]
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .sum();
+                sink(c, (2 * total >= half) != m.flips()[c]);
+            }
+        }
+        CounterKind::Approximate => {
+            // The approximate APC's counting error depends on the bit
+            // pattern *across* tiles per cycle, so transpose the packed
+            // streams back into cycle words and mirror the scalar count.
+            let apc = Apc::new(k);
+            scratch.word.resize(k, Bit::Zero);
+            for c in 0..out {
+                let mut total = 0u64;
+                for t in 0..window {
+                    for r in 0..k {
+                        let w = scratch.streams[(c * k + r) * stream_words + t / 64];
+                        scratch.word[r] = Bit::from_bool((w >> (t % 64)) & 1 == 1);
+                    }
+                    total += apc.count_approx(&scratch.word) as u64;
+                }
+                sink(c, (2 * total >= half) != m.flips()[c]);
+            }
+        }
+    }
+}
+
+impl PackedTiledMatrix {
+    /// Precomputes the stochastic engine's flip-probability tables for one
+    /// operating condition: for every `(row tile, channel)` cell and every
+    /// XNOR match count it can produce, the gray-zone probability of the
+    /// merged current (at the variation's effective gray-zone width and
+    /// drifted unit currents, against the *programmed* threshold) is
+    /// quantized into a Bernoulli draw threshold. Faults never invalidate
+    /// the tables — stuck cells only move which entry is looked up, and
+    /// dead columns are handled at evaluation time — so one table set
+    /// serves every trial of a Monte Carlo campaign at the same operating
+    /// condition.
+    pub fn stochastic_tables(&self, vm: &VariationModel) -> MatrixStochasticTables {
+        MatrixStochasticTables::build(self, vm)
+    }
+
+    /// Evaluates all output channels for one packed activation plane
+    /// through the **stochastic** datapath — the word-parallel counterpart
+    /// of `TiledMatrix::forward`, seed-matched flip for flip.
+    ///
+    /// # Panics
+    /// Panics if `act.len() != fan_in()` or `tables` was built for a
+    /// different geometry.
+    pub fn forward_stochastic<R: Rng + ?Sized>(
+        &self,
+        tables: &MatrixStochasticTables,
+        act: &BitPlane,
+        rng: &mut R,
+    ) -> BitPlane {
+        assert_eq!(act.len(), self.fan_in(), "input length mismatch");
+        let mut out = BitPlane::zeros(self.out());
+        let mut scratch = Scratch::default();
+        eval_channels(self, tables, act.words(), rng, &mut scratch, |c, bit| {
+            if bit {
+                out.set(c, true);
+            }
+        });
+        out
+    }
+}
+
+/// The precomputed per-stage flip-probability tables of a
+/// [`PackedModel`]'s stochastic mode — one operating condition
+/// ([`VariationModel`]) captured once, shared by every evaluation (and
+/// every fault-injected clone) at that condition.
+#[derive(Debug, Clone)]
+pub struct StochasticTables {
+    /// Aligned with `PackedModel::layers`: `Some` for weighted stages.
+    stages: Vec<Option<MatrixStochasticTables>>,
+    /// The operating condition the tables were built for.
+    variation: VariationModel,
+}
+
+impl StochasticTables {
+    /// The operating condition the tables were built for.
+    pub fn variation(&self) -> &VariationModel {
+        &self.variation
+    }
+}
+
+/// Runs one conv stage stochastically: the word-level im2col gather of the
+/// digital path, then the stochastic tile datapath per output pixel in
+/// scalar (row-major) pixel order, output bits assembled as whole words.
+fn conv_forward_stochastic<R: Rng + ?Sized>(
+    stage: &PackedConvStage,
+    tables: &MatrixStochasticTables,
+    input: &BitPlane,
+    shape: [usize; 3],
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> (BitPlane, [usize; 3]) {
+    let [c, h, w] = shape;
+    assert_eq!(input.len(), c * h * w, "plane/shape mismatch");
+    let out_shape = stage.out_shape(shape);
+    let (_, k, stride, pad) = stage.geometry();
+    let fields = packed_im2col(input, c, h, w, k, stride, pad, false);
+    let m = stage.matrix();
+    let n = fields.rows();
+    let fw = fields.words_per_row();
+    let storage = fields.storage();
+    let mut out = PackedMatrix::zeros(m.out(), n);
+    scratch.cur.clear();
+    scratch.cur.resize(m.out(), 0);
+    let mut cur = std::mem::take(&mut scratch.cur);
+    for a in 0..n {
+        let acts = &storage[a * fw..(a + 1) * fw];
+        eval_channels(m, tables, acts, rng, scratch, |ch, bit| {
+            cur[ch] |= (bit as u64) << (a % 64);
+        });
+        if a % 64 == 63 {
+            for (ch, word) in cur.iter_mut().enumerate() {
+                out.row_words_mut(ch)[a / 64] = *word;
+                *word = 0;
+            }
+        }
+    }
+    if !n.is_multiple_of(64) {
+        for (ch, word) in cur.iter_mut().enumerate() {
+            out.row_words_mut(ch)[n / 64] = *word;
+        }
+    }
+    scratch.cur = cur;
+    (out.concat_rows(), out_shape)
+}
+
+impl PackedModel {
+    /// Precomputes the stochastic mode's flip-probability tables for one
+    /// operating condition (see
+    /// [`PackedTiledMatrix::stochastic_tables`]): every weighted pipeline
+    /// stage gets its per-cell Bernoulli thresholds at the variation's
+    /// effective gray-zone width and drifted unit currents. Build once per
+    /// condition; the tables are valid for every fault-injected clone of
+    /// this model, which is what lets a variation × fault-rate campaign
+    /// share them across trials.
+    pub fn stochastic_tables(&self, vm: &VariationModel) -> StochasticTables {
+        StochasticTables {
+            stages: self
+                .layers()
+                .iter()
+                .map(|layer| match layer {
+                    PackedLayer::Conv(c) => Some(c.matrix().stochastic_tables(vm)),
+                    PackedLayer::Linear(l) => Some(l.matrix().stochastic_tables(vm)),
+                    PackedLayer::Pool(_) | PackedLayer::Flatten => None,
+                })
+                .collect(),
+            variation: *vm,
+        }
+    }
+
+    /// Classifies one packed `[C, H, W]` plane through the **stochastic**
+    /// datapath: weighted stages run the packed SC simulation (gray-zone
+    /// flips, observation windows, APC accumulation), pool/flatten stages
+    /// and the classifier head are deterministic exactly as in the scalar
+    /// engine. Seed-matched with
+    /// [`DeployedModel::classify`](super::DeployedModel::classify): the
+    /// same RNG state produces the same label and scores.
+    pub fn classify_stochastic_plane<R: Rng + ?Sized>(
+        &self,
+        tables: &StochasticTables,
+        plane: &BitPlane,
+        rng: &mut R,
+    ) -> (usize, Vec<f32>) {
+        let mut scratch = Scratch::default();
+        self.classify_plane_stochastic_with(tables, plane.clone(), rng, &mut scratch)
+    }
+
+    /// Classifies sample `n` of an image batch through the stochastic
+    /// datapath; returns `(label, scores)`. See
+    /// [`PackedModel::classify_stochastic_plane`].
+    pub fn classify_stochastic<R: Rng + ?Sized>(
+        &self,
+        tables: &StochasticTables,
+        images: &Tensor,
+        n: usize,
+        rng: &mut R,
+    ) -> (usize, Vec<f32>) {
+        let map = BitMap::from_tensor_sample(images, n);
+        self.classify_stochastic_plane(tables, &map.to_plane(), rng)
+    }
+
+    /// Top-1 accuracy of the stochastic engine over (the first `limit`
+    /// samples of) a dataset, evaluated sequentially so the RNG
+    /// consumption — and therefore every accuracy figure — is seed-matched
+    /// with the scalar `DeployedModel::accuracy`.
+    pub fn accuracy_stochastic<R: Rng + ?Sized>(
+        &self,
+        tables: &StochasticTables,
+        data: &bnn_datasets::Dataset,
+        rng: &mut R,
+        limit: Option<usize>,
+    ) -> f64 {
+        let n = limit.map_or(data.len(), |l| l.min(data.len()));
+        assert!(n > 0, "accuracy over zero samples");
+        let mut scratch = Scratch::default();
+        let mut correct = 0usize;
+        for i in 0..n {
+            let plane = BitMap::from_tensor_sample(&data.images, i).to_plane();
+            let (pred, _) = self.classify_plane_stochastic_with(tables, plane, rng, &mut scratch);
+            if pred == data.labels[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+
+    /// The shared folding loop: scratch buffers persist across calls so
+    /// batch evaluation does one allocation set, not one per sample.
+    fn classify_plane_stochastic_with<R: Rng + ?Sized>(
+        &self,
+        tables: &StochasticTables,
+        mut act: BitPlane,
+        rng: &mut R,
+        scratch: &mut Scratch,
+    ) -> (usize, Vec<f32>) {
+        assert_eq!(
+            tables.stages.len(),
+            self.layers().len(),
+            "stochastic tables were built for a different pipeline"
+        );
+        let mut shape = self.input_shape();
+        for (layer, tab) in self.layers().iter().zip(&tables.stages) {
+            (act, shape) = match (layer, tab) {
+                (PackedLayer::Conv(c), Some(t)) => {
+                    conv_forward_stochastic(c, t, &act, shape, rng, scratch)
+                }
+                (PackedLayer::Linear(l), Some(t)) => {
+                    let m = l.matrix();
+                    let mut out = BitPlane::zeros(m.out());
+                    eval_channels(m, t, act.words(), rng, scratch, |ch, bit| {
+                        if bit {
+                            out.set(ch, true);
+                        }
+                    });
+                    let f = out.len();
+                    (out, [f, 1, 1])
+                }
+                (PackedLayer::Pool(_) | PackedLayer::Flatten, None) => layer.forward(act, shape),
+                _ => unreachable!("stochastic tables misaligned with the pipeline"),
+            };
+        }
+        let scores = self.classifier().scores_plane(&act);
+        (argmax(&scores), scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HardwareConfig;
+    use crate::deploy::{deploy, TiledMatrix};
+    use crate::spec::NetSpec;
+    use aqfp_device::{DeviceRng, SeedableRng};
+
+    fn hw(rows: usize, cols: usize, grayzone_ua: f64, bitstream_len: usize) -> HardwareConfig {
+        HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            grayzone_ua,
+            bitstream_len,
+            ..Default::default()
+        }
+    }
+
+    fn pseudo_signs(n: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                if (i * 7 + salt * 11 + 3) % 5 < 2 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    /// The core tentpole property at matrix level: same seed, same flips,
+    /// same outputs as the scalar stochastic datapath — on a ragged
+    /// multi-tile geometry with a wide gray-zone (plenty of unsaturated
+    /// cells, so the RNG alignment is actually exercised).
+    #[test]
+    fn packed_stochastic_is_seed_matched_with_scalar() {
+        let h = hw(8, 4, 8.0, 16);
+        let (fan_in, out) = (70, 6);
+        let signs = pseudo_signs(fan_in * out, 1);
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 * 0.3 - 0.7).collect();
+        let flips: Vec<bool> = (0..out).map(|o| o % 3 == 0).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let mut scalar_rng = DeviceRng::seed_from_u64(33);
+        let mut packed_rng = DeviceRng::seed_from_u64(33);
+        for salt in 0..16 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((i * 13 + salt * 7) % 3 == 0))
+                .collect();
+            let scalar = m.forward(&input, &mut scalar_rng);
+            let plane =
+                packed.forward_stochastic(&tables, &BitPlane::from_bits(&input), &mut packed_rng);
+            assert_eq!(plane.to_bits(), scalar, "salt {salt}");
+        }
+    }
+
+    /// Model level: the packed stochastic engine reproduces
+    /// `DeployedModel::classify` — labels and scores — from the same seed.
+    #[test]
+    fn packed_model_stochastic_matches_scalar_classify() {
+        let h = hw(16, 16, 4.0, 8);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 3);
+        let deployed = deploy(&spec, &model, &h).unwrap();
+        let packed = deployed.to_packed();
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        let mut scalar_rng = DeviceRng::seed_from_u64(7);
+        let mut packed_rng = DeviceRng::seed_from_u64(7);
+        for i in 0..data.len() {
+            assert_eq!(
+                packed.classify_stochastic(&tables, &data.images, i, &mut packed_rng),
+                deployed.classify(&data.images, i, &mut scalar_rng),
+                "sample {i}"
+            );
+        }
+        // Whole-accuracy figures stay seed-matched too.
+        let mut scalar_rng = DeviceRng::seed_from_u64(8);
+        let mut packed_rng = DeviceRng::seed_from_u64(8);
+        assert_eq!(
+            packed.accuracy_stochastic(&tables, &data, &mut packed_rng, Some(10)),
+            deployed.accuracy(&data, &mut scalar_rng, Some(10)),
+        );
+    }
+
+    /// In the gray-zone → 0 limit the stochastic engine collapses onto the
+    /// digital decision rule (no comparator ties at these thresholds).
+    #[test]
+    fn zero_width_limit_is_the_digital_engine() {
+        let h = hw(8, 8, 2.4, 8);
+        let (fan_in, out) = (40, 5);
+        let signs = pseudo_signs(fan_in * out, 2);
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 * 0.37 + 0.11).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, vec![false; out], &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let zero = VariationModel::new(0.0, 0.0, 0.0).unwrap();
+        let tables = packed.stochastic_tables(&zero);
+        let mut rng = DeviceRng::seed_from_u64(5);
+        for salt in 0..8 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((i * 5 + salt * 11) % 4 < 2))
+                .collect();
+            let plane = packed.forward_stochastic(&tables, &BitPlane::from_bits(&input), &mut rng);
+            assert_eq!(plane.to_bits(), m.forward_digital(&input), "salt {salt}");
+        }
+        // Fully saturated tables never touch the RNG.
+        let mut untouched = DeviceRng::seed_from_u64(5);
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    /// Variation threading: drifting the scalar model's operating
+    /// conditions equals parameterizing the packed tables — seed-matched.
+    #[test]
+    fn variation_tables_match_varied_scalar_model() {
+        let h = hw(16, 8, 2.4, 16);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&h, 11);
+        let vm = VariationModel::new(2.0, -0.15, 5.0).unwrap();
+        let mut varied = deploy(&spec, &model, &h).unwrap();
+        let packed = varied.to_packed();
+        varied.apply_variation(&vm);
+        let tables = packed.stochastic_tables(&vm);
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 1,
+            ..Default::default()
+        });
+        let mut scalar_rng = DeviceRng::seed_from_u64(21);
+        let mut packed_rng = DeviceRng::seed_from_u64(21);
+        for i in 0..data.len() {
+            assert_eq!(
+                packed.classify_stochastic(&tables, &data.images, i, &mut packed_rng),
+                varied.classify(&data.images, i, &mut scalar_rng),
+                "sample {i}"
+            );
+        }
+    }
+}

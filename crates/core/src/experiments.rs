@@ -390,19 +390,28 @@ impl RobustnessWorkload {
     }
 }
 
-/// Runs a Monte Carlo fault-robustness campaign on the packed deploy
-/// engine (see [`crate::robustness`]): trains the workload once, deploys
-/// and lowers it once, then measures the accuracy distribution of
+/// Runs a Monte Carlo robustness campaign on the packed deploy engine
+/// (see [`crate::robustness`]): trains the workload once, deploys and
+/// lowers it once, then measures the accuracy distribution of
 /// `cfg.trials` independent fault draws per grid point. Where
 /// [`fault_sweep`] reports a single draw per rate through the slow
 /// stochastic engine, this driver reports mean/min/quantiles per rate at
-/// batched XNOR–popcount speed.
+/// packed-engine speed.
 ///
 /// The operating point is deliberately *near-deterministic* (32×32
-/// crossbars, a narrow 0.4 µA gray-zone): the packed engine evaluates the
-/// gray-zone → 0 digital limit, so campaigns train where that limit is
-/// most faithful and heavy-tiling partial-sum saturation (which would
-/// otherwise dominate the fault signal) stays moderate.
+/// crossbars, a narrow 0.4 µA gray-zone): the fault-only campaign
+/// evaluates the gray-zone → 0 digital limit, so campaigns train where
+/// that limit is most faithful and heavy-tiling partial-sum saturation
+/// (which would otherwise dominate the fault signal) stays moderate.
+///
+/// A `cfg` with a variation grid
+/// ([`SweepConfig::with_variation_grid`](crate::robustness::SweepConfig::with_variation_grid))
+/// turns this into a **variation campaign**: every
+/// `variation × fault rate` point is measured through the packed
+/// *stochastic* engine, so gray-zone widening (width scales, temperature
+/// drift) and attenuation drift show up as genuine SC switching noise on
+/// top of the fault distribution — the per-trial parameter-variation axis
+/// thermal-cycling reliability studies sweep.
 pub fn robustness_campaign(
     scale: &ExperimentScale,
     workload: RobustnessWorkload,
@@ -739,6 +748,30 @@ mod tests {
         // The pristine point is deterministic: both trials agree exactly.
         let clean = &report.points[0];
         assert_eq!(clean.min_accuracy, clean.max_accuracy);
+        assert!(report
+            .points
+            .iter()
+            .flat_map(|p| &p.trials)
+            .all(|t| (0.0..=1.0).contains(&t.accuracy)));
+    }
+
+    #[test]
+    fn quick_variation_campaign_runs_stochastically() {
+        let mut scale = ExperimentScale::quick();
+        scale.samples_per_class = 16;
+        scale.epochs = 2;
+        scale.eval_samples = 10;
+        let cfg = crate::robustness::SweepConfig::stuck_cell_grid(&[0.0, 0.2], 2, scale.seed)
+            .unwrap()
+            .with_eval_samples(Some(scale.eval_samples))
+            .with_grayzone_scales(&[1.0, 8.0])
+            .unwrap();
+        let report = robustness_campaign(&scale, RobustnessWorkload::DigitsMlp, &cfg);
+        // 2 scales × 2 rates, variation-major.
+        assert_eq!(report.points.len(), 4);
+        assert_eq!(report.total_trials(), 8);
+        assert_eq!(report.points[0].variation.unwrap().grayzone_scale(), 1.0);
+        assert_eq!(report.points[2].variation.unwrap().grayzone_scale(), 8.0);
         assert!(report
             .points
             .iter()

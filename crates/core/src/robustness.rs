@@ -19,17 +19,35 @@
 //! 3. evaluates accuracy through the batched XNOR–popcount engine.
 //!
 //! Trials fan out across `std::thread::scope` workers. Every trial is
-//! deterministic: trial `t` (globally indexed across the fault-rate grid)
-//! draws its faults from `seed = campaign_seed ^ t`, so any individual
-//! trial can be reproduced in isolation and whole campaigns are
-//! reproducible across machines and worker counts. Faulted packed
-//! inference is bit-identical to faulted scalar inference (differentially
-//! tested in `tests/props.rs`), so the distributions measured here are
-//! exactly what the slow reference engine would report.
+//! deterministic: trial `t` (globally indexed across the grid) draws its
+//! faults from `seed = campaign_seed ^ t`, so any individual trial can be
+//! reproduced in isolation and whole campaigns are reproducible across
+//! machines and worker counts. Faulted packed inference is bit-identical
+//! to faulted scalar inference (differentially tested in
+//! `tests/props.rs`), so the distributions measured here are exactly what
+//! the slow reference engine would report.
+//!
+//! # The variation axis
+//!
+//! Fabrication faults are not the only reliability axis: device
+//! parameters *drift* (gray-zone width, attenuation, temperature — see
+//! [`VariationModel`]). A campaign gains that axis through
+//! [`SweepConfig::with_variation_grid`]: the grid becomes the cartesian
+//! product *variation × fault rate*, and trials evaluate through the
+//! **packed stochastic engine**
+//! ([`PackedModel::accuracy_stochastic`]) — the only engine that can see
+//! a finite gray-zone — with per-stage flip tables built once per
+//! operating condition and shared by every trial at that condition. The
+//! per-trial RNG first draws the fault pattern, then drives the SC noise
+//! of the evaluation, so a trial captures both die-to-die defect and
+//! cycle-to-cycle switching randomness from one seed. Packed stochastic
+//! inference is seed-matched with the scalar `DeployedModel::classify`
+//! reference (same draws, same flips), keeping the "what the slow engine
+//! would report" guarantee on this axis too.
 
 use crate::deploy::PackedModel;
 use aqfp_crossbar::faults::FaultModel;
-use aqfp_device::{DeviceRng, SeedableRng};
+use aqfp_device::{DeviceRng, SeedableRng, VariationModel};
 use bnn_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -37,8 +55,13 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepConfig {
     /// The fault-rate grid: one accuracy distribution is measured per
-    /// entry.
+    /// entry (per variation, if a variation grid is set).
     pub grid: Vec<FaultModel>,
+    /// The device-parameter variation grid. Empty (the default) keeps the
+    /// campaign on the deterministic packed digital engine; non-empty
+    /// switches evaluation to the packed stochastic engine and measures
+    /// every `variation × fault rate` combination.
+    pub variations: Vec<VariationModel>,
     /// Independent fault draws per grid point.
     pub trials: usize,
     /// Campaign seed; trial `t` (global index) draws from
@@ -56,6 +79,7 @@ impl SweepConfig {
     pub fn new(grid: Vec<FaultModel>, trials: usize, campaign_seed: u64) -> Self {
         Self {
             grid,
+            variations: Vec::new(),
             trials,
             campaign_seed,
             eval_samples: None,
@@ -82,6 +106,32 @@ impl SweepConfig {
             .map(|&r| FaultModel::new(r, r / 10.0))
             .collect::<aqfp_crossbar::Result<Vec<_>>>()?;
         Ok(Self::new(grid, trials, campaign_seed))
+    }
+
+    /// Adds a device-parameter variation grid: the campaign measures every
+    /// `variation × fault rate` combination through the packed
+    /// **stochastic** engine (finite gray-zone, SC noise per trial). Pass
+    /// an empty vector to return to the digital fault-only campaign.
+    #[must_use]
+    pub fn with_variation_grid(mut self, variations: Vec<VariationModel>) -> Self {
+        self.variations = variations;
+        self
+    }
+
+    /// Convenience for the gray-zone-width axis: one variation per scale
+    /// factor (`scale × ΔIin`, other knobs nominal) — the
+    /// `gray-zone width × fault rate` sweep of
+    /// `examples/robustness_sweep.rs`.
+    ///
+    /// # Errors
+    /// [`DeviceError::VariationOutOfRange`](aqfp_device::DeviceError::VariationOutOfRange)
+    /// if any scale is negative or non-finite.
+    pub fn with_grayzone_scales(self, scales: &[f64]) -> aqfp_device::Result<Self> {
+        let variations = scales
+            .iter()
+            .map(|&s| VariationModel::grayzone_scale_only(s))
+            .collect::<aqfp_device::Result<Vec<_>>>()?;
+        Ok(self.with_variation_grid(variations))
     }
 
     /// Limits per-trial evaluation to the first `n` test samples.
@@ -121,6 +171,9 @@ pub struct TrialOutcome {
 pub struct GridPointReport {
     /// The fault model of this grid point.
     pub fault_model: FaultModel,
+    /// The operating condition of this grid point (`None` for digital
+    /// fault-only campaigns).
+    pub variation: Option<VariationModel>,
     /// Every trial, in global-trial-index order.
     pub trials: Vec<TrialOutcome>,
     /// Mean accuracy over the trials.
@@ -140,7 +193,11 @@ pub struct GridPointReport {
 }
 
 impl GridPointReport {
-    fn from_trials(fault_model: FaultModel, trials: Vec<TrialOutcome>) -> Self {
+    fn from_trials(
+        fault_model: FaultModel,
+        variation: Option<VariationModel>,
+        trials: Vec<TrialOutcome>,
+    ) -> Self {
         assert!(!trials.is_empty(), "grid point with zero trials");
         let n = trials.len() as f64;
         let mean_accuracy = trials.iter().map(|t| t.accuracy).sum::<f64>() / n;
@@ -149,6 +206,7 @@ impl GridPointReport {
         sorted.sort_by(f64::total_cmp);
         Self {
             fault_model,
+            variation,
             mean_accuracy,
             min_accuracy: sorted[0],
             max_accuracy: sorted[sorted.len() - 1],
@@ -232,6 +290,13 @@ pub fn interleaved_eval_set(data: &Dataset, n: Option<usize>) -> Dataset {
 /// `cfg.workers` threads. Deterministic for a given configuration
 /// regardless of the worker count.
 ///
+/// With a variation grid ([`SweepConfig::with_variation_grid`]) the grid
+/// points become every `variation × fault rate` pair (variation-major
+/// order) and trials evaluate through the packed **stochastic** engine:
+/// per-condition flip tables are built once up front and shared across
+/// trials, and each trial's RNG drives first the fault draw, then the SC
+/// switching noise of the evaluation.
+///
 /// # Panics
 /// Panics if the grid or `data` is empty or `trials == 0`.
 pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> RobustnessReport {
@@ -241,21 +306,35 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
     let eval_samples = cfg.eval_samples.map_or(data.len(), |n| n.min(data.len()));
     assert!(eval_samples > 0, "campaign over zero samples");
 
-    let total = cfg.grid.len() * cfg.trials;
+    // One flip-table set per operating condition, shared by every trial
+    // at that condition (faults never invalidate the tables).
+    let tables: Vec<crate::deploy::StochasticTables> = cfg
+        .variations
+        .iter()
+        .map(|vm| packed.stochastic_tables(vm))
+        .collect();
+    let conditions = cfg.variations.len().max(1);
+    let points_per_cond = cfg.grid.len();
+    let total = conditions * points_per_cond * cfg.trials;
     let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; total];
     // Trials parallelize at the campaign level, so each trial evaluates
     // its batch single-threaded (no nested fan-out).
     let chunk = total.div_ceil(cfg.workers.min(total));
     std::thread::scope(|s| {
         for (ci, slots) in outcomes.chunks_mut(chunk).enumerate() {
+            let tables = &tables;
             s.spawn(move || {
                 for (j, slot) in slots.iter_mut().enumerate() {
                     let trial = ci * chunk + j;
+                    let point = trial / cfg.trials;
                     let seed = cfg.campaign_seed ^ trial as u64;
                     let mut m = packed.clone().with_workers(1);
                     let mut rng = DeviceRng::seed_from_u64(seed);
-                    let defects = m.inject_faults(&cfg.grid[trial / cfg.trials], &mut rng);
-                    let accuracy = m.accuracy(data, Some(eval_samples));
+                    let defects = m.inject_faults(&cfg.grid[point % points_per_cond], &mut rng);
+                    let accuracy = match tables.get(point / points_per_cond) {
+                        Some(t) => m.accuracy_stochastic(t, data, &mut rng, Some(eval_samples)),
+                        None => m.accuracy(data, Some(eval_samples)),
+                    };
                     *slot = Some(TrialOutcome {
                         trial,
                         seed,
@@ -268,11 +347,16 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
     });
 
     let mut outcomes = outcomes.into_iter().map(|o| o.expect("every trial ran"));
-    let points = cfg
-        .grid
-        .iter()
-        .map(|&fm| GridPointReport::from_trials(fm, outcomes.by_ref().take(cfg.trials).collect()))
-        .collect();
+    let mut points = Vec::with_capacity(conditions * points_per_cond);
+    for v in 0..conditions {
+        for &fm in &cfg.grid {
+            points.push(GridPointReport::from_trials(
+                fm,
+                cfg.variations.get(v).copied(),
+                outcomes.by_ref().take(cfg.trials).collect(),
+            ));
+        }
+    }
     RobustnessReport {
         campaign_seed: cfg.campaign_seed,
         trials_per_point: cfg.trials,
@@ -372,6 +456,82 @@ mod tests {
         // Taking everything preserves the sample count.
         assert_eq!(interleaved_eval_set(&data, None).len(), data.len());
         assert_eq!(interleaved_eval_set(&data, Some(999)).len(), data.len());
+    }
+
+    #[test]
+    fn variation_sweep_covers_the_cartesian_grid_deterministically() {
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0, 0.1], 2, 13)
+            .unwrap()
+            .with_eval_samples(Some(8))
+            .with_grayzone_scales(&[1.0, 3.0])
+            .unwrap();
+        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1));
+        let b = run_sweep(&packed, &data, &cfg.with_workers(4));
+        assert_eq!(a, b, "stochastic sweeps must not depend on worker count");
+        // variation-major × fault-minor ordering, trials globally indexed.
+        assert_eq!(a.points.len(), 4);
+        assert_eq!(a.total_trials(), 8);
+        for (i, p) in a.points.iter().enumerate() {
+            let scale = if i < 2 { 1.0 } else { 3.0 };
+            assert_eq!(p.variation.unwrap().grayzone_scale(), scale, "point {i}");
+            assert_eq!(
+                p.fault_model.stuck_cell_rate(),
+                if i % 2 == 0 { 0.0 } else { 0.1 },
+                "point {i}"
+            );
+            for (j, t) in p.trials.iter().enumerate() {
+                assert_eq!(t.trial, i * 2 + j);
+                assert_eq!(t.seed, 13 ^ t.trial as u64);
+                assert!((0.0..=1.0).contains(&t.accuracy));
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_trials_reproduce_the_direct_evaluation() {
+        // A sweep trial = inject faults, then evaluate stochastically,
+        // all from one seed; replaying that recipe by hand must give the
+        // identical accuracy.
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.2], 2, 77)
+            .unwrap()
+            .with_eval_samples(Some(10))
+            .with_grayzone_scales(&[2.0])
+            .unwrap();
+        let report = run_sweep(&packed, &data, &cfg);
+        let tables = packed.stochastic_tables(&VariationModel::grayzone_scale_only(2.0).unwrap());
+        for t in &report.points[0].trials {
+            let mut m = packed.clone();
+            let mut rng = DeviceRng::seed_from_u64(t.seed);
+            let defects = m.inject_faults(&cfg.grid[0], &mut rng);
+            assert_eq!(defects, t.defects);
+            assert_eq!(
+                m.accuracy_stochastic(&tables, &data, &mut rng, Some(10)),
+                t.accuracy,
+                "trial {}",
+                t.trial
+            );
+        }
+    }
+
+    #[test]
+    fn grayzone_scale_grid_validates_scales() {
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0], 1, 0).unwrap();
+        assert!(matches!(
+            cfg.clone().with_grayzone_scales(&[1.0, -2.0]),
+            Err(aqfp_device::DeviceError::VariationOutOfRange { .. })
+        ));
+        let cfg = cfg.with_grayzone_scales(&[0.0, 1.0]).unwrap();
+        assert_eq!(cfg.variations.len(), 2);
+    }
+
+    #[test]
+    fn digital_points_carry_no_variation() {
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0], 1, 3).unwrap();
+        let report = run_sweep(&packed, &data, &cfg);
+        assert!(report.points.iter().all(|p| p.variation.is_none()));
     }
 
     #[test]

@@ -509,6 +509,194 @@ proptest! {
         }
     }
 
+    /// The packed stochastic engine consumes the RNG exactly like the
+    /// scalar SC datapath: same seed ⇒ same per-element flip decisions ⇒
+    /// identical outputs — over ragged tile geometries, random thresholds,
+    /// flips, windows, gray-zone widths and fault draws.
+    #[test]
+    fn packed_stochastic_matrix_is_seed_matched_with_scalar(
+        fan_in in 1usize..160,
+        out in 1usize..14,
+        rows in 1usize..40,
+        cols in 1usize..16,
+        window in 1usize..24,
+        grayzone in 1u8..16,
+        stuck in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            bitstream_len: window,
+            grayzone_ua: grayzone as f64,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signs = sign_matrix(&mut rng, fan_in * out);
+        let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+        let mut m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
+        if stuck > 0 {
+            let fm = FaultModel::new(0.15 * stuck as f64, 0.1 * stuck as f64).unwrap();
+            m.inject_faults(&fm, &mut rng);
+        }
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let tables = packed.stochastic_tables(&aqfp_device::VariationModel::nominal());
+        let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF1);
+        let mut packed_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF1);
+        for _ in 0..3 {
+            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
+            let scalar = m.forward(&input, &mut scalar_rng);
+            let plane = packed.forward_stochastic(
+                &tables,
+                &BitPlane::from_bits(&input),
+                &mut packed_rng,
+            );
+            prop_assert_eq!(plane.to_bits(), scalar);
+        }
+        // The RNG streams stayed aligned through every draw.
+        prop_assert_eq!(scalar_rng.gen::<u64>(), packed_rng.gen::<u64>());
+    }
+
+    /// In the gray-zone → 0 limit (variation width scale 0) the packed
+    /// stochastic engine is the digital engine, bit for bit, and touches
+    /// no RNG.
+    #[test]
+    fn packed_stochastic_zero_width_is_the_digital_engine(
+        fan_in in 1usize..120,
+        out in 1usize..10,
+        rows in 1usize..24,
+        seed in 0u64..600,
+    ) {
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signs = sign_matrix(&mut rng, fan_in * out);
+        let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let zero = aqfp_device::VariationModel::new(0.0, 0.0, 0.0).unwrap();
+        let tables = packed.stochastic_tables(&zero);
+        let mut draw_rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
+            let plane = packed.forward_stochastic(
+                &tables,
+                &BitPlane::from_bits(&input),
+                &mut draw_rng,
+            );
+            prop_assert_eq!(plane.to_bits(), m.forward_digital(&input));
+        }
+        let mut untouched = rand::rngs::StdRng::seed_from_u64(1);
+        prop_assert_eq!(draw_rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    /// Model level, dense pipeline: `PackedModel::classify_stochastic`
+    /// reproduces `DeployedModel::classify` — labels and scores — from the
+    /// same seed, including under device-parameter variation applied to
+    /// the scalar side.
+    #[test]
+    fn packed_stochastic_model_matches_scalar_classify(
+        rows in 1usize..24,
+        cols in 1usize..12,
+        hidden in 4usize..24,
+        window in 1usize..12,
+        vary in prop::bool::ANY,
+        seed in 0u64..400,
+    ) {
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            bitstream_len: window,
+            grayzone_ua: 6.0,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 6, 6], &[hidden], 4);
+        let model = spec.build_software(&hw, seed);
+        let mut deployed = deploy(&spec, &model, &hw).unwrap();
+        let packed = deployed.to_packed();
+        let vm = if vary {
+            aqfp_device::VariationModel::new(1.7, -0.2, 8.0).unwrap()
+        } else {
+            aqfp_device::VariationModel::nominal()
+        };
+        deployed.apply_variation(&vm);
+        let tables = packed.stochastic_tables(&vm);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC4FE);
+        let n = 2usize;
+        let images = bnn_nn::Tensor::from_vec(
+            &[n, 1, 6, 6],
+            (0..n * 36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD0);
+        let mut packed_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD0);
+        for i in 0..n {
+            prop_assert_eq!(
+                packed.classify_stochastic(&tables, &images, i, &mut packed_rng),
+                deployed.classify(&images, i, &mut scalar_rng),
+                "sample {}", i
+            );
+        }
+    }
+
+    /// Model level, conv pipeline (conv → pool → flatten → classifier):
+    /// the packed stochastic engine walks output pixels, tiles, columns
+    /// and cycles in the scalar order, so heterogeneous pipelines stay
+    /// seed-matched too.
+    #[test]
+    fn packed_stochastic_conv_model_matches_scalar_classify(
+        out_c in 1usize..5,
+        k in 1usize..4,
+        pad in 0usize..2,
+        pool in prop::bool::ANY,
+        window in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        let (c, h, w) = (2usize, 6usize, 6usize);
+        prop_assume!(h + 2 * pad >= k);
+        let s = (h + 2 * pad - k) + 1;
+        let pool = pool && s % 2 == 0;
+        let feat = if pool { s / 2 } else { s };
+        let spec = NetSpec {
+            input_shape: [c, h, w],
+            cells: vec![
+                CellSpec::BinarizeInput,
+                CellSpec::Conv { in_c: c, out_c, k, stride: 1, pad, pool },
+                CellSpec::Flatten,
+                CellSpec::Classifier { in_f: out_c * feat * feat, classes: 4 },
+            ],
+        };
+        let hw = HardwareConfig {
+            crossbar_rows: 8,
+            crossbar_cols: 8,
+            bitstream_len: window,
+            grayzone_ua: 6.0,
+            ..Default::default()
+        };
+        let model = spec.build_software(&hw, seed);
+        let deployed = deploy(&spec, &model, &hw).unwrap();
+        let packed = deployed.to_packed();
+        let tables = packed.stochastic_tables(&aqfp_device::VariationModel::nominal());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let images = bnn_nn::Tensor::from_vec(
+            &[2, c, h, w],
+            (0..2 * c * h * w).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE0);
+        let mut packed_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE0);
+        for i in 0..2 {
+            prop_assert_eq!(
+                packed.classify_stochastic(&tables, &images, i, &mut packed_rng),
+                deployed.classify(&images, i, &mut scalar_rng),
+                "sample {}", i
+            );
+        }
+    }
+
     /// `ones_prefix` is consistent with `ones` of a truncated stream.
     #[test]
     fn packed_prefix_counts_are_consistent(
@@ -570,4 +758,41 @@ fn paper_sn_examples_decode() {
     assert!((parse_stream("0100110100").unipolar_value() - 0.4).abs() < 1e-12);
     assert!((parse_stream("1011011101").bipolar_value() - 0.4).abs() < 1e-12);
     assert!((parse_stream("0100100000").bipolar_value() + 0.6).abs() < 1e-12);
+}
+
+/// The approximate parallel counter's per-cycle error pattern depends on
+/// the bit layout *across* tiles, so the packed stochastic engine
+/// transposes its word-mask streams back into cycle words and mirrors
+/// `Apc::count_approx` — seed-matched with the scalar engine like the
+/// exact path.
+#[test]
+fn packed_stochastic_matches_scalar_with_approximate_counter() {
+    use aqfp_sc::accumulate::CounterKind;
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        grayzone_ua: 8.0,
+        bitstream_len: 16,
+        counter: CounterKind::Approximate,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 8, 8], &[16], 4);
+    let model = spec.build_software(&hw, 5);
+    let deployed = deploy(&spec, &model, &hw).unwrap();
+    let packed = deployed.to_packed();
+    let tables = packed.stochastic_tables(&aqfp_device::VariationModel::nominal());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let images = bnn_nn::Tensor::from_vec(
+        &[3, 1, 8, 8],
+        (0..3 * 64).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    );
+    let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut packed_rng = rand::rngs::StdRng::seed_from_u64(11);
+    for i in 0..3 {
+        assert_eq!(
+            packed.classify_stochastic(&tables, &images, i, &mut packed_rng),
+            deployed.classify(&images, i, &mut scalar_rng),
+            "sample {i}"
+        );
+    }
 }
