@@ -338,14 +338,35 @@ pub fn sample_bernoulli_words<R: rand::RngCore + ?Sized>(
         thr => {
             for (w, slot) in out[..words].iter_mut().enumerate() {
                 let bits = (len - w * 64).min(64);
-                let mut word = 0u64;
-                for t in 0..bits {
-                    word |= (((rng.next_u64() >> 11) < thr) as u64) << t;
-                }
-                *slot = word;
+                *slot = sample_window_word(thr, bits, rng);
             }
         }
     }
+}
+
+/// Draws one packed word of up to 64 live Bernoulli bits — the shared
+/// inner loop of [`sample_bernoulli_words`] and
+/// [`sample_bernoulli_planes`]. Draw `t` decides bit `t`, in draw order;
+/// the 4-way unroll only splits the bit-OR accumulation across
+/// independent registers (the RNG chain itself is inherently serial), so
+/// the draw sequence and decisions are untouched.
+#[inline]
+fn sample_window_word<R: rand::RngCore + ?Sized>(thr: u64, bits: usize, rng: &mut R) -> u64 {
+    let (mut w0, mut w1, mut w2, mut w3) = (0u64, 0u64, 0u64, 0u64);
+    let mut t = 0;
+    while t + 4 <= bits {
+        w0 |= (((rng.next_u64() >> 11) < thr) as u64) << t;
+        w1 |= (((rng.next_u64() >> 11) < thr) as u64) << (t + 1);
+        w2 |= (((rng.next_u64() >> 11) < thr) as u64) << (t + 2);
+        w3 |= (((rng.next_u64() >> 11) < thr) as u64) << (t + 3);
+        t += 4;
+    }
+    let mut word = (w0 | w1) | (w2 | w3);
+    while t < bits {
+        word |= (((rng.next_u64() >> 11) < thr) as u64) << t;
+        t += 1;
+    }
+    word
 }
 
 /// Samples up to 64 i.i.d. Bernoulli bits as one packed word mask — the
@@ -365,6 +386,60 @@ pub fn sample_bernoulli_mask<R: rand::RngCore + ?Sized>(
     word[0]
 }
 
+/// Samples a batch of Bernoulli bit windows — one per entry of
+/// `thresholds` — into caller-chosen word slots of `out`, consuming the
+/// RNG in batch order then bit order.
+///
+/// Window `i` (threshold `thresholds[i]`, `len` bits) lands at words
+/// `out[offsets[i] .. offsets[i] + ⌈len/64⌉]` with exactly the semantics
+/// of one [`sample_bernoulli_words`] call: tail bits cleared, sentinel
+/// thresholds filled constant **without consuming draws**, live
+/// thresholds consuming one draw per bit. The draw sequence — count and
+/// decisions — is therefore identical to looping [`sample_bernoulli_words`]
+/// over the batch; what the batch form buys is the plane-at-a-time loop
+/// structure of the packed stochastic engine: thresholds are gathered
+/// once in scalar draw order and all windows of an output pixel are
+/// filled in one pass, instead of re-entering the sampler per
+/// (tile, column) cell. The `offsets` indirection lets that pass scatter
+/// into cell-major stream storage while drawing in (group, tile, column)
+/// order.
+///
+/// # Panics
+/// Panics if `offsets` is shorter than `thresholds` or any window would
+/// write past `out`.
+pub fn sample_bernoulli_planes<R: rand::RngCore + ?Sized>(
+    thresholds: &[u64],
+    offsets: &[usize],
+    len: usize,
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    let words = len.div_ceil(64);
+    assert!(
+        offsets.len() >= thresholds.len(),
+        "offset per window required"
+    );
+    let rem = len % 64;
+    for (&thr, &off) in thresholds.iter().zip(offsets) {
+        let slot = &mut out[off..off + words];
+        match thr {
+            BERNOULLI_NEVER => slot.fill(0),
+            BERNOULLI_ALWAYS => {
+                slot.fill(u64::MAX);
+                if rem > 0 {
+                    slot[words - 1] = (1u64 << rem) - 1;
+                }
+            }
+            thr => {
+                for (w, s) in slot.iter_mut().enumerate() {
+                    let bits = (len - w * 64).min(64);
+                    *s = sample_window_word(thr, bits, rng);
+                }
+            }
+        }
+    }
+}
+
 /// Compresses the even-position bits of `x` (positions 0, 2, 4, …) into
 /// the low 32 bits — the classic shift-or bit-compress for the mask
 /// `0x5555…`. Odd-position bits of `x` are ignored. This is the
@@ -379,6 +454,227 @@ pub fn compress_even_bits(x: u64) -> u64 {
     x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
     x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
     (x | (x >> 16)) & 0x0000_0000_ffff_ffff
+}
+
+/// Lane-generic machine word of the wide SIMD datapath: a fixed array of
+/// `u64` lanes with element-wise bit logic, per-lane shifts, and per-lane
+/// wrapping adds — the operation set the SWAR kernels
+/// ([`lane_counts_w`], the fused XNOR+vote tile kernel of the packed
+/// deploy engine) are written against.
+///
+/// Two widths are provided: plain `u64` (`LANES = 1`, the scalar
+/// reference every wider width is differentially tested to be
+/// bit-identical with) and [`V256`] (`LANES = 4`, one AVX2-sized chunk).
+/// Every operation is expressed as a short per-lane loop over the array,
+/// which the autovectorizer turns into single wide instructions when the
+/// target has them (`-C target-cpu=native`); per-lane
+/// [`count_ones`](Word::count_ones) lowers to the hardware popcount the
+/// same way. No `unsafe`, no intrinsics, no new dependencies — the crate
+/// keeps its `forbid(unsafe_code)`.
+///
+/// Kernels generic over `Word` process `LANES` independent bit-streams
+/// (e.g. `LANES` output pixels of a conv layer) per operation; lane `l`
+/// of every word belongs to stream `l` throughout, so results are read
+/// back per lane with [`lane`](Word::lane).
+pub trait Word: Copy + core::fmt::Debug + PartialEq + Eq + Send + Sync + 'static {
+    /// Number of 64-bit lanes.
+    const LANES: usize;
+
+    /// The all-zero word.
+    fn zero() -> Self;
+
+    /// Broadcasts `w` into every lane.
+    fn splat(w: u64) -> Self;
+
+    /// Reads lane `i` (`i < LANES`).
+    fn lane(&self, i: usize) -> u64;
+
+    /// Writes lane `i` (`i < LANES`).
+    fn set_lane(&mut self, i: usize, w: u64);
+
+    /// Lane-wise XNOR: `!(self ^ other)` per lane — the ±1 product word
+    /// of the packed datapath.
+    fn xnor(self, other: Self) -> Self;
+
+    /// Lane-wise AND.
+    fn and(self, other: Self) -> Self;
+
+    /// Lane-wise OR.
+    fn or(self, other: Self) -> Self;
+
+    /// Lane-wise wrapping add. SWAR counter fields live *inside* lanes,
+    /// so a 64-bit add per lane is exactly the field-parallel add of the
+    /// scalar reduction, `LANES` streams at once.
+    fn add64(self, other: Self) -> Self;
+
+    /// Lane-wise wrapping subtract.
+    fn sub64(self, other: Self) -> Self;
+
+    /// Lane-wise logical right shift by `n < 64` bits.
+    fn shr(self, n: u32) -> Self;
+
+    /// Sum of the popcounts of all lanes (masked popcount when the caller
+    /// ANDs a boundary mask in first).
+    fn count_ones(&self) -> u32;
+}
+
+impl Word for u64 {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline(always)]
+    fn splat(w: u64) -> Self {
+        w
+    }
+
+    #[inline(always)]
+    fn lane(&self, i: usize) -> u64 {
+        debug_assert_eq!(i, 0);
+        *self
+    }
+
+    #[inline(always)]
+    fn set_lane(&mut self, i: usize, w: u64) {
+        debug_assert_eq!(i, 0);
+        *self = w;
+    }
+
+    #[inline(always)]
+    fn xnor(self, other: Self) -> Self {
+        !(self ^ other)
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline(always)]
+    fn add64(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+
+    #[inline(always)]
+    fn sub64(self, other: Self) -> Self {
+        self.wrapping_sub(other)
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        self >> n
+    }
+
+    #[inline(always)]
+    fn count_ones(&self) -> u32 {
+        u64::count_ones(*self)
+    }
+}
+
+/// A 256-bit wide word: four `u64` lanes in one chunk (see [`Word`]).
+///
+/// The representation is a plain `[u64; 4]` and every operation a
+/// fixed-length per-lane loop, which the autovectorizer lowers to one
+/// 256-bit instruction on AVX2 targets; per-lane popcounts lower to four
+/// hardware `popcnt`s. Lane `l` holds bit-stream `l` of whatever the
+/// kernel is processing four-at-a-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V256([u64; 4]);
+
+impl Word for V256 {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        V256([0; 4])
+    }
+
+    #[inline(always)]
+    fn splat(w: u64) -> Self {
+        V256([w; 4])
+    }
+
+    #[inline(always)]
+    fn lane(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    #[inline(always)]
+    fn set_lane(&mut self, i: usize, w: u64) {
+        self.0[i] = w;
+    }
+
+    #[inline(always)]
+    fn xnor(self, other: Self) -> Self {
+        V256(core::array::from_fn(|l| !(self.0[l] ^ other.0[l])))
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        V256(core::array::from_fn(|l| self.0[l] & other.0[l]))
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        V256(core::array::from_fn(|l| self.0[l] | other.0[l]))
+    }
+
+    #[inline(always)]
+    fn add64(self, other: Self) -> Self {
+        V256(core::array::from_fn(|l| self.0[l].wrapping_add(other.0[l])))
+    }
+
+    #[inline(always)]
+    fn sub64(self, other: Self) -> Self {
+        V256(core::array::from_fn(|l| self.0[l].wrapping_sub(other.0[l])))
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        V256(core::array::from_fn(|l| self.0[l] >> n))
+    }
+
+    #[inline(always)]
+    fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// Per-lane-field popcounts of `x` for SWAR field width
+/// `lane ∈ {4, 8, 16, 32}`: a truncated parallel bit-count reduction, run
+/// on every 64-bit lane of `x` at once. After the call each `lane`-bit
+/// field of each 64-bit lane holds the popcount of that field's input
+/// bits (for `lane == 32` the counts sit in 16-bit sub-fields, which is
+/// wide enough — a 32-bit field counts at most 32).
+///
+/// This is the counting stage of the packed deploy engine's tile kernels:
+/// at `W = u64` it is the classic scalar SWAR reduction; at [`V256`] it
+/// reduces four activation words (four output pixels) per step.
+#[inline]
+pub fn lane_counts_w<W: Word>(x: W, lane: u32) -> W {
+    let mut x = x.sub64(x.shr(1).and(W::splat(0x5555_5555_5555_5555)));
+    let m2 = W::splat(0x3333_3333_3333_3333);
+    x = x.and(m2).add64(x.shr(2).and(m2));
+    if lane == 4 {
+        return x;
+    }
+    x = x.add64(x.shr(4)).and(W::splat(0x0f0f_0f0f_0f0f_0f0f));
+    if lane == 8 {
+        return x;
+    }
+    x = x.add64(x.shr(8)).and(W::splat(0x00ff_00ff_00ff_00ff));
+    if lane == 16 {
+        return x;
+    }
+    x.add64(x.shr(16)).and(W::splat(0x0000_ffff_0000_ffff))
 }
 
 /// Unfolds the receptive fields of a packed `[C, H, W]` feature plane into
@@ -461,13 +757,35 @@ pub fn packed_im2col(
                     }
                 }
                 // Interior: whole kernel rows, incremental offsets only.
+                // Consecutive receptive fields overlap by `k − stride`
+                // bits, so a 64-bit window is loaded once and sliced for
+                // every pixel it covers — the per-pixel cost drops to a
+                // shift, a mask and the destination write.
                 if k <= 64 {
+                    let mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
                     let mut s = src_off + ox_lo * stride - pad.min(ox_lo * stride);
                     let mut d = (pix_base + ox_lo) * wpr * 64 + dst_off;
-                    for _ in ox_lo..ox_hi {
-                        write_bits(dst, d, read_bits(src, s, k), k, pad_one);
-                        s += stride;
-                        d += wpr * 64;
+                    let mut ox = ox_lo;
+                    while ox < ox_hi {
+                        let wq = s / 64;
+                        let b = (s % 64) as u32;
+                        let mut win = src[wq] >> b;
+                        if b != 0 && wq + 1 < src.len() {
+                            win |= src[wq + 1] << (64 - b);
+                        }
+                        // Valid low bits of the window (short only at the
+                        // very end of the source slice).
+                        let avail = 64.min(src.len() * 64 - s);
+                        let mut off = 0usize;
+                        // Always advances: the k-bit read at `s` is in
+                        // bounds, so `k ≤ avail` on entry.
+                        while ox < ox_hi && off + k <= avail {
+                            write_bits(dst, d, (win >> off) & mask, k, pad_one);
+                            off += stride;
+                            d += wpr * 64;
+                            ox += 1;
+                        }
+                        s += off;
                     }
                 } else {
                     for ox in ox_lo..ox_hi {
@@ -1310,6 +1628,121 @@ mod tests {
         // 6σ binomial bound around 120.
         assert!((78..=162).contains(&ones), "{ones} ones of {len}");
         assert_eq!(out[3] >> (len - 192), 0, "tail bits stay clear");
+    }
+
+    #[test]
+    fn word_lanes_roundtrip_and_ops_match_u64() {
+        // Every V256 op must equal the u64 op applied lane by lane — the
+        // property that makes kernels generic over `Word` bit-identical
+        // across widths.
+        let a = [0x0123_4567_89ab_cdefu64, u64::MAX, 0, 0x5555_aaaa_0f0f_f0f0];
+        let b = [0xdead_beef_0bad_f00du64, 0x8000_0000_0000_0001, 7, !0 >> 3];
+        let mut va = V256::zero();
+        let mut vb = V256::zero();
+        for l in 0..4 {
+            va.set_lane(l, a[l]);
+            vb.set_lane(l, b[l]);
+        }
+        for l in 0..4 {
+            assert_eq!(va.lane(l), a[l]);
+            assert_eq!(va.xnor(vb).lane(l), !(a[l] ^ b[l]));
+            assert_eq!(va.and(vb).lane(l), a[l] & b[l]);
+            assert_eq!(va.or(vb).lane(l), a[l] | b[l]);
+            assert_eq!(va.add64(vb).lane(l), a[l].wrapping_add(b[l]));
+            assert_eq!(va.sub64(vb).lane(l), a[l].wrapping_sub(b[l]));
+            assert_eq!(va.shr(13).lane(l), a[l] >> 13);
+            assert_eq!(V256::splat(a[l]).lane(3 - l), a[l]);
+        }
+        assert_eq!(
+            Word::count_ones(&va),
+            a.iter().map(|w| w.count_ones()).sum::<u32>()
+        );
+        assert_eq!(Word::count_ones(&V256::zero()), 0);
+    }
+
+    #[test]
+    fn lane_counts_w_matches_per_field_popcounts_at_both_widths() {
+        for lane in [4u32, 8, 16, 32] {
+            let fields = 64 / lane;
+            let mask = if lane == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lane) - 1
+            };
+            // Counts for lane 32 land in 16-bit sub-fields.
+            let read = |counts: u64, j: u32| -> u64 {
+                if lane == 32 {
+                    (counts >> (j * lane)) & 0xffff
+                } else {
+                    (counts >> (j * lane)) & mask
+                }
+            };
+            for salt in 0..16u64 {
+                let x = salt
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left((salt as u32) * 11)
+                    ^ (salt << 40);
+                let scalar = lane_counts_w::<u64>(x, lane);
+                for j in 0..fields {
+                    let expect = ((x >> (j * lane)) & mask).count_ones() as u64;
+                    assert_eq!(read(scalar, j), expect, "lane {lane} field {j}");
+                }
+                // The wide word agrees with the scalar reduction per lane.
+                let mut v = V256::zero();
+                for l in 0..4 {
+                    v.set_lane(l, x.rotate_left(l as u32 * 17));
+                }
+                let wide = lane_counts_w(v, lane);
+                for l in 0..4 {
+                    assert_eq!(
+                        wide.lane(l),
+                        lane_counts_w::<u64>(v.lane(l), lane),
+                        "lane {lane} u64-lane {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_planes_match_per_call_sampling() {
+        use rand::{Rng as _, SeedableRng as _};
+        // The batched scatter sampler must consume the RNG exactly like a
+        // loop of per-window calls — including draw-free sentinels — and
+        // land every window at its offset.
+        let thresholds = [
+            bernoulli_threshold(0.4),
+            BERNOULLI_NEVER,
+            bernoulli_threshold(0.9),
+            BERNOULLI_ALWAYS,
+            bernoulli_threshold(0.05),
+        ];
+        for window in [1usize, 31, 64, 70, 128] {
+            let words = window.div_ceil(64);
+            // Scatter out of draw order: window i lands at slot 4 - i.
+            let offsets: Vec<usize> = (0..thresholds.len())
+                .map(|i| (thresholds.len() - 1 - i) * words)
+                .collect();
+            let mut batched = vec![u64::MAX; thresholds.len() * words];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            sample_bernoulli_planes(&thresholds, &offsets, window, &mut batched, &mut rng);
+            let mut reference = vec![u64::MAX; thresholds.len() * words];
+            let mut ref_rng = rand::rngs::StdRng::seed_from_u64(99);
+            for (i, &thr) in thresholds.iter().enumerate() {
+                sample_bernoulli_words(
+                    thr,
+                    window,
+                    &mut reference[offsets[i]..offsets[i] + words],
+                    &mut ref_rng,
+                );
+            }
+            assert_eq!(batched, reference, "window {window}");
+            assert_eq!(
+                rng.gen::<u64>(),
+                ref_rng.gen::<u64>(),
+                "draw counts diverged at window {window}"
+            );
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod packed;
 
 pub use accumulate::{AccumulationModule, ScAccumError};
 pub use apc::Apc;
-pub use bitplane::{BitPlane, PackedMatrix};
+pub use bitplane::{BitPlane, PackedMatrix, Word, V256};
 pub use number::Bitstream;
 pub use packed::PackedStream;
 

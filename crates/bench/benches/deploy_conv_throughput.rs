@@ -106,7 +106,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"deploy_conv_throughput\",\n  \
+        "{{\n  \"bench\": \"deploy_conv_throughput\",\n  \"simd_width\": \"v256\",\n  \
          \"model\": \"vgg_small_objects_8-16-32\",\n  \
          \"input\": \"3x16x16\",\n  \"crossbar\": \"32x16\",\n  \
          \"samples\": {n},\n  \"workers\": {workers},\n  \

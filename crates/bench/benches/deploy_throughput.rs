@@ -105,7 +105,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"deploy_throughput\",\n  \"model\": \"mlp_digits_256-128-64-10\",\n  \
+        "{{\n  \"bench\": \"deploy_throughput\",\n  \"simd_width\": \"v256\",\n  \"model\": \"mlp_digits_256-128-64-10\",\n  \
          \"crossbar\": \"8x8\",\n  \"bitstream_len\": 32,\n  \"samples\": {n},\n  \
          \"workers\": {workers},\n  \"bit_identical\": true,\n  \
          \"stochastic_samples_per_s\": {stochastic:.1},\n  \

@@ -153,7 +153,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"stochastic_throughput\",\n  \"seed_matched_flips\": true,\n  \
+        "{{\n  \"bench\": \"stochastic_throughput\",\n  \"simd_width\": \"v256\",\n  \"seed_matched_flips\": true,\n  \
          \"workloads\": [{rows}\n  ]\n}}\n"
     );
     let out = std::env::var("STOCHASTIC_BENCH_OUT")

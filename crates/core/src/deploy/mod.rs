@@ -82,6 +82,24 @@
 //! row per sample with stride `words_per_row()`. The packed engine is
 //! bit-identical to the scalar digital engine by construction *and* by
 //! differential/golden tests (`tests/props.rs`, `tests/golden_deploy.rs`).
+//!
+//! # The wide-word datapath (see [`aqfp_sc::bitplane::Word`])
+//!
+//! All packed kernels are written against the lane-generic `Word` trait
+//! and instantiated twice: at `u64` (the reference width, one output
+//! pixel per word step) and at [`aqfp_sc::V256`] (`[u64; 4]`, four pixels
+//! per step — plain per-lane loops the autovectorizer lowers to
+//! 256-bit-wide instructions, no intrinsics). The hot GEMM path,
+//! [`PackedTiledMatrix::forward_matrix_as`], cache-blocks the batch into
+//! 64-pixel blocks, transposes each block's tile columns into wide words,
+//! runs fused XNOR + SWAR vote accumulation across all tiles, then folds
+//! votes back to bit-planes. The zero-tail layout invariant above is what
+//! lets the SWAR comparator tables cover *every* tile including the
+//! ragged last one: bits past a tile's width XNOR to a constant '1', so
+//! the fixed inflation folds into the per-field threshold ("garbage
+//! folding" — see [`packed`]). The two widths are pinned bit-identical by
+//! width-differential property tests (`tests/props.rs`) and by the
+//! `kernel_microbench` bench, which asserts equality before timing.
 
 mod bitmap;
 mod layer;

@@ -44,7 +44,8 @@ use super::model::{argmax, DeployedClassifier, DeployedModel};
 use super::pipeline::PackedLayer;
 use aqfp_crossbar::faults::{draw_faults_tiled, FaultModel, InjectedFaults};
 use aqfp_device::Bit;
-use aqfp_sc::{BitPlane, PackedMatrix};
+use aqfp_sc::bitplane::lane_counts_w;
+use aqfp_sc::{BitPlane, PackedMatrix, Word, V256};
 use bnn_nn::Tensor;
 use rand::Rng;
 
@@ -91,6 +92,10 @@ pub struct PackedTiledMatrix {
     out: usize,
 }
 
+/// Widest `Word` the blocked matrix kernel's stack-allocated per-lane
+/// vote buffer accommodates ([`V256`] today).
+const MAX_LANES: usize = 4;
+
 /// One row tile's precomputed word coverage: bit range
 /// `[64·first + lo offset, 64·last + hi offset)` with `lo`/`hi` the valid
 /// bit masks of the boundary words (interior words are whole).
@@ -127,15 +132,24 @@ impl TileSpan {
     /// XNOR match count of the tile over `row`/`acts`.
     #[inline]
     fn matches(&self, row: &[u64], acts: &[u64]) -> usize {
+        self.matches_with(row, |w| acts[w])
+    }
+
+    /// XNOR match count with the activation words read through `act` — the
+    /// indirection that lets the lane-generic matrix kernel evaluate tail
+    /// tiles on one lane of a transposed wide-word block without copying
+    /// it back out to a `u64` slice first.
+    #[inline]
+    fn matches_with(&self, row: &[u64], act: impl Fn(usize) -> u64) -> usize {
         if self.first == self.last {
-            return (!(row[self.first] ^ acts[self.first]) & self.lo & self.hi).count_ones()
+            return (!(row[self.first] ^ act(self.first)) & self.lo & self.hi).count_ones()
                 as usize;
         }
-        let mut m = (!(row[self.first] ^ acts[self.first]) & self.lo).count_ones() as usize;
-        for w in self.first + 1..self.last {
-            m += (!(row[w] ^ acts[w])).count_ones() as usize;
+        let mut m = (!(row[self.first] ^ act(self.first)) & self.lo).count_ones() as usize;
+        for (w, &rw) in row.iter().enumerate().take(self.last).skip(self.first + 1) {
+            m += (!(rw ^ act(w))).count_ones() as usize;
         }
-        m + ((!(row[self.last] ^ acts[self.last]) & self.hi).count_ones() as usize)
+        m + ((!(row[self.last] ^ act(self.last)) & self.hi).count_ones() as usize)
     }
 }
 
@@ -146,15 +160,19 @@ impl TileSpan {
 /// (where `t` is the tile's minimum match count, with dead columns encoded
 /// as `t = 0` / `t = lane + 1`) sets each lane's top bit exactly when the
 /// tile votes — so a channel's votes over a word are one popcount of the
-/// masked top bits. Tiles past `tail_tile` (a ragged last tile, or bits
-/// past the last whole word) use the generic range path.
+/// masked top bits. When the tiles are lane-aligned (the planner's normal
+/// output) the tables cover every tile — ragged last included, via
+/// garbage-folded thresholds (see [`PackedTiledMatrix::build_swar`]) — and
+/// `tail_tile` equals the tile count; only misaligned layouts leave tiles
+/// on the generic range path.
 #[derive(Debug, Clone)]
 struct Swar {
     /// Tile width in bits.
     lane: u32,
-    /// Whole words per row covered by complete tiles.
+    /// Words per row covered by the tables (all of them when aligned).
     words: usize,
-    /// First tile index evaluated generically.
+    /// First tile index evaluated generically (the tile count when the
+    /// tables cover everything).
     tail_tile: usize,
     /// Lane top bits (`1 << (lane − 1)` replicated).
     msb_mask: u64,
@@ -162,24 +180,13 @@ struct Swar {
     bias: Vec<u64>,
 }
 
-/// Per-lane popcounts of `x` for the given lane width (a truncated
-/// parallel bit-count reduction).
+/// Per-lane popcounts of `x` for the given lane width — the `u64`
+/// instantiation of the lane-generic SWAR reduction
+/// ([`aqfp_sc::bitplane::lane_counts_w`]), kept as a named alias because
+/// the scalar per-plane kernels call it pervasively.
 #[inline]
 fn lane_counts(x: u64, lane: u32) -> u64 {
-    let mut x = x - ((x >> 1) & 0x5555_5555_5555_5555);
-    x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
-    if lane == 4 {
-        return x;
-    }
-    x = (x + (x >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
-    if lane == 8 {
-        return x;
-    }
-    x = (x + (x >> 8)) & 0x00ff_00ff_00ff_00ff;
-    if lane == 16 {
-        return x;
-    }
-    (x + (x >> 16)) & 0x0000_ffff_0000_ffff
+    lane_counts_w(x, lane)
 }
 
 impl PackedTiledMatrix {
@@ -223,7 +230,7 @@ impl PackedTiledMatrix {
         let spans = (0..k)
             .map(|r| TileSpan::new(row_starts[r], row_starts[r + 1]))
             .collect();
-        let swar = Self::build_swar(&row_starts, &min_sums, &dead, out);
+        let swar = Self::build_swar(&row_starts, &min_sums, &dead, out, fan_in);
         Self {
             weights,
             row_starts,
@@ -244,17 +251,49 @@ impl PackedTiledMatrix {
     }
 
     /// Precomputes the SWAR tables when the tile geometry allows them.
-    fn build_swar(row_starts: &[usize], min_sums: &[i64], dead: &[u8], out: usize) -> Option<Swar> {
+    ///
+    /// When every tile starts at a multiple of the lane width and is at
+    /// most one lane wide — which [`TilingPlan`](super::layer) guarantees:
+    /// all tiles are full `crossbar_rows` chunks except a ragged last —
+    /// the tables cover **every** tile, ragged last included, and the
+    /// per-pixel kernels have no scalar tail at all. The trick is that
+    /// bits past a tile's width (ragged-tile slack and bits past `fan_in`)
+    /// XNOR to a *constant* '1' — weight rows and activation planes both
+    /// keep their tails zero (the bitplane layout invariant) — so each
+    /// field's count is inflated by a fixed `garbage` amount that folds
+    /// straight into the comparator threshold. Fields past the last tile
+    /// get a never-vote threshold the same way.
+    fn build_swar(
+        row_starts: &[usize],
+        min_sums: &[i64],
+        dead: &[u8],
+        out: usize,
+        fan_in: usize,
+    ) -> Option<Swar> {
         let k = row_starts.len() - 1;
-        let lane = row_starts[1] - row_starts[0];
-        if !matches!(lane, 4 | 8 | 16 | 32) {
+        // Round the leading tile width up to a supported lane: a single
+        // narrow tile (fan_in below the crossbar row count, e.g. a first
+        // conv layer's 27-bit receptive field) rides the wider datapath
+        // with its slack garbage-folded like any ragged tile. Multi-tile
+        // layouts only align when the width is already a power of two.
+        let lane = (row_starts[1] - row_starts[0]).next_power_of_two().max(4);
+        if lane > 32 {
             return None;
         }
-        // Complete uniform tiles (TilingPlan makes all but the last full).
-        let uniform = (0..k)
-            .take_while(|&r| row_starts[r + 1] - row_starts[r] == lane)
-            .count();
-        let words = uniform * lane / 64;
+        let aligned =
+            (0..k).all(|r| row_starts[r] == r * lane && row_starts[r + 1] - row_starts[r] <= lane);
+        // Words covered by the tables: all of them when aligned (the
+        // common case), else the whole-word uniform prefix with the rest
+        // falling back to the generic span path.
+        let (words, tail_tile) = if aligned {
+            (fan_in.div_ceil(64), k)
+        } else {
+            let uniform = (0..k)
+                .take_while(|&r| row_starts[r + 1] - row_starts[r] == lane)
+                .count();
+            let words = uniform * lane / 64;
+            (words, words * (64 / lane))
+        };
         if words == 0 {
             return None;
         }
@@ -269,16 +308,29 @@ impl PackedTiledMatrix {
             for i in 0..words {
                 for j in 0..lanes_per_word {
                     let r = i * lanes_per_word + j;
-                    // Minimum XNOR match count for a vote: tile bit = '1'
-                    // iff `2·matches − lane ≥ min_sum`, i.e.
-                    // `matches ≥ ⌈(min_sum + lane) / 2⌉`; dead columns pin
-                    // the vote via t = 0 (stuck '1') / lane + 1 (stuck '0').
-                    let t = match dead[channel * k + r] {
-                        1 => lane as i64 + 1,
-                        2 => 0,
-                        _ => (min_sums[channel * k + r] + lane as i64 + 1)
-                            .div_euclid(2)
-                            .clamp(0, lane as i64 + 1),
+                    let t = if r < tail_tile {
+                        // Tile width and constant count inflation of this
+                        // field (0 for full tiles in the uniform prefix).
+                        let width = (row_starts[r + 1] - row_starts[r]) as i64;
+                        let garbage = lane as i64 - width;
+                        // Minimum XNOR match count for a vote: tile bit =
+                        // '1' iff `2·matches − width ≥ min_sum`, i.e.
+                        // `matches ≥ ⌈(min_sum + width) / 2⌉`; dead columns
+                        // pin the vote via t = 0 (stuck '1') /
+                        // width + 1 (stuck '0'); `garbage` shifts every
+                        // threshold by the field's constant inflation.
+                        garbage
+                            + match dead[channel * k + r] {
+                                1 => width + 1,
+                                2 => 0,
+                                _ => (min_sums[channel * k + r] + width + 1)
+                                    .div_euclid(2)
+                                    .clamp(0, width + 1),
+                            }
+                    } else {
+                        // Field past the last tile: every bit is tail
+                        // slack counting '1', so `lane + 1` never votes.
+                        lane as i64 + 1
                     } as u64;
                     bias[channel * words + i] |= (msb - t) << (j * lane);
                 }
@@ -287,7 +339,7 @@ impl PackedTiledMatrix {
         Some(Swar {
             lane: lane as u32,
             words,
-            tail_tile: words * lanes_per_word,
+            tail_tile,
             msb_mask,
             bias,
         })
@@ -387,11 +439,21 @@ impl PackedTiledMatrix {
             if let Some(sw) = &self.swar {
                 let lanes_per_word = (64 / sw.lane) as usize;
                 let lane_mask = (1u64 << sw.lane) - 1;
-                for i in 0..sw.words {
+                'words: for i in 0..sw.words {
                     let counts = lane_counts(!(row[i] ^ acts[i]), sw.lane);
                     for j in 0..lanes_per_word {
-                        dst[i * lanes_per_word + j] =
-                            ((counts >> (j as u32 * sw.lane)) & lane_mask) as u32;
+                        let r = i * lanes_per_word + j;
+                        if r >= sw.tail_tile {
+                            // Fields past the last tile (full-coverage
+                            // tables round rows up to whole words).
+                            break 'words;
+                        }
+                        // Bits past the tile's width XNOR-match constantly
+                        // (both planes keep zeroed tails), so the raw field
+                        // count is inflated by exactly the slack width.
+                        let garbage =
+                            sw.lane - (self.row_starts[r + 1] - self.row_starts[r]) as u32;
+                        dst[r] = ((counts >> (j as u32 * sw.lane)) & lane_mask) as u32 - garbage;
                     }
                 }
                 tail = sw.tail_tile;
@@ -495,17 +557,18 @@ impl PackedTiledMatrix {
     fn set_dead(&mut self, channel: usize, r: usize, stuck: Bit) {
         let k = self.row_starts.len() - 1;
         self.dead[channel * k + r] = if stuck.as_bool() { 2 } else { 1 };
+        let width = (self.row_starts[r + 1] - self.row_starts[r]) as u64;
         if let Some(sw) = &mut self.swar {
             if r < sw.tail_tile {
                 let lanes_per_word = (64 / sw.lane) as usize;
                 let (i, j) = (r / lanes_per_word, r % lanes_per_word);
                 let shift = (j as u32) * sw.lane;
                 let msb = 1u64 << (sw.lane - 1);
-                let t = if stuck.as_bool() {
-                    0
-                } else {
-                    sw.lane as u64 + 1
-                };
+                // Same garbage fold as `build_swar`: slack bits past the
+                // tile's width count '1' constantly, shifting the pin
+                // thresholds by `lane − width`.
+                let garbage = sw.lane as u64 - width;
+                let t = garbage + if stuck.as_bool() { 0 } else { width + 1 };
                 let lane_mask = ((1u64 << sw.lane) - 1) << shift;
                 let word = &mut sw.bias[channel * sw.words + i];
                 *word = (*word & !lane_mask) | ((msb - t) << shift);
@@ -594,30 +657,187 @@ impl PackedTiledMatrix {
     /// channel `ch`'s bit per activation row; output bits are assembled as
     /// whole `u64` words, never set one at a time.
     ///
+    /// Runs the lane-generic blocked kernel at [`V256`] width (four
+    /// activation rows per machine word); see [`Self::forward_matrix_as`]
+    /// for the kernel structure and the width-generic entry point.
+    ///
     /// # Panics
     /// Panics if `acts.width() != fan_in`.
     pub fn forward_matrix(&self, acts: &PackedMatrix) -> PackedMatrix {
+        self.forward_matrix_as::<V256>(acts)
+    }
+
+    /// The width-generic blocked matrix kernel behind
+    /// [`Self::forward_matrix`], exposed so the differential tests and
+    /// kernel benches can pin the lane count (`u64` = the scalar
+    /// reference, [`V256`] = the wide datapath; both are bit-identical by
+    /// construction and by proptest).
+    ///
+    /// Structure — cache-blocked, activation-stationary:
+    ///
+    /// * The activation rows are walked in **64-row blocks** (one output
+    ///   word per channel per block). Each block is transposed once into
+    ///   word-major wide words: wide word `s·words + w` holds activation
+    ///   word `w` of rows `64·blk + s·LANES ..`, one row per lane. The
+    ///   transposed block (`words × 64` words ≈ a few KiB for every
+    ///   deployed geometry) stays L1-resident while **all** output
+    ///   channels consume it — where the per-row kernel re-streamed the
+    ///   whole im2col matrix once per channel, this streams it once per
+    ///   block.
+    /// * Per (channel, wide word): one splatted-weight XNOR, the
+    ///   lane-generic SWAR reduction ([`lane_counts_w`]), a per-lane bias
+    ///   add and MSB mask — `LANES` activation rows per operation. Vote
+    ///   bits are shifted to their SWAR field base and accumulated
+    ///   *vertically* in a wide accumulator, folded horizontally once per
+    ///   sub-block (with a mid-loop fold only where the field width could
+    ///   overflow), so the per-word work has no lane extractions.
+    /// * Tail tiles (ragged last tile, bits past the SWAR words) use the
+    ///   precomputed span popcounts per lane, reading the transposed
+    ///   block in place.
+    ///
+    /// # Panics
+    /// Panics if `acts.width() != fan_in`.
+    pub fn forward_matrix_as<W: Word>(&self, acts: &PackedMatrix) -> PackedMatrix {
         assert_eq!(acts.width(), self.fan_in, "input width mismatch");
         let n = acts.rows();
-        let stride = acts.words_per_row();
-        let act_words = acts.storage();
+        let words = acts.words_per_row();
         let mut out = PackedMatrix::zeros(self.out, n);
-        for channel in 0..self.out {
-            let ctx = self.channel_ctx(channel);
-            let mut cur = 0u64;
-            let out_row = out.row_words_mut(channel);
-            for (a, acts) in act_words.chunks_exact(stride.max(1)).take(n).enumerate() {
-                cur |= (self.channel_bit(&ctx, acts) as u64) << (a % 64);
-                if a % 64 == 63 {
-                    out_row[a / 64] = cur;
-                    cur = 0;
+        if n == 0 || words == 0 {
+            return out;
+        }
+        let k = self.spans.len();
+        let lanes = W::LANES;
+        assert!(
+            64 % lanes == 0 && lanes <= MAX_LANES,
+            "lane count must divide the output block and fit the vote buffer"
+        );
+        let subs = 64 / lanes;
+        let storage = acts.storage();
+        let ctxs: Vec<ChannelCtx<'_>> = (0..self.out).map(|c| self.channel_ctx(c)).collect();
+        let sw = self.swar.as_ref();
+        // Words the vertical vote accumulator can absorb before a SWAR
+        // field (width `lane`, one vote bit per word) could overflow.
+        let flush_every = sw.map_or(usize::MAX, |sw| {
+            if sw.lane >= 32 {
+                usize::MAX
+            } else {
+                (1usize << sw.lane) - 1
+            }
+        });
+        let mut tbuf: Vec<W> = vec![W::zero(); subs * words];
+        for blk in 0..n.div_ceil(64) {
+            let base = blk * 64;
+            let bcount = (n - base).min(64);
+            // Transpose the block: lane l of tbuf[s·words + w] = word w of
+            // activation row base + s·LANES + l (absent rows stay zero and
+            // are never read back).
+            tbuf.fill(W::zero());
+            for p in 0..bcount {
+                let row = &storage[(base + p) * words..(base + p + 1) * words];
+                let (s, l) = (p / lanes, p % lanes);
+                for (w, &word) in row.iter().enumerate() {
+                    tbuf[s * words + w].set_lane(l, word);
                 }
             }
-            if !n.is_multiple_of(64) {
-                out_row[n / 64] = cur;
+            for (channel, ctx) in ctxs.iter().enumerate() {
+                let mut cur = 0u64;
+                // Channel-invariant SWAR state, hoisted out of the
+                // sub-block loop: bias slice zipped with the weight words,
+                // broadcast MSB mask, vote-bit downshift.
+                let swar = match (sw, ctx.bias) {
+                    (Some(sw), Some(bias)) => Some((sw, bias)),
+                    _ => None,
+                };
+                let tail = swar.map_or(0, |(sw, _)| sw.tail_tile);
+                for s in 0..bcount.div_ceil(lanes) {
+                    let block = &tbuf[s * words..s * words + words];
+                    let in_s = lanes.min(bcount - s * lanes);
+                    // Per-lane votes of the uniform SWAR tiles, accumulated
+                    // vertically at field bases.
+                    let mut votes = [0usize; MAX_LANES];
+                    if let Some((sw, bias)) = swar {
+                        let msb = W::splat(sw.msb_mask);
+                        let down = sw.lane - 1;
+                        if sw.words < flush_every {
+                            // Common case: the whole row fits one vertical
+                            // accumulator without field overflow.
+                            let mut acc = W::zero();
+                            for ((&w, &b), &a) in ctx.row.iter().zip(bias).zip(&block[..sw.words]) {
+                                let x = W::splat(w).xnor(a);
+                                acc = acc.add64(
+                                    lane_counts_w(x, sw.lane)
+                                        .add64(W::splat(b))
+                                        .and(msb)
+                                        .shr(down),
+                                );
+                            }
+                            Self::fold_votes(&acc, sw.lane, in_s, &mut votes);
+                        } else {
+                            let mut acc = W::zero();
+                            let mut pending = 0usize;
+                            for i in 0..sw.words {
+                                let x = W::splat(ctx.row[i]).xnor(block[i]);
+                                let hit =
+                                    lane_counts_w(x, sw.lane).add64(W::splat(bias[i])).and(msb);
+                                acc = acc.add64(hit.shr(down));
+                                pending += 1;
+                                if pending == flush_every {
+                                    Self::fold_votes(&acc, sw.lane, in_s, &mut votes);
+                                    acc = W::zero();
+                                    pending = 0;
+                                }
+                            }
+                            if pending > 0 {
+                                Self::fold_votes(&acc, sw.lane, in_s, &mut votes);
+                            }
+                        }
+                    }
+                    for (l, votes) in votes.iter_mut().enumerate().take(in_s) {
+                        for (r, sp) in self.spans.iter().enumerate().skip(tail) {
+                            let vote = match ctx.dead[r] {
+                                1 => false,
+                                2 => true,
+                                _ => {
+                                    2 * sp.matches_with(ctx.row, |w| block[w].lane(l)) as i64
+                                        - sp.len
+                                        >= ctx.min_sums[r]
+                                }
+                            };
+                            *votes += vote as usize;
+                        }
+                        let bit = (2 * *votes >= k) != ctx.flip;
+                        cur |= (bit as u64) << (s * lanes + l);
+                    }
+                }
+                out.row_words_mut(channel)[blk] = cur;
             }
         }
         out
+    }
+
+    /// Folds one vertical vote accumulator into per-lane totals: each
+    /// 64-bit lane of `acc` holds SWAR fields of width `lane` counting the
+    /// votes of the tiles at that field position; the horizontal field sum
+    /// is lane `l`'s vote count, added into `votes[l]`.
+    #[inline]
+    fn fold_votes<W: Word>(acc: &W, lane: u32, in_s: usize, votes: &mut [usize; MAX_LANES]) {
+        let field_mask = if lane == 32 {
+            // `lane_counts_w` leaves 32-bit-lane counts in 16-bit
+            // sub-fields, but vote bits were masked to the field MSB and
+            // shifted to the base, so the full field mask is correct here.
+            0xffff_ffffu64
+        } else {
+            (1u64 << lane) - 1
+        };
+        let fields = (64 / lane) as usize;
+        for (l, votes) in votes.iter_mut().enumerate().take(in_s) {
+            let v = acc.lane(l);
+            let mut sum = 0u64;
+            for j in 0..fields {
+                sum += (v >> (j as u32 * lane)) & field_mask;
+            }
+            *votes += sum as usize;
+        }
     }
 }
 

@@ -54,7 +54,8 @@ use super::{BitMap, PackedModel};
 use aqfp_device::{Bit, GrayZone, VariationModel};
 use aqfp_sc::accumulate::CounterKind;
 use aqfp_sc::bitplane::{
-    bernoulli_threshold, packed_im2col, sample_bernoulli_words, BERNOULLI_ALWAYS, BERNOULLI_NEVER,
+    bernoulli_threshold, packed_im2col, sample_bernoulli_planes, sample_bernoulli_words,
+    BERNOULLI_ALWAYS, BERNOULLI_NEVER,
 };
 use aqfp_sc::{Apc, BitPlane, PackedMatrix};
 use bnn_nn::Tensor;
@@ -72,12 +73,18 @@ pub struct MatrixStochasticTables {
     /// indexed `base[r] + matches`.
     thr: Vec<u64>,
     /// `k + 1` prefix offsets (tile `r`'s sub-table spans
-    /// `base[r]..base[r] + tile_rows(r) + 1`).
+    /// `base[r]..base[r] + tile_rows(r) + 1`; `base[k]` is the entries
+    /// per channel — the `thr` channel stride).
     base: Vec<usize>,
-    /// Entries per channel (`base[k]`).
-    stride: usize,
     /// Output channels the tables were built for.
     out: usize,
+    /// Cell indices `channel·k + tile` in scalar RNG draw order (column
+    /// groups outer, then row tiles, then columns) — the iteration order
+    /// of the plane-at-a-time sampling batch.
+    order: Vec<u32>,
+    /// Draw-order-aligned start offsets of each cell's sub-table in
+    /// `thr` (`channel·stride + base[tile]`).
+    toff: Vec<u32>,
 }
 
 impl MatrixStochasticTables {
@@ -121,17 +128,27 @@ impl MatrixStochasticTables {
                 }
             }
         }
+        // Scalar draw order, frozen once: the evaluation loop walks cells
+        // through these two arrays instead of re-deriving the group
+        // nesting per pixel.
+        let groups = m.col_group_starts();
+        let mut order = Vec::with_capacity(m.out() * k);
+        let mut toff = Vec::with_capacity(m.out() * k);
+        for g in 0..groups.len() - 1 {
+            for (r, &b) in base[..k].iter().enumerate() {
+                for c in groups[g]..groups[g + 1] {
+                    order.push((c * k + r) as u32);
+                    toff.push((c * stride + b) as u32);
+                }
+            }
+        }
         Self {
             thr,
             base,
-            stride,
             out: m.out(),
+            order,
+            toff,
         }
-    }
-
-    #[inline]
-    fn threshold(&self, channel: usize, r: usize, matches: usize) -> u64 {
-        self.thr[channel * self.stride + self.base[r] + matches]
     }
 
     fn check(&self, m: &PackedTiledMatrix) {
@@ -152,6 +169,8 @@ pub(crate) struct Scratch {
     streams: Vec<u64>,
     word: Vec<Bit>,
     cur: Vec<u64>,
+    thrs: Vec<u64>,
+    offs: Vec<usize>,
 }
 
 /// Evaluates one packed activation word slice through the stochastic
@@ -180,26 +199,40 @@ fn eval_channels<R: Rng + ?Sized>(
     m.matches_into(acts, &mut scratch.matches);
     scratch.streams.resize(out * k * stream_words, 0);
 
-    // RNG pass, scalar draw order.
-    let groups = m.col_group_starts();
-    for g in 0..groups.len() - 1 {
+    // RNG pass: gather every cell's Bernoulli threshold (selected by its
+    // match count) in scalar draw order, then sample all observation
+    // windows in one plane-at-a-time batch. The sampler walks the cells
+    // in the given order consuming the RNG exactly like per-cell calls
+    // would, but the draw loop stays tight across the whole matrix.
+    scratch.thrs.clear();
+    scratch.offs.clear();
+    for (&idx, &toff) in tables.order.iter().zip(&tables.toff) {
+        scratch
+            .thrs
+            .push(tables.thr[toff as usize + scratch.matches[idx as usize] as usize]);
+        scratch.offs.push(idx as usize * stream_words);
+    }
+    sample_bernoulli_planes(
+        &scratch.thrs,
+        &scratch.offs,
+        window,
+        &mut scratch.streams,
+        rng,
+    );
+    // Dead columns: the die's neuron drew its (discarded) window above —
+    // the RNG stream must stay aligned with the scalar engine — but the
+    // stuck output reads a constant (the pin sentinels consume no draws).
+    for c in 0..out {
         for r in 0..k {
-            for c in groups[g]..groups[g + 1] {
+            if let Some(b) = m.dead_override(c, r) {
                 let idx = c * k + r;
-                let thr = tables.threshold(c, r, scratch.matches[idx] as usize);
                 let slot = &mut scratch.streams[idx * stream_words..(idx + 1) * stream_words];
-                sample_bernoulli_words(thr, window, slot, rng);
-                if let Some(b) = m.dead_override(c, r) {
-                    // The die's neuron drew its window above (the RNG
-                    // stream must stay aligned with the scalar engine),
-                    // but the stuck output reads a constant.
-                    let pin = if b.as_bool() {
-                        BERNOULLI_ALWAYS
-                    } else {
-                        BERNOULLI_NEVER
-                    };
-                    sample_bernoulli_words(pin, window, slot, rng);
-                }
+                let pin = if b.as_bool() {
+                    BERNOULLI_ALWAYS
+                } else {
+                    BERNOULLI_NEVER
+                };
+                sample_bernoulli_words(pin, window, slot, rng);
             }
         }
     }

@@ -82,8 +82,21 @@ fn main() {
     let mut shape = packed.input_shape();
     for (li, layer) in packed.layers().iter().enumerate() {
         let out_shape = layer.out_shape(shape);
+        // Packed words a stage moves per sample: input plane + output
+        // plane, plus the unfolded im2col field matrix for conv stages —
+        // the actual traffic through the wide-word kernels, and the
+        // number the per-stage times should be read against.
+        let in_words = (shape[0] * shape[1] * shape[2]).div_ceil(64);
+        let out_words = (out_shape[0] * out_shape[1] * out_shape[2]).div_ceil(64);
+        let field_words = match layer {
+            superbnn::deploy::PackedLayer::Conv(c) => {
+                let (_, k, _, _) = c.geometry();
+                out_shape[1] * out_shape[2] * (shape[0] * k * k).div_ceil(64)
+            }
+            _ => 0,
+        };
         println!(
-            "  stage {li:>2} {:<8} {:>3}x{}x{} -> {:>3}x{}x{}  {:>8.2} ms  ({:>4.1}%)",
+            "  stage {li:>2} {:<8} {:>3}x{}x{} -> {:>3}x{}x{}  {:>8.2} ms  ({:>4.1}%)  {:>5} words/sample",
             layer.name(),
             shape[0],
             shape[1],
@@ -93,6 +106,7 @@ fn main() {
             out_shape[2],
             stage_time[li].as_secs_f64() * 1e3,
             100.0 * stage_time[li].as_secs_f64() / total.as_secs_f64(),
+            in_words + field_words + out_words,
         );
         shape = out_shape;
     }

@@ -733,6 +733,56 @@ proptest! {
         }
     }
 
+    /// The wide-word datapath's width invariant: the fused XNOR+vote GEMM
+    /// tile kernel is bit-identical between the scalar `u64` word and the
+    /// 4-lane `V256` chunk on random ragged geometries — including
+    /// faulted states (stuck cells and dead columns folded into the SWAR
+    /// biases) and pixel counts that leave partial vector chunks — and
+    /// both agree with the per-plane scalar vote kernel.
+    #[test]
+    fn packed_gemm_kernel_is_width_invariant(
+        fan_in in 1usize..200,
+        out in 1usize..14,
+        rows in 1usize..40,
+        n in 1usize..140,
+        stuck in 0u8..3,
+        seed in 0u64..800,
+    ) {
+        use aqfp_sc::{PackedMatrix, V256};
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: 8,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signs = sign_matrix(&mut rng, fan_in * out);
+        let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+        let mut m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
+        if stuck > 0 {
+            let fm = FaultModel::new(0.15 * stuck as f64, 0.2 * stuck as f64).unwrap();
+            m.inject_faults(&fm, &mut rng);
+        }
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let mut acts = PackedMatrix::zeros(n, fan_in);
+        for p in 0..n {
+            for i in 0..fan_in {
+                if rng.gen() {
+                    acts.set(p, i, true);
+                }
+            }
+        }
+        let narrow = packed.forward_matrix_as::<u64>(&acts);
+        let wide = packed.forward_matrix_as::<V256>(&acts);
+        prop_assert_eq!(narrow.storage(), wide.storage(), "u64 vs V256");
+        for p in (0..n).step_by((n / 3).max(1)) {
+            let plane = packed.forward_plane(&acts.row_plane(p));
+            for ch in 0..out {
+                prop_assert_eq!(narrow.get(ch, p), plane.get(ch), "pixel {} ch {}", p, ch);
+            }
+        }
+    }
+
     /// The Stanh FSM output is a valid stream whose value has the input's
     /// sign for clearly non-zero inputs.
     #[test]
@@ -748,6 +798,61 @@ proptest! {
         let s = PackedStream::generate_bipolar(x, 16_384, &mut rng);
         let y = StanhFsm::new(states * 2).run(&s).bipolar_value();
         prop_assert!((y > 0.0) == positive, "x={x} y={y}");
+    }
+}
+
+/// Deterministic boundary sweep of the wide-word GEMM kernel: pixel
+/// counts that leave 1–3 trailing `u64` words (a partial `V256` chunk at
+/// the end of a 64-pixel block) and row geometries with 1–3 words per
+/// row, crossed — exactly the edges where a lane-indexing bug would
+/// read or write garbage pixels.
+#[test]
+fn packed_gemm_width_boundary_trailing_words() {
+    use aqfp_sc::{PackedMatrix, V256};
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 8,
+        ..Default::default()
+    };
+    // 27 = single narrow tile (lane rounded up), 72/144 = ragged last
+    // tile, 64/128 = exact whole words.
+    for &fan_in in &[27usize, 64, 72, 128, 144] {
+        let out = 6usize;
+        let signs: Vec<f32> = (0..fan_in * out)
+            .map(|i| if (i * 7 + 3) % 5 < 2 { 1.0 } else { -1.0 })
+            .collect();
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 * 0.4 - 1.1).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, vec![false; out], &hw);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        // 1..=5 covers every trailing-lane residue of a V256 chunk;
+        // 63..=67 covers the same residues straddling a 64-pixel block.
+        for n in (1usize..=5).chain(63..=67) {
+            let mut acts = PackedMatrix::zeros(n, fan_in);
+            for p in 0..n {
+                for i in 0..fan_in {
+                    if (p * 31 + i * 13 + fan_in) % 3 == 0 {
+                        acts.set(p, i, true);
+                    }
+                }
+            }
+            let narrow = packed.forward_matrix_as::<u64>(&acts);
+            let wide = packed.forward_matrix_as::<V256>(&acts);
+            assert_eq!(
+                narrow.storage(),
+                wide.storage(),
+                "u64/V256 divergence at fan_in {fan_in}, {n} pixels"
+            );
+            for p in 0..n {
+                let plane = packed.forward_plane(&acts.row_plane(p));
+                for ch in 0..out {
+                    assert_eq!(
+                        narrow.get(ch, p),
+                        plane.get(ch),
+                        "scalar divergence at fan_in {fan_in}, pixel {p}, ch {ch}"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -34,6 +34,10 @@ impl SeedableRng for StdRng {
 }
 
 impl RngCore for StdRng {
+    // The packed stochastic engines draw one u64 per Bernoulli word; an
+    // un-inlined cross-crate call per draw dominates their inner loop, so
+    // ask for inlining explicitly (the xoshiro step is a handful of ALU ops).
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
