@@ -76,6 +76,20 @@ impl PopcountLinear {
         Self { rows, fan_in }
     }
 
+    /// Builds from already packed weight rows (each row one output unit's
+    /// ±1 weights over the fan-in) — the reassembly path of the deploy
+    /// snapshot codec, which persists the rows as raw bitplane words.
+    ///
+    /// # Panics
+    /// Panics if `fan_in` is zero or any row's length differs from it.
+    pub fn from_rows(rows: Vec<PackedVec>, fan_in: usize) -> Self {
+        assert!(fan_in > 0, "fan-in must be positive");
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), fan_in, "row {i} length mismatch");
+        }
+        Self { rows, fan_in }
+    }
+
     /// Number of output units.
     pub fn out_features(&self) -> usize {
         self.rows.len()

@@ -55,7 +55,11 @@ fn main() {
     .train(&mut model, &data);
     let deployed = deploy(&spec, &model, &hw).expect("deploys");
     let packed = deployed.to_packed();
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The batched measurement fans across this many workers; recorded
+    // separately from `machine_cpus` so the JSON never conflates machine
+    // parallelism with measurement parallelism.
+    let batch_workers = packed.workers();
 
     let n = data.len();
     println!(
@@ -87,7 +91,10 @@ fn main() {
         }
     });
     let packed_1t = {
-        let one = deployed.to_packed().with_workers(1);
+        let one = deployed
+            .to_packed()
+            .with_workers(1)
+            .expect("one worker is always valid");
         samples_per_second(n, || {
             std::hint::black_box(one.classify_batch(&data.images, None));
         })
@@ -100,7 +107,9 @@ fn main() {
     let speedup_mt = packed_mt / scalar;
     println!("scalar digital engine : {scalar:>12.1} samples/s");
     println!("packed pipeline (1 thr) : {packed_1t:>12.1} samples/s  ({speedup_1t:.1}x)");
-    println!("packed pipeline ({workers} thr) : {packed_mt:>12.1} samples/s  ({speedup_mt:.1}x)");
+    println!(
+        "packed pipeline ({batch_workers} thr) : {packed_mt:>12.1} samples/s  ({speedup_mt:.1}x)"
+    );
     if speedup_1t < 4.0 {
         println!("WARNING: single-thread packed conv speedup below the 4x target");
     }
@@ -109,7 +118,9 @@ fn main() {
         "{{\n  \"bench\": \"deploy_conv_throughput\",\n  \"simd_width\": \"v256\",\n  \
          \"model\": \"vgg_small_objects_8-16-32\",\n  \
          \"input\": \"3x16x16\",\n  \"crossbar\": \"32x16\",\n  \
-         \"samples\": {n},\n  \"workers\": {workers},\n  \
+         \"samples\": {n},\n  \"machine_cpus\": {machine_cpus},\n  \
+         \"measured_workers_1thread\": 1,\n  \
+         \"measured_workers_batch\": {batch_workers},\n  \
          \"bit_identical\": true,\n  \
          \"scalar_digital_samples_per_s\": {scalar:.1},\n  \
          \"packed_1thread_samples_per_s\": {packed_1t:.1},\n  \

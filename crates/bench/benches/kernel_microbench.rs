@@ -205,9 +205,14 @@ fn main() {
         bern_batched / bern_per_call
     );
 
+    // Kernel timings are all single-threaded; `machine_cpus` records the
+    // machine separately from the measurement parallelism.
+    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"kernel_microbench\",\n  \
          \"simd_width\": \"v256\",\n  \
+         \"machine_cpus\": {machine_cpus},\n  \
+         \"measured_workers\": 1,\n  \
          \"lane_counts_u64_words_per_s\": {lc_u64:.0},\n  \
          \"lane_counts_v256_words_per_s\": {lc_v256:.0},\n  \
          \"masked_popcount_ranges_per_s\": {masked_popcount:.0},\n  \

@@ -101,10 +101,15 @@ fn main() {
         );
     }
 
+    // Trials fan across `measured_workers` threads (each trial evaluates
+    // single-threaded); `machine_cpus` records the machine so the two are
+    // never conflated.
+    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"robustness_sweep\",\n  \"campaign_seed\": {},\n  \
+         \"machine_cpus\": {machine_cpus},\n  \"measured_workers\": {},\n  \
          \"bit_identical_to_scalar\": true,\n  \"workloads\": [{workloads}\n  ]\n}}\n",
-        scale.seed
+        scale.seed, cfg.workers
     );
     let out = std::env::var("ROBUSTNESS_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_robustness.json", env!("CARGO_MANIFEST_DIR")));

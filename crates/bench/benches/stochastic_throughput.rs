@@ -152,8 +152,13 @@ fn main() {
         );
     }
 
+    // Both engines here are timed single-threaded (the stochastic path is
+    // serial-RNG-bound); `machine_cpus` records the machine separately.
+    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"stochastic_throughput\",\n  \"simd_width\": \"v256\",\n  \"seed_matched_flips\": true,\n  \
+        "{{\n  \"bench\": \"stochastic_throughput\",\n  \"simd_width\": \"v256\",\n  \
+         \"machine_cpus\": {machine_cpus},\n  \"measured_workers\": 1,\n  \
+         \"seed_matched_flips\": true,\n  \
          \"workloads\": [{rows}\n  ]\n}}\n"
     );
     let out = std::env::var("STOCHASTIC_BENCH_OUT")

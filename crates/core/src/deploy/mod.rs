@@ -106,6 +106,7 @@ mod layer;
 mod model;
 pub mod packed;
 pub mod pipeline;
+pub mod snapshot;
 pub mod stochastic;
 
 pub use bitmap::BitMap;
@@ -113,4 +114,5 @@ pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};
 pub use packed::{PackedModel, PackedTiledMatrix};
 pub use pipeline::{PackedConvStage, PackedLayer, PackedLinearStage, PackedPoolStage};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stochastic::{MatrixStochasticTables, StochasticTables};

@@ -36,6 +36,9 @@ pub enum DeployError {
         /// Human-readable cell kind.
         kind: &'static str,
     },
+    /// A worker-thread count of zero was requested (the batch entry points
+    /// and the sweep engine need at least one worker).
+    ZeroWorkers,
 }
 
 impl fmt::Display for DeployError {
@@ -58,6 +61,9 @@ impl fmt::Display for DeployError {
                     f,
                     "cell kind {kind} is not supported by the crossbar mapper"
                 )
+            }
+            DeployError::ZeroWorkers => {
+                write!(f, "worker count must be at least one")
             }
         }
     }
@@ -103,6 +109,25 @@ impl DeployedClassifier {
     /// The underlying XNOR/popcount linear layer.
     pub fn popcount(&self) -> &PopcountLinear {
         &self.pop
+    }
+
+    /// The per-class α scales of the read-out affine.
+    pub fn alphas(&self) -> &[f32] {
+        &self.alphas
+    }
+
+    /// The per-class biases of the read-out affine.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Reassembles a classifier head from its parts — the snapshot
+    /// decoder's constructor. The caller (the snapshot codec) validates
+    /// that all three parts have the same output count.
+    pub(crate) fn from_parts(pop: PopcountLinear, alphas: Vec<f32>, bias: Vec<f32>) -> Self {
+        debug_assert_eq!(pop.out_features(), alphas.len());
+        debug_assert_eq!(alphas.len(), bias.len());
+        Self { pop, alphas, bias }
     }
 }
 

@@ -345,6 +345,60 @@ impl PackedTiledMatrix {
         })
     }
 
+    /// The primitive (serializable) state of the matrix — everything the
+    /// snapshot codec persists. The derived acceleration state (tile
+    /// spans, SWAR tables) is *not* part of it; [`Self::from_parts`]
+    /// rebuilds it, which is faithful even for faulted matrices because
+    /// fault injection keeps `dead` and the SWAR biases mutually
+    /// consistent ([`Self::set_dead`] patches both from the same rule
+    /// [`Self::build_swar`] applies).
+    pub(crate) fn to_parts(&self) -> MatrixParts {
+        MatrixParts {
+            weights: self.weights.clone(),
+            row_starts: self.row_starts.clone(),
+            col_starts: self.col_starts.clone(),
+            min_sums: self.min_sums.clone(),
+            dead: self.dead.clone(),
+            thresholds_ua: self.thresholds_ua.clone(),
+            grayzone_ua: self.grayzone_ua,
+            attenuation: self.attenuation,
+            window: self.window,
+            counter: self.counter,
+            flips: self.flips.clone(),
+            fan_in: self.fan_in,
+            out: self.out,
+        }
+    }
+
+    /// Reassembles a matrix from decoded snapshot parts, rebuilding the
+    /// derived tile spans and SWAR tables. The snapshot codec validates
+    /// the parts' internal consistency (monotone tile boundaries, table
+    /// lengths, zero weight tails) before calling this.
+    pub(crate) fn from_parts(p: MatrixParts) -> Self {
+        let k = p.row_starts.len() - 1;
+        let spans = (0..k)
+            .map(|r| TileSpan::new(p.row_starts[r], p.row_starts[r + 1]))
+            .collect();
+        let swar = Self::build_swar(&p.row_starts, &p.min_sums, &p.dead, p.out, p.fan_in);
+        Self {
+            weights: p.weights,
+            row_starts: p.row_starts,
+            col_starts: p.col_starts,
+            min_sums: p.min_sums,
+            dead: p.dead,
+            spans,
+            swar,
+            thresholds_ua: p.thresholds_ua,
+            grayzone_ua: p.grayzone_ua,
+            attenuation: p.attenuation,
+            window: p.window,
+            counter: p.counter,
+            flips: p.flips,
+            fan_in: p.fan_in,
+            out: p.out,
+        }
+    }
+
     /// Fan-in of the matrix.
     pub fn fan_in(&self) -> usize {
         self.fan_in
@@ -841,6 +895,26 @@ impl PackedTiledMatrix {
     }
 }
 
+/// The primitive state of a [`PackedTiledMatrix`], as persisted by the
+/// snapshot codec (see [`super::snapshot`] for the wire format). Derived
+/// state (tile spans, SWAR tables) is rebuilt on reassembly.
+#[derive(Debug, Clone)]
+pub(crate) struct MatrixParts {
+    pub(crate) weights: PackedMatrix,
+    pub(crate) row_starts: Vec<usize>,
+    pub(crate) col_starts: Vec<usize>,
+    pub(crate) min_sums: Vec<i64>,
+    pub(crate) dead: Vec<u8>,
+    pub(crate) thresholds_ua: Vec<f64>,
+    pub(crate) grayzone_ua: f64,
+    pub(crate) attenuation: aqfp_crossbar::AttenuationModel,
+    pub(crate) window: usize,
+    pub(crate) counter: aqfp_sc::accumulate::CounterKind,
+    pub(crate) flips: Vec<bool>,
+    pub(crate) fan_in: usize,
+    pub(crate) out: usize,
+}
+
 /// Loop-invariant per-channel slices of a [`PackedTiledMatrix`] (see
 /// [`PackedTiledMatrix::channel_ctx`]).
 struct ChannelCtx<'a> {
@@ -893,6 +967,24 @@ impl PackedModel {
         }
     }
 
+    /// Reassembles a packed model from decoded snapshot parts (the
+    /// snapshot codec validates the layer shape chain before calling
+    /// this). The worker count is a runtime knob, not model state, so it
+    /// resets to the machine default.
+    pub(crate) fn from_parts(
+        input_shape: [usize; 3],
+        layers: Vec<PackedLayer>,
+        classifier: DeployedClassifier,
+    ) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            input_shape,
+            layers,
+            classifier,
+            workers,
+        }
+    }
+
     /// The lowered pipeline stages, in execution order.
     pub fn layers(&self) -> &[PackedLayer] {
         &self.layers
@@ -906,13 +998,20 @@ impl PackedModel {
     /// Overrides the worker-thread count of the batch entry points
     /// (default: `std::thread::available_parallelism()`).
     ///
-    /// # Panics
-    /// Panics if `workers == 0`.
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
+    /// # Errors
+    /// [`DeployError::ZeroWorkers`](super::DeployError::ZeroWorkers) if
+    /// `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> crate::Result<Self> {
+        if workers == 0 {
+            return Err(super::DeployError::ZeroWorkers);
+        }
         self.workers = workers;
-        self
+        Ok(self)
+    }
+
+    /// The worker-thread count the batch entry points fan across.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The expected input shape `[C, H, W]`.
@@ -977,6 +1076,62 @@ impl PackedModel {
         }
         let scores = self.classifier.scores_plane(&act);
         (argmax(&scores), scores)
+    }
+
+    /// Classifies a coalesced batch of packed input planes on the calling
+    /// thread — the serving layer's batch kernel. Conv, pool and flatten
+    /// stages fold each plane individually; linear stages pack the whole
+    /// batch into one activation matrix and run the blocked GEMM kernel
+    /// ([`PackedTiledMatrix::forward_matrix`]), which is where coalescing
+    /// arrivals into one batch pays. Results come back in input order,
+    /// bit-identical to per-sample [`Self::classify_plane`] calls.
+    ///
+    /// # Panics
+    /// Panics if any plane's length does not match the input shape.
+    pub fn classify_planes(&self, planes: &[BitPlane]) -> Vec<(usize, Vec<f32>)> {
+        let n = planes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let in_bits: usize = self.input_shape.iter().product();
+        for p in planes {
+            assert_eq!(p.len(), in_bits, "input plane length mismatch");
+        }
+        let mut acts: Vec<BitPlane> = planes.to_vec();
+        let mut shape = self.input_shape;
+        for layer in &self.layers {
+            match layer {
+                PackedLayer::Linear(l) if n > 1 => {
+                    let out = l.matrix().forward_matrix(&PackedMatrix::from_planes(&acts));
+                    for (s, plane) in acts.iter_mut().enumerate() {
+                        let mut p = BitPlane::zeros(out.rows());
+                        for c in 0..out.rows() {
+                            if out.get(c, s) {
+                                p.set(c, true);
+                            }
+                        }
+                        *plane = p;
+                    }
+                    shape = [out.rows(), 1, 1];
+                }
+                _ => {
+                    let mut next_shape = shape;
+                    for plane in acts.iter_mut() {
+                        let taken = std::mem::replace(plane, BitPlane::zeros(0));
+                        let (next, ns) = layer.forward(taken, shape);
+                        *plane = next;
+                        next_shape = ns;
+                    }
+                    shape = next_shape;
+                }
+            }
+        }
+        acts.iter()
+            .map(|plane| {
+                let scores = self.classifier.scores_plane(plane);
+                (argmax(&scores), scores)
+            })
+            .collect()
     }
 
     /// Classifies sample `n` of an image batch; returns `(label, scores)`.
@@ -1081,7 +1236,7 @@ mod tests {
         let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
         let model = spec.build_software(&h, 3);
         let deployed = deploy(&spec, &model, &h).unwrap();
-        let packed = deployed.to_packed().with_workers(2);
+        let packed = deployed.to_packed().with_workers(2).unwrap();
         let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
             samples_per_class: 2,
             ..Default::default()
@@ -1147,7 +1302,7 @@ mod tests {
         for (stuck, dead) in [(0.0, 0.0), (0.3, 0.0), (0.0, 1.0), (0.2, 0.4)] {
             let fm = FaultModel::new(stuck, dead).unwrap();
             let mut deployed = deploy(&spec, &model, &h).unwrap();
-            let mut packed = deployed.to_packed().with_workers(2);
+            let mut packed = deployed.to_packed().with_workers(2).unwrap();
             let scalar_defects = deployed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(21));
             let packed_defects = packed.inject_faults(&fm, &mut DeviceRng::seed_from_u64(21));
             assert_eq!(scalar_defects, packed_defects, "rates ({stuck}, {dead})");
@@ -1171,11 +1326,55 @@ mod tests {
             samples_per_class: 1,
             ..Default::default()
         });
-        let one = deployed.to_packed().with_workers(1);
-        let many = deployed.to_packed().with_workers(7);
+        let one = deployed.to_packed().with_workers(1).unwrap();
+        let many = deployed.to_packed().with_workers(7).unwrap();
         assert_eq!(
             one.classify_batch(&data.images, None),
             many.classify_batch(&data.images, None)
         );
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_panic() {
+        let h = hw(16, 16);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[16], 10);
+        let model = spec.build_software(&h, 5);
+        let deployed = deploy(&spec, &model, &h).unwrap();
+        assert!(matches!(
+            deployed.to_packed().with_workers(0),
+            Err(crate::deploy::DeployError::ZeroWorkers)
+        ));
+    }
+
+    /// The coalesced batch kernel must be bit-identical to per-sample
+    /// evaluation on both pipeline shapes (MLP: the linear GEMM path;
+    /// VGG: conv/pool stages folding per plane), for every batch size
+    /// around the word boundary.
+    #[test]
+    fn classify_planes_matches_per_sample_classify() {
+        for (spec, rows, cols) in [
+            (NetSpec::mlp(&[1, 16, 16], &[32], 10), 16usize, 16usize),
+            (NetSpec::vgg_small([1, 16, 16], 4, 10), 32, 16),
+        ] {
+            let h = hw(rows, cols);
+            let model = spec.build_software(&h, 6);
+            let deployed = deploy(&spec, &model, &h).unwrap();
+            let packed = deployed.to_packed();
+            let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+                samples_per_class: 7,
+                ..Default::default()
+            });
+            let planes: Vec<BitPlane> = (0..data.len())
+                .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+                .collect();
+            for n in [0usize, 1, 2, 63, 64, 65, 70] {
+                let n = n.min(planes.len());
+                let batch = packed.classify_planes(&planes[..n]);
+                assert_eq!(batch.len(), n);
+                for (i, got) in batch.iter().enumerate() {
+                    assert_eq!(*got, packed.classify_plane(&planes[i]), "sample {i} of {n}");
+                }
+            }
+        }
     }
 }

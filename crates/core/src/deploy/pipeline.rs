@@ -159,6 +159,27 @@ impl PackedConvStage {
         }
     }
 
+    /// Reassembles a conv stage from a decoded matrix and its im2col
+    /// geometry — the snapshot decoder's constructor (the codec validates
+    /// `matrix.fan_in() == in_c · k · k` before calling this).
+    pub(crate) fn from_parts(
+        matrix: PackedTiledMatrix,
+        in_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let out_c = matrix.out();
+        Self {
+            matrix,
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+        }
+    }
+
     /// The packed weight matrix.
     pub fn matrix(&self) -> &PackedTiledMatrix {
         &self.matrix
@@ -212,6 +233,12 @@ impl PackedPoolStage {
     /// `c`.
     pub fn new(and_channel: Vec<bool>) -> Self {
         Self { and_channel }
+    }
+
+    /// The per-channel AND-pooling flags (`true` = AND, for γ < 0
+    /// channels where BN is decreasing).
+    pub fn and_channels(&self) -> &[bool] {
+        &self.and_channel
     }
 
     /// Pools one packed `[C, H, W]` plane to `[C, H/2, W/2]`.
@@ -270,6 +297,11 @@ impl PackedLinearStage {
         Self {
             matrix: PackedTiledMatrix::from_tiled(cell.matrix()),
         }
+    }
+
+    /// Wraps a decoded matrix — the snapshot decoder's constructor.
+    pub(crate) fn from_matrix(matrix: PackedTiledMatrix) -> Self {
+        Self { matrix }
     }
 
     /// The packed weight matrix.

@@ -143,13 +143,15 @@ impl SweepConfig {
 
     /// Overrides the worker-thread count.
     ///
-    /// # Panics
-    /// Panics if `workers == 0`.
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
+    /// # Errors
+    /// [`DeployError::ZeroWorkers`](crate::deploy::DeployError::ZeroWorkers)
+    /// if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> crate::Result<Self> {
+        if workers == 0 {
+            return Err(crate::deploy::DeployError::ZeroWorkers);
+        }
         self.workers = workers;
-        self
+        Ok(self)
     }
 }
 
@@ -328,7 +330,10 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
                     let trial = ci * chunk + j;
                     let point = trial / cfg.trials;
                     let seed = cfg.campaign_seed ^ trial as u64;
-                    let mut m = packed.clone().with_workers(1);
+                    let mut m = packed
+                        .clone()
+                        .with_workers(1)
+                        .expect("one worker is always valid");
                     let mut rng = DeviceRng::seed_from_u64(seed);
                     let defects = m.inject_faults(&cfg.grid[point % points_per_cond], &mut rng);
                     let accuracy = match tables.get(point / points_per_cond) {
@@ -393,9 +398,18 @@ mod tests {
     fn sweeps_are_deterministic_across_worker_counts() {
         let (packed, data) = tiny_campaign_model();
         let cfg = SweepConfig::stuck_cell_grid(&[0.0, 0.1], 3, 42).unwrap();
-        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1));
-        let b = run_sweep(&packed, &data, &cfg.with_workers(4));
+        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1).unwrap());
+        let b = run_sweep(&packed, &data, &cfg.with_workers(4).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_panic() {
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0], 1, 0).unwrap();
+        assert!(matches!(
+            cfg.with_workers(0),
+            Err(crate::deploy::DeployError::ZeroWorkers)
+        ));
     }
 
     #[test]
@@ -466,8 +480,8 @@ mod tests {
             .with_eval_samples(Some(8))
             .with_grayzone_scales(&[1.0, 3.0])
             .unwrap();
-        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1));
-        let b = run_sweep(&packed, &data, &cfg.with_workers(4));
+        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1).unwrap());
+        let b = run_sweep(&packed, &data, &cfg.with_workers(4).unwrap());
         assert_eq!(a, b, "stochastic sweeps must not depend on worker count");
         // variation-major × fault-minor ordering, trials globally indexed.
         assert_eq!(a.points.len(), 4);

@@ -1,0 +1,223 @@
+//! The dynamic batching state machine.
+//!
+//! Serving throughput on the packed engine comes from batching — the
+//! tiled GEMM amortizes weight-tile traversal across the whole activation
+//! matrix — but a request that waits forever for a full batch blows its
+//! latency budget. [`Batcher`] implements the classic size-or-deadline
+//! compromise: a batch is released as soon as it reaches
+//! [`BatchPolicy::max_batch`] requests, or as soon as the *oldest* queued
+//! request has waited [`BatchPolicy::max_delay`], whichever comes first.
+//!
+//! The batcher is a pure state machine: it holds no clock and spawns no
+//! threads. Every transition ([`Batcher::push`], [`Batcher::poll`])
+//! receives the current time as a [`Duration`] from the caller's
+//! [`Clock`](crate::clock::Clock), which is what makes the
+//! deadline-flush path deterministically testable (see the unit tests,
+//! which drive it with a [`ManualClock`](crate::clock::ManualClock)).
+//! The worker pool wraps it in a mutex and parks on a condvar until
+//! [`Batcher::deadline`].
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// When to release a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Release as soon as this many requests are queued (and never hand a
+    /// larger batch to a worker).
+    pub max_batch: usize,
+    /// Release once the oldest queued request has waited this long, even
+    /// if the batch is short.
+    pub max_delay: Duration,
+}
+
+/// A FIFO request queue with size-or-deadline release.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    policy: BatchPolicy,
+    queue: VecDeque<(T, Duration)>,
+}
+
+impl<T> Batcher<T> {
+    /// An empty batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The release policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a request that arrived at `now`.
+    pub fn push(&mut self, item: T, now: Duration) {
+        self.queue.push_back((item, now));
+    }
+
+    /// The instant the oldest queued request must be released by, or
+    /// `None` if the queue is empty. Workers park on the condvar until
+    /// this deadline.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.queue
+            .front()
+            .map(|&(_, arrived)| arrived + self.policy.max_delay)
+    }
+
+    /// Releases a batch if the policy says so: the front `max_batch`
+    /// requests when the queue is full enough, or everything queued when
+    /// the oldest request's deadline has passed. Returns `None` (and
+    /// removes nothing) otherwise. Never returns an empty batch.
+    pub fn poll(&mut self, now: Duration) -> Option<Vec<T>> {
+        let due = self.deadline().is_some_and(|d| now >= d);
+        if self.queue.len() >= self.policy.max_batch || due {
+            self.take()
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally releases the front of the queue (up to
+    /// `max_batch`), regardless of deadlines — the shutdown drain path.
+    /// Returns `None` once the queue is empty, so draining is
+    /// `while let Some(batch) = batcher.drain() { ... }`.
+    pub fn drain(&mut self) -> Option<Vec<T>> {
+        self.take()
+    }
+
+    fn take(&mut self) -> Option<Vec<T>> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let n = self.queue.len().min(self.policy.max_batch);
+        Some(self.queue.drain(..n).map(|(item, _)| item).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+
+    fn policy(max_batch: usize, max_delay_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_delay: Duration::from_micros(max_delay_us),
+        }
+    }
+
+    #[test]
+    fn flushes_on_size_immediately() {
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(4, 1_000));
+        for i in 0..3 {
+            b.push(i, clock.now());
+            assert!(b.poll(clock.now()).is_none(), "flushed below max_batch");
+        }
+        b.push(3, clock.now());
+        // Time has not advanced at all: this is a pure size flush.
+        assert_eq!(b.poll(clock.now()), Some(vec![0, 1, 2, 3]));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flushes_on_deadline_with_short_batch() {
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(64, 200));
+        b.push('a', clock.now());
+        clock.advance(Duration::from_micros(150));
+        b.push('b', clock.now());
+        // 199 µs after 'a' arrived: not yet due.
+        clock.advance(Duration::from_micros(49));
+        assert!(b.poll(clock.now()).is_none(), "flushed before the deadline");
+        // 200 µs after 'a' arrived: the oldest request is due, everything
+        // queued goes out together.
+        clock.advance(Duration::from_micros(1));
+        assert_eq!(b.poll(clock.now()), Some(vec!['a', 'b']));
+        // 'b' alone would only be due at 350 µs; the queue is empty so
+        // there is no deadline at all.
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_request() {
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(64, 100));
+        b.push(1, clock.now());
+        clock.advance(Duration::from_micros(30));
+        b.push(2, clock.now());
+        // Deadline comes from the oldest (first) arrival, not the newest.
+        assert_eq!(b.deadline(), Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn oversize_burst_splits_into_max_batch_chunks() {
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(4, 1_000));
+        for i in 0..10 {
+            b.push(i, clock.now());
+        }
+        assert_eq!(b.poll(clock.now()), Some(vec![0, 1, 2, 3]));
+        assert_eq!(b.poll(clock.now()), Some(vec![4, 5, 6, 7]));
+        // Two left: below size and below deadline, so they wait...
+        assert!(b.poll(clock.now()).is_none());
+        // ...until their arrival deadline passes.
+        clock.advance(Duration::from_micros(1_000));
+        assert_eq!(b.poll(clock.now()), Some(vec![8, 9]));
+    }
+
+    #[test]
+    fn drain_empties_queue_ignoring_deadlines() {
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(3, 1_000_000));
+        for i in 0..7 {
+            b.push(i, clock.now());
+        }
+        // Nothing is due (the delay is a full second) but shutdown takes
+        // everything, in order, in max_batch chunks.
+        let mut drained = Vec::new();
+        while let Some(batch) = b.drain() {
+            assert!(batch.len() <= 3);
+            drained.extend(batch);
+        }
+        assert_eq!(drained, (0..7).collect::<Vec<_>>());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn no_request_lost_or_duplicated_under_mixed_flushes() {
+        // Interleave pushes, size flushes, deadline flushes and a final
+        // drain; every id must come out exactly once, in order.
+        let clock = ManualClock::new();
+        let mut b = Batcher::new(policy(5, 73));
+        let mut out: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for step in 0..200 {
+            // A lumpy arrival pattern: bursts of 0..=3 per tick.
+            for _ in 0..(step * 7 % 4) {
+                b.push(next, clock.now());
+                next += 1;
+            }
+            clock.advance(Duration::from_micros(step % 11));
+            while let Some(batch) = b.poll(clock.now()) {
+                out.extend(batch);
+            }
+        }
+        while let Some(batch) = b.drain() {
+            out.extend(batch);
+        }
+        assert_eq!(out, (0..next).collect::<Vec<_>>());
+    }
+}

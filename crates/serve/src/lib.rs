@@ -1,0 +1,42 @@
+//! Model serving for the packed SupeRBNN deploy engine.
+//!
+//! The deploy engine's batch entry points are built for offline sweeps:
+//! hand them a dataset, they fan a `thread::scope` across it and join.
+//! Serving inverts the shape of the problem — requests arrive one at a
+//! time, the pool must already be warm, and the number that matters is
+//! the *tail* latency under a target arrival rate, not samples/second
+//! over a captive dataset. This crate is that serving layer:
+//!
+//! - [`server::Server`] — a persistent worker pool (threads started
+//!   once, parked on a condvar) over sharded
+//!   [`PackedModel`](superbnn::deploy::PackedModel) replicas, fed by
+//! - [`batcher::Batcher`] — a size-or-deadline dynamic batcher (a pure,
+//!   clock-injected state machine; see [`clock`]), measured by
+//! - [`metrics::LatencyHistogram`] — HDR-style log-linear histograms
+//!   (≤ 6.25% quantile error) behind shared atomic lifecycle counters,
+//!   and driven by
+//! - [`loadgen`] — closed-loop (saturation throughput) and open-loop
+//!   (fixed-rate, coordinated-omission-safe tail latency) generators.
+//!
+//! Replicas cold-start from the versioned binary snapshots of
+//! [`superbnn::deploy::snapshot`] — load, shard, serve; no training or
+//! lowering on the serving box. End-to-end: `BENCH_serve.json` (written
+//! by the `serve_load` bench) and `examples/serve_demo.rs`.
+//!
+//! Everything is `std`-only: no async runtime, no external crates —
+//! mutex + condvar + mpsc, same as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod clock;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher};
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use loadgen::{closed_loop, open_loop, LoadReport};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use server::{Pending, ServeConfig, ServeError, Server};

@@ -1,0 +1,203 @@
+//! Closed- and open-loop load generators for SLO measurement.
+//!
+//! The two loops answer different questions:
+//!
+//! - [`closed_loop`] — *how fast can the pool go?* `clients` threads each
+//!   keep exactly one request in flight, back to back. Throughput at
+//!   enough clients is the saturation rate; latency under a closed loop
+//!   self-limits (a slow server slows its own offered load), so it is a
+//!   capacity probe, not an SLO probe.
+//! - [`open_loop`] — *what latency does a given arrival rate cost?*
+//!   Requests are submitted on a fixed schedule (`rate_rps`), independent
+//!   of how the server is doing, and every latency is measured from the
+//!   request's **scheduled** arrival time. If the dispatcher falls
+//!   behind, the backlog delay stays in the numbers instead of being
+//!   silently dropped — the standard guard against coordinated omission.
+//!
+//! Both return a [`LoadReport`] with the client-observed latency
+//! histogram (submit→answer for the closed loop, schedule→answer for the
+//! open loop); the server's own metrics cover the enqueue→answer part.
+
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use aqfp_sc::BitPlane;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::LatencyHistogram;
+use crate::server::{Pending, ServeError, Server};
+
+/// What a load-generation run observed.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadReport {
+    /// Requests the generator tried to submit.
+    pub offered: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests refused at submit time (queue full / shutdown).
+    pub rejected: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Client-observed latency of every completed request.
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.latency.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.latency.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> Duration {
+        self.latency.quantile(0.999)
+    }
+}
+
+/// Runs `clients` threads, each submitting `requests_per_client` requests
+/// back to back (one in flight per client), cycling over `planes`.
+/// Latency is measured submit→answer.
+///
+/// # Panics
+/// Panics if `planes` is empty or `clients` is zero.
+pub fn closed_loop(
+    server: &Server,
+    planes: &[BitPlane],
+    clients: usize,
+    requests_per_client: usize,
+) -> LoadReport {
+    assert!(!planes.is_empty(), "closed_loop needs at least one plane");
+    assert!(clients > 0, "closed_loop needs at least one client");
+    let clock = MonotonicClock::new();
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let clock = &clock;
+                s.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let (mut done, mut refused) = (0u64, 0u64);
+                    for r in 0..requests_per_client {
+                        let plane = planes[(c * requests_per_client + r) % planes.len()].clone();
+                        let t0 = clock.now();
+                        match server.submit(plane).map(Pending::wait) {
+                            Ok(Ok(_)) => {
+                                hist.record(clock.now().saturating_sub(t0));
+                                done += 1;
+                            }
+                            Ok(Err(_)) | Err(_) => refused += 1,
+                        }
+                    }
+                    (hist, done, refused)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (hist, done, refused) = h.join().expect("closed-loop client panicked");
+            latency.merge(&hist);
+            completed += done;
+            rejected += refused;
+        }
+    });
+    let wall = clock.now();
+    LoadReport {
+        offered: (clients * requests_per_client) as u64,
+        completed,
+        rejected,
+        wall,
+        throughput_rps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        latency,
+    }
+}
+
+/// Submits `total` requests on a fixed schedule of `rate_rps` arrivals
+/// per second, cycling over `planes`. Latency is measured from each
+/// request's **scheduled** time, so server backlog (and dispatcher lag)
+/// count against the tail instead of being coordinated away. `collectors`
+/// threads drain responses concurrently with dispatch.
+///
+/// # Panics
+/// Panics if `planes` is empty, `rate_rps` is not positive, or
+/// `collectors` is zero.
+pub fn open_loop(
+    server: &Server,
+    planes: &[BitPlane],
+    rate_rps: f64,
+    total: usize,
+    collectors: usize,
+) -> LoadReport {
+    assert!(!planes.is_empty(), "open_loop needs at least one plane");
+    assert!(rate_rps > 0.0, "open_loop needs a positive rate");
+    assert!(collectors > 0, "open_loop needs at least one collector");
+    let clock = MonotonicClock::new();
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let (tx, rx) = mpsc::channel::<(Duration, Pending)>();
+    let rx = Mutex::new(rx);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..collectors)
+            .map(|_| {
+                let (clock, rx) = (&clock, &rx);
+                s.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut done = 0u64;
+                    loop {
+                        // Take the receiver lock only to pull one handle,
+                        // then wait for the answer without blocking the
+                        // other collectors.
+                        let msg = rx.lock().unwrap().recv();
+                        match msg {
+                            Ok((scheduled, pending)) => {
+                                if pending.wait().is_ok() {
+                                    hist.record(clock.now().saturating_sub(scheduled));
+                                    done += 1;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    (hist, done)
+                })
+            })
+            .collect();
+        for i in 0..total {
+            let scheduled = Duration::from_secs_f64(i as f64 / rate_rps);
+            let now = clock.now();
+            if scheduled > now {
+                thread::sleep(scheduled - now);
+            }
+            match server.submit(planes[i % planes.len()].clone()) {
+                Ok(pending) => tx.send((scheduled, pending)).expect("collectors alive"),
+                Err(ServeError::QueueFull) => rejected += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        drop(tx);
+        for h in handles {
+            let (hist, done) = h.join().expect("open-loop collector panicked");
+            latency.merge(&hist);
+            completed += done;
+        }
+    });
+    let wall = clock.now();
+    LoadReport {
+        offered: total as u64,
+        completed,
+        rejected,
+        wall,
+        throughput_rps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        latency,
+    }
+}

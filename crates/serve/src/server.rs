@@ -1,0 +1,362 @@
+//! The persistent worker pool over sharded [`PackedModel`] replicas.
+//!
+//! The packed engine's own batch entry point
+//! ([`PackedModel::classify_batch`](superbnn::deploy::PackedModel::classify_batch))
+//! spawns a `thread::scope` per call — fine for offline sweeps, wrong for
+//! serving, where requests arrive one at a time and thread spawn/join
+//! would dominate sub-millisecond inference. [`Server`] instead starts
+//! its workers **once**: long-lived threads that park on a condvar over
+//! the shared [`Batcher`] and wake to classify whole batches.
+//!
+//! ```text
+//!  submit() ──► Batcher (size-or-deadline) ──► worker 0 ── replica 0
+//!      │             │  condvar                worker 1 ── replica 1
+//!      └─ Pending ◄──┴──────── responses ◄──── worker 2 ── replica 0
+//! ```
+//!
+//! Each worker owns an [`Arc`] to one of [`ServeConfig::replicas`] model
+//! shards (worker `i` uses replica `i % replicas`). Replicas are plain
+//! clones of the lowered model — weight planes, SWAR tables and all — so
+//! shards never contend on shared state while the GEMM runs; on a NUMA
+//! box each shard's pages land near the workers that read them. Requests
+//! are answered through per-request [`std::sync::mpsc`] channels
+//! ([`Pending::wait`]), and every completion records its
+//! enqueue-to-answer latency in the shared
+//! [`ServeMetrics`].
+//!
+//! Back-pressure is explicit: the queue holds at most
+//! [`ServeConfig::queue_capacity`] requests and `submit` returns
+//! [`ServeError::QueueFull`] beyond it — the load generators count those
+//! rejections instead of letting the queue grow without bound.
+//! [`Server::shutdown`] stops intake, drains every queued request through
+//! the workers (nothing in flight is dropped), joins the threads and
+//! returns the final metrics; dropping the server does the same
+//! implicitly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aqfp_sc::BitPlane;
+use superbnn::deploy::PackedModel;
+
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`ServeConfig`] field is out of range.
+    Config(
+        /// Which constraint failed.
+        &'static str,
+    ),
+    /// The request's activation plane does not match the model's input.
+    BadInput {
+        /// Bits the model's input shape requires.
+        expected: usize,
+        /// Bits the submitted plane carries.
+        got: usize,
+    },
+    /// The queue is at [`ServeConfig::queue_capacity`]; retry later.
+    QueueFull,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker answering this request went away (shutdown race).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
+            ServeError::BadInput { expected, got } => {
+                write!(
+                    f,
+                    "input plane has {got} bits, the model expects {expected}"
+                )
+            }
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "worker disconnected before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Pool geometry and batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Persistent worker threads.
+    pub workers: usize,
+    /// Model shards; worker `i` classifies on replica `i % replicas`.
+    pub replicas: usize,
+    /// Largest batch handed to one worker.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batched company.
+    pub max_delay: Duration,
+    /// Queued-request bound before `submit` rejects with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            replicas: 1,
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            queue_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks every field is in range.
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] naming the violated constraint (zero
+    /// workers, replicas, batch size or queue capacity, or more replicas
+    /// than workers — surplus shards would never be consulted).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::Config("workers must be at least one"));
+        }
+        if self.replicas == 0 {
+            return Err(ServeError::Config("replicas must be at least one"));
+        }
+        if self.replicas > self.workers {
+            return Err(ServeError::Config("more replicas than workers"));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be at least one"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be at least one"));
+        }
+        Ok(())
+    }
+}
+
+struct Request {
+    plane: BitPlane,
+    enqueued: Duration,
+    tx: mpsc::Sender<(usize, Vec<f32>)>,
+}
+
+struct State {
+    batcher: Batcher<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    clock: MonotonicClock,
+    metrics: ServeMetrics,
+    queue_capacity: usize,
+    input_len: usize,
+}
+
+/// A running worker pool serving one model. See the module docs.
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+    stopped: AtomicBool,
+}
+
+/// A submitted request's response handle.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<(usize, Vec<f32>)>,
+}
+
+impl Pending {
+    /// Blocks until the worker answers with `(label, scores)`.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] if the pool shut down underneath the
+    /// request (cannot happen through [`Server::shutdown`], which drains
+    /// the queue first).
+    pub fn wait(self) -> Result<(usize, Vec<f32>), ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+impl Server {
+    /// Starts the worker pool: clones `model` into
+    /// [`ServeConfig::replicas`] shards and spawns
+    /// [`ServeConfig::workers`] persistent threads parked on the batcher.
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] if `config` fails
+    /// [`ServeConfig::validate`].
+    pub fn start(model: PackedModel, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let input_len = {
+            let [c, h, w] = model.input_shape();
+            c * h * w
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batcher: Batcher::new(BatchPolicy {
+                    max_batch: config.max_batch,
+                    max_delay: config.max_delay,
+                }),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            clock: MonotonicClock::new(),
+            metrics: ServeMetrics::new(),
+            queue_capacity: config.queue_capacity,
+            input_len,
+        });
+        let mut replicas: Vec<Arc<PackedModel>> = Vec::with_capacity(config.replicas);
+        for _ in 0..config.replicas - 1 {
+            replicas.push(Arc::new(model.clone()));
+        }
+        replicas.push(Arc::new(model));
+        let handles = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let replica = Arc::clone(&replicas[i % config.replicas]);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &replica))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            handles,
+            config,
+            stopped: AtomicBool::new(false),
+        })
+    }
+
+    /// The pool geometry the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Enqueues one packed `[C, H, W]` activation plane for
+    /// classification and returns its response handle.
+    ///
+    /// # Errors
+    /// [`ServeError::BadInput`] on a plane-length mismatch,
+    /// [`ServeError::QueueFull`] at capacity (counted as rejected),
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, plane: BitPlane) -> Result<Pending, ServeError> {
+        if plane.len() != self.shared.input_len {
+            return Err(ServeError::BadInput {
+                expected: self.shared.input_len,
+                got: plane.len(),
+            });
+        }
+        let now = self.shared.clock.now();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.batcher.len() >= self.shared.queue_capacity {
+                self.shared.metrics.record_rejected();
+                return Err(ServeError::QueueFull);
+            }
+            st.batcher.push(
+                Request {
+                    plane,
+                    enqueued: now,
+                    tx,
+                },
+                now,
+            );
+        }
+        self.shared.metrics.record_submitted();
+        self.shared.cv.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// A point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stops intake, lets the workers drain every queued request, joins
+    /// them and returns the final metrics. No accepted request is lost.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.shared.metrics.snapshot()
+    }
+
+    fn stop(&mut self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared, replica: &PackedModel) {
+    loop {
+        // Hold the lock only to take a batch (or park); classification
+        // runs lock-free on this worker's own replica shard.
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    match st.batcher.drain() {
+                        Some(b) => break b,
+                        None => return,
+                    }
+                }
+                let now = shared.clock.now();
+                if let Some(b) = st.batcher.poll(now) {
+                    break b;
+                }
+                st = match st.batcher.deadline() {
+                    Some(deadline) => {
+                        let timeout = deadline.saturating_sub(now);
+                        shared.cv.wait_timeout(st, timeout).unwrap().0
+                    }
+                    None => shared.cv.wait(st).unwrap(),
+                };
+            }
+        };
+        let n = batch.len();
+        let mut planes = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        for req in batch {
+            planes.push(req.plane);
+            meta.push((req.enqueued, req.tx));
+        }
+        let results = replica.classify_planes(&planes);
+        let done = shared.clock.now();
+        shared.metrics.record_batch(n);
+        for (result, (enqueued, tx)) in results.into_iter().zip(meta) {
+            shared
+                .metrics
+                .record_completed(done.saturating_sub(enqueued));
+            // The caller may have dropped its Pending; that is its
+            // prerogative, not an error.
+            let _ = tx.send(result);
+        }
+    }
+}

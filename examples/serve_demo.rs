@@ -1,0 +1,84 @@
+//! Serving quickstart: snapshot a lowered model, cold-start a worker
+//! pool from the file, and push a small closed-loop load through it.
+//!
+//! This is the CI smoke path for the serving layer — it must finish in
+//! seconds and asserts the serving invariants (no request dropped, every
+//! completion latency recorded) rather than measuring anything. For real
+//! numbers run `cargo bench --bench serve_load`.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::time::Duration;
+
+use bnn_datasets::{digits::generate_digits, SynthConfig};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{deploy, BitMap, PackedModel};
+use superbnn::spec::NetSpec;
+use superbnn_serve::{closed_loop, ServeConfig, Server};
+
+fn main() {
+    // A small deployed digits MLP; untrained — the demo exercises the
+    // serving machinery, not accuracy.
+    let hw = HardwareConfig {
+        crossbar_rows: 16,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 16, 16], &[64], 10);
+    let model = spec.build_software(&hw, 42);
+    let packed = deploy(&spec, &model, &hw).expect("deploys").to_packed();
+
+    // Save the lowered model, then cold-start purely from the file —
+    // the round trip every serving box does.
+    let path =
+        std::env::temp_dir().join(format!("superbnn_serve_demo_{}.sbnn", std::process::id()));
+    packed.save_snapshot(&path).expect("snapshot saves");
+    let loaded = PackedModel::load_snapshot(&path).expect("snapshot loads");
+    std::fs::remove_file(&path).ok();
+    println!("snapshot round trip: ok");
+
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 5,
+        ..Default::default()
+    });
+    let planes: Vec<_> = (0..data.len())
+        .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+        .collect();
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let server = Server::start(
+        loaded,
+        ServeConfig {
+            workers,
+            replicas: workers,
+            max_batch: 16,
+            max_delay: Duration::from_micros(200),
+            queue_capacity: 1024,
+        },
+    )
+    .expect("server starts");
+
+    let report = closed_loop(&server, &planes, 2 * workers, 50);
+    let metrics = server.shutdown();
+    println!(
+        "served {} requests at {:.0} req/s (p50 {:.1} us, p99 {:.1} us, p99.9 {:.1} us) \
+         over {} batches (mean {:.1})",
+        report.completed,
+        report.throughput_rps,
+        report.p50().as_secs_f64() * 1e6,
+        report.p99().as_secs_f64() * 1e6,
+        report.p999().as_secs_f64() * 1e6,
+        metrics.batches,
+        metrics.mean_batch,
+    );
+
+    // The smoke invariants CI checks for.
+    assert_eq!(report.rejected, 0, "dropped requests");
+    assert_eq!(metrics.rejected, 0, "dropped requests (server side)");
+    assert_eq!(report.completed, report.offered, "lost requests");
+    assert!(!metrics.latency.is_empty(), "empty latency histogram");
+    assert_eq!(metrics.latency.count(), metrics.completed);
+    println!("serve smoke: ok (zero dropped, non-empty histogram)");
+}
