@@ -139,6 +139,121 @@ pub fn draw_faults_tiled<R: Rng + ?Sized>(
         .collect()
 }
 
+/// One journaled weight-plane edit: the packed word at
+/// `(layer, channel, word)` held `prior` before a fault patch overwrote
+/// it. Recorded by the journaled fault applier so a Monte Carlo trial can
+/// revert its patches in place instead of cloning the whole model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordPatch {
+    /// Pipeline stage index the patched matrix belongs to.
+    pub layer: usize,
+    /// Output channel (bitplane row) of the patched word.
+    pub channel: usize,
+    /// Word index within the channel's packed weight row.
+    pub word: usize,
+    /// The word's value before the patch.
+    pub prior: u64,
+}
+
+/// One journaled dead-column pin: the `(layer, channel, tile)` neuron's
+/// dead-override byte held `prior_dead` — and, where the tile geometry
+/// runs on SWAR tables, its folded comparator-bias lane word held
+/// `prior_bias` — before a fault patch pinned the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinPatch {
+    /// Pipeline stage index the patched matrix belongs to.
+    pub layer: usize,
+    /// Output channel of the pinned neuron.
+    pub channel: usize,
+    /// Row-tile index of the pinned neuron.
+    pub tile: usize,
+    /// The dead-override byte before the patch (0 = live, 1 = stuck '0',
+    /// 2 = stuck '1').
+    pub prior_dead: u8,
+    /// The SWAR bias word covering this tile's lane before the patch;
+    /// `None` when the tile is evaluated on the generic span path (no
+    /// bias word exists to restore).
+    pub prior_bias: Option<u64>,
+}
+
+/// An undo journal over in-place fault patches: every weight word and
+/// dead-column pin an applier touches is recorded with its prior value,
+/// so `patch → evaluate → revert` restores the packed state bit-for-bit
+/// without a per-trial clone.
+///
+/// Entries must be reverted in **reverse record order**: adjacent row
+/// tiles can share a boundary word, so the same `(layer, channel, word)`
+/// may be recorded twice — the later record's `prior` already contains
+/// the earlier patch, and only last-in-first-out restoration walks the
+/// chain back to the original value. The packed engine's
+/// `PackedModel::revert_faults` implements that contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatchJournal {
+    words: Vec<WordPatch>,
+    pins: Vec<PinPatch>,
+}
+
+impl PatchJournal {
+    /// An empty journal, ready for reuse across trials.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a weight-word edit (call **before** overwriting).
+    pub fn record_word(&mut self, layer: usize, channel: usize, word: usize, prior: u64) {
+        self.words.push(WordPatch {
+            layer,
+            channel,
+            word,
+            prior,
+        });
+    }
+
+    /// Records a dead-column pin (call **before** overwriting).
+    pub fn record_pin(
+        &mut self,
+        layer: usize,
+        channel: usize,
+        tile: usize,
+        prior_dead: u8,
+        prior_bias: Option<u64>,
+    ) {
+        self.pins.push(PinPatch {
+            layer,
+            channel,
+            tile,
+            prior_dead,
+            prior_bias,
+        });
+    }
+
+    /// The recorded weight-word edits, in record order.
+    pub fn words(&self) -> &[WordPatch] {
+        &self.words
+    }
+
+    /// The recorded dead-column pins, in record order.
+    pub fn pins(&self) -> &[PinPatch] {
+        &self.pins
+    }
+
+    /// Whether nothing was recorded (a clean draw needs no revert).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty() && self.pins.is_empty()
+    }
+
+    /// Total recorded entries.
+    pub fn len(&self) -> usize {
+        self.words.len() + self.pins.len()
+    }
+
+    /// Clears the journal for the next trial, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.pins.clear();
+    }
+}
+
 /// Applies stuck-cell faults to a crossbar by overwriting the stored
 /// weights (the physical effect of a damaged storage loop: the programmed
 /// weight is lost). Dead columns cannot be expressed through weights; the

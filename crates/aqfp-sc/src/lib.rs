@@ -26,6 +26,11 @@
 //!   matrices in `u64` words with XNOR–popcount dot/GEMM kernels, used by
 //!   the packed streams here, the software BNN baseline, and the batched
 //!   deploy engine;
+//! * [`counter`] — the keyed counter-mode RNG ([`CounterStream`]): every
+//!   Bernoulli draw a pure function of (key, counter) coordinates, so
+//!   observation windows generate independently, in any order, on any
+//!   worker count — the parallel alternative to the serial seed-matched
+//!   samplers in [`bitplane`];
 //! * [`packed`] — bit-packed streams (64 bits/word) for simulating the
 //!   long-stream *pure-SC* baseline at tolerable cost;
 //! * [`mux`] — MUX-based scaled addition, the accumulator of pure-SC
@@ -40,6 +45,7 @@ pub mod accumulate;
 pub mod analysis;
 pub mod apc;
 pub mod bitplane;
+pub mod counter;
 pub mod fsm;
 pub mod lfsr;
 pub mod mux;
@@ -49,6 +55,7 @@ pub mod packed;
 pub use accumulate::{AccumulationModule, ScAccumError};
 pub use apc::Apc;
 pub use bitplane::{BitPlane, PackedMatrix, Word, V256};
+pub use counter::CounterStream;
 pub use number::Bitstream;
 pub use packed::PackedStream;
 

@@ -57,7 +57,7 @@ impl PackedVec {
 }
 
 /// A binary linear layer computed entirely with XNOR/popcount.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PopcountLinear {
     rows: Vec<PackedVec>,
     fan_in: usize,

@@ -54,11 +54,8 @@ fn main() {
     .train(&mut model, &data);
     let deployed = deploy(&spec, &model, &hw).expect("deploys");
     let packed = deployed.to_packed();
-    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     // The batched measurement fans across this many workers; the
-    // single-thread measurements pin one. Recorded separately from
-    // `machine_cpus` so the JSON never conflates machine parallelism with
-    // measurement parallelism.
+    // single-thread measurements pin one.
     let batch_workers = packed.workers();
 
     let n = data.len();
@@ -115,20 +112,22 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"deploy_throughput\",\n  \"simd_width\": \"v256\",\n  \"model\": \"mlp_digits_256-128-64-10\",\n  \
+        "{{\n  {},\n  \"model\": \"mlp_digits_256-128-64-10\",\n  \
          \"crossbar\": \"8x8\",\n  \"bitstream_len\": 32,\n  \"samples\": {n},\n  \
-         \"machine_cpus\": {machine_cpus},\n  \
-         \"measured_workers_1thread\": 1,\n  \
-         \"measured_workers_batch\": {batch_workers},\n  \"bit_identical\": true,\n  \
+         \"bit_identical\": true,\n  \
          \"stochastic_samples_per_s\": {stochastic:.1},\n  \
          \"scalar_digital_samples_per_s\": {scalar:.1},\n  \
          \"packed_1thread_samples_per_s\": {packed_1t:.1},\n  \
          \"packed_batch_samples_per_s\": {packed_mt:.1},\n  \
          \"speedup_packed_1thread\": {speedup_1t:.2},\n  \
-         \"speedup_packed_batch\": {speedup_mt:.2}\n}}\n"
+         \"speedup_packed_batch\": {speedup_mt:.2}\n}}\n",
+        superbnn_bench::baseline_header(
+            "deploy_throughput",
+            &[
+                ("measured_workers_1thread", 1),
+                ("measured_workers_batch", batch_workers),
+            ]
+        ),
     );
-    let out = std::env::var("DEPLOY_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_deploy.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write bench baseline");
-    println!("baseline written to {out}");
+    superbnn_bench::write_baseline("DEPLOY_BENCH_OUT", "BENCH_deploy.json", &json);
 }

@@ -16,6 +16,12 @@
 //!    [`sample_bernoulli_words`] calls vs the plane-at-a-time
 //!    [`sample_bernoulli_planes`] batch, asserted draw-for-draw identical
 //!    (same seed ⇒ same stream words) before timing.
+//! 5. **Raw word generation** — the serial xoshiro chain
+//!    (`next_u64` after `next_u64`, one loop-carried dependency per
+//!    draw) vs the keyed [`CounterStream`] (each word a pure function of
+//!    its counter, no chain), plus the counter-mode Bernoulli batch fill
+//!    on the same mixed threshold table as kernel 4 — the serial RNG
+//!    floor the stochastic engine's counter mode removes.
 //!
 //! The end-to-end benches (`deploy_throughput`, `deploy_conv_throughput`,
 //! `stochastic_throughput`) answer "how fast is the engine"; this one
@@ -28,7 +34,7 @@ use aqfp_sc::bitplane::{
     bernoulli_threshold, count_ones_range, lane_counts_w, sample_bernoulli_planes,
     sample_bernoulli_words,
 };
-use aqfp_sc::{PackedMatrix, Word, V256};
+use aqfp_sc::{CounterStream, PackedMatrix, Word, V256};
 use rand::RngCore;
 use std::time::{Duration, Instant};
 use superbnn::config::HardwareConfig;
@@ -181,6 +187,35 @@ fn main() {
         std::hint::black_box(&batched);
     });
 
+    // --- 5. Raw word generation: serial xoshiro chain vs counter stream -
+    // The xoshiro loop is one long dependency chain (draw t+1 needs the
+    // state after draw t); the counter loop has no loop-carried state, so
+    // independent draws pipeline/vectorize freely.
+    let gen_words = 1 << 14;
+    let mut gen_buf = vec![0u64; gen_words];
+    let mut rng_e = DeviceRng::seed_from_u64(23);
+    let xoshiro_words = ops_per_second(gen_words, || {
+        for w in gen_buf.iter_mut() {
+            *w = rng_e.next_u64();
+        }
+        std::hint::black_box(&gen_buf);
+    });
+    let stream = CounterStream::from_seed(23);
+    let ctr_words = ops_per_second(gen_words, || {
+        for (i, w) in gen_buf.iter_mut().enumerate() {
+            *w = stream.draw(i as u64);
+        }
+        std::hint::black_box(&gen_buf);
+    });
+    // And the counter-mode Bernoulli batch on the same threshold mix as
+    // kernel 4, so the serial vs counter window-fill rates are directly
+    // comparable.
+    let mut batched_ctr = vec![0u64; cells];
+    let bern_ctr = ops_per_second(bern_bits, || {
+        stream.sample_bernoulli_planes(&thresholds, &offsets, window, &mut batched_ctr);
+        std::hint::black_box(&batched_ctr);
+    });
+
     println!("kernel_microbench: wide-word SIMD datapath hot kernels");
     println!(
         "lane_counts (lane {lane})    : {:>8.1} Mwords/s (u64)  {:>8.1} Mwords/s (v256, {:.2}x)",
@@ -204,15 +239,22 @@ fn main() {
         bern_batched / 1e6,
         bern_batched / bern_per_call
     );
+    println!(
+        "word generation         : {:>8.1} Mwords/s (xoshiro chain)  {:>8.1} Mwords/s (counter, {:.2}x)",
+        xoshiro_words / 1e6,
+        ctr_words / 1e6,
+        ctr_words / xoshiro_words
+    );
+    println!(
+        "bernoulli counter (L={window}): {:>8.1} Mbits/s ({:.2}x over serial batched)",
+        bern_ctr / 1e6,
+        bern_ctr / bern_batched
+    );
 
-    // Kernel timings are all single-threaded; `machine_cpus` records the
-    // machine separately from the measurement parallelism.
-    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Kernel timings are all single-threaded; the shared header records
+    // the machine separately from the measurement parallelism.
     let json = format!(
-        "{{\n  \"bench\": \"kernel_microbench\",\n  \
-         \"simd_width\": \"v256\",\n  \
-         \"machine_cpus\": {machine_cpus},\n  \
-         \"measured_workers\": 1,\n  \
+        "{{\n  {},\n  \
          \"lane_counts_u64_words_per_s\": {lc_u64:.0},\n  \
          \"lane_counts_v256_words_per_s\": {lc_v256:.0},\n  \
          \"masked_popcount_ranges_per_s\": {masked_popcount:.0},\n  \
@@ -221,10 +263,11 @@ fn main() {
          \"gemm_widths_bit_identical\": true,\n  \
          \"bernoulli_per_call_bits_per_s\": {bern_per_call:.0},\n  \
          \"bernoulli_batched_bits_per_s\": {bern_batched:.0},\n  \
-         \"bernoulli_draw_identical\": true\n}}\n"
+         \"bernoulli_draw_identical\": true,\n  \
+         \"xoshiro_chain_words_per_s\": {xoshiro_words:.0},\n  \
+         \"counter_stream_words_per_s\": {ctr_words:.0},\n  \
+         \"bernoulli_counter_bits_per_s\": {bern_ctr:.0}\n}}\n",
+        superbnn_bench::baseline_header("kernel_microbench", &[("measured_workers", 1)]),
     );
-    let out = std::env::var("KERNEL_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write bench baseline");
-    println!("baseline written to {out}");
+    superbnn_bench::write_baseline("KERNEL_BENCH_OUT", "BENCH_kernels.json", &json);
 }

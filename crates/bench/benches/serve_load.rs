@@ -82,7 +82,7 @@ fn main() {
     );
 
     // --- The pool under test --------------------------------------------
-    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let machine_cpus = superbnn_bench::machine_cpus();
     let config = ServeConfig {
         workers: machine_cpus,
         replicas: machine_cpus,
@@ -131,10 +131,9 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_load\",\n  \"simd_width\": \"v256\",\n  \
+        "{{\n  {header},\n  \
          \"model\": \"mlp_digits_256-128-64-10\",\n  \"crossbar\": \"8x8\",\n  \
-         \"machine_cpus\": {machine_cpus},\n  \
-         \"measured_workers\": {workers},\n  \"replicas\": {replicas},\n  \
+         \"replicas\": {replicas},\n  \
          \"max_batch\": {max_batch},\n  \"max_delay_us\": {max_delay:.0},\n  \
          \"queue_capacity\": {queue_capacity},\n  \
          \"snapshot_bytes\": {snapshot_bytes},\n  \
@@ -149,7 +148,10 @@ fn main() {
          \"max_us\": {o_max:.1}\n  }},\n  \
          \"pool\": {{\n    \"batches\": {batches},\n    \"mean_batch\": {mean_batch:.2},\n    \
          \"max_batch_seen\": {max_batch_seen},\n    \"completed\": {completed}\n  }}\n}}\n",
-        workers = config.workers,
+        header = superbnn_bench::baseline_header(
+            "serve_load",
+            &[("measured_workers", config.workers)]
+        ),
         replicas = config.replicas,
         max_batch = config.max_batch,
         max_delay = micros(config.max_delay),
@@ -175,8 +177,5 @@ fn main() {
         max_batch_seen = metrics.max_batch,
         completed = metrics.completed,
     );
-    let out = std::env::var("SERVE_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write bench baseline");
-    println!("baseline written to {out}");
+    superbnn_bench::write_baseline("SERVE_BENCH_OUT", "BENCH_serve.json", &json);
 }

@@ -1,16 +1,24 @@
 //! Stochastic-engine throughput: the scalar SC-datapath reference vs the
-//! packed stochastic engine, at identical semantics (seed-matched flips).
+//! packed stochastic engine, at identical semantics (seed-matched flips),
+//! plus the packed engine in counter mode.
 //!
 //! Run with `cargo bench -p superbnn-bench --bench stochastic_throughput`.
-//! Both engines simulate the *full* stochastic datapath — gray-zone
-//! comparator flips, `L`-cycle observation windows, APC accumulation —
-//! and consume the RNG draw-for-draw identically, so the same seed
-//! produces the same labels and scores on either engine (asserted on
-//! every sample before timing; also enforced by the seed-matched
-//! differential proptests in `tests/props.rs`). The packed engine gets
-//! its speed from popcounted tile sums, precomputed flip-probability
-//! tables and word-mask bitstreams instead of per-element loops, erf
-//! evaluations and `Vec<Bit>` streams.
+//! Both reference engines simulate the *full* stochastic datapath —
+//! gray-zone comparator flips, `L`-cycle observation windows, APC
+//! accumulation — and consume the RNG draw-for-draw identically, so the
+//! same seed produces the same labels and scores on either engine
+//! (asserted on every sample before timing; also enforced by the
+//! seed-matched differential proptests in `tests/props.rs`). The packed
+//! engine gets its speed from popcounted tile sums, precomputed
+//! flip-probability tables and word-mask bitstreams instead of
+//! per-element loops, erf evaluations and `Vec<Bit>` streams.
+//!
+//! The third measurement switches the packed engine to
+//! [`RngMode::Counter`]: same datapath, same Bernoulli laws, but every
+//! observation window is a pure function of its coordinates instead of a
+//! link in the shared serial draw chain — the serial-RNG throughput floor
+//! removed (statistical equivalence enforced by the counter-mode tests in
+//! `superbnn::deploy::stochastic`).
 //!
 //! Besides printing the measurements it writes the machine-readable
 //! baseline to `BENCH_stochastic.json` at the workspace root (override
@@ -21,7 +29,7 @@ use bnn_datasets::{digits, objects, SynthConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 use superbnn::config::HardwareConfig;
-use superbnn::deploy::deploy;
+use superbnn::deploy::{deploy, RngMode};
 use superbnn::spec::NetSpec;
 use superbnn::trainer::{TrainConfig, Trainer};
 
@@ -130,14 +138,35 @@ fn main() {
                 Some(timed),
             ));
         });
+        // Counter mode: same packed datapath, windows drawn as pure
+        // functions of their coordinates — no serial chain between them.
+        let tables_ctr =
+            packed.stochastic_tables_mode(&VariationModel::nominal(), RngMode::Counter);
+        let counter_sps = samples_per_second(timed, |pass| {
+            std::hint::black_box(packed.accuracy_stochastic_ctr(
+                &tables_ctr,
+                &w.data,
+                pass,
+                Some(timed),
+            ));
+        });
         let speedup = packed_sps / scalar;
+        let ctr_speedup = counter_sps / packed_sps;
         println!("scalar stochastic engine : {scalar:>10.1} samples/s");
         println!(
             "packed stochastic engine : {packed_sps:>10.1} samples/s  ({speedup:.1}x, 1 thread)"
         );
+        println!(
+            "packed counter mode      : {counter_sps:>10.1} samples/s  \
+             ({ctr_speedup:.2}x over seed-matched)"
+        );
         if wi == 0 && speedup < 4.0 {
             println!("WARNING: packed stochastic speedup below the 4x target");
         }
+        assert!(
+            counter_sps > packed_sps,
+            "counter mode must beat the seed-matched serial chain ({counter_sps:.1} vs {packed_sps:.1})"
+        );
 
         let sep = if wi + 1 < workloads.len() { "," } else { "" };
         let _ = write!(
@@ -147,22 +176,20 @@ fn main() {
              \"verified_samples\": {n},\n      \"timed_samples\": {timed},\n      \
              \"scalar_stochastic_samples_per_s\": {scalar:.1},\n      \
              \"packed_stochastic_samples_per_s\": {packed_sps:.1},\n      \
-             \"speedup_packed_1thread\": {speedup:.2}\n    }}{sep}",
+             \"counter_stochastic_samples_per_s\": {counter_sps:.1},\n      \
+             \"speedup_packed_1thread\": {speedup:.2},\n      \
+             \"speedup_counter_over_seed_matched\": {ctr_speedup:.2}\n    }}{sep}",
             w.tag, hw.crossbar_rows, hw.crossbar_cols, hw.bitstream_len, hw.grayzone_ua,
         );
     }
 
-    // Both engines here are timed single-threaded (the stochastic path is
-    // serial-RNG-bound); `machine_cpus` records the machine separately.
-    let machine_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // All engines here are timed single-threaded (the seed-matched paths
+    // are serial-RNG-bound, and counter mode is measured at the same
+    // worker count for a like-for-like comparison).
     let json = format!(
-        "{{\n  \"bench\": \"stochastic_throughput\",\n  \"simd_width\": \"v256\",\n  \
-         \"machine_cpus\": {machine_cpus},\n  \"measured_workers\": 1,\n  \
-         \"seed_matched_flips\": true,\n  \
-         \"workloads\": [{rows}\n  ]\n}}\n"
+        "{{\n  {},\n  \"seed_matched_flips\": true,\n  \
+         \"workloads\": [{rows}\n  ]\n}}\n",
+        superbnn_bench::baseline_header("stochastic_throughput", &[("measured_workers", 1)]),
     );
-    let out = std::env::var("STOCHASTIC_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_stochastic.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write bench baseline");
-    println!("\nbaseline written to {out}");
+    superbnn_bench::write_baseline("STOCHASTIC_BENCH_OUT", "BENCH_stochastic.json", &json);
 }

@@ -1,1 +1,54 @@
-pub fn _placeholder() {}
+//! Shared plumbing for the `BENCH_*.json` baseline writers.
+//!
+//! Every bench in this crate ends the same way: stamp the machine facts
+//! (`simd_width`, `machine_cpus`, the measurement's worker counts) into a
+//! JSON header, then write the baseline to the workspace root unless an
+//! env var redirects it. That boilerplate lives here — one place to
+//! change when a common field is added — so the individual benches only
+//! format their measurement-specific fields.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// The wide-word kernel width the packed engines are built at — stamped
+/// into every baseline so numbers are never compared across datapath
+/// widths by accident.
+pub const SIMD_WIDTH: &str = "v256";
+
+/// Available logical CPUs of the measuring machine (1 if unknown).
+pub fn machine_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The common leading fields of a `BENCH_*.json` baseline: bench name,
+/// [`SIMD_WIDTH`], [`machine_cpus`], then one `"key": value` line per
+/// `workers` entry (the usual single `measured_workers`, or split counts
+/// like the deploy benches' `measured_workers_1thread` /
+/// `measured_workers_batch`). Worker counts are recorded separately from
+/// `machine_cpus` so measurement parallelism is never conflated with the
+/// machine's.
+///
+/// Returns the fields without surrounding braces or a trailing separator;
+/// benches append their own fields after a `,\n  `.
+pub fn baseline_header(bench: &str, workers: &[(&str, usize)]) -> String {
+    let mut s = format!(
+        "\"bench\": \"{bench}\",\n  \"simd_width\": \"{SIMD_WIDTH}\",\n  \
+         \"machine_cpus\": {}",
+        machine_cpus()
+    );
+    for (key, value) in workers {
+        let _ = write!(s, ",\n  \"{key}\": {value}");
+    }
+    s
+}
+
+/// Writes a finished baseline to `$env_var` if set, else to `file` at the
+/// workspace root, and prints where it landed.
+pub fn write_baseline(env_var: &str, file: &str, json: &str) {
+    let out = std::env::var(env_var)
+        .unwrap_or_else(|_| format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write bench baseline");
+    println!("baseline written to {out}");
+}

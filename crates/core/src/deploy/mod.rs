@@ -115,4 +115,4 @@ pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedMo
 pub use packed::{PackedModel, PackedTiledMatrix};
 pub use pipeline::{PackedConvStage, PackedLayer, PackedLinearStage, PackedPoolStage};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use stochastic::{MatrixStochasticTables, StochasticTables};
+pub use stochastic::{MatrixStochasticTables, RngMode, StochasticTables};

@@ -74,7 +74,7 @@ impl std::error::Error for DeployError {}
 /// The digital classifier head: XNOR/popcount logits with the α/bias
 /// affine applied at read-out (bit-exact with the software binary-weight
 /// linear layer on ±1 inputs; see DESIGN.md §2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeployedClassifier {
     pop: PopcountLinear,
     alphas: Vec<f32>,

@@ -42,7 +42,7 @@ use super::bitmap::BitMap;
 use super::layer::{DeployedCell, TiledMatrix};
 use super::model::{argmax, DeployedClassifier, DeployedModel};
 use super::pipeline::PackedLayer;
-use aqfp_crossbar::faults::{draw_faults_tiled, FaultModel, InjectedFaults};
+use aqfp_crossbar::faults::{draw_faults_tiled, FaultModel, InjectedFaults, PatchJournal};
 use aqfp_device::Bit;
 use aqfp_sc::bitplane::lane_counts_w;
 use aqfp_sc::{BitPlane, PackedMatrix, Word, V256};
@@ -52,7 +52,11 @@ use rand::Rng;
 /// The packed twin of a [`TiledMatrix`]: weight bitplanes (one row per
 /// output channel, faults included), per-tile integer comparator
 /// thresholds and dead-column overrides.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the *complete* packed state — weight planes,
+/// tile spans, dead overrides, SWAR lane biases — which is what the
+/// journal tests lean on to prove `patch → revert` is bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedTiledMatrix {
     /// `[out × fan_in]` weight bits, reassembled from the tile crossbars.
     weights: PackedMatrix,
@@ -99,7 +103,7 @@ const MAX_LANES: usize = 4;
 /// One row tile's precomputed word coverage: bit range
 /// `[64·first + lo offset, 64·last + hi offset)` with `lo`/`hi` the valid
 /// bit masks of the boundary words (interior words are whole).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TileSpan {
     first: usize,
     last: usize,
@@ -165,7 +169,7 @@ impl TileSpan {
 /// garbage-folded thresholds (see [`PackedTiledMatrix::build_swar`]) — and
 /// `tail_tile` equals the tile count; only misaligned layouts leave tiles
 /// on the generic range path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Swar {
     /// Tile width in bits.
     lane: u32,
@@ -174,6 +178,11 @@ struct Swar {
     /// First tile index evaluated generically (the tile count when the
     /// tables cover everything).
     tail_tile: usize,
+    /// `[tail_tile]` per-tile constant count inflation (`lane − width`,
+    /// the garbage-fold amount) — precomputed so per-pixel count readout
+    /// ([`PackedTiledMatrix::matches_into`]) doesn't re-derive it from
+    /// `row_starts` on every cell.
+    slack: Vec<u32>,
     /// Lane top bits (`1 << (lane − 1)` replicated).
     msb_mask: u64,
     /// `[out × words]` per-lane comparator biases.
@@ -336,11 +345,15 @@ impl PackedTiledMatrix {
                 }
             }
         }
+        let slack = (0..tail_tile)
+            .map(|r| lane as u32 - (row_starts[r + 1] - row_starts[r]) as u32)
+            .collect();
         Some(Swar {
             lane: lane as u32,
             words,
             tail_tile,
             msb_mask,
+            slack,
             bias,
         })
     }
@@ -458,6 +471,13 @@ impl PackedTiledMatrix {
         &self.flips
     }
 
+    /// The raw `[out × k]` dead-column state (0 live, 1 stuck '0', 2 stuck
+    /// '1') — the bulk form of [`Self::dead_override`] for kernels that
+    /// walk every cell and want the branch decided from one slice load.
+    pub(crate) fn dead_cells(&self) -> &[u8] {
+        &self.dead
+    }
+
     /// The dead-column override of `channel` at row tile `r`, if that
     /// die's neuron is stuck.
     pub fn dead_override(&self, channel: usize, r: usize) -> Option<Bit> {
@@ -491,23 +511,40 @@ impl PackedTiledMatrix {
             let dst = &mut out[channel * k..(channel + 1) * k];
             let mut tail = 0usize;
             if let Some(sw) = &self.swar {
-                let lanes_per_word = (64 / sw.lane) as usize;
-                let lane_mask = (1u64 << sw.lane) - 1;
-                'words: for i in 0..sw.words {
-                    let counts = lane_counts(!(row[i] ^ acts[i]), sw.lane);
-                    for j in 0..lanes_per_word {
-                        let r = i * lanes_per_word + j;
-                        if r >= sw.tail_tile {
-                            // Fields past the last tile (full-coverage
-                            // tables round rows up to whole words).
-                            break 'words;
+                // `slack` has exactly `tail_tile` entries, so zipping the
+                // destination against it both applies the garbage fold and
+                // terminates the readout at the last covered tile —
+                // fields past it (full-coverage tables round rows up to
+                // whole words) are never visited. Bits past a tile's
+                // width XNOR-match constantly (both planes keep zeroed
+                // tails), so each raw field count is inflated by exactly
+                // the slack width.
+                let mut cells = dst.iter_mut().zip(&sw.slack);
+                if sw.lane == 32 {
+                    // Half-word tiles resolve with two hardware popcounts,
+                    // skipping the SWAR reduction pyramid entirely — the
+                    // 32×32-crossbar operating point, so this is the hot
+                    // shape of the robustness engine.
+                    'half: for (&rw, &aw) in row.iter().zip(acts).take(sw.words) {
+                        let z = !(rw ^ aw);
+                        for half in [z & 0xFFFF_FFFF, z >> 32] {
+                            let Some((slot, &slack)) = cells.next() else {
+                                break 'half;
+                            };
+                            *slot = half.count_ones() - slack;
                         }
-                        // Bits past the tile's width XNOR-match constantly
-                        // (both planes keep zeroed tails), so the raw field
-                        // count is inflated by exactly the slack width.
-                        let garbage =
-                            sw.lane - (self.row_starts[r + 1] - self.row_starts[r]) as u32;
-                        dst[r] = ((counts >> (j as u32 * sw.lane)) & lane_mask) as u32 - garbage;
+                    }
+                } else {
+                    let lanes_per_word = (64 / sw.lane) as usize;
+                    let lane_mask = (1u64 << sw.lane) - 1;
+                    'words: for (&rw, &aw) in row.iter().zip(acts).take(sw.words) {
+                        let counts = lane_counts(!(rw ^ aw), sw.lane);
+                        for j in 0..lanes_per_word as u32 {
+                            let Some((slot, &slack)) = cells.next() else {
+                                break 'words;
+                            };
+                            *slot = ((counts >> (j * sw.lane)) & lane_mask) as u32 - slack;
+                        }
                     }
                 }
                 tail = sw.tail_tile;
@@ -556,6 +593,34 @@ impl PackedTiledMatrix {
     /// # Panics
     /// Panics if `faults.len()` does not match the tile count.
     pub fn apply_faults(&mut self, faults: &[InjectedFaults]) {
+        self.apply_faults_inner(faults, 0, None);
+    }
+
+    /// [`Self::apply_faults`] with an undo journal: every weight word and
+    /// dead-column pin is recorded with its prior value (tagged with
+    /// `layer`, the caller's pipeline-stage index) **before** being
+    /// overwritten, so the caller can later restore the matrix bit-for-bit
+    /// via the recorded entries in reverse order (see
+    /// [`PackedModel::revert_faults`]). The applied state is identical to
+    /// the unjournaled path.
+    ///
+    /// # Panics
+    /// Panics if `faults.len()` does not match the tile count.
+    pub fn apply_faults_journaled(
+        &mut self,
+        faults: &[InjectedFaults],
+        layer: usize,
+        journal: &mut PatchJournal,
+    ) {
+        self.apply_faults_inner(faults, layer, Some(journal));
+    }
+
+    fn apply_faults_inner(
+        &mut self,
+        faults: &[InjectedFaults],
+        layer: usize,
+        mut journal: Option<&mut PatchJournal>,
+    ) {
         let k = self.row_starts.len() - 1;
         assert_eq!(
             faults.len(),
@@ -589,6 +654,14 @@ impl PackedTiledMatrix {
                     for w in 0..span {
                         let (clear, set) = masks[c * span + w];
                         if clear != 0 {
+                            if let Some(j) = journal.as_deref_mut() {
+                                j.record_word(
+                                    layer,
+                                    col_start + c,
+                                    first + w,
+                                    self.weights.row_words(col_start + c)[first + w],
+                                );
+                            }
                             self.weights
                                 .apply_row_mask(col_start + c, first + w, clear, set);
                         }
@@ -597,9 +670,31 @@ impl PackedTiledMatrix {
             }
             for &(col, b) in &f.dead_columns {
                 if col < cols {
-                    self.set_dead(col_start + col, r, b);
+                    self.set_dead(col_start + col, r, b, layer, journal.as_deref_mut());
                 }
             }
+        }
+    }
+
+    /// Restores one journaled weight word (see
+    /// [`PackedModel::revert_faults`] for the reverse-order contract).
+    pub(crate) fn restore_word(&mut self, channel: usize, word: usize, prior: u64) {
+        self.weights.row_words_mut(channel)[word] = prior;
+    }
+
+    /// Restores one journaled dead-column pin: the dead-override byte,
+    /// and — where the tile runs on SWAR tables — the folded bias word its
+    /// lane lives in.
+    pub(crate) fn restore_pin(&mut self, channel: usize, tile: usize, dead: u8, bias: Option<u64>) {
+        let k = self.row_starts.len() - 1;
+        self.dead[channel * k + tile] = dead;
+        if let Some(prior) = bias {
+            let sw = self
+                .swar
+                .as_mut()
+                .expect("a journaled bias word implies SWAR tables");
+            let lanes_per_word = (64 / sw.lane) as usize;
+            sw.bias[channel * sw.words + tile / lanes_per_word] = prior;
         }
     }
 
@@ -608,8 +703,25 @@ impl PackedTiledMatrix {
     /// place (dead columns are encoded as comparator thresholds `t = 0`
     /// for stuck '1' / `t = lane + 1` for stuck '0'; see
     /// [`Self::build_swar`]).
-    fn set_dead(&mut self, channel: usize, r: usize, stuck: Bit) {
+    fn set_dead(
+        &mut self,
+        channel: usize,
+        r: usize,
+        stuck: Bit,
+        layer: usize,
+        journal: Option<&mut PatchJournal>,
+    ) {
         let k = self.row_starts.len() - 1;
+        if let Some(j) = journal {
+            // SWAR tiles record the whole bias word their lane lives in;
+            // overlapping pins restore correctly because reverts run in
+            // reverse record order.
+            let prior_bias = self.swar.as_ref().and_then(|sw| {
+                (r < sw.tail_tile)
+                    .then(|| sw.bias[channel * sw.words + r / (64 / sw.lane) as usize])
+            });
+            j.record_pin(layer, channel, r, self.dead[channel * k + r], prior_bias);
+        }
         self.dead[channel * k + r] = if stuck.as_bool() { 2 } else { 1 };
         let width = (self.row_starts[r + 1] - self.row_starts[r]) as u64;
         if let Some(sw) = &mut self.swar {
@@ -931,7 +1043,11 @@ struct ChannelCtx<'a> {
 /// Built once from a [`DeployedModel`] (carrying over any injected
 /// faults), then evaluated on whole batches without RNG. Predictions are
 /// bit-identical to [`DeployedModel::classify_digital`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full lowered state (pipeline stages with
+/// their packed matrices, classifier head, worker knob) — the equality
+/// the undo-journal tests assert across `patch → evaluate → revert`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedModel {
     input_shape: [usize; 3],
     layers: Vec<PackedLayer>,
@@ -1040,6 +1156,58 @@ impl PackedModel {
             m.apply_faults(&faults);
         }
         defects
+    }
+
+    /// [`Self::inject_faults`] with an undo journal — the clone-free trial
+    /// primitive of the Monte Carlo robustness engine. Every patched
+    /// weight word and dead-column pin is recorded with its prior value in
+    /// `journal` (which is **appended to**, not cleared), so
+    /// [`Self::revert_faults`] restores the model bit-for-bit afterwards.
+    /// RNG consumption, the injected state and the returned defect count
+    /// are identical to the unjournaled path.
+    pub fn inject_faults_journaled<R: Rng + ?Sized>(
+        &mut self,
+        model: &FaultModel,
+        rng: &mut R,
+        journal: &mut PatchJournal,
+    ) -> usize {
+        let mut defects = 0usize;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let Some(m) = layer.matrix_mut() else {
+                continue;
+            };
+            let faults = draw_faults_tiled(model, &m.tile_dims(), rng);
+            defects += faults.iter().map(InjectedFaults::count).sum::<usize>();
+            m.apply_faults_journaled(&faults, li, journal);
+        }
+        defects
+    }
+
+    /// Reverts every patch recorded in `journal` — in reverse record
+    /// order, the contract that makes overlapping patches (adjacent row
+    /// tiles sharing a boundary word, repeated pins of one SWAR bias word)
+    /// unwind to the original state — then clears the journal for reuse.
+    /// After the call the model is bit-for-bit the one
+    /// [`Self::inject_faults_journaled`] started from: weight planes, dead
+    /// overrides and SWAR lane biases included.
+    ///
+    /// # Panics
+    /// Panics if a journal entry references a stage without a weight
+    /// matrix (a journal recorded on a different model).
+    pub fn revert_faults(&mut self, journal: &mut PatchJournal) {
+        for p in journal.pins().iter().rev() {
+            self.layers[p.layer]
+                .matrix_mut()
+                .expect("journal entry on a weight-free stage")
+                .restore_pin(p.channel, p.tile, p.prior_dead, p.prior_bias);
+        }
+        for w in journal.words().iter().rev() {
+            self.layers[w.layer]
+                .matrix_mut()
+                .expect("journal entry on a weight-free stage")
+                .restore_word(w.channel, w.word, w.prior);
+        }
+        journal.clear();
     }
 
     /// Packs samples `[0, n)` of a `[N, C, H, W]` tensor into the
@@ -1164,6 +1332,27 @@ impl PackedModel {
             .into_iter()
             .map(|r| r.expect("every chunk was processed"))
             .collect()
+    }
+
+    /// Top-1 accuracy over pre-packed input planes with their labels —
+    /// the eval-set-cache entry point of the robustness sweeps: the
+    /// campaign packs its evaluation samples once and every trial scores
+    /// the shared planes on the calling thread (via
+    /// [`Self::classify_planes`], bit-identical to per-sample
+    /// classification), instead of re-binarizing the tensor per trial.
+    ///
+    /// # Panics
+    /// Panics if `planes` is empty or the lengths differ.
+    pub fn accuracy_planes(&self, planes: &[BitPlane], labels: &[usize]) -> f64 {
+        assert_eq!(planes.len(), labels.len(), "plane/label count mismatch");
+        assert!(!planes.is_empty(), "accuracy over zero samples");
+        let preds = self.classify_planes(planes);
+        let correct = preds
+            .iter()
+            .zip(labels)
+            .filter(|((p, _), &l)| *p == l)
+            .count();
+        correct as f64 / planes.len() as f64
     }
 
     /// Top-1 accuracy over (the first `limit` samples of) a dataset.

@@ -45,7 +45,7 @@ use aqfp_sc::bitplane::{compress_even_bits, copy_bits_range, or_shifted_range, p
 use aqfp_sc::BitPlane;
 
 /// One stage of the packed pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PackedLayer {
     /// Packed convolution (bitplane im2col + tiled XNOR–popcount).
     Conv(PackedConvStage),
@@ -134,7 +134,7 @@ impl PackedLayer {
 }
 
 /// Packed convolution: word-level im2col gather + tiled XNOR–popcount.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedConvStage {
     matrix: PackedTiledMatrix,
     in_c: usize,
@@ -223,7 +223,7 @@ impl PackedConvStage {
 /// Packed 2×2 max-pool with a per-channel OR/AND choice (AND for γ < 0
 /// channels, where BN is decreasing) — bit-identical to
 /// `BitMap::pool2_mixed`, evaluated as whole-word arithmetic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedPoolStage {
     and_channel: Vec<bool>,
 }
@@ -286,7 +286,7 @@ impl PackedPoolStage {
 }
 
 /// Packed fully-connected stage: one tiled XNOR–popcount evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedLinearStage {
     matrix: PackedTiledMatrix,
 }

@@ -46,6 +46,36 @@
 //! In the gray-zone → 0 limit (`VariationModel` width scale 0) every
 //! table entry saturates and the engine degenerates to the digital
 //! decision rule away from exact comparator ties.
+//!
+//! # The counter mode
+//!
+//! Seed-matched draw order is the engine's licence to exist as a
+//! *reference* — and its throughput bound: one serial `next_u64` chain
+//! per draw, regardless of datapath width. [`RngMode::Counter`] trades
+//! the draw-for-draw pairing (never the *statistics*) for a keyed
+//! counter stream ([`aqfp_sc::CounterStream`]): every Bernoulli window is
+//! a pure function of its `(trial seed, sample, stage, pixel, cell)`
+//! coordinates, generated independently, in any order, on any worker
+//! count — bit-reproducible by construction. Dead columns pin their
+//! window's threshold directly (there is no draw alignment to preserve),
+//! and the per-cell threshold gather walks cells in natural
+//! channel-major order instead of the frozen scalar draw order.
+//!
+//! The counter decision law is byte-wide rather than the scalar
+//! `f64`-wide comparison: each mixed word yields **eight** 8-bit lanes,
+//! and lane `< round(p·2⁸)` fires the bit (see
+//! [`aqfp_sc::CounterStream::bernoulli_word`]). Probabilities quantize to
+//! 1/256 — at SC window lengths (`L = 16`) that quantization is far
+//! inside the sampling noise, and the payoff is an 8× draw-rate win plus
+//! a branch-free SWAR byte-compare counter. A whole batch of windows
+//! lives on one flat decision tape (window `i` starts at draw-aligned bit
+//! `i · ⌈L/8⌉·8`), so the fused exact-counter path batch-counts every
+//! unsaturated cell of a matrix in a single vectorizable sweep
+//! ([`aqfp_sc::CounterStream::bernoulli_windows_counts`]) after a
+//! branchless scan splits cells into saturated constants (prefix/suffix
+//! cutoffs precomputed per sub-table in [`MatrixStochasticTables`]) and a
+//! compacted live list. The two RNG modes agree statistically (enforced
+//! by distribution-tolerance tests), just not flip-for-flip.
 
 use super::model::argmax;
 use super::packed::PackedTiledMatrix;
@@ -57,9 +87,29 @@ use aqfp_sc::bitplane::{
     bernoulli_threshold, packed_im2col, sample_bernoulli_planes, sample_bernoulli_words,
     BERNOULLI_ALWAYS, BERNOULLI_NEVER,
 };
-use aqfp_sc::{Apc, BitPlane, PackedMatrix};
+use aqfp_sc::counter::{counter_always, counter_never};
+use aqfp_sc::{Apc, BitPlane, CounterStream, PackedMatrix};
 use bnn_nn::Tensor;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Selects how the stochastic engine draws its Bernoulli observation
+/// windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RngMode {
+    /// One shared serial generator consumed in the exact scalar draw
+    /// order — flip-for-flip identical to `DeployedModel::classify` from
+    /// the same seed (the differential oracle), throughput-bounded by the
+    /// serial `next_u64` chain.
+    #[default]
+    SeedMatched,
+    /// Keyed counter streams ([`aqfp_sc::CounterStream`]): each draw is a
+    /// pure function of its coordinates, so windows generate independently
+    /// and results are bit-reproducible across evaluation order and
+    /// worker count. Statistically equivalent to [`RngMode::SeedMatched`]
+    /// (same quantized Bernoulli laws), not draw-for-draw identical.
+    Counter,
+}
 
 /// The per-cell Bernoulli draw thresholds of one [`PackedTiledMatrix`] at
 /// one operating condition, indexed by XNOR match count: entry
@@ -85,6 +135,13 @@ pub struct MatrixStochasticTables {
     /// Draw-order-aligned start offsets of each cell's sub-table in
     /// `thr` (`channel·stride + base[tile]`).
     toff: Vec<u32>,
+    /// `[out × k]` channel-major per-cell saturation cutoffs, packed
+    /// `lo | hi << 16`: match counts below `lo` read a draw-free constant
+    /// '0' (that whole sub-table prefix is [`BERNOULLI_NEVER`]) and counts
+    /// at or above `hi` read a draw-free '1'. The fused counter path
+    /// resolves saturated cells from these two compares alone, without a
+    /// dependent load into the (much larger) threshold table.
+    sat: Vec<u32>,
 }
 
 impl MatrixStochasticTables {
@@ -142,12 +199,35 @@ impl MatrixStochasticTables {
                 }
             }
         }
+        // Saturation cutoffs under the *counter* law: the gray-zone law is
+        // monotone in the match count, so each cell's sub-table is a
+        // never-fires prefix, a live band, and an always-fires suffix —
+        // record the two band edges. The predicates are the 16-bit
+        // quantized ones ([`counter_never`]/[`counter_always`]), which
+        // also classify deep-tail probabilities (`0 < p < 2⁻¹⁷` and its
+        // mirror) as certainly-constant: skipping their draws reproduces
+        // the counter sampler's output bit-for-bit, because no 16-bit lane
+        // can land below (resp. at or above) such a threshold. Only the
+        // fused counter path reads these; the seed-matched oracle must
+        // still draw its tails. (Computed from the table itself, so a
+        // non-monotone law would only cost performance, never
+        // correctness.)
+        let mut sat = Vec::with_capacity(m.out() * k);
+        for c in 0..m.out() {
+            for r in 0..k {
+                let row = &thr[c * stride + base[r]..][..m.tile_rows(r) + 1];
+                let lo = row.iter().take_while(|&&t| counter_never(t)).count();
+                let hi = row.len() - row.iter().rev().take_while(|&&t| counter_always(t)).count();
+                sat.push(lo as u32 | (hi as u32) << 16);
+            }
+        }
         Self {
             thr,
             base,
             out: m.out(),
             order,
             toff,
+            sat,
         }
     }
 
@@ -171,6 +251,9 @@ pub(crate) struct Scratch {
     cur: Vec<u64>,
     thrs: Vec<u64>,
     offs: Vec<usize>,
+    counts: Vec<u32>,
+    totals: Vec<u64>,
+    starts: Vec<u32>,
 }
 
 /// Evaluates one packed activation word slice through the stochastic
@@ -181,19 +264,22 @@ pub(crate) struct Scratch {
 /// within a window; saturated cells and draw-free sentinels consume
 /// nothing. Dead columns draw their (discarded) stream like the scalar
 /// path, then read constant.
+///
+/// Callers must have validated `tables` against `m` with
+/// [`MatrixStochasticTables::check`] — hoisted out of this (per-pixel)
+/// hot path to the per-stage entry points.
 fn eval_channels<R: Rng + ?Sized>(
     m: &PackedTiledMatrix,
     tables: &MatrixStochasticTables,
     acts: &[u64],
     rng: &mut R,
     scratch: &mut Scratch,
-    mut sink: impl FnMut(usize, bool),
+    sink: impl FnMut(usize, bool),
 ) {
     let k = m.row_tiles();
     let out = m.out();
     let window = m.window();
     let stream_words = window.div_ceil(64);
-    tables.check(m);
 
     scratch.matches.resize(out * k, 0);
     m.matches_into(acts, &mut scratch.matches);
@@ -237,7 +323,148 @@ fn eval_channels<R: Rng + ?Sized>(
         }
     }
 
-    // APC accumulation + midpoint comparator (ties to '1'), per channel.
+    accumulate_windows(m, scratch, sink);
+}
+
+/// Evaluates one packed activation word slice through the stochastic
+/// datapath of `m` in **counter mode**: every cell's observation window
+/// lives on `stream`'s flat decision tape at window index
+/// `channel·k + tile` (see
+/// [`aqfp_sc::CounterStream::sample_bernoulli_planes`]), so the windows
+/// are pure functions of their coordinates — no draw order, no serial
+/// chain. Dead columns pin their threshold to the stuck constant directly;
+/// unlike the seed-matched path there is no discarded draw to keep a
+/// shared stream aligned.
+fn eval_channels_ctr(
+    m: &PackedTiledMatrix,
+    tables: &MatrixStochasticTables,
+    acts: &[u64],
+    stream: &CounterStream,
+    scratch: &mut Scratch,
+    mut sink: impl FnMut(usize, bool),
+) {
+    let k = m.row_tiles();
+    let out = m.out();
+    let window = m.window();
+    let stream_words = window.div_ceil(64);
+
+    scratch.matches.resize(out * k, 0);
+    m.matches_into(acts, &mut scratch.matches);
+
+    let stride = tables.base[k];
+    // The threshold of cell `(c, r)` in natural channel-major cell order:
+    // window `i` of the batch IS cell `i = channel·k + tile`, so the
+    // cell's tape position is the cell index times the window stride. A
+    // dead column pins the window at the source (counter draws are
+    // free-standing, so nothing needs to stay aligned with a discarded
+    // draw).
+    let cell_thr = |c: usize, r: usize, matches: u32| match m.dead_override(c, r) {
+        Some(b) => {
+            if b.as_bool() {
+                BERNOULLI_ALWAYS
+            } else {
+                BERNOULLI_NEVER
+            }
+        }
+        None => tables.thr[c * stride + tables.base[r] + matches as usize],
+    };
+
+    if matches!(m.counter(), CounterKind::Exact) {
+        // Fused gather → sample → accumulate: the exact APC only consumes
+        // each window's popcount, so saturated cells contribute their
+        // constant for free and live windows are counted straight out of
+        // the generator — no stream buffer, no second pass.
+        //
+        // Three phases. Phase one is a fully branchless scan of all
+        // cells: saturated contributions accumulate per channel by
+        // masked add, and live cells compact into one dense matrix-wide
+        // (threshold, window index) list by the
+        // store-always/advance-conditionally idiom — keeping the
+        // generator call OUT of this loop is what lets it stay a handful
+        // of straight-line ops per cell (a conditional call in the scan
+        // costs several times the whole scan, even when never taken).
+        // Phase two hands the whole live list to the sentinel-free batch
+        // counter in one call, so the generator runs over thousands of
+        // independent windows back to back and vectorizes. Phase three
+        // folds each channel's live counts into its saturated total and
+        // votes. No per-cell branch anywhere, so the mixed
+        // live/saturated cell pattern of a mid-gray-zone workload cannot
+        // mispredict.
+        let half = (k * window) as u64;
+        let dead = m.dead_cells();
+        let base = &tables.base[..k];
+        scratch.thrs.resize(out * k, 0);
+        scratch.offs.resize(out * k, 0);
+        scratch.counts.resize(out * k, 0);
+        scratch.totals.resize(out, 0);
+        scratch.starts.resize(out + 1, 0);
+        let mut live = 0usize;
+        for c in 0..out {
+            scratch.starts[c] = live as u32;
+            let mrow = &scratch.matches[c * k..][..k];
+            let drow = &dead[c * k..][..k];
+            let srow = &tables.sat[c * k..][..k];
+            let trow = &tables.thr[c * stride..][..stride];
+            let mut total = 0u64;
+            for r in 0..k {
+                let matches = mrow[r];
+                let (d, s) = (drow[r], srow[r]);
+                let (lo, hi) = (s & 0xFFFF, s >> 16);
+                let one = (d == 2) | ((d == 0) & (matches >= hi));
+                total += one as u64 * window as u64;
+                // The threshold load is unconditional (always in range:
+                // matches ≤ tile_rows(r)), as is the compaction store —
+                // only the cursor advance depends on liveness.
+                scratch.thrs[live] = trow[base[r] + matches as usize];
+                scratch.offs[live] = c * k + r;
+                live += ((d == 0) & (matches >= lo) & (matches < hi)) as usize;
+            }
+            scratch.totals[c] = total;
+        }
+        scratch.starts[out] = live as u32;
+        stream.bernoulli_windows_counts(
+            &scratch.thrs[..live],
+            &scratch.offs[..live],
+            window,
+            &mut scratch.counts[..live],
+        );
+        for (c, &flip) in m.flips().iter().enumerate() {
+            let (s, e) = (scratch.starts[c] as usize, scratch.starts[c + 1] as usize);
+            let drawn: u64 = scratch.counts[s..e].iter().map(|&x| u64::from(x)).sum();
+            sink(c, (2 * (scratch.totals[c] + drawn) >= half) != flip);
+        }
+        return;
+    }
+
+    // Approximate APC: its counting error depends on the bit pattern
+    // *across* tiles per cycle, so materialize every window and let the
+    // shared accumulation transpose them.
+    scratch.streams.resize(out * k * stream_words, 0);
+    scratch.thrs.clear();
+    scratch.offs.clear();
+    for c in 0..out {
+        for r in 0..k {
+            let idx = c * k + r;
+            scratch.thrs.push(cell_thr(c, r, scratch.matches[idx]));
+            scratch.offs.push(idx * stream_words);
+        }
+    }
+    stream.sample_bernoulli_planes(&scratch.thrs, &scratch.offs, window, &mut scratch.streams);
+    accumulate_windows(m, scratch, sink);
+}
+
+/// APC accumulation + midpoint comparator (ties to '1') over the sampled
+/// observation windows in `scratch.streams`, per channel — shared by the
+/// seed-matched and counter sampling front-ends.
+fn accumulate_windows(
+    m: &PackedTiledMatrix,
+    scratch: &mut Scratch,
+    mut sink: impl FnMut(usize, bool),
+) {
+    let k = m.row_tiles();
+    let out = m.out();
+    let window = m.window();
+    let stream_words = window.div_ceil(64);
     let half = (k * window) as u64; // doubled threshold, like the scalar module
     match m.counter() {
         CounterKind::Exact => {
@@ -299,9 +526,38 @@ impl PackedTiledMatrix {
         rng: &mut R,
     ) -> BitPlane {
         assert_eq!(act.len(), self.fan_in(), "input length mismatch");
+        tables.check(self);
         let mut out = BitPlane::zeros(self.out());
         let mut scratch = Scratch::default();
         eval_channels(self, tables, act.words(), rng, &mut scratch, |c, bit| {
+            if bit {
+                out.set(c, true);
+            }
+        });
+        out
+    }
+
+    /// Counter-mode twin of [`PackedTiledMatrix::forward_stochastic`]:
+    /// every cell's observation window is drawn from a child of `stream`
+    /// keyed by the cell index, so the result is a pure function of
+    /// `(stream, activations)` — order-free and replay-stable. Same
+    /// quantized Bernoulli laws as the seed-matched path, not the same
+    /// flips.
+    ///
+    /// # Panics
+    /// Panics if `act.len() != fan_in()` or `tables` was built for a
+    /// different geometry.
+    pub fn forward_stochastic_ctr(
+        &self,
+        tables: &MatrixStochasticTables,
+        act: &BitPlane,
+        stream: &CounterStream,
+    ) -> BitPlane {
+        assert_eq!(act.len(), self.fan_in(), "input length mismatch");
+        tables.check(self);
+        let mut out = BitPlane::zeros(self.out());
+        let mut scratch = Scratch::default();
+        eval_channels_ctr(self, tables, act.words(), stream, &mut scratch, |c, bit| {
             if bit {
                 out.set(c, true);
             }
@@ -320,6 +576,10 @@ pub struct StochasticTables {
     stages: Vec<Option<MatrixStochasticTables>>,
     /// The operating condition the tables were built for.
     variation: VariationModel,
+    /// The RNG discipline the tables were built for; entry points assert
+    /// it matches so seed-matched oracles and counter campaigns can't be
+    /// silently mixed.
+    mode: RngMode,
 }
 
 impl StochasticTables {
@@ -327,18 +587,35 @@ impl StochasticTables {
     pub fn variation(&self) -> &VariationModel {
         &self.variation
     }
+
+    /// The RNG discipline the tables were built for.
+    pub fn mode(&self) -> RngMode {
+        self.mode
+    }
+
+    fn check_mode(&self, want: RngMode) {
+        assert_eq!(
+            self.mode, want,
+            "stochastic tables were built for {:?}, evaluated as {:?}",
+            self.mode, want
+        );
+    }
 }
 
-/// Runs one conv stage stochastically: the word-level im2col gather of the
-/// digital path, then the stochastic tile datapath per output pixel in
-/// scalar (row-major) pixel order, output bits assembled as whole words.
-fn conv_forward_stochastic<R: Rng + ?Sized>(
+/// The sampling-agnostic conv scaffold: the word-level im2col gather of
+/// the digital path, then `eval` (one of the two sampling front-ends) per
+/// output pixel in scalar (row-major) pixel order, output bits assembled
+/// as whole words. `eval` receives the pixel's packed activation words,
+/// the pixel index, the scratch buffers, and the per-channel output-bit
+/// accumulator: it must OR each channel's bit into `cur[channel]` at bit
+/// position `pixel % 64` (a static contract rather than a boxed sink, so
+/// the per-channel store stays a direct monomorphized write).
+fn conv_forward_stochastic_with(
     stage: &PackedConvStage,
-    tables: &MatrixStochasticTables,
     input: &BitPlane,
     shape: [usize; 3],
-    rng: &mut R,
     scratch: &mut Scratch,
+    mut eval: impl FnMut(&[u64], usize, &mut Scratch, &mut [u64]),
 ) -> (BitPlane, [usize; 3]) {
     let [c, h, w] = shape;
     assert_eq!(input.len(), c * h * w, "plane/shape mismatch");
@@ -355,9 +632,7 @@ fn conv_forward_stochastic<R: Rng + ?Sized>(
     let mut cur = std::mem::take(&mut scratch.cur);
     for a in 0..n {
         let acts = &storage[a * fw..(a + 1) * fw];
-        eval_channels(m, tables, acts, rng, scratch, |ch, bit| {
-            cur[ch] |= (bit as u64) << (a % 64);
-        });
+        eval(acts, a, scratch, &mut cur);
         if a % 64 == 63 {
             for (ch, word) in cur.iter_mut().enumerate() {
                 out.row_words_mut(ch)[a / 64] = *word;
@@ -374,6 +649,46 @@ fn conv_forward_stochastic<R: Rng + ?Sized>(
     (out.concat_rows(), out_shape)
 }
 
+/// Runs one conv stage stochastically in seed-matched order: pixels
+/// row-major, each drawing from the one shared serial generator.
+fn conv_forward_stochastic<R: Rng + ?Sized>(
+    stage: &PackedConvStage,
+    tables: &MatrixStochasticTables,
+    input: &BitPlane,
+    shape: [usize; 3],
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> (BitPlane, [usize; 3]) {
+    let m = stage.matrix();
+    tables.check(m);
+    conv_forward_stochastic_with(stage, input, shape, scratch, |acts, a, scratch, cur| {
+        eval_channels(m, tables, acts, rng, scratch, |ch, bit| {
+            cur[ch] |= (bit as u64) << (a % 64);
+        })
+    })
+}
+
+/// Runs one conv stage stochastically in counter mode: each output pixel
+/// draws from its own child stream (`stage_stream.derive(pixel)`), so the
+/// stage's flips are pure functions of their coordinates.
+fn conv_forward_stochastic_ctr(
+    stage: &PackedConvStage,
+    tables: &MatrixStochasticTables,
+    input: &BitPlane,
+    shape: [usize; 3],
+    stage_stream: &CounterStream,
+    scratch: &mut Scratch,
+) -> (BitPlane, [usize; 3]) {
+    let m = stage.matrix();
+    tables.check(m);
+    conv_forward_stochastic_with(stage, input, shape, scratch, |acts, a, scratch, cur| {
+        let pixel = stage_stream.derive(a as u64);
+        eval_channels_ctr(m, tables, acts, &pixel, scratch, |ch, bit| {
+            cur[ch] |= (bit as u64) << (a % 64);
+        })
+    })
+}
+
 impl PackedModel {
     /// Precomputes the stochastic mode's flip-probability tables for one
     /// operating condition (see
@@ -384,6 +699,14 @@ impl PackedModel {
     /// this model, which is what lets a variation × fault-rate campaign
     /// share them across trials.
     pub fn stochastic_tables(&self, vm: &VariationModel) -> StochasticTables {
+        self.stochastic_tables_mode(vm, RngMode::SeedMatched)
+    }
+
+    /// [`PackedModel::stochastic_tables`] with an explicit [`RngMode`]
+    /// tag. The per-cell thresholds are identical in both modes — the tag
+    /// records which sampling discipline the campaign will evaluate under
+    /// so entry points can reject a mode mismatch.
+    pub fn stochastic_tables_mode(&self, vm: &VariationModel, mode: RngMode) -> StochasticTables {
         StochasticTables {
             stages: self
                 .layers()
@@ -395,6 +718,7 @@ impl PackedModel {
                 })
                 .collect(),
             variation: *vm,
+            mode,
         }
     }
 
@@ -454,6 +778,127 @@ impl PackedModel {
         correct as f64 / n as f64
     }
 
+    /// Top-1 accuracy of the seed-matched stochastic engine over
+    /// pre-packed planes: RNG-identical to
+    /// [`PackedModel::accuracy_stochastic`] (plane packing consumes no
+    /// draws), but the per-sample `BitMap` conversion is hoisted out — the
+    /// form Monte Carlo campaigns use to share one packed eval set across
+    /// every trial.
+    pub fn accuracy_stochastic_planes<R: Rng + ?Sized>(
+        &self,
+        tables: &StochasticTables,
+        planes: &[BitPlane],
+        labels: &[usize],
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(planes.len(), labels.len(), "planes/labels mismatch");
+        assert!(!planes.is_empty(), "accuracy over zero samples");
+        let mut scratch = Scratch::default();
+        let mut correct = 0usize;
+        for (plane, &label) in planes.iter().zip(labels) {
+            let (pred, _) =
+                self.classify_plane_stochastic_with(tables, plane.clone(), rng, &mut scratch);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / planes.len() as f64
+    }
+
+    /// Classifies one packed `[C, H, W]` plane through the stochastic
+    /// datapath in **counter mode**: every observation window is drawn
+    /// from a child of `stream` keyed by `(stage, pixel, cell)`, so the
+    /// result is a pure function of `(stream, plane)` — bit-reproducible
+    /// regardless of what else has been evaluated, in what order, on how
+    /// many workers. Callers give each sample its own stream (see
+    /// [`PackedModel::accuracy_stochastic_ctr`] for the convention).
+    pub fn classify_stochastic_plane_ctr(
+        &self,
+        tables: &StochasticTables,
+        plane: &BitPlane,
+        stream: &CounterStream,
+    ) -> (usize, Vec<f32>) {
+        let mut scratch = Scratch::default();
+        self.classify_plane_stochastic_ctr_with(tables, plane.clone(), stream, &mut scratch)
+    }
+
+    /// Classifies sample `n` of an image batch in counter mode; returns
+    /// `(label, scores)`. See
+    /// [`PackedModel::classify_stochastic_plane_ctr`].
+    pub fn classify_stochastic_ctr(
+        &self,
+        tables: &StochasticTables,
+        images: &Tensor,
+        n: usize,
+        stream: &CounterStream,
+    ) -> (usize, Vec<f32>) {
+        let map = BitMap::from_tensor_sample(images, n);
+        self.classify_stochastic_plane_ctr(tables, &map.to_plane(), stream)
+    }
+
+    /// Top-1 accuracy of the counter-mode stochastic engine over (the
+    /// first `limit` samples of) a dataset. Sample `i` draws from
+    /// `CounterStream::from_seed(seed).derive(i)`, so each figure is a
+    /// pure function of `(seed, dataset)`: the samples can be evaluated in
+    /// any order, split across any worker count, or re-run individually
+    /// and the accuracy is bit-identical.
+    pub fn accuracy_stochastic_ctr(
+        &self,
+        tables: &StochasticTables,
+        data: &bnn_datasets::Dataset,
+        seed: u64,
+        limit: Option<usize>,
+    ) -> f64 {
+        let n = limit.map_or(data.len(), |l| l.min(data.len()));
+        assert!(n > 0, "accuracy over zero samples");
+        let root = CounterStream::from_seed(seed);
+        let mut scratch = Scratch::default();
+        let mut correct = 0usize;
+        for i in 0..n {
+            let plane = BitMap::from_tensor_sample(&data.images, i).to_plane();
+            let (pred, _) = self.classify_plane_stochastic_ctr_with(
+                tables,
+                plane,
+                &root.derive(i as u64),
+                &mut scratch,
+            );
+            if pred == data.labels[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+
+    /// Counter-mode twin of [`PackedModel::accuracy_stochastic_planes`]:
+    /// plane `i` draws from `CounterStream::from_seed(seed).derive(i)` —
+    /// the same per-sample streams as
+    /// [`PackedModel::accuracy_stochastic_ctr`] over the packed dataset.
+    pub fn accuracy_stochastic_planes_ctr(
+        &self,
+        tables: &StochasticTables,
+        planes: &[BitPlane],
+        labels: &[usize],
+        seed: u64,
+    ) -> f64 {
+        assert_eq!(planes.len(), labels.len(), "planes/labels mismatch");
+        assert!(!planes.is_empty(), "accuracy over zero samples");
+        let root = CounterStream::from_seed(seed);
+        let mut scratch = Scratch::default();
+        let mut correct = 0usize;
+        for (i, (plane, &label)) in planes.iter().zip(labels).enumerate() {
+            let (pred, _) = self.classify_plane_stochastic_ctr_with(
+                tables,
+                plane.clone(),
+                &root.derive(i as u64),
+                &mut scratch,
+            );
+            if pred == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / planes.len() as f64
+    }
+
     /// The shared folding loop: scratch buffers persist across calls so
     /// batch evaluation does one allocation set, not one per sample.
     fn classify_plane_stochastic_with<R: Rng + ?Sized>(
@@ -468,6 +913,7 @@ impl PackedModel {
             self.layers().len(),
             "stochastic tables were built for a different pipeline"
         );
+        tables.check_mode(RngMode::SeedMatched);
         let mut shape = self.input_shape();
         for (layer, tab) in self.layers().iter().zip(&tables.stages) {
             (act, shape) = match (layer, tab) {
@@ -476,8 +922,55 @@ impl PackedModel {
                 }
                 (PackedLayer::Linear(l), Some(t)) => {
                     let m = l.matrix();
+                    t.check(m);
                     let mut out = BitPlane::zeros(m.out());
                     eval_channels(m, t, act.words(), rng, scratch, |ch, bit| {
+                        if bit {
+                            out.set(ch, true);
+                        }
+                    });
+                    let f = out.len();
+                    (out, [f, 1, 1])
+                }
+                (PackedLayer::Pool(_) | PackedLayer::Flatten, None) => layer.forward(act, shape),
+                _ => unreachable!("stochastic tables misaligned with the pipeline"),
+            };
+        }
+        let scores = self.classifier().scores_plane(&act);
+        (argmax(&scores), scores)
+    }
+
+    /// Counter-mode folding loop: stage `l` (counting every pipeline layer,
+    /// weighted or not, so the coordinates survive pipeline refactors that
+    /// only touch table alignment) draws from `sample_stream.derive(l)`,
+    /// conv pixels from the stage stream's children, linear stages from
+    /// child `0`.
+    fn classify_plane_stochastic_ctr_with(
+        &self,
+        tables: &StochasticTables,
+        mut act: BitPlane,
+        sample_stream: &CounterStream,
+        scratch: &mut Scratch,
+    ) -> (usize, Vec<f32>) {
+        assert_eq!(
+            tables.stages.len(),
+            self.layers().len(),
+            "stochastic tables were built for a different pipeline"
+        );
+        tables.check_mode(RngMode::Counter);
+        let mut shape = self.input_shape();
+        for (li, (layer, tab)) in self.layers().iter().zip(&tables.stages).enumerate() {
+            (act, shape) = match (layer, tab) {
+                (PackedLayer::Conv(c), Some(t)) => {
+                    let stage = sample_stream.derive(li as u64);
+                    conv_forward_stochastic_ctr(c, t, &act, shape, &stage, scratch)
+                }
+                (PackedLayer::Linear(l), Some(t)) => {
+                    let m = l.matrix();
+                    t.check(m);
+                    let mut out = BitPlane::zeros(m.out());
+                    let pixel = sample_stream.derive(li as u64).derive(0);
+                    eval_channels_ctr(m, t, act.words(), &pixel, scratch, |ch, bit| {
                         if bit {
                             out.set(ch, true);
                         }
@@ -500,6 +993,7 @@ mod tests {
     use crate::config::HardwareConfig;
     use crate::deploy::{deploy, TiledMatrix};
     use crate::spec::NetSpec;
+    use aqfp_crossbar::faults::InjectedFaults;
     use aqfp_device::{DeviceRng, SeedableRng};
 
     fn hw(rows: usize, cols: usize, grayzone_ua: f64, bitstream_len: usize) -> HardwareConfig {
@@ -606,6 +1100,213 @@ mod tests {
         // Fully saturated tables never touch the RNG.
         let mut untouched = DeviceRng::seed_from_u64(5);
         assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    /// Counter mode's tentpole property: every classification is a pure
+    /// function of its `(seed, sample)` coordinates — replaying a sample
+    /// or walking the batch in reverse order reproduces bit-identical
+    /// labels and scores, and the plane-batch accuracy equals the direct
+    /// dataset walk.
+    #[test]
+    fn counter_mode_is_pure_and_order_free() {
+        let h = hw(16, 16, 4.0, 8);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 3);
+        let packed = deploy(&spec, &model, &h).unwrap().to_packed();
+        let tables = packed.stochastic_tables_mode(&VariationModel::nominal(), RngMode::Counter);
+        assert_eq!(tables.mode(), RngMode::Counter);
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        let root = CounterStream::from_seed(99);
+        let forward: Vec<_> = (0..data.len())
+            .map(|i| {
+                packed.classify_stochastic_ctr(&tables, &data.images, i, &root.derive(i as u64))
+            })
+            .collect();
+        for i in (0..data.len()).rev() {
+            assert_eq!(
+                packed.classify_stochastic_ctr(&tables, &data.images, i, &root.derive(i as u64)),
+                forward[i],
+                "sample {i}"
+            );
+        }
+        let planes: Vec<BitPlane> = (0..data.len())
+            .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+            .collect();
+        assert_eq!(
+            packed.accuracy_stochastic_planes_ctr(&tables, &planes, &data.labels, 99),
+            packed.accuracy_stochastic_ctr(&tables, &data, 99, None),
+        );
+    }
+
+    /// Statistical equivalence at matrix level: over many trials on a wide
+    /// gray-zone, each channel's empirical one-rate under counter streams
+    /// tracks the seed-matched rate (same quantized Bernoulli laws; the
+    /// draws differ, the distribution must not).
+    #[test]
+    fn counter_mode_matches_seed_matched_statistics() {
+        let h = hw(8, 4, 8.0, 16);
+        let (fan_in, out) = (70, 6);
+        let signs = pseudo_signs(fan_in * out, 1);
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 * 0.3 - 0.7).collect();
+        let flips: Vec<bool> = (0..out).map(|o| o % 3 == 0).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let input: Vec<Bit> = (0..fan_in)
+            .map(|i| Bit::from_bool((i * 13 + 7) % 3 == 0))
+            .collect();
+        let plane = BitPlane::from_bits(&input);
+        let trials = 400usize;
+        let mut sm = vec![0u32; out];
+        let mut rng = DeviceRng::seed_from_u64(17);
+        for _ in 0..trials {
+            for (c, b) in packed
+                .forward_stochastic(&tables, &plane, &mut rng)
+                .to_bits()
+                .iter()
+                .enumerate()
+            {
+                sm[c] += b.as_bool() as u32;
+            }
+        }
+        let mut ct = vec![0u32; out];
+        let root = CounterStream::from_seed(17);
+        for t in 0..trials {
+            for (c, b) in packed
+                .forward_stochastic_ctr(&tables, &plane, &root.derive(t as u64))
+                .to_bits()
+                .iter()
+                .enumerate()
+            {
+                ct[c] += b.as_bool() as u32;
+            }
+        }
+        for c in 0..out {
+            let diff = (sm[c] as f64 - ct[c] as f64).abs() / trials as f64;
+            assert!(
+                diff <= 0.12,
+                "channel {c}: seed-matched rate {} vs counter rate {}",
+                sm[c] as f64 / trials as f64,
+                ct[c] as f64 / trials as f64
+            );
+        }
+    }
+
+    /// In the gray-zone → 0 limit the counter engine also collapses onto
+    /// the digital decision rule: saturated tables pin every window, so no
+    /// counter draws happen at all.
+    #[test]
+    fn counter_zero_width_limit_is_the_digital_engine() {
+        let h = hw(8, 8, 2.4, 8);
+        let (fan_in, out) = (40, 5);
+        let signs = pseudo_signs(fan_in * out, 2);
+        let vth: Vec<f64> = (0..out).map(|o| o as f64 * 0.37 + 0.11).collect();
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, vec![false; out], &h);
+        let packed = PackedTiledMatrix::from_tiled(&m);
+        let zero = VariationModel::new(0.0, 0.0, 0.0).unwrap();
+        let tables = packed.stochastic_tables(&zero);
+        let root = CounterStream::from_seed(41);
+        for salt in 0..8u64 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((i * 5 + salt as usize * 11) % 4 < 2))
+                .collect();
+            let plane = packed.forward_stochastic_ctr(
+                &tables,
+                &BitPlane::from_bits(&input),
+                &root.derive(salt),
+            );
+            assert_eq!(plane.to_bits(), m.forward_digital(&input), "salt {salt}");
+        }
+    }
+
+    /// Dead columns in counter mode pin the window at the source: the
+    /// stuck channel reads its fabrication constant for every stream.
+    #[test]
+    fn counter_mode_dead_columns_read_their_constant() {
+        let h = hw(64, 8, 8.0, 16);
+        let (fan_in, out) = (40, 5);
+        let signs = pseudo_signs(fan_in * out, 3);
+        let vth = vec![0.0; out];
+        let m = TiledMatrix::new(&signs, fan_in, out, vth, vec![false; out], &h);
+        let mut packed = PackedTiledMatrix::from_tiled(&m);
+        // Single-tile, single-group geometry: one die holds everything.
+        packed.apply_faults(&[InjectedFaults {
+            stuck_cells: vec![],
+            dead_columns: vec![(1, Bit::One), (3, Bit::Zero)],
+        }]);
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let root = CounterStream::from_seed(7);
+        for salt in 0..8u64 {
+            let input: Vec<Bit> = (0..fan_in)
+                .map(|i| Bit::from_bool((i * 3 + salt as usize) % 5 < 2))
+                .collect();
+            let o = packed
+                .forward_stochastic_ctr(&tables, &BitPlane::from_bits(&input), &root.derive(salt))
+                .to_bits();
+            assert_eq!(o[1], Bit::One, "stuck-'1' column, salt {salt}");
+            assert_eq!(o[3], Bit::Zero, "stuck-'0' column, salt {salt}");
+        }
+    }
+
+    /// The plane-batch seed-matched accuracy is RNG-identical to the
+    /// dataset walk: same figure, same generator end state — the guarantee
+    /// that lets sweeps share one packed eval set across trials.
+    #[test]
+    fn plane_batch_accuracy_is_rng_identical_to_the_dataset_walk() {
+        let h = hw(16, 16, 4.0, 8);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 5);
+        let packed = deploy(&spec, &model, &h).unwrap().to_packed();
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let data = bnn_datasets::digits::generate_digits(&bnn_datasets::SynthConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        });
+        let planes: Vec<BitPlane> = (0..data.len())
+            .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+            .collect();
+        let mut a = DeviceRng::seed_from_u64(5);
+        let mut b = DeviceRng::seed_from_u64(5);
+        assert_eq!(
+            packed.accuracy_stochastic(&tables, &data, &mut a, None),
+            packed.accuracy_stochastic_planes(&tables, &planes, &data.labels, &mut b),
+        );
+        assert_eq!(
+            a.gen::<u64>(),
+            b.gen::<u64>(),
+            "generator end states diverge"
+        );
+    }
+
+    /// Mode mismatches are rejected loudly: counter entry points refuse
+    /// seed-matched tables.
+    #[test]
+    #[should_panic(expected = "stochastic tables were built for")]
+    fn counter_entry_rejects_seed_matched_tables() {
+        let h = hw(16, 16, 4.0, 8);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 3);
+        let packed = deploy(&spec, &model, &h).unwrap().to_packed();
+        let tables = packed.stochastic_tables(&VariationModel::nominal());
+        let plane = BitPlane::zeros(16 * 16);
+        packed.classify_stochastic_plane_ctr(&tables, &plane, &CounterStream::from_seed(1));
+    }
+
+    /// And the seed-matched entry points refuse counter tables.
+    #[test]
+    #[should_panic(expected = "stochastic tables were built for")]
+    fn seed_matched_entry_rejects_counter_tables() {
+        let h = hw(16, 16, 4.0, 8);
+        let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+        let model = spec.build_software(&h, 3);
+        let packed = deploy(&spec, &model, &h).unwrap().to_packed();
+        let tables = packed.stochastic_tables_mode(&VariationModel::nominal(), RngMode::Counter);
+        let plane = BitPlane::zeros(16 * 16);
+        let mut rng = DeviceRng::seed_from_u64(1);
+        packed.classify_stochastic_plane(&tables, &plane, &mut rng);
     }
 
     /// Variation threading: drifting the scalar model's operating

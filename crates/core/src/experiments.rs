@@ -417,6 +417,22 @@ pub fn robustness_campaign(
     workload: RobustnessWorkload,
     cfg: &crate::robustness::SweepConfig,
 ) -> crate::robustness::RobustnessReport {
+    let (packed, eval) = robustness_workload(scale, workload, cfg.eval_samples);
+    crate::robustness::run_sweep(&packed, &eval, cfg)
+}
+
+/// The one-time setup of [`robustness_campaign`] — trains the workload,
+/// deploys and lowers it at the campaign operating point, and interleaves
+/// the (class-grouped) test split so a truncated per-trial evaluation of
+/// `eval_samples` covers every class. Split out so campaign drivers that
+/// measure several sweep configurations over the same workload (e.g. the
+/// robustness bench timing both [`RngMode`](crate::deploy::RngMode)
+/// disciplines) train once instead of once per campaign.
+pub fn robustness_workload(
+    scale: &ExperimentScale,
+    workload: RobustnessWorkload,
+    eval_samples: Option<usize>,
+) -> (crate::deploy::PackedModel, bnn_datasets::Dataset) {
     let hw = HardwareConfig {
         crossbar_rows: 32,
         crossbar_cols: 32,
@@ -440,10 +456,8 @@ pub fn robustness_campaign(
     };
     let (model, _) = train_model(&spec, &hw, scale, &train);
     let deployed = deploy(&spec, &model, &hw).expect("spec matches model");
-    // Interleave the (class-grouped) test split so the truncated per-trial
-    // evaluation covers every class.
-    let eval = crate::robustness::interleaved_eval_set(&test, cfg.eval_samples);
-    crate::robustness::run_sweep(&deployed.to_packed(), &eval, cfg)
+    let eval = crate::robustness::interleaved_eval_set(&test, eval_samples);
+    (deployed.to_packed(), eval)
 }
 
 /// One point of the operating-temperature sweep (extension experiment).

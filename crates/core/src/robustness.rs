@@ -9,14 +9,20 @@
 //! independent fault draws.
 //!
 //! This module runs such campaigns at hardware speed. The model is trained,
-//! deployed, and lowered to a [`PackedModel`] **once**; every trial then
+//! deployed, and lowered to a [`PackedModel`] **once**, each worker clones
+//! it **once**; every trial then
 //!
-//! 1. clones the packed pipeline (cheap per-tile state: weight bitplanes,
-//!    comparator tables, SWAR biases — no re-deployment, no re-lowering),
-//! 2. injects a fresh fault draw directly into the clone
-//!    ([`PackedModel::inject_faults`]: stuck cells as word masks on the
-//!    weight planes, dead columns folded into the SWAR lane biases), and
-//! 3. evaluates accuracy through the batched XNOR–popcount engine.
+//! 1. injects a fresh fault draw directly into the worker's model through
+//!    an undo journal ([`PackedModel::inject_faults_journaled`]: stuck
+//!    cells as word masks on the weight planes, dead columns folded into
+//!    the SWAR lane biases — every touched word recorded with its prior
+//!    value),
+//! 2. evaluates accuracy over a packed eval set shared by every trial of
+//!    the campaign (the planes are packed once up front, not once per
+//!    trial), and
+//! 3. reverts the journal ([`PackedModel::revert_faults`]), restoring the
+//!    model bit-for-bit for the next trial — no per-trial clone of the
+//!    weight planes at all.
 //!
 //! Trials fan out across `std::thread::scope` workers. Every trial is
 //! deterministic: trial `t` (globally indexed across the grid) draws its
@@ -44,10 +50,24 @@
 //! inference is seed-matched with the scalar `DeployedModel::classify`
 //! reference (same draws, same flips), keeping the "what the slow engine
 //! would report" guarantee on this axis too.
+//!
+//! # The RNG-mode axis
+//!
+//! Seed-matched evaluation is the oracle, not the fastest mode: its SC
+//! noise is one serial draw chain per trial. [`SweepConfig::with_rng_mode`]
+//! switches stochastic trials to [`RngMode::Counter`]
+//! ([`PackedModel::accuracy_stochastic_planes_ctr`]): trial `t` still
+//! draws its *fault pattern* from `campaign_seed ^ t` exactly as before
+//! (fault draws are identical in both modes), but the SC noise comes from
+//! keyed counter streams rooted at the same trial seed — statistically
+//! equivalent distributions, bit-reproducible across worker counts and
+//! evaluation orders by construction, and free of the serial-chain
+//! throughput floor.
 
-use crate::deploy::PackedModel;
-use aqfp_crossbar::faults::FaultModel;
+use crate::deploy::{BitMap, PackedModel, RngMode};
+use aqfp_crossbar::faults::{FaultModel, PatchJournal};
 use aqfp_device::{DeviceRng, SeedableRng, VariationModel};
+use aqfp_sc::BitPlane;
 use bnn_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +91,10 @@ pub struct SweepConfig {
     pub eval_samples: Option<usize>,
     /// Worker threads trials are fanned across.
     pub workers: usize,
+    /// How stochastic trials draw their SC noise: the seed-matched serial
+    /// oracle (default) or order-free keyed counter streams. Digital
+    /// (fault-only) campaigns draw no SC noise and ignore this.
+    pub rng_mode: RngMode,
 }
 
 impl SweepConfig {
@@ -84,6 +108,7 @@ impl SweepConfig {
             campaign_seed,
             eval_samples: None,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            rng_mode: RngMode::SeedMatched,
         }
     }
 
@@ -138,6 +163,15 @@ impl SweepConfig {
     #[must_use]
     pub fn with_eval_samples(mut self, n: Option<usize>) -> Self {
         self.eval_samples = n;
+        self
+    }
+
+    /// Selects the stochastic trials' RNG discipline (see [`RngMode`]).
+    /// Fault draws are unaffected: trial `t` injects the identical defect
+    /// pattern in both modes.
+    #[must_use]
+    pub fn with_rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
         self
     }
 
@@ -287,17 +321,22 @@ pub fn interleaved_eval_set(data: &Dataset, n: Option<usize>) -> Dataset {
 }
 
 /// Runs a Monte Carlo robustness campaign: `cfg.trials` independent fault
-/// draws per grid point, injected into cheap clones of `packed` and
-/// evaluated on (the first `cfg.eval_samples` of) `data`, fanned across
-/// `cfg.workers` threads. Deterministic for a given configuration
-/// regardless of the worker count.
+/// draws per grid point, patched into each worker's single model clone
+/// through an undo journal (patch → evaluate → revert, no per-trial
+/// clone), evaluated on (the first `cfg.eval_samples` of) `data` — packed
+/// once and shared across every trial — fanned across `cfg.workers`
+/// threads. Deterministic for a given configuration regardless of the
+/// worker count.
 ///
 /// With a variation grid ([`SweepConfig::with_variation_grid`]) the grid
 /// points become every `variation × fault rate` pair (variation-major
 /// order) and trials evaluate through the packed **stochastic** engine:
 /// per-condition flip tables are built once up front and shared across
-/// trials, and each trial's RNG drives first the fault draw, then the SC
-/// switching noise of the evaluation.
+/// trials. In the default [`RngMode::SeedMatched`] each trial's RNG
+/// drives first the fault draw, then the SC switching noise of the
+/// evaluation — flip-for-flip what the scalar reference would report. In
+/// [`RngMode::Counter`] the fault draw is unchanged but the SC noise
+/// comes from keyed counter streams rooted at the trial seed.
 ///
 /// # Panics
 /// Panics if the grid or `data` is empty or `trials == 0`.
@@ -313,8 +352,14 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
     let tables: Vec<crate::deploy::StochasticTables> = cfg
         .variations
         .iter()
-        .map(|vm| packed.stochastic_tables(vm))
+        .map(|vm| packed.stochastic_tables_mode(vm, cfg.rng_mode))
         .collect();
+    // The eval set is packed once for the whole campaign; plane packing
+    // consumes no RNG, so sharing it is invisible to seed-matched trials.
+    let planes: Vec<BitPlane> = (0..eval_samples)
+        .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+        .collect();
+    let labels = &data.labels[..eval_samples];
     let conditions = cfg.variations.len().max(1);
     let points_per_cond = cfg.grid.len();
     let total = conditions * points_per_cond * cfg.trials;
@@ -325,21 +370,38 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
     std::thread::scope(|s| {
         for (ci, slots) in outcomes.chunks_mut(chunk).enumerate() {
             let tables = &tables;
+            let planes = &planes;
             s.spawn(move || {
+                // One clone per worker, reused by every trial: faults are
+                // patched in through the journal and reverted bit-for-bit
+                // after evaluation.
+                let mut m = packed
+                    .clone()
+                    .with_workers(1)
+                    .expect("one worker is always valid");
+                let mut journal = PatchJournal::new();
                 for (j, slot) in slots.iter_mut().enumerate() {
                     let trial = ci * chunk + j;
                     let point = trial / cfg.trials;
                     let seed = cfg.campaign_seed ^ trial as u64;
-                    let mut m = packed
-                        .clone()
-                        .with_workers(1)
-                        .expect("one worker is always valid");
                     let mut rng = DeviceRng::seed_from_u64(seed);
-                    let defects = m.inject_faults(&cfg.grid[point % points_per_cond], &mut rng);
+                    let defects = m.inject_faults_journaled(
+                        &cfg.grid[point % points_per_cond],
+                        &mut rng,
+                        &mut journal,
+                    );
                     let accuracy = match tables.get(point / points_per_cond) {
-                        Some(t) => m.accuracy_stochastic(t, data, &mut rng, Some(eval_samples)),
-                        None => m.accuracy(data, Some(eval_samples)),
+                        Some(t) => match cfg.rng_mode {
+                            RngMode::SeedMatched => {
+                                m.accuracy_stochastic_planes(t, planes, labels, &mut rng)
+                            }
+                            RngMode::Counter => {
+                                m.accuracy_stochastic_planes_ctr(t, planes, labels, seed)
+                            }
+                        },
+                        None => m.accuracy_planes(planes, labels),
                     };
+                    m.revert_faults(&mut journal);
                     *slot = Some(TrialOutcome {
                         trial,
                         seed,
@@ -526,6 +588,81 @@ mod tests {
                 "trial {}",
                 t.trial
             );
+        }
+    }
+
+    #[test]
+    fn counter_sweeps_are_bit_identical_across_worker_counts() {
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.0, 0.1], 3, 29)
+            .unwrap()
+            .with_eval_samples(Some(10))
+            .with_grayzone_scales(&[1.0, 2.0])
+            .unwrap()
+            .with_rng_mode(RngMode::Counter);
+        let a = run_sweep(&packed, &data, &cfg.clone().with_workers(1).unwrap());
+        let b = run_sweep(&packed, &data, &cfg.clone().with_workers(4).unwrap());
+        let c = run_sweep(&packed, &data, &cfg.with_workers(3).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn counter_trials_reproduce_the_direct_evaluation() {
+        // A counter trial = inject faults from the trial seed, then
+        // evaluate with counter streams rooted at the same seed; replaying
+        // that recipe by hand on a fresh clone must give the identical
+        // accuracy — the journal left nothing behind.
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.2], 3, 61)
+            .unwrap()
+            .with_eval_samples(Some(10))
+            .with_grayzone_scales(&[2.0])
+            .unwrap()
+            .with_rng_mode(RngMode::Counter);
+        let report = run_sweep(&packed, &data, &cfg);
+        let eval = {
+            // The sweep evaluates the first 10 samples of `data`.
+            let tables = packed.stochastic_tables_mode(
+                &VariationModel::grayzone_scale_only(2.0).unwrap(),
+                RngMode::Counter,
+            );
+            move |m: &PackedModel, seed: u64| {
+                m.accuracy_stochastic_ctr(&tables, &data, seed, Some(10))
+            }
+        };
+        for t in &report.points[0].trials {
+            let mut m = packed.clone();
+            let mut rng = DeviceRng::seed_from_u64(t.seed);
+            let defects = m.inject_faults(&cfg.grid[0], &mut rng);
+            assert_eq!(defects, t.defects);
+            assert_eq!(eval(&m, t.seed), t.accuracy, "trial {}", t.trial);
+        }
+    }
+
+    #[test]
+    fn counter_statistics_track_the_seed_matched_oracle() {
+        // Same campaign, both RNG disciplines: the per-point mean
+        // accuracies must agree within Monte Carlo tolerance (the modes
+        // share fault patterns and Bernoulli laws, not flips).
+        let (packed, data) = tiny_campaign_model();
+        let base = SweepConfig::stuck_cell_grid(&[0.0, 0.05], 4, 17)
+            .unwrap()
+            .with_grayzone_scales(&[1.0])
+            .unwrap();
+        let sm = run_sweep(&packed, &data, &base);
+        let ct = run_sweep(&packed, &data, &base.with_rng_mode(RngMode::Counter));
+        for (a, b) in sm.points.iter().zip(&ct.points) {
+            assert!(
+                (a.mean_accuracy - b.mean_accuracy).abs() <= 0.15,
+                "seed-matched mean {} vs counter mean {}",
+                a.mean_accuracy,
+                b.mean_accuracy
+            );
+            // Fault draws are identical in both modes.
+            for (x, y) in a.trials.iter().zip(&b.trials) {
+                assert_eq!(x.defects, y.defects, "trial {}", x.trial);
+            }
         }
     }
 

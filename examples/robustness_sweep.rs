@@ -16,10 +16,18 @@
 //!    gray-zone → 0 limit at full XNOR–popcount throughput.
 //!
 //! Run with:
-//! `cargo run --release --example robustness_sweep -- [--trials N] [--eval N]`
-//! (CI smoke runs `--trials 4` on a tiny grid.)
+//! `cargo run --release --example robustness_sweep -- [--trials N] [--eval N]
+//! [--rng-mode seed-matched|counter]`
+//! (CI smoke runs `--trials 4` on a tiny grid, once per RNG mode.)
+//!
+//! `--rng-mode` picks the stochastic campaign's noise discipline:
+//! `seed-matched` (default) replays the scalar engine's serial draw
+//! chain; `counter` derives every draw from its coordinates on a keyed
+//! counter stream — same statistics, no serial RNG floor, and results
+//! independent of worker count and trial order.
 
 use std::time::Instant;
+use superbnn::deploy::RngMode;
 use superbnn::experiments::{robustness_campaign, ExperimentScale, RobustnessWorkload};
 use superbnn::robustness::{RobustnessReport, SweepConfig};
 
@@ -61,6 +69,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = parse_flag(&args, "--trials", 8);
     let eval = parse_flag(&args, "--eval", 30);
+    let rng_mode = match args
+        .iter()
+        .position(|a| a == "--rng-mode")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("seed-matched") => RngMode::SeedMatched,
+        Some("counter") => RngMode::Counter,
+        Some(other) => panic!("--rng-mode wants seed-matched or counter, got {other}"),
+    };
 
     // Demo scale: small datasets and short training keep the focus on the
     // sweeps themselves (the benches run the ≥100-trial campaigns).
@@ -83,10 +101,12 @@ fn main() {
         .expect("rates are probabilities")
         .with_eval_samples(Some(eval))
         .with_grayzone_scales(&grayzone_scales)
-        .expect("scales are non-negative");
+        .expect("scales are non-negative")
+        .with_rng_mode(rng_mode);
     println!(
         "=== digits MLP: gray-zone width x fault rate (packed stochastic engine) ===\n\
-         {} scales x {} rates x {trials} trials, {eval} eval samples, {} workers",
+         {} scales x {} rates x {trials} trials, {eval} eval samples, {} workers, \
+         rng_mode {rng_mode:?}",
         grayzone_scales.len(),
         rates.len(),
         cfg.workers

@@ -319,6 +319,103 @@ proptest! {
         }
     }
 
+    /// The undo journal restores a packed model bit-for-bit — weight
+    /// planes, popcount spans, SWAR lane biases, dead-override tables —
+    /// after patch → evaluate → revert, across ragged tile geometries and
+    /// repeated trials on the same instance (the clone-free sweep loop).
+    #[test]
+    fn fault_journal_roundtrip_restores_the_model_bit_for_bit(
+        rows in 1usize..24,
+        cols in 1usize..12,
+        hidden in 4usize..20,
+        stuck in 0u8..4,
+        dead in 0u8..3,
+        seed in 0u64..400,
+    ) {
+        use aqfp_crossbar::faults::PatchJournal;
+        use aqfp_device::{DeviceRng, SeedableRng};
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 6, 6], &[hidden], 4);
+        let model = spec.build_software(&hw, seed);
+        let fm = FaultModel::new(0.25 * stuck as f64, 0.5 * dead as f64).unwrap();
+        let pristine = deploy(&spec, &model, &hw).unwrap().to_packed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x10AD);
+        let images = bnn_nn::Tensor::from_vec(
+            &[1, 1, 6, 6],
+            (0..36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let mut patched = pristine.clone();
+        let mut journal = PatchJournal::new();
+        for trial in 0..3u64 {
+            // The journaled injection lands exactly the plain-injection
+            // state (same RNG, same defect count, same packed words)...
+            let defects = patched.inject_faults_journaled(
+                &fm, &mut DeviceRng::seed_from_u64(seed ^ trial), &mut journal,
+            );
+            let mut witness = pristine.clone();
+            prop_assert_eq!(
+                witness.inject_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ trial)),
+                defects
+            );
+            prop_assert_eq!(&patched, &witness, "patched state, trial {}", trial);
+            // ...survives an evaluation...
+            let _ = patched.classify(&images, 0);
+            // ...and reverts to the pristine model, ready for the next
+            // trial without re-cloning.
+            patched.revert_faults(&mut journal);
+            prop_assert_eq!(&patched, &pristine, "reverted state, trial {}", trial);
+            prop_assert!(journal.is_empty(), "journal drained, trial {}", trial);
+        }
+    }
+
+    /// Counter-mode stochastic classification is a pure function of its
+    /// `(seed, sample)` coordinates on random ragged geometries: walking
+    /// the batch in reverse order reproduces identical labels and scores.
+    #[test]
+    fn counter_mode_classification_is_order_free(
+        rows in 4usize..24,
+        cols in 2usize..12,
+        hidden in 4usize..20,
+        seed in 0u64..400,
+    ) {
+        use aqfp_sc::CounterStream;
+        use superbnn::deploy::RngMode;
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            grayzone_ua: 6.0,
+            bitstream_len: 16,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 6, 6], &[hidden], 4);
+        let model = spec.build_software(&hw, seed);
+        let packed = deploy(&spec, &model, &hw).unwrap().to_packed();
+        let tables = packed.stochastic_tables_mode(
+            &aqfp_device::VariationModel::nominal(),
+            RngMode::Counter,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC7);
+        let images = bnn_nn::Tensor::from_vec(
+            &[3, 1, 6, 6],
+            (0..3 * 36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let root = CounterStream::from_seed(seed);
+        let forward: Vec<_> = (0..3)
+            .map(|i| packed.classify_stochastic_ctr(&tables, &images, i, &root.derive(i as u64)))
+            .collect();
+        for i in (0..3).rev() {
+            prop_assert_eq!(
+                packed.classify_stochastic_ctr(&tables, &images, i, &root.derive(i as u64)),
+                forward[i].clone(),
+                "sample {}", i
+            );
+        }
+    }
+
     /// The word-level bitplane im2col gathers exactly the scalar
     /// receptive fields for arbitrary conv geometries (random kernel,
     /// stride, padding, ragged channel counts and non-square inputs).
