@@ -254,6 +254,117 @@ impl PatchJournal {
     }
 }
 
+/// One enumerable structural defect class of a single crossbar die.
+///
+/// Where [`FaultModel`] *draws* defects at random rates (the Monte Carlo
+/// robustness view), this type *names* them one at a time — the unit the
+/// ATPG screening loop and the fault-universe equivalence checks iterate
+/// over. Coordinates are die-local (`row < rows`, `col < cols` of the
+/// die).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A LiM cell whose storage loop is damaged: `(row, col)` reads as the
+    /// fabrication constant `value` regardless of the programmed weight.
+    StuckCell {
+        /// Die-local fan-in row of the damaged cell.
+        row: usize,
+        /// Die-local output column of the damaged cell.
+        col: usize,
+        /// The constant the cell reads as.
+        value: Bit,
+    },
+    /// A broken column merge or neuron: column `col`'s output is the
+    /// fabrication constant `value` regardless of the input current.
+    DeadColumn {
+        /// Die-local output column of the dead neuron.
+        col: usize,
+        /// The constant the column reads as.
+        value: Bit,
+    },
+}
+
+/// One member of a tiled deployment's structural fault universe: a single
+/// defect localized to one physical die (`die` indexes the deployment
+/// plan order — the same order as
+/// [`draw_faults_tiled`]'s `dims`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructuralFault {
+    /// Die index in deployment plan order.
+    pub die: usize,
+    /// The defect class on that die.
+    pub kind: FaultKind,
+}
+
+impl StructuralFault {
+    /// Renders the fault as a per-die draw vector aligned with a
+    /// `dies`-tile deployment: every die is clean except `self.die`, which
+    /// carries exactly this one defect. This is the bridge from the
+    /// enumerated universe to the existing fault appliers
+    /// (`PackedTiledMatrix::apply_faults*`, which consume one
+    /// [`InjectedFaults`] per die in plan order).
+    ///
+    /// # Panics
+    /// Panics if `self.die >= dies`.
+    pub fn to_draws(&self, dies: usize) -> Vec<InjectedFaults> {
+        assert!(self.die < dies, "die index out of range");
+        let mut draws = vec![
+            InjectedFaults {
+                stuck_cells: Vec::new(),
+                dead_columns: Vec::new(),
+            };
+            dies
+        ];
+        match self.kind {
+            FaultKind::StuckCell { row, col, value } => {
+                draws[self.die].stuck_cells.push((row, col, value));
+            }
+            FaultKind::DeadColumn { col, value } => {
+                draws[self.die].dead_columns.push((col, value));
+            }
+        }
+        draws
+    }
+}
+
+/// Enumerates the complete single-defect structural fault universe of a
+/// tiled deployment: for every `(rows, cols)` die in `dims` (plan order),
+/// both stuck-at polarities of every LiM cell and both polarities of
+/// every dead column. The universe size is
+/// `Σ die (2·rows·cols + 2·cols)`; callers that need a bounded campaign
+/// subsample it (see `core::screening`).
+pub fn enumerate_fault_universe(dims: &[(usize, usize)]) -> Vec<StructuralFault> {
+    let mut universe = Vec::with_capacity(fault_universe_size(dims));
+    for (die, &(rows, cols)) in dims.iter().enumerate() {
+        for row in 0..rows {
+            for col in 0..cols {
+                for value in [Bit::Zero, Bit::One] {
+                    universe.push(StructuralFault {
+                        die,
+                        kind: FaultKind::StuckCell { row, col, value },
+                    });
+                }
+            }
+        }
+        for col in 0..cols {
+            for value in [Bit::Zero, Bit::One] {
+                universe.push(StructuralFault {
+                    die,
+                    kind: FaultKind::DeadColumn { col, value },
+                });
+            }
+        }
+    }
+    universe
+}
+
+/// The size of [`enumerate_fault_universe`]'s result without
+/// materializing it.
+pub fn fault_universe_size(dims: &[(usize, usize)]) -> usize {
+    dims.iter()
+        .map(|&(rows, cols)| 2 * rows * cols + 2 * cols)
+        .sum()
+}
+
 /// Applies stuck-cell faults to a crossbar by overwriting the stored
 /// weights (the physical effect of a damaged storage loop: the programmed
 /// weight is lost). Dead columns cannot be expressed through weights; the
@@ -351,6 +462,59 @@ mod tests {
         };
         apply_stuck_cells(&mut xbar, &faults);
         assert_eq!(xbar.raw_sum(0, &input).unwrap(), 2);
+    }
+
+    #[test]
+    fn fault_universe_enumerates_every_class_once() {
+        let dims = [(3usize, 2usize), (1, 2)];
+        let universe = enumerate_fault_universe(&dims);
+        // Die 0: 2·3·2 stuck + 2·2 dead = 16; die 1: 2·1·2 + 2·2 = 8.
+        assert_eq!(universe.len(), 24);
+        assert_eq!(universe.len(), fault_universe_size(&dims));
+        // No duplicates.
+        for (i, a) in universe.iter().enumerate() {
+            for b in &universe[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Every coordinate stays inside its die.
+        for f in &universe {
+            let (rows, cols) = dims[f.die];
+            match f.kind {
+                FaultKind::StuckCell { row, col, .. } => {
+                    assert!(row < rows && col < cols);
+                }
+                FaultKind::DeadColumn { col, .. } => assert!(col < cols),
+            }
+        }
+    }
+
+    #[test]
+    fn structural_fault_draws_touch_only_their_die() {
+        let f = StructuralFault {
+            die: 1,
+            kind: FaultKind::StuckCell {
+                row: 2,
+                col: 0,
+                value: Bit::One,
+            },
+        };
+        let draws = f.to_draws(3);
+        assert_eq!(draws.len(), 3);
+        assert!(draws[0].is_clean() && draws[2].is_clean());
+        assert_eq!(draws[1].stuck_cells, vec![(2, 0, Bit::One)]);
+        assert!(draws[1].dead_columns.is_empty());
+
+        let d = StructuralFault {
+            die: 0,
+            kind: FaultKind::DeadColumn {
+                col: 3,
+                value: Bit::Zero,
+            },
+        };
+        let draws = d.to_draws(1);
+        assert_eq!(draws[0].dead_columns, vec![(3, Bit::Zero)]);
+        assert!(draws[0].stuck_cells.is_empty());
     }
 
     #[test]

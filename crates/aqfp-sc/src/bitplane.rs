@@ -440,6 +440,40 @@ pub fn sample_bernoulli_planes<R: rand::RngCore + ?Sized>(
     }
 }
 
+/// Packs a density-`p` pseudo-random probe input plane: `len` i.i.d.
+/// Bernoulli('1' with probability `p`) bits with the zero-tail invariant
+/// established. This is the probe-synthesis entry point of the ATPG
+/// screening loop — sweeping `p` from sparse to dense excites comparators
+/// whose XNOR sums sit far from threshold on natural eval inputs, which a
+/// single density cannot reach.
+pub fn random_probe_plane<R: rand::RngCore + ?Sized>(len: usize, p: f64, rng: &mut R) -> BitPlane {
+    let mut words = vec![0u64; len.div_ceil(64)];
+    sample_bernoulli_words(bernoulli_threshold(p), len, &mut words, rng);
+    BitPlane::from_words(words, len)
+}
+
+/// Packs a deterministic striped probe plane: alternating runs of
+/// `period` '1's and `period` '0's, shifted left by `phase` bits. Stripes
+/// are the structured complement of [`random_probe_plane`]: walking
+/// `period` across powers of two and `phase` across offsets toggles
+/// aligned groups of fan-in rows together, driving tile partial sums
+/// through their full range (all-'0' and all-'1' planes are the
+/// `period ≥ len` degenerate cases). Synthesis-time only — built per-bit,
+/// not a packed kernel.
+///
+/// # Panics
+/// Panics if `period == 0`.
+pub fn striped_probe_plane(len: usize, period: usize, phase: usize) -> BitPlane {
+    assert!(period > 0, "stripe period must be positive");
+    let mut plane = BitPlane::zeros(len);
+    for i in 0..len {
+        if ((i + phase) / period).is_multiple_of(2) {
+            plane.set(i, true);
+        }
+    }
+    plane
+}
+
 /// Compresses the even-position bits of `x` (positions 0, 2, 4, …) into
 /// the low 32 bits — the classic shift-or bit-compress for the mask
 /// `0x5555…`. Odd-position bits of `x` are ignored. This is the
@@ -1275,6 +1309,50 @@ mod tests {
 
     fn pseudo_bools(n: usize, salt: usize) -> Vec<bool> {
         (0..n).map(|i| (i * 7 + salt * 13 + 3) % 5 < 2).collect()
+    }
+
+    #[test]
+    fn random_probe_plane_keeps_tail_zero_and_tracks_density() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for len in [1usize, 63, 64, 65, 1000] {
+            for p in [0.0, 0.3, 1.0] {
+                let plane = random_probe_plane(len, p, &mut rng);
+                assert_eq!(plane.len(), len);
+                let rem = len % 64;
+                if rem > 0 {
+                    assert_eq!(plane.words().last().unwrap() >> rem, 0, "tail bits set");
+                }
+                if p == 0.0 {
+                    assert_eq!(plane.count_ones(), 0);
+                }
+                if p == 1.0 {
+                    assert_eq!(plane.count_ones(), len);
+                }
+            }
+        }
+        let plane = random_probe_plane(10_000, 0.3, &mut rng);
+        let ones = plane.count_ones();
+        assert!((2500..3500).contains(&ones), "{ones} ones at p = 0.3");
+    }
+
+    #[test]
+    fn striped_probe_plane_alternates_runs() {
+        let plane = striped_probe_plane(10, 3, 0);
+        let want = [
+            true, true, true, false, false, false, true, true, true, false,
+        ];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(plane.get(i), w, "bit {i}");
+        }
+        // Phase shifts the pattern left; period ≥ len degenerates to ones.
+        let shifted = striped_probe_plane(10, 3, 3);
+        for i in 0..7 {
+            assert_eq!(shifted.get(i), plane.get(i + 3));
+        }
+        assert_eq!(striped_probe_plane(16, 16, 0).count_ones(), 16);
+        let rem_plane = striped_probe_plane(70, 2, 1);
+        assert_eq!(rem_plane.words().last().unwrap() >> (70 % 64), 0);
     }
 
     #[test]

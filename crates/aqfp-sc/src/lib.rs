@@ -54,7 +54,7 @@ pub mod packed;
 
 pub use accumulate::{AccumulationModule, ScAccumError};
 pub use apc::Apc;
-pub use bitplane::{BitPlane, PackedMatrix, Word, V256};
+pub use bitplane::{random_probe_plane, striped_probe_plane, BitPlane, PackedMatrix, Word, V256};
 pub use counter::CounterStream;
 pub use number::Bitstream;
 pub use packed::PackedStream;

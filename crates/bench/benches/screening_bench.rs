@@ -1,0 +1,143 @@
+//! ATPG screening cost at benchmark scale: how expensive is probe-set
+//! generation as the targeted fault-class count grows, and how fast does
+//! the sealed probe set replay against a die?
+//!
+//! Run with `cargo bench -p superbnn-bench --bench screening_bench`.
+//! The digits MLP is trained and lowered **once** (reported as
+//! `train_seconds`); the timed figures are then:
+//!
+//! * **ATPG** — `generate_probes` over the same candidate pool at a
+//!   sweep of fault-class sample sizes (the detection matrix dominates:
+//!   one journaled patch → pool classification → revert per class, fanned
+//!   across workers);
+//! * **replay** — `ProbeSet::screen` throughput on the final probe set,
+//!   the per-die cost a fab line pays (single-threaded, milliseconds).
+//!
+//! Besides printing the sweep it writes the machine-readable baseline to
+//! `BENCH_screening.json` at the workspace root (override with the
+//! `SCREENING_BENCH_OUT` env var).
+
+use bnn_datasets::{digits::generate_digits, SynthConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{deploy, BitMap};
+use superbnn::screening::{generate_probes, synthesize_probes, ScreeningConfig};
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+const EVAL_CANDIDATES: usize = 48;
+const SYNTH_CANDIDATES: usize = 80;
+const CLASS_SCALES: [usize; 3] = [128, 512, 2048];
+const MAX_VECTORS: usize = 64;
+const SEED: u64 = 7;
+
+fn main() {
+    let workers = superbnn_bench::machine_cpus();
+
+    // One-time setup, untimed in the ATPG figures: train + deploy + lower
+    // + build the candidate pool.
+    let start = Instant::now();
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 30,
+        ..Default::default()
+    });
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        grayzone_ua: 8.0,
+        bitstream_len: 32,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+    let mut model = spec.build_software(&hw, SEED);
+    Trainer::new(TrainConfig {
+        epochs: 8,
+        lr: 0.02,
+        noise_warmup_epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+    let packed = deploy(&spec, &model, &hw).expect("deploys").to_packed();
+    let input_len: usize = packed.input_shape().iter().product();
+    let mut candidates: Vec<aqfp_sc::BitPlane> = (0..EVAL_CANDIDATES)
+        .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+        .collect();
+    candidates.extend(synthesize_probes(
+        input_len,
+        SYNTH_CANDIDATES,
+        SEED ^ 0x9E0B,
+    ));
+    let train_seconds = start.elapsed().as_secs_f64();
+    println!(
+        "screening_bench: digits MLP lowered in {train_seconds:.1}s, \
+         {} candidate vectors, {workers} workers",
+        candidates.len()
+    );
+
+    let mut atpg_rows = String::new();
+    let mut last_report = None;
+    for (i, &classes) in CLASS_SCALES.iter().enumerate() {
+        let cfg = ScreeningConfig::default()
+            .with_fault_classes(classes)
+            .with_max_vectors(MAX_VECTORS)
+            .with_seed(SEED)
+            .with_workers(workers);
+        let start = Instant::now();
+        let report = generate_probes(&packed, &candidates, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        let classes_per_s = report.targeted as f64 / secs;
+        println!(
+            "{classes:>5} classes: {} vectors, fault coverage {:.1}%, test coverage {:.1}%, \
+             {secs:.2}s ({classes_per_s:.0} classes/s)",
+            report.probes.len(),
+            100.0 * report.coverage,
+            100.0 * report.test_coverage(),
+        );
+        let sep = if i + 1 < CLASS_SCALES.len() { "," } else { "" };
+        let _ = write!(
+            atpg_rows,
+            "\n      {{\"fault_classes\": {classes}, \"detectable\": {}, \
+             \"vectors\": {}, \"fault_coverage\": {:.4}, \"test_coverage\": {:.4}, \
+             \"atpg_seconds\": {secs:.2}, \"classes_per_second\": {classes_per_s:.0}}}{sep}",
+            report.detectable,
+            report.probes.len(),
+            report.coverage,
+            report.test_coverage(),
+        );
+        last_report = Some(report);
+    }
+    let report = last_report.expect("at least one ATPG scale ran");
+
+    // Replay throughput: the per-die screening cost (single-threaded).
+    let probes = &report.probes;
+    let reps = 2000usize;
+    let start = Instant::now();
+    let mut detections = 0usize;
+    for _ in 0..reps {
+        detections += probes.screen(&packed).detections();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(detections, 0, "the golden die screens clean");
+    let dies_per_s = reps as f64 / secs;
+    let probes_per_s = (reps * probes.len()) as f64 / secs;
+    println!(
+        "replay: {} probes/die, {:.2} ms/die ({dies_per_s:.0} dies/s, {probes_per_s:.0} probes/s)",
+        probes.len(),
+        1e3 * secs / reps as f64,
+    );
+
+    let json = format!(
+        "{{\n  {},\n  \"model\": \"mlp_digits_256-32-10\",\n  \"crossbar\": \"8x8\",\n  \
+         \"train_seconds\": {train_seconds:.1},\n  \
+         \"candidates\": {{\"eval\": {EVAL_CANDIDATES}, \"synthesized\": {SYNTH_CANDIDATES}}},\n  \
+         \"fault_universe_total\": {},\n  \"max_vectors\": {MAX_VECTORS},\n  \
+         \"atpg\": [{atpg_rows}\n  ],\n  \
+         \"replay\": {{\"probes\": {}, \"dies_per_second\": {dies_per_s:.0}, \
+         \"probes_per_second\": {probes_per_s:.0}}}\n}}\n",
+        superbnn_bench::baseline_header("screening", &[("measured_workers", workers)]),
+        report.universe,
+        probes.len(),
+    );
+    superbnn_bench::write_baseline("SCREENING_BENCH_OUT", "BENCH_screening.json", &json);
+}

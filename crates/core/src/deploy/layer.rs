@@ -118,6 +118,36 @@ impl TiledMatrix {
         defects
     }
 
+    /// Applies **pre-drawn** fabrication faults, one
+    /// [`aqfp_crossbar::faults::InjectedFaults`] per tile crossbar in
+    /// plan order — the scalar twin of
+    /// `PackedTiledMatrix::apply_faults`, used by the fault-universe
+    /// equivalence checks to put the same named defect on both engines.
+    /// Out-of-range cells within an entry are ignored (matching
+    /// [`apply_stuck_cells`]); an empty slice is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `faults` is non-empty and its length does not match the
+    /// crossbar count.
+    pub fn apply_faults(&mut self, faults: &[aqfp_crossbar::faults::InjectedFaults]) {
+        if faults.is_empty() {
+            return;
+        }
+        assert_eq!(
+            faults.len(),
+            self.tiles.len(),
+            "fault draw / tile count mismatch"
+        );
+        for (i, (xbar, f)) in self.tiles.iter_mut().zip(faults).enumerate() {
+            apply_stuck_cells(xbar, f);
+            for &(col, bit) in &f.dead_columns {
+                if col < xbar.cols() {
+                    self.dead.insert((i, col), bit);
+                }
+            }
+        }
+    }
+
     /// Fan-in of the matrix.
     pub fn fan_in(&self) -> usize {
         self.fan_in

@@ -109,6 +109,8 @@ pub mod pipeline;
 pub mod snapshot;
 pub mod stochastic;
 
+pub(crate) use model::argmax;
+
 pub use bitmap::BitMap;
 pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};

@@ -488,6 +488,31 @@ impl PackedTiledMatrix {
         }
     }
 
+    /// Row-tile boundaries over the fan-in (`row_tiles() + 1` ascending
+    /// entries, last = `fan_in()`) — the row twin of
+    /// [`Self::col_group_starts`], exposed so the verification subsystem
+    /// can map a die index to global `(row, channel)` coordinates.
+    pub fn row_tile_starts(&self) -> &[usize] {
+        &self.row_starts
+    }
+
+    /// The quantized integer comparator reference of `channel` at row
+    /// tile `r`: the tile votes '1' iff its signed XNOR sum is
+    /// `≥ min_sum`. Read-only access for per-tile counterexample
+    /// localization (the decision kernels read the same table).
+    pub fn min_sum(&self, channel: usize, r: usize) -> i64 {
+        self.min_sums[channel * self.row_tiles() + r]
+    }
+
+    /// The currently stored weight bit of `channel` at fan-in position
+    /// `bit` ('1' = +1) — faults included, since stuck cells overwrite
+    /// the packed planes. The screening loop reads this to classify a
+    /// stuck-at polarity as benign (equal to the stored weight) or
+    /// malignant.
+    pub fn weight_bit(&self, channel: usize, bit: usize) -> bool {
+        self.weights.get(channel, bit)
+    }
+
     /// Writes every channel's per-row-tile XNOR match count for one packed
     /// activation word slice into `out` (channel-major `[out × k]`,
     /// `matches ∈ 0..=tile_rows(r)`; the tile's signed partial sum is
@@ -588,10 +613,12 @@ impl PackedTiledMatrix {
     ///
     /// `faults` must be aligned with [`Self::tile_dims`] (one entry per
     /// die, plan order); out-of-range cells within an entry are ignored,
-    /// matching the scalar applier.
+    /// matching the scalar applier. An **empty** slice is an explicit
+    /// no-op (a filtered-out draw), not a shape error.
     ///
     /// # Panics
-    /// Panics if `faults.len()` does not match the tile count.
+    /// Panics if `faults` is non-empty and its length does not match the
+    /// tile count.
     pub fn apply_faults(&mut self, faults: &[InjectedFaults]) {
         self.apply_faults_inner(faults, 0, None);
     }
@@ -602,10 +629,12 @@ impl PackedTiledMatrix {
     /// overwritten, so the caller can later restore the matrix bit-for-bit
     /// via the recorded entries in reverse order (see
     /// [`PackedModel::revert_faults`]). The applied state is identical to
-    /// the unjournaled path.
+    /// the unjournaled path; an empty slice is a no-op that records
+    /// nothing.
     ///
     /// # Panics
-    /// Panics if `faults.len()` does not match the tile count.
+    /// Panics if `faults` is non-empty and its length does not match the
+    /// tile count.
     pub fn apply_faults_journaled(
         &mut self,
         faults: &[InjectedFaults],
@@ -621,6 +650,14 @@ impl PackedTiledMatrix {
         layer: usize,
         mut journal: Option<&mut PatchJournal>,
     ) {
+        // An empty draw is an explicit no-op, not a shape error: a
+        // campaign that filters its draw list (or a pristine fault model
+        // short-circuiting before the per-die walk) must leave the matrix
+        // and the journal untouched, so the paired `revert_faults` is a
+        // no-op too.
+        if faults.is_empty() {
+            return;
+        }
         let k = self.row_starts.len() - 1;
         assert_eq!(
             faults.len(),
@@ -1181,6 +1218,29 @@ impl PackedModel {
             m.apply_faults_journaled(&faults, li, journal);
         }
         defects
+    }
+
+    /// Applies one stage's **pre-drawn** fault set through the journal —
+    /// the explicit-site injection primitive of the ATPG screening loop
+    /// and the fault-universe equivalence checks, which iterate *named*
+    /// defects (see [`aqfp_crossbar::faults::StructuralFault`]) instead
+    /// of drawing them from rates. `faults` must be aligned with the
+    /// stage matrix's [`PackedTiledMatrix::tile_dims`] (or empty for a
+    /// no-op); [`Self::revert_faults`] restores the model bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `layer` is out of range or names a weight-free stage
+    /// (pool/flatten), or on a non-empty draw/tile count mismatch.
+    pub fn apply_layer_faults_journaled(
+        &mut self,
+        layer: usize,
+        faults: &[InjectedFaults],
+        journal: &mut PatchJournal,
+    ) {
+        self.layers[layer]
+            .matrix_mut()
+            .expect("fault injection on a weight-free stage")
+            .apply_faults_journaled(faults, layer, journal);
     }
 
     /// Reverts every patch recorded in `journal` — in reverse record

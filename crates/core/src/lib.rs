@@ -24,7 +24,13 @@
 //! * [`robustness`] — Monte Carlo fault-robustness campaigns on the
 //!   packed deploy engine: per-trial fault draws injected directly into
 //!   the lowered bitplanes, fanned across threads, aggregated into
-//!   per-rate accuracy distributions.
+//!   per-rate accuracy distributions;
+//! * [`equiv`] — the bounded equivalence checker over the four inference
+//!   engines (exhaustive on small geometries, random at scale, under
+//!   every structural fault class), returning typed counterexamples;
+//! * [`screening`] — ATPG die screening: greedy set-cover probe-vector
+//!   generation over the enumerated structural fault universe, with a
+//!   serialized probe set for millisecond production screening.
 //!
 //! # Quickstart
 //!
@@ -57,9 +63,11 @@ pub mod bnmatch;
 pub mod config;
 pub mod deploy;
 pub mod energy;
+pub mod equiv;
 pub mod experiments;
 pub mod optimize;
 pub mod robustness;
+pub mod screening;
 pub mod spec;
 pub mod trainer;
 

@@ -12,7 +12,8 @@ use bnn_datasets::{digits::generate_digits, SynthConfig};
 use bnn_nn::layers::Mode;
 use bnn_nn::{NnRng, Sequential};
 use superbnn::config::HardwareConfig;
-use superbnn::deploy::deploy;
+use superbnn::deploy::{deploy, BitMap, TiledMatrix};
+use superbnn::equiv::{DieChecker, Engine, ModelChecker};
 use superbnn::spec::NetSpec;
 use superbnn::trainer::{TrainConfig, Trainer};
 
@@ -102,6 +103,79 @@ fn classifier_head_is_bit_exact() {
             assert!((s - l).abs() < 1e-4, "score {s} vs logit {l}");
         }
         assert_eq!(got, want, "pattern {pattern:04b}");
+    }
+}
+
+/// The four-engine equivalence lattice, **exhaustively**: on a
+/// single-tile die with 12-bit fan-in, every one of the 4096 input
+/// patterns is evaluated on all six engine pairs — scalar digital,
+/// packed digital, wide-word SIMD, and the stochastic engine in its
+/// digital limit must be the same function, full stop.
+#[test]
+fn four_engine_lattice_is_exhaustive_on_a_single_tile_die() {
+    let hw = HardwareConfig {
+        crossbar_rows: 16, // one row tile for the 12-bit fan-in
+        crossbar_cols: 8,
+        ..Default::default()
+    };
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+    let (fan_in, out) = (12usize, 7usize);
+    let signs: Vec<f32> = (0..fan_in * out)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-4.0..4.0)).collect();
+    let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
+    let checker = DieChecker::new(&TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw));
+    let proofs = checker
+        .prove_exhaustive_lattice()
+        .unwrap_or_else(|ce| panic!("equivalence broken: {ce}"));
+    assert_eq!(proofs.len(), 6, "all six engine pairs proven");
+    for proof in &proofs {
+        assert_eq!(proof.cases, 1 << fan_in);
+        assert_eq!(proof.mode, "exhaustive");
+    }
+}
+
+/// Model-level equivalence on a trained MLP: the checker walks the
+/// pipeline cell by cell on every engine pair over real eval inputs,
+/// and its per-engine classification matches the engines' own
+/// end-to-end entry points.
+#[test]
+fn trained_model_agrees_across_all_engine_pairs() {
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 3,
+        ..Default::default()
+    });
+    let hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 16, 16], &[24], 10);
+    let mut model = spec.build_software(&hw, 13);
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+    let deployed = deploy(&spec, &model, &hw).expect("deploys");
+    let checker = ModelChecker::new(&deployed);
+    let planes: Vec<_> = (0..8)
+        .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+        .collect();
+    for pair in Engine::pairs() {
+        let proof = checker
+            .check_planes(pair, &planes)
+            .unwrap_or_else(|ce| panic!("equivalence broken: {ce}"));
+        assert_eq!(proof.cases, planes.len());
+    }
+    // The checker's walk is bit-identical to the engines' own entry
+    // points.
+    for (i, plane) in planes.iter().enumerate() {
+        let want = deployed.classify_digital(&data.images, i);
+        assert_eq!(checker.classify(Engine::ScalarDigital, plane), want);
+        assert_eq!(checker.classify(Engine::PackedDigital, plane), want);
     }
 }
 

@@ -1,0 +1,172 @@
+//! Golden round trip for the screening subsystem: probe-set generation,
+//! serialization, and replay against a snapshot-cold-started replica.
+//!
+//! The fixture pins the full fab-line story end to end on a
+//! deterministic pipeline: ATPG picks its probe vectors, the probe set
+//! and the die snapshot travel as binary artifacts, a replica is
+//! cold-started from the snapshot alone, and a seeded fault set injected
+//! into both the original and the replica must produce **bit-identical**
+//! per-probe detection patterns — which in turn must match the committed
+//! golden mask.
+//!
+//! To regenerate after an *intentional* semantic change, run
+//! `GOLDEN_REGEN=1 cargo test --test golden_screen -- --nocapture` and
+//! paste the printed constants.
+
+use bnn_datasets::{digits::generate_digits, SynthConfig};
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{deploy, BitMap, PackedModel};
+use superbnn::screening::{generate_probes, synthesize_probes, ProbeSet, ScreeningConfig};
+use superbnn::spec::NetSpec;
+use superbnn::trainer::{TrainConfig, Trainer};
+
+/// Number of seeded fault classes replayed against the probe set.
+const GOLDEN_FAULTS: usize = 3;
+
+/// Expected probe count the greedy cover selects.
+const GOLDEN_PROBES: usize = 13;
+
+/// Expected coverage, as an `f64::to_bits` pattern (exact comparison).
+const GOLDEN_COVERAGE_BITS: u64 = 0x3fe0cccccccccccd;
+
+/// Expected per-probe detection masks (bit `i` = probe `i` flagged) for
+/// the three seeded fault classes, identical on the original die and the
+/// snapshot-cold-started replica.
+const GOLDEN_DETECTION_MASKS: [u64; GOLDEN_FAULTS] = [0x4, 0x4, 0x1000];
+
+/// The deterministic pipeline behind the fixture: the same operating
+/// point as `golden_deploy.rs`, lowered to the packed engine.
+fn golden_pipeline() -> (PackedModel, Vec<aqfp_sc::BitPlane>) {
+    let data = generate_digits(&SynthConfig {
+        samples_per_class: 12,
+        ..Default::default()
+    });
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        grayzone_ua: 8.0,
+        bitstream_len: 32,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 16, 16], &[32], 10);
+    let mut model = spec.build_software(&hw, 7);
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        lr: 0.02,
+        noise_warmup_epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut model, &data);
+    let packed = deploy(&spec, &model, &hw).expect("deploys").to_packed();
+    let mut candidates: Vec<aqfp_sc::BitPlane> = (0..24)
+        .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
+        .collect();
+    candidates.extend(synthesize_probes(256, 24, 77));
+    (packed, candidates)
+}
+
+/// The deterministic fault sample replayed against the probe set:
+/// evenly strided picks from the classes the greedy cover claims to
+/// detect, so every seeded fault must light up at least one probe.
+fn seeded_faults(
+    detected: &[superbnn::screening::FaultSite],
+) -> Vec<superbnn::screening::FaultSite> {
+    assert!(detected.len() >= GOLDEN_FAULTS, "cover too small to seed");
+    let stride = detected.len() / GOLDEN_FAULTS;
+    (0..GOLDEN_FAULTS).map(|i| detected[i * stride]).collect()
+}
+
+/// Per-probe detection pattern of one injected fault class, as a bit
+/// mask (probe `i` → bit `i`).
+fn detection_mask(
+    probes: &ProbeSet,
+    model: &PackedModel,
+    site: &superbnn::screening::FaultSite,
+) -> u64 {
+    use aqfp_crossbar::faults::PatchJournal;
+    let mut m = model.clone();
+    let mut journal = PatchJournal::new();
+    let dies = match &m.layers()[site.layer] {
+        superbnn::deploy::PackedLayer::Linear(l) => l.matrix().tile_dims().len(),
+        superbnn::deploy::PackedLayer::Conv(c) => c.matrix().tile_dims().len(),
+        _ => panic!("fault on a weight-free stage"),
+    };
+    m.apply_layer_faults_journaled(site.layer, &site.fault.to_draws(dies), &mut journal);
+    let outcome = probes.screen(&m);
+    outcome
+        .mismatches
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &hit)| acc | (u64::from(hit) << i))
+}
+
+#[test]
+fn probe_set_round_trips_through_snapshot_and_detects_the_fixture_faults() {
+    let (packed, candidates) = golden_pipeline();
+    let cfg = ScreeningConfig::default()
+        .with_fault_classes(40)
+        .with_max_vectors(16)
+        .with_target_coverage(0.95)
+        .with_seed(0x60D)
+        .with_workers(2);
+    let report = generate_probes(&packed, &candidates, &cfg);
+    let faults = seeded_faults(&report.detected);
+
+    // Ship both artifacts as bytes and cold-start a replica from them —
+    // the fab tester's view: one snapshot, one probe file, no trainer.
+    let dir = std::env::temp_dir().join(format!("superbnn_screen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("die.snap");
+    let probe_path = dir.join("die.probes");
+    packed.save_snapshot(&snap_path).unwrap();
+    report.probes.save(&probe_path).unwrap();
+    let replica = PackedModel::load_snapshot(&snap_path).unwrap();
+    let probes = ProbeSet::load(&probe_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(probes, report.probes, "probe set round trip is lossless");
+
+    // The golden die — original and replica — screens clean.
+    assert!(report.probes.screen(&packed).clean());
+    assert!(probes.screen(&replica).clean());
+
+    let masks: Vec<u64> = faults
+        .iter()
+        .map(|s| detection_mask(&probes, &replica, s))
+        .collect();
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        println!("const GOLDEN_PROBES: usize = {};", report.probes.len());
+        println!(
+            "const GOLDEN_COVERAGE_BITS: u64 = {:#018x};",
+            report.coverage.to_bits()
+        );
+        let rendered: Vec<String> = masks.iter().map(|m| format!("{m:#x}")).collect();
+        println!(
+            "const GOLDEN_DETECTION_MASKS: [u64; GOLDEN_FAULTS] = [{}];",
+            rendered.join(", ")
+        );
+        return;
+    }
+
+    assert_eq!(report.probes.len(), GOLDEN_PROBES, "probe count");
+    assert_eq!(
+        report.coverage.to_bits(),
+        GOLDEN_COVERAGE_BITS,
+        "coverage {} drifted",
+        report.coverage
+    );
+    // The replica detects the seeded faults bit-identically to the
+    // original die, and both match the committed masks.
+    for (i, site) in faults.iter().enumerate() {
+        let replica_mask = masks[i];
+        let original_mask = detection_mask(&report.probes, &packed, site);
+        assert_eq!(
+            replica_mask, original_mask,
+            "original/replica divergence on fault {i} ({site:?})"
+        );
+        assert_eq!(
+            replica_mask, GOLDEN_DETECTION_MASKS[i],
+            "detection mask drifted on fault {i} ({site:?})"
+        );
+    }
+}

@@ -16,6 +16,7 @@ use superbnn::config::HardwareConfig;
 use superbnn::deploy::{
     deploy, BitMap, DeployedCell, DeployedConv, PackedLayer, PackedTiledMatrix, TiledMatrix,
 };
+use superbnn::equiv::{DieChecker, Engine, ModelChecker};
 use superbnn::spec::{CellSpec, NetSpec};
 
 /// A deterministic pseudo-random ±1 matrix.
@@ -211,7 +212,9 @@ proptest! {
 
     /// The packed deploy engine is bit-exactly the scalar digital engine
     /// for arbitrary tile geometries (including non-power-of-two crossbar
-    /// rows that bypass the SWAR fast path), thresholds and flips.
+    /// rows that bypass the SWAR fast path), thresholds and flips —
+    /// checked through the bounded equivalence API so a failure reports a
+    /// typed counterexample (input, lane, die) instead of a bare assert.
     #[test]
     fn packed_deploy_matrix_is_bit_exact_vs_scalar(
         fan_in in 1usize..200,
@@ -229,13 +232,10 @@ proptest! {
         let signs = sign_matrix(&mut rng, fan_in * out);
         let vth: Vec<f64> = (0..out).map(|_| rng.gen_range(-6.0..6.0)).collect();
         let flips: Vec<bool> = (0..out).map(|_| rng.gen()).collect();
-        let m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
-        let packed = PackedTiledMatrix::from_tiled(&m);
-        for _ in 0..4 {
-            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
-            let scalar = m.forward_digital(&input);
-            let plane = packed.forward_plane(&BitPlane::from_bits(&input));
-            prop_assert_eq!(plane.to_bits(), scalar);
+        let checker = DieChecker::new(&TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw));
+        let pair = (Engine::ScalarDigital, Engine::PackedDigital);
+        if let Err(ce) = checker.check_random(pair, 4, seed ^ 0xD1E) {
+            prop_assert!(false, "equivalence broken: {}", ce);
         }
     }
 
@@ -262,12 +262,12 @@ proptest! {
         let mut m = TiledMatrix::new(&signs, fan_in, out, vth, flips, &hw);
         let model = FaultModel::new(0.2 * stuck as f64, 0.15 * stuck as f64).unwrap();
         m.inject_faults(&model, &mut rng);
-        let packed = PackedTiledMatrix::from_tiled(&m);
-        for _ in 0..3 {
-            let input: Vec<Bit> = (0..fan_in).map(|_| Bit::from_bool(rng.gen())).collect();
-            let scalar = m.forward_digital(&input);
-            let plane = packed.forward_plane(&BitPlane::from_bits(&input));
-            prop_assert_eq!(plane.to_bits(), scalar);
+        // Lowering a faulted matrix carries the fault state into every
+        // engine the checker drives.
+        let checker = DieChecker::new(&m);
+        let pair = (Engine::ScalarDigital, Engine::PackedDigital);
+        if let Err(ce) = checker.check_random(pair, 3, seed ^ 0xFA) {
+            prop_assert!(false, "equivalence broken under faults: {}", ce);
         }
     }
 
@@ -312,10 +312,18 @@ proptest! {
             &[3, 1, 6, 6],
             (0..3 * 36).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
+        // The equivalence checker walks the faulted scalar deployment and
+        // its lowering cell by cell, localizing any divergence.
+        let checker = ModelChecker::new(&scalar);
         for i in 0..3 {
             let want = scalar.classify_digital(&images, i);
             prop_assert_eq!(packed.classify(&images, i), want.clone(), "sample {}", i);
             prop_assert_eq!(relowered.classify(&images, i), want, "relowered sample {}", i);
+            let plane = BitMap::from_tensor_sample(&images, i).to_plane();
+            let pair = (Engine::ScalarDigital, Engine::PackedDigital);
+            if let Err(ce) = checker.check_plane(pair, &plane) {
+                prop_assert!(false, "equivalence broken on faulted model: {}", ce);
+            }
         }
     }
 
@@ -860,7 +868,8 @@ proptest! {
             let fm = FaultModel::new(0.15 * stuck as f64, 0.2 * stuck as f64).unwrap();
             m.inject_faults(&fm, &mut rng);
         }
-        let packed = PackedTiledMatrix::from_tiled(&m);
+        let checker = DieChecker::new(&m);
+        let packed = checker.packed();
         let mut acts = PackedMatrix::zeros(n, fan_in);
         for p in 0..n {
             for i in 0..fan_in {
@@ -872,10 +881,13 @@ proptest! {
         let narrow = packed.forward_matrix_as::<u64>(&acts);
         let wide = packed.forward_matrix_as::<V256>(&acts);
         prop_assert_eq!(narrow.storage(), wide.storage(), "u64 vs V256");
+        // The per-plane scalar vote kernel must agree with the blocked
+        // GEMM kernel — checked through the equivalence API so a lane
+        // mismatch reports a typed counterexample.
         for p in (0..n).step_by((n / 3).max(1)) {
-            let plane = packed.forward_plane(&acts.row_plane(p));
-            for ch in 0..out {
-                prop_assert_eq!(narrow.get(ch, p), plane.get(ch), "pixel {} ch {}", p, ch);
+            let pair = (Engine::PackedDigital, Engine::PackedSimd);
+            if let Err(ce) = checker.check(pair, &acts.row_plane(p)) {
+                prop_assert!(false, "width invariant broken at pixel {}: {}", p, ce);
             }
         }
     }
@@ -951,6 +963,41 @@ fn packed_gemm_width_boundary_trailing_words() {
             }
         }
     }
+}
+
+/// Regression: an **empty** fault draw (`&[]`) through the journaled
+/// path is a no-op — the model is untouched, the journal stays empty,
+/// and the paired `revert_faults` is also a no-op. The pre-fix code
+/// tripped the tile-count assert on the empty slice. Both the lowered
+/// and the scalar engines get the same semantics.
+#[test]
+fn empty_fault_draw_is_a_journaled_no_op() {
+    use aqfp_crossbar::faults::PatchJournal;
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 6, 6], &[8], 4);
+    let model = spec.build_software(&hw, 3);
+    let pristine = deploy(&spec, &model, &hw).unwrap().to_packed();
+    // Stage 0 is the Flatten rewrite; stage 1 is the first Linear.
+    let mut m = pristine.clone();
+    let mut journal = PatchJournal::new();
+    m.apply_layer_faults_journaled(1, &[], &mut journal);
+    assert!(journal.is_empty(), "empty draw must record nothing");
+    assert_eq!(m, pristine, "empty draw must not touch the model");
+    m.revert_faults(&mut journal);
+    assert_eq!(m, pristine, "reverting an empty draw is a no-op");
+    // The scalar tiled matrix mirrors the empty-slice semantics.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let signs = sign_matrix(&mut rng, 36 * 8);
+    let vth: Vec<f64> = (0..8).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let mut scalar = TiledMatrix::new(&signs, 36, 8, vth, vec![false; 8], &hw);
+    let input: Vec<Bit> = (0..36).map(|_| Bit::from_bool(rng.gen())).collect();
+    let before = scalar.forward_digital(&input);
+    scalar.apply_faults(&[]);
+    assert_eq!(scalar.forward_digital(&input), before);
 }
 
 /// A plain (non-proptest) regression: the paper's SN examples parse and
