@@ -1,15 +1,23 @@
 //! ATPG screening cost at benchmark scale: how expensive is probe-set
-//! generation as the targeted fault-class count grows, and how fast does
-//! the sealed probe set replay against a die?
+//! generation as the targeted fault-class count grows, how much does the
+//! event-driven fault-cone engine buy over the full-forward path, and
+//! how fast does the sealed probe set replay against a die?
 //!
 //! Run with `cargo bench -p superbnn-bench --bench screening_bench`.
 //! The digits MLP is trained and lowered **once** (reported as
 //! `train_seconds`); the timed figures are then:
 //!
 //! * **ATPG** — `generate_probes` over the same candidate pool at a
-//!   sweep of fault-class sample sizes (the detection matrix dominates:
-//!   one journaled patch → pool classification → revert per class, fanned
-//!   across workers);
+//!   sweep of fault-class sample sizes, once per engine. The `full`
+//!   engine pays one journaled patch → whole-pool classification →
+//!   revert per class; the `delta` engine replays only each fault's
+//!   cone against a shared clean-activation cache, so its rows carry a
+//!   `speedup_vs_full` ratio (both engines are asserted to build
+//!   identical reports before either is timed as truth).
+//! * **VGG** — the first conv-pipeline screening row: the same
+//!   dual-engine measurement on a VGG-small lowered over 32×16
+//!   crossbars, where the cone of a single stuck cell is a sliver of
+//!   the im2col GEMM and the delta engine's advantage is structural.
 //! * **replay** — `ProbeSet::screen` throughput on the final probe set,
 //!   the per-die cost a fab line pays (single-threaded, milliseconds).
 //!
@@ -17,20 +25,81 @@
 //! `BENCH_screening.json` at the workspace root (override with the
 //! `SCREENING_BENCH_OUT` env var).
 
-use bnn_datasets::{digits::generate_digits, SynthConfig};
+use bnn_datasets::{digits::generate_digits, objects::generate_objects, SynthConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 use superbnn::config::HardwareConfig;
-use superbnn::deploy::{deploy, BitMap};
-use superbnn::screening::{generate_probes, synthesize_probes, ScreeningConfig};
+use superbnn::deploy::{deploy, BitMap, PackedModel};
+use superbnn::screening::{
+    generate_probes, synthesize_probes, ScreenEngine, ScreeningConfig, ScreeningReport,
+};
 use superbnn::spec::NetSpec;
 use superbnn::trainer::{TrainConfig, Trainer};
 
 const EVAL_CANDIDATES: usize = 48;
 const SYNTH_CANDIDATES: usize = 80;
 const CLASS_SCALES: [usize; 3] = [128, 512, 2048];
+const VGG_CLASSES: usize = 256;
+const VGG_EVAL_CANDIDATES: usize = 32;
+const VGG_SYNTH_CANDIDATES: usize = 32;
 const MAX_VECTORS: usize = 64;
 const SEED: u64 = 7;
+
+/// Times `generate_probes` under both engines at one fault-class scale,
+/// asserts the reports are bit-identical, prints the comparison, and
+/// appends one JSON row per engine. Returns the (shared) report.
+#[allow(clippy::too_many_arguments)]
+fn bench_scale(
+    packed: &PackedModel,
+    candidates: &[aqfp_sc::BitPlane],
+    classes: usize,
+    workers: usize,
+    rows: &mut String,
+    last: bool,
+) -> ScreeningReport {
+    let cfg = ScreeningConfig::default()
+        .with_fault_classes(classes)
+        .with_max_vectors(MAX_VECTORS)
+        .with_seed(SEED)
+        .with_workers(workers);
+    let start = Instant::now();
+    let full = generate_probes(packed, candidates, &cfg.with_engine(ScreenEngine::Full))
+        .expect("screenable universe");
+    let full_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let report = generate_probes(packed, candidates, &cfg.with_engine(ScreenEngine::Delta))
+        .expect("screenable universe");
+    let delta_secs = start.elapsed().as_secs_f64();
+    assert_eq!(full, report, "engines must build identical reports");
+    let speedup = full_secs / delta_secs;
+    println!(
+        "{classes:>5} classes: {} vectors, fault coverage {:.1}%, test coverage {:.1}%, \
+         full {full_secs:.2}s ({:.0}/s) vs delta {delta_secs:.2}s ({:.0}/s) — {speedup:.1}x",
+        report.probes.len(),
+        100.0 * report.coverage,
+        100.0 * report.test_coverage(),
+        report.targeted as f64 / full_secs,
+        report.targeted as f64 / delta_secs,
+    );
+    for (engine, secs, ratio, sep) in [
+        ("full", full_secs, 1.0, ","),
+        ("delta", delta_secs, speedup, if last { "" } else { "," }),
+    ] {
+        let _ = write!(
+            rows,
+            "\n      {{\"fault_classes\": {classes}, \"engine\": \"{engine}\", \
+             \"detectable\": {}, \"vectors\": {}, \"fault_coverage\": {:.4}, \
+             \"test_coverage\": {:.4}, \"atpg_seconds\": {secs:.2}, \
+             \"classes_per_second\": {:.0}, \"speedup_vs_full\": {ratio:.1}}}{sep}",
+            report.detectable,
+            report.probes.len(),
+            report.coverage,
+            report.test_coverage(),
+            report.targeted as f64 / secs,
+        );
+    }
+    report
+}
 
 fn main() {
     let workers = superbnn_bench::machine_cpus();
@@ -78,36 +147,65 @@ fn main() {
     let mut atpg_rows = String::new();
     let mut last_report = None;
     for (i, &classes) in CLASS_SCALES.iter().enumerate() {
-        let cfg = ScreeningConfig::default()
-            .with_fault_classes(classes)
-            .with_max_vectors(MAX_VECTORS)
-            .with_seed(SEED)
-            .with_workers(workers);
-        let start = Instant::now();
-        let report = generate_probes(&packed, &candidates, &cfg);
-        let secs = start.elapsed().as_secs_f64();
-        let classes_per_s = report.targeted as f64 / secs;
-        println!(
-            "{classes:>5} classes: {} vectors, fault coverage {:.1}%, test coverage {:.1}%, \
-             {secs:.2}s ({classes_per_s:.0} classes/s)",
-            report.probes.len(),
-            100.0 * report.coverage,
-            100.0 * report.test_coverage(),
-        );
-        let sep = if i + 1 < CLASS_SCALES.len() { "," } else { "" };
-        let _ = write!(
-            atpg_rows,
-            "\n      {{\"fault_classes\": {classes}, \"detectable\": {}, \
-             \"vectors\": {}, \"fault_coverage\": {:.4}, \"test_coverage\": {:.4}, \
-             \"atpg_seconds\": {secs:.2}, \"classes_per_second\": {classes_per_s:.0}}}{sep}",
-            report.detectable,
-            report.probes.len(),
-            report.coverage,
-            report.test_coverage(),
+        let report = bench_scale(
+            &packed,
+            &candidates,
+            classes,
+            workers,
+            &mut atpg_rows,
+            i + 1 == CLASS_SCALES.len(),
         );
         last_report = Some(report);
     }
     let report = last_report.expect("at least one ATPG scale ran");
+
+    // The conv-pipeline row: VGG-small on 3×16×16 object planes. One
+    // warm-up epoch so the programmed thresholds are non-trivial; the
+    // bench measures engines, not accuracy.
+    let start = Instant::now();
+    let vgg_hw = HardwareConfig {
+        crossbar_rows: 32,
+        crossbar_cols: 16,
+        ..Default::default()
+    };
+    let vgg_data = generate_objects(&SynthConfig {
+        samples_per_class: 10,
+        ..Default::default()
+    });
+    let vgg_spec = NetSpec::vgg_small([3, 16, 16], 8, 10);
+    let mut vgg_model = vgg_spec.build_software(&vgg_hw, SEED);
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        lr: 0.02,
+        ..Default::default()
+    })
+    .train(&mut vgg_model, &vgg_data);
+    let vgg = deploy(&vgg_spec, &vgg_model, &vgg_hw)
+        .expect("deploys")
+        .to_packed();
+    let vgg_input_len: usize = vgg.input_shape().iter().product();
+    let mut vgg_candidates: Vec<aqfp_sc::BitPlane> = (0..VGG_EVAL_CANDIDATES)
+        .map(|i| BitMap::from_tensor_sample(&vgg_data.images, i).to_plane())
+        .collect();
+    vgg_candidates.extend(synthesize_probes(
+        vgg_input_len,
+        VGG_SYNTH_CANDIDATES,
+        SEED ^ 0x9E0B,
+    ));
+    let vgg_train_seconds = start.elapsed().as_secs_f64();
+    println!(
+        "VGG-small 8-16-32 lowered in {vgg_train_seconds:.1}s, {} candidate vectors",
+        vgg_candidates.len()
+    );
+    let mut vgg_rows = String::new();
+    let vgg_report = bench_scale(
+        &vgg,
+        &vgg_candidates,
+        VGG_CLASSES,
+        workers,
+        &mut vgg_rows,
+        true,
+    );
 
     // Replay throughput: the per-die screening cost (single-threaded).
     let probes = &report.probes;
@@ -133,10 +231,15 @@ fn main() {
          \"candidates\": {{\"eval\": {EVAL_CANDIDATES}, \"synthesized\": {SYNTH_CANDIDATES}}},\n  \
          \"fault_universe_total\": {},\n  \"max_vectors\": {MAX_VECTORS},\n  \
          \"atpg\": [{atpg_rows}\n  ],\n  \
+         \"vgg\": {{\"model\": \"vgg_small_8-16-32_3x16x16\", \"crossbar\": \"32x16\", \
+         \"train_seconds\": {vgg_train_seconds:.1}, \
+         \"candidates\": {{\"eval\": {VGG_EVAL_CANDIDATES}, \"synthesized\": {VGG_SYNTH_CANDIDATES}}}, \
+         \"fault_universe_total\": {}, \"atpg\": [{vgg_rows}\n  ]}},\n  \
          \"replay\": {{\"probes\": {}, \"dies_per_second\": {dies_per_s:.0}, \
          \"probes_per_second\": {probes_per_s:.0}}}\n}}\n",
         superbnn_bench::baseline_header("screening", &[("measured_workers", workers)]),
         report.universe,
+        vgg_report.universe,
         probes.len(),
     );
     superbnn_bench::write_baseline("SCREENING_BENCH_OUT", "BENCH_screening.json", &json);

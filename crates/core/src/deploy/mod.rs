@@ -102,6 +102,7 @@
 //! `kernel_microbench` bench, which asserts equality before timing.
 
 mod bitmap;
+pub mod delta;
 mod layer;
 mod model;
 pub mod packed;
@@ -112,6 +113,7 @@ pub mod stochastic;
 pub(crate) use model::argmax;
 
 pub use bitmap::BitMap;
+pub use delta::{ActivationCache, DirtyChannels};
 pub use layer::{DeployedCell, DeployedConv, DeployedDense, TiledMatrix};
 pub use model::{deploy, DeployError, DeployStats, DeployedClassifier, DeployedModel};
 pub use packed::{PackedModel, PackedTiledMatrix};

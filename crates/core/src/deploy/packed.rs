@@ -831,6 +831,102 @@ impl PackedTiledMatrix {
         (2 * votes >= k) != ctx.flip
     }
 
+    /// The output bit of **one** channel for one packed activation word
+    /// slice — the column-granular kernel of the event-driven delta
+    /// engine ([`super::delta`]). Evaluates exactly the decision rule of
+    /// [`Self::forward_plane`] (SWAR lane votes, tail-tile masked
+    /// popcounts, majority vote with ties to '1', dead overrides, flip)
+    /// restricted to `channel`, so recomputing a faulted channel and
+    /// splicing it over a cached clean output is bit-identical to a full
+    /// re-evaluation: a structural fault on a die perturbs only the
+    /// channels of its column group, never a neighbor's votes.
+    ///
+    /// # Panics
+    /// Panics if `channel >= out()` or `acts` is shorter than the weight
+    /// rows.
+    #[inline]
+    pub fn forward_channel(&self, channel: usize, acts: &[u64]) -> bool {
+        self.channel_eval(channel).bit(acts)
+    }
+
+    /// A hoisted single-channel evaluator: the per-channel weight row,
+    /// SWAR biases, thresholds, dead overrides, and flip resolved
+    /// **once**, so a caller voting one channel across a whole sample
+    /// batch (the event-driven delta engine re-voting a fault cone over
+    /// every cached activation, or a conv channel over every output
+    /// pixel) pays the context lookup per channel instead of per call.
+    ///
+    /// # Panics
+    /// Panics if `channel >= out()`.
+    #[inline]
+    pub fn channel_eval(&self, channel: usize) -> ChannelEval<'_> {
+        ChannelEval {
+            matrix: self,
+            ctx: self.channel_ctx(channel),
+        }
+    }
+
+    /// The output channels a per-die fault draw vector can perturb:
+    /// sorted, deduplicated global channel indices — the *fault cone
+    /// roots* of the delta engine. A stuck cell or dead column on die
+    /// `g·k + r` touches only channel `col_starts[g] + col`; draws that
+    /// the applier would ignore (out-of-range die-local coordinates) are
+    /// skipped here too, so the dirty set never overstates the cone. An
+    /// empty slice (the explicit no-op draw) yields an empty set.
+    ///
+    /// # Panics
+    /// Panics if `faults` is non-empty and its length does not match the
+    /// tile count (same contract as [`Self::apply_faults`]).
+    pub fn fault_channels(&self, faults: &[InjectedFaults]) -> Vec<usize> {
+        if faults.is_empty() {
+            return Vec::new();
+        }
+        let k = self.row_starts.len() - 1;
+        assert_eq!(
+            faults.len(),
+            (self.col_starts.len() - 1) * k,
+            "fault draw / tile count mismatch"
+        );
+        let mut channels = Vec::new();
+        for (idx, f) in faults.iter().enumerate() {
+            let (g, r) = (idx / k, idx % k);
+            let rows = self.row_starts[r + 1] - self.row_starts[r];
+            let col_start = self.col_starts[g];
+            let cols = self.col_starts[g + 1] - col_start;
+            for &(row, col, _) in &f.stuck_cells {
+                if row < rows && col < cols {
+                    channels.push(col_start + col);
+                }
+            }
+            for &(col, _) in &f.dead_columns {
+                if col < cols {
+                    channels.push(col_start + col);
+                }
+            }
+        }
+        channels.sort_unstable();
+        channels.dedup();
+        channels
+    }
+
+    /// Reverts every patch of `journal` recorded against **this** matrix
+    /// (in reverse record order — the overlapping-patch contract of
+    /// [`PackedModel::revert_faults`]), then clears the journal. The
+    /// matrix-level twin for callers that patch a bare
+    /// [`PackedTiledMatrix`] rather than a whole pipeline (the die-level
+    /// equivalence checker); the journal's `layer` tags are ignored, so
+    /// only use it with journals recorded through this matrix's own
+    /// [`Self::apply_faults_journaled`] calls.
+    pub fn revert_faults(&mut self, journal: &mut PatchJournal) {
+        for p in journal.pins().iter().rev() {
+            self.restore_pin(p.channel, p.tile, p.prior_dead, p.prior_bias);
+        }
+        for w in journal.words().iter().rev() {
+            self.restore_word(w.channel, w.word, w.prior);
+        }
+        journal.clear();
+    }
+
     /// Evaluates all output channels for one packed activation plane —
     /// the word-parallel counterpart of [`TiledMatrix::forward_digital`].
     ///
@@ -1066,12 +1162,36 @@ pub(crate) struct MatrixParts {
 
 /// Loop-invariant per-channel slices of a [`PackedTiledMatrix`] (see
 /// [`PackedTiledMatrix::channel_ctx`]).
+#[derive(Clone, Copy)]
 struct ChannelCtx<'a> {
     row: &'a [u64],
     bias: Option<&'a [u64]>,
     min_sums: &'a [i64],
     dead: &'a [u8],
     flip: bool,
+}
+
+/// A single output channel's decision kernel with its per-channel state
+/// pre-resolved — see [`PackedTiledMatrix::channel_eval`]. Borrows the
+/// matrix; build one per channel, evaluate it across many activation
+/// slices.
+#[derive(Clone, Copy)]
+pub struct ChannelEval<'a> {
+    matrix: &'a PackedTiledMatrix,
+    ctx: ChannelCtx<'a>,
+}
+
+impl ChannelEval<'_> {
+    /// The channel's output bit for one packed activation word slice —
+    /// identical to [`PackedTiledMatrix::forward_channel`] on the channel
+    /// this evaluator was built for.
+    ///
+    /// # Panics
+    /// Panics if `acts` is shorter than the weight rows.
+    #[inline]
+    pub fn bit(&self, acts: &[u64]) -> bool {
+        self.matrix.channel_bit(&self.ctx, acts)
+    }
 }
 
 /// The batched bit-packed deploy engine: a lowered [`PackedLayer`]
@@ -1208,14 +1328,62 @@ impl PackedModel {
         rng: &mut R,
         journal: &mut PatchJournal,
     ) -> usize {
+        let draws = self.draw_faults(model, rng);
+        self.apply_draws_journaled(&draws, journal)
+    }
+
+    /// Draws one fault pattern for the whole pipeline **without applying
+    /// it**: one per-die draw vector per pipeline stage (empty for
+    /// weight-free stages), in stage order. Drawing is state-independent
+    /// — [`draw_faults_tiled`] reads only the tile geometry and the RNG —
+    /// so drawing every layer up front consumes the RNG exactly like the
+    /// interleaved draw-and-apply walk of [`Self::inject_faults`]; the
+    /// same seed names the same defects. The split exists for the delta
+    /// engine: the robustness sweeps inspect the draw's fault cone
+    /// ([`super::delta::DirtyChannels::from_draws`]) before committing it
+    /// with [`Self::apply_draws_journaled`].
+    pub fn draw_faults<R: Rng + ?Sized>(
+        &self,
+        model: &FaultModel,
+        rng: &mut R,
+    ) -> Vec<Vec<InjectedFaults>> {
+        self.layers
+            .iter()
+            .map(|layer| match layer {
+                PackedLayer::Conv(c) => draw_faults_tiled(model, &c.matrix().tile_dims(), rng),
+                PackedLayer::Linear(l) => draw_faults_tiled(model, &l.matrix().tile_dims(), rng),
+                PackedLayer::Pool(_) | PackedLayer::Flatten => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Applies a pre-drawn pipeline fault pattern (one entry per stage,
+    /// as produced by [`Self::draw_faults`]) through the undo journal and
+    /// returns the defect count. `draw_faults` + `apply_draws_journaled`
+    /// is state-for-state identical to [`Self::inject_faults_journaled`].
+    ///
+    /// # Panics
+    /// Panics if `draws.len()` does not match the stage count, a
+    /// weight-free stage carries a non-empty draw, or a stage draw's
+    /// length does not match its tile count.
+    pub fn apply_draws_journaled(
+        &mut self,
+        draws: &[Vec<InjectedFaults>],
+        journal: &mut PatchJournal,
+    ) -> usize {
+        assert_eq!(
+            draws.len(),
+            self.layers.len(),
+            "draw / stage count mismatch"
+        );
         let mut defects = 0usize;
-        for (li, layer) in self.layers.iter_mut().enumerate() {
+        for (li, (layer, faults)) in self.layers.iter_mut().zip(draws).enumerate() {
             let Some(m) = layer.matrix_mut() else {
+                assert!(faults.is_empty(), "fault draw on a weight-free stage");
                 continue;
             };
-            let faults = draw_faults_tiled(model, &m.tile_dims(), rng);
             defects += faults.iter().map(InjectedFaults::count).sum::<usize>();
-            m.apply_faults_journaled(&faults, li, journal);
+            m.apply_faults_journaled(faults, li, journal);
         }
         defects
     }

@@ -110,6 +110,18 @@ impl PackedLayer {
         }
     }
 
+    /// The stage's packed weight matrix, `None` for weight-free stages
+    /// (pool, flatten) — the shared read side of the fault machinery:
+    /// the fault-cone engine asks it which output channels a draw
+    /// dirties, the screener asks it how many dies the stage spans.
+    pub fn matrix(&self) -> Option<&PackedTiledMatrix> {
+        match self {
+            PackedLayer::Conv(c) => Some(c.matrix()),
+            PackedLayer::Linear(l) => Some(l.matrix()),
+            PackedLayer::Pool(_) | PackedLayer::Flatten => None,
+        }
+    }
+
     /// Mutable access to the stage's packed weight matrix — the
     /// fault-injection hook of the Monte Carlo robustness engine. `None`
     /// for weight-free stages (pool, flatten), which have no crossbar dies

@@ -29,12 +29,20 @@
 //! built at gray-zone width 0 ([`VariationModel`] scale 0) make every
 //! Bernoulli window saturate, the sampler consumes no RNG draws, and the
 //! datapath must collapse to the digital decision rule exactly.
+//!
+//! A fifth axis, [`Engine::PackedDelta`], covers the event-driven
+//! fault-cone engine ([`crate::deploy::delta`]): fault-free it collapses
+//! to the packed digital forward by definition, and
+//! [`DieChecker::check_fault_universe`] proves per fault class that
+//! re-voting only the dirtied channels reproduces the faulted full
+//! forward bit-for-bit. It stays out of the canonical four-engine
+//! lattice ([`Engine::ALL`]).
 
 use crate::deploy::{
     argmax, BitMap, DeployedCell, DeployedModel, MatrixStochasticTables, PackedLayer, PackedModel,
     PackedTiledMatrix, TiledMatrix,
 };
-use aqfp_crossbar::faults::{enumerate_fault_universe, StructuralFault};
+use aqfp_crossbar::faults::{enumerate_fault_universe, PatchJournal, StructuralFault};
 use aqfp_device::{Bit, VariationModel};
 use aqfp_sc::bitplane::packed_im2col;
 use aqfp_sc::{random_probe_plane, BitPlane, PackedMatrix, V256};
@@ -46,7 +54,10 @@ use std::fmt;
 /// is the largest budget the exhaustive mode accepts.
 pub const MAX_EXHAUSTIVE_FAN_IN: usize = 20;
 
-/// One of the four inference engines under equivalence checking.
+/// One of the inference engines under equivalence checking: the four
+/// canonical datapaths of [`Engine::ALL`], plus the fault-cone delta
+/// axis ([`Engine::PackedDelta`]) that only differentiates itself when a
+/// structural fault is in play.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// The per-element scalar reference (`TiledMatrix::forward_digital`).
@@ -60,10 +71,19 @@ pub enum Engine {
     /// The packed stochastic datapath evaluated in its digital limit
     /// (gray-zone width 0: saturated flip tables, no RNG draws).
     StochasticLimit,
+    /// The event-driven fault-cone splice (see [`crate::deploy::delta`]):
+    /// a clean forward plus a per-channel re-vote of the fault's dirtied
+    /// columns. On a fault-free die the cone is empty and this collapses
+    /// to [`Engine::PackedDigital`] exactly; it earns its keep inside
+    /// [`DieChecker::check_fault_universe`], where the splice is diffed
+    /// against the faulted full forward per fault class. Not part of
+    /// [`Engine::ALL`] — the exhaustive lattice stays the four canonical
+    /// datapaths.
+    PackedDelta,
 }
 
 impl Engine {
-    /// All four engines, in canonical order.
+    /// The four canonical engines, in canonical order.
     pub const ALL: [Engine; 4] = [
         Engine::ScalarDigital,
         Engine::PackedDigital,
@@ -89,6 +109,7 @@ impl Engine {
             Engine::PackedDigital => "packed-digital",
             Engine::PackedSimd => "wide-simd",
             Engine::StochasticLimit => "stochastic-limit",
+            Engine::PackedDelta => "packed-delta",
         }
     }
 }
@@ -277,36 +298,50 @@ impl DieChecker {
         &self.packed
     }
 
-    /// Evaluates one engine on one input plane.
-    fn eval(&self, engine: Engine, input: &BitPlane) -> BitPlane {
+    /// Evaluates one engine on one input plane against an explicit die
+    /// state — the shared kernel of [`Self::check`] and the journal-path
+    /// fault-universe walk (which patches one reusable packed clone
+    /// instead of building a checker per fault).
+    fn eval_parts(
+        scalar: &TiledMatrix,
+        packed: &PackedTiledMatrix,
+        tables: &MatrixStochasticTables,
+        engine: Engine,
+        input: &BitPlane,
+    ) -> BitPlane {
         match engine {
             Engine::ScalarDigital => {
                 let bits = input.to_bits();
-                BitPlane::from_bits(&self.scalar.forward_digital(&bits))
+                BitPlane::from_bits(&scalar.forward_digital(&bits))
             }
-            Engine::PackedDigital => self.packed.forward_plane(input),
+            // On a die evaluated in isolation the delta engine has an
+            // empty fault cone, which collapses to the full packed
+            // forward by definition; its faulted splice is exercised by
+            // `check_fault_universe`.
+            Engine::PackedDigital | Engine::PackedDelta => packed.forward_plane(input),
             Engine::PackedSimd => {
                 let batch = PackedMatrix::from_planes(std::slice::from_ref(input));
-                matrix_column(&self.packed.forward_matrix_as::<V256>(&batch), 0)
+                matrix_column(&packed.forward_matrix_as::<V256>(&batch), 0)
             }
             Engine::StochasticLimit => {
                 // The zero-width tables saturate every window: no draws
                 // are consumed, so the fixed seed is inert.
                 let mut rng = StdRng::seed_from_u64(0);
-                self.packed
-                    .forward_stochastic(&self.tables, input, &mut rng)
+                packed.forward_stochastic(tables, input, &mut rng)
             }
         }
     }
 
-    /// Checks one input: both engines must produce identical output
-    /// planes.
-    ///
-    /// # Errors
-    /// The localized [`Counterexample`] on divergence.
-    pub fn check(&self, engines: (Engine, Engine), input: &BitPlane) -> Result<(), Counterexample> {
-        let a = self.eval(engines.0, input);
-        let b = self.eval(engines.1, input);
+    /// [`Self::check`] against an explicit die state.
+    fn check_parts(
+        scalar: &TiledMatrix,
+        packed: &PackedTiledMatrix,
+        tables: &MatrixStochasticTables,
+        engines: (Engine, Engine),
+        input: &BitPlane,
+    ) -> Result<(), Counterexample> {
+        let a = Self::eval_parts(scalar, packed, tables, engines.0, input);
+        let b = Self::eval_parts(scalar, packed, tables, engines.1, input);
         if a == b {
             return Ok(());
         }
@@ -318,11 +353,20 @@ impl DieChecker {
             input: input.clone(),
             layer: 0,
             lane,
-            tile: tile_divergence(&self.scalar, &self.packed, lane, input),
+            tile: tile_divergence(scalar, packed, lane, input),
             left: a.get(lane),
             right: b.get(lane),
             fault: None,
         })
+    }
+
+    /// Checks one input: both engines must produce identical output
+    /// planes.
+    ///
+    /// # Errors
+    /// The localized [`Counterexample`] on divergence.
+    pub fn check(&self, engines: (Engine, Engine), input: &BitPlane) -> Result<(), Counterexample> {
+        Self::check_parts(&self.scalar, &self.packed, &self.tables, engines, input)
     }
 
     /// Proves the pair equivalent over **every** input bit pattern —
@@ -393,7 +437,12 @@ impl DieChecker {
     /// die stack: for each enumerated defect, both engines receive the
     /// identical named fault (scalar: crossbar weights + dead map;
     /// packed: bitplane masks + vote pins + SWAR bias folds) and are
-    /// compared on `cases_per_fault` seeded random inputs. Returned
+    /// compared on `cases_per_fault` seeded random inputs. The packed
+    /// side rides the clone-free journal path — one reusable die is
+    /// patched and reverted per fault — and each input additionally
+    /// proves the fault-cone splice ([`Engine::PackedDelta`]): re-voting
+    /// only the fault's dirtied channels on top of the clean forward
+    /// must reproduce the faulted full forward bit-for-bit. Returned
     /// counterexamples carry the fault class that exposed them.
     ///
     /// # Errors
@@ -408,28 +457,58 @@ impl DieChecker {
         let universe = enumerate_fault_universe(&dims);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cases = 0usize;
+        // One reusable faulted die on the packed side; the scalar side
+        // has no journal and is cloned per fault.
+        let mut packed = self.packed.clone();
+        let mut journal = PatchJournal::new();
         for fault in &universe {
             let draws = fault.to_draws(dims.len());
+            let dirty = self.packed.fault_channels(&draws);
             let mut scalar = self.scalar.clone();
-            let mut packed = self.packed.clone();
             scalar.apply_faults(&draws);
-            packed.apply_faults(&draws);
             // The flip tables are programmed-threshold state, invariant
-            // under fault injection — share them with the faulted clone.
-            let faulted = Self {
-                scalar,
-                packed,
-                tables: self.tables.clone(),
-            };
+            // under fault injection — the clean tables serve the
+            // faulted die.
+            packed.apply_faults_journaled(&draws, 0, &mut journal);
             for _ in 0..cases_per_fault {
                 let p = rng.gen::<f64>();
                 let input = random_probe_plane(self.fan_in(), p, &mut rng);
-                faulted.check(engines, &input).map_err(|mut ce| {
-                    ce.fault = Some(*fault);
-                    ce
-                })?;
+                Self::check_parts(&scalar, &packed, &self.tables, engines, &input).map_err(
+                    |mut ce| {
+                        ce.fault = Some(*fault);
+                        ce
+                    },
+                )?;
+                cases += 1;
+                // Fifth axis: the delta splice vs the faulted forward.
+                let full = packed.forward_plane(&input);
+                let mut spliced = self.packed.forward_plane(&input);
+                for &ch in &dirty {
+                    let bit = packed.forward_channel(ch, input.words());
+                    if bit != spliced.get(ch) {
+                        spliced.set(ch, bit);
+                    }
+                }
+                if spliced != full {
+                    let lane = (0..full.len())
+                        .find(|&i| spliced.get(i) != full.get(i))
+                        .expect("unequal planes differ somewhere");
+                    let tile = tile_divergence(&scalar, &packed, lane, &input);
+                    return Err(Counterexample {
+                        engines: (Engine::PackedDigital, Engine::PackedDelta),
+                        input,
+                        layer: 0,
+                        lane,
+                        tile,
+                        left: full.get(lane),
+                        right: spliced.get(lane),
+                        fault: Some(*fault),
+                    });
+                }
                 cases += 1;
             }
+            packed.revert_faults(&mut journal);
+            debug_assert!(packed == self.packed, "revert must restore the die");
         }
         Ok(EquivProof {
             engines,
@@ -518,7 +597,10 @@ impl ModelChecker {
                 let out_shape = [out.c, out.h, out.w];
                 (out.to_plane(), out_shape)
             }
-            Engine::PackedDigital => {
+            // At the model level the delta engine degenerates the same
+            // way as at the die level: with no fault in play its cone is
+            // empty, so it walks the packed pipeline verbatim.
+            Engine::PackedDigital | Engine::PackedDelta => {
                 let mut act = act;
                 let mut shape = shape;
                 for layer in &self.packed.layers()[start..end] {
@@ -766,6 +848,32 @@ mod tests {
             .unwrap_or_else(|ce| panic!("equivalence broken: {ce}"));
         assert_eq!(proof.mode, "fault-universe");
         assert!(proof.cases > 0);
+    }
+
+    #[test]
+    fn delta_axis_stays_out_of_the_canonical_lattice() {
+        assert_eq!(Engine::ALL.len(), 4);
+        assert_eq!(Engine::pairs().len(), 6);
+        assert!(!Engine::ALL.contains(&Engine::PackedDelta));
+        assert_eq!(Engine::PackedDelta.name(), "packed-delta");
+        // Fault-free, the delta engine is the packed digital forward.
+        let checker = DieChecker::new(&die(70, 9, 16, 4, 23));
+        let proof = checker
+            .check_random((Engine::PackedDigital, Engine::PackedDelta), 16, 41)
+            .unwrap_or_else(|ce| panic!("equivalence broken: {ce}"));
+        assert_eq!(proof.cases, 16);
+    }
+
+    #[test]
+    fn fault_universe_counts_the_delta_splice_cases() {
+        // Every input now runs the engine-pair comparison *and* the
+        // delta-splice proof: twice the cases of the pair alone.
+        let checker = DieChecker::new(&die(10, 3, 6, 4, 11));
+        let universe = enumerate_fault_universe(&checker.packed.tile_dims()).len();
+        let proof = checker
+            .check_fault_universe((Engine::ScalarDigital, Engine::PackedDigital), 4, 7)
+            .unwrap_or_else(|ce| panic!("equivalence broken: {ce}"));
+        assert_eq!(proof.cases, 2 * 4 * universe);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //!    value),
 //! 2. evaluates accuracy over a packed eval set shared by every trial of
 //!    the campaign (the planes are packed once up front, not once per
-//!    trial), and
+//!    trial) — digital campaigns score through the event-driven
+//!    fault-cone engine ([`crate::deploy::delta`]): the clean activation
+//!    trace of the shared eval set is cached **once** for the whole
+//!    campaign, each trial re-votes only the channels its draw dirtied
+//!    and propagates only what changed, falling back to the (bit-
+//!    identical) full forward when a heavy draw dirties too much of the
+//!    die for the cone to pay — and
 //! 3. reverts the journal ([`PackedModel::revert_faults`]), restoring the
 //!    model bit-for-bit for the next trial — no per-trial clone of the
 //!    weight planes at all.
@@ -64,7 +70,7 @@
 //! evaluation orders by construction, and free of the serial-chain
 //! throughput floor.
 
-use crate::deploy::{BitMap, PackedModel, RngMode};
+use crate::deploy::{ActivationCache, BitMap, DirtyChannels, PackedModel, RngMode};
 use aqfp_crossbar::faults::{FaultModel, PatchJournal};
 use aqfp_device::{DeviceRng, SeedableRng, VariationModel};
 use aqfp_sc::BitPlane;
@@ -360,6 +366,22 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
         .map(|i| BitMap::from_tensor_sample(&data.images, i).to_plane())
         .collect();
     let labels = &data.labels[..eval_samples];
+    // Digital campaigns share one clean activation trace across all
+    // workers and trials; stochastic trials redraw every activation under
+    // SC noise, so a clean cache has nothing to offer them.
+    let cache = cfg
+        .variations
+        .is_empty()
+        .then(|| ActivationCache::new(packed, &planes));
+    // Fault-cone cutoff: a draw dirtying more than this fraction of the
+    // model's weighted output channels takes the full forward instead
+    // (both paths are bit-identical; this only bounds the constant).
+    let total_channels: usize = packed
+        .layers()
+        .iter()
+        .filter_map(|l| l.matrix().map(|m| m.out()))
+        .sum();
+    let delta_cutoff = total_channels / 4;
     let conditions = cfg.variations.len().max(1);
     let points_per_cond = cfg.grid.len();
     let total = conditions * points_per_cond * cfg.trials;
@@ -371,6 +393,7 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
         for (ci, slots) in outcomes.chunks_mut(chunk).enumerate() {
             let tables = &tables;
             let planes = &planes;
+            let cache = cache.as_ref();
             s.spawn(move || {
                 // One clone per worker, reused by every trial: faults are
                 // patched in through the journal and reverted bit-for-bit
@@ -385,11 +408,12 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
                     let point = trial / cfg.trials;
                     let seed = cfg.campaign_seed ^ trial as u64;
                     let mut rng = DeviceRng::seed_from_u64(seed);
-                    let defects = m.inject_faults_journaled(
-                        &cfg.grid[point % points_per_cond],
-                        &mut rng,
-                        &mut journal,
-                    );
+                    // Drawing first, applying second is RNG-identical to
+                    // `inject_faults_journaled` (which is this exact
+                    // composition); the explicit draws feed the fault
+                    // cone below.
+                    let draws = m.draw_faults(&cfg.grid[point % points_per_cond], &mut rng);
+                    let defects = m.apply_draws_journaled(&draws, &mut journal);
                     let accuracy = match tables.get(point / points_per_cond) {
                         Some(t) => match cfg.rng_mode {
                             RngMode::SeedMatched => {
@@ -399,7 +423,15 @@ pub fn run_sweep(packed: &PackedModel, data: &Dataset, cfg: &SweepConfig) -> Rob
                                 m.accuracy_stochastic_planes_ctr(t, planes, labels, seed)
                             }
                         },
-                        None => m.accuracy_planes(planes, labels),
+                        None => {
+                            let cache = cache.expect("digital campaigns build a cache");
+                            let dirty = DirtyChannels::from_draws(&m, &draws);
+                            if dirty.total() <= delta_cutoff {
+                                m.delta_accuracy_planes(cache, &dirty, labels)
+                            } else {
+                                m.accuracy_planes(planes, labels)
+                            }
+                        }
                     };
                     m.revert_faults(&mut journal);
                     *slot = Some(TrialOutcome {
@@ -588,6 +620,26 @@ mod tests {
                 "trial {}",
                 t.trial
             );
+        }
+    }
+
+    #[test]
+    fn digital_trials_reproduce_the_direct_evaluation() {
+        // Digital campaigns route through the event-driven fault-cone
+        // engine (shared `ActivationCache` + per-trial dirty channels);
+        // replaying each trial with the plain full-forward path must give
+        // the identical defect count and accuracy.
+        let (packed, data) = tiny_campaign_model();
+        let cfg = SweepConfig::stuck_cell_grid(&[0.15], 4, 31)
+            .unwrap()
+            .with_eval_samples(Some(12));
+        let report = run_sweep(&packed, &data, &cfg);
+        for t in &report.points[0].trials {
+            let mut m = packed.clone();
+            let mut rng = DeviceRng::seed_from_u64(t.seed);
+            let defects = m.inject_faults(&cfg.grid[0], &mut rng);
+            assert_eq!(defects, t.defects);
+            assert_eq!(m.accuracy(&data, Some(12)), t.accuracy, "trial {}", t.trial);
         }
     }
 

@@ -17,10 +17,17 @@
 //! 2. [`generate_probes`] plays each fault class against a candidate
 //!    pool (eval-set planes plus [`synthesize_probes`] patterns) using
 //!    the clone-free journal path — patch the fault in
-//!    (`PackedModel::apply_layer_faults_journaled`), classify the whole
+//!    (`PackedModel::apply_layer_faults_journaled`), evaluate the whole
 //!    pool in the digital limit, revert — building a fault × vector
 //!    detection matrix, then runs a greedy set cover that picks the
-//!    smallest vector set reaching the coverage target.
+//!    smallest vector set reaching the coverage target. By default the
+//!    evaluation rides the event-driven fault-cone engine
+//!    ([`crate::deploy::delta`]): the clean pool is traced into one
+//!    shared [`ActivationCache`], and each fault class re-votes only its
+//!    dirtied channels, propagating forward only while the perturbation
+//!    stays live — bit-identical to the full forward
+//!    ([`ScreenEngine::Full`] keeps it as the differential oracle) but
+//!    orders of magnitude cheaper per class.
 //! 3. The chosen vectors and their golden `(label, scores)` outputs are
 //!    sealed into a [`ProbeSet`] — a versioned binary artifact
 //!    (magic `SBNNPROB`, same wire discipline as
@@ -33,7 +40,7 @@
 //! it perturbs the scores even when the argmax survives — a far more
 //! sensitive screen than label agreement alone.
 
-use crate::deploy::{PackedModel, SnapshotError};
+use crate::deploy::{ActivationCache, DirtyChannels, PackedModel, SnapshotError};
 use aqfp_crossbar::faults::{
     fault_universe_size, FaultKind, InjectedFaults, PatchJournal, StructuralFault,
 };
@@ -53,6 +60,65 @@ pub const PROBESET_VERSION: u32 = 1;
 
 /// Sanity cap on decoded length fields (see `deploy::snapshot`).
 const MAX_LEN: u64 = 1 << 28;
+
+/// Why a screening run could not produce a meaningful report. Every
+/// variant names a degenerate input that would otherwise surface as a
+/// NaN or vacuous coverage number; [`generate_probes`] refuses instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScreeningError {
+    /// The candidate pool is empty — no vector can detect anything.
+    NoCandidates,
+    /// The coverage target lies outside `[0, 1]`.
+    InvalidCoverageTarget(f64),
+    /// The probe-vector budget is zero.
+    ZeroVectorBudget,
+    /// The (possibly subsampled) fault universe is empty: the model has
+    /// no weighted stages, or [`ScreeningConfig::fault_classes`] capped
+    /// the targeted set to nothing. Coverage over zero classes is
+    /// undefined, not 100%.
+    EmptyFaultUniverse,
+    /// Every targeted fault class is logically masked: no candidate
+    /// vector perturbs any output. Test coverage (covered / detectable)
+    /// would be 0/0; the pool needs different vectors, not a report.
+    MaskedFaultUniverse,
+}
+
+impl std::fmt::Display for ScreeningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoCandidates => write!(f, "screening needs candidate vectors"),
+            Self::InvalidCoverageTarget(t) => {
+                write!(f, "coverage target {t} outside [0, 1]")
+            }
+            Self::ZeroVectorBudget => write!(f, "probe budget must be positive"),
+            Self::EmptyFaultUniverse => {
+                write!(f, "fault universe is empty: nothing to cover")
+            }
+            Self::MaskedFaultUniverse => {
+                write!(
+                    f,
+                    "every targeted fault class is masked: no candidate vector detects any"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScreeningError {}
+
+/// Which forward engine evaluates the fault × vector detection matrix.
+/// Both are bit-identical by construction (and pinned so by property
+/// tests); the delta engine is the production default, the full engine
+/// the differential oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ScreenEngine {
+    /// Full `classify_planes` forward per fault class.
+    Full,
+    /// Event-driven fault-cone evaluation over a shared
+    /// [`ActivationCache`] (see [`crate::deploy::delta`]).
+    #[default]
+    Delta,
+}
 
 /// One targeted structural fault class of a lowered model: a named
 /// defect ([`StructuralFault`], die-local coordinates) on one weighted
@@ -80,6 +146,8 @@ pub struct ScreeningConfig {
     pub seed: u64,
     /// Worker threads for the fault × vector detection matrix.
     pub workers: usize,
+    /// Forward engine for the detection matrix (default: delta).
+    pub engine: ScreenEngine,
 }
 
 impl Default for ScreeningConfig {
@@ -90,6 +158,7 @@ impl Default for ScreeningConfig {
             target_coverage: 1.0,
             seed: 0x5C12EE,
             workers: 1,
+            engine: ScreenEngine::default(),
         }
     }
 }
@@ -124,11 +193,21 @@ impl ScreeningConfig {
         self.workers = workers;
         self
     }
+
+    /// Selects the detection-matrix forward engine.
+    pub fn with_engine(mut self, engine: ScreenEngine) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 /// The result of a screening run: coverage accounting, the chosen
 /// vectors, the undetected-fault census, and the sealed [`ProbeSet`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field including the sealed probes — it is
+/// what the delta-vs-full differential gates (`--verify` in the screen
+/// example, the engine-equivalence tests) assert with.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScreeningReport {
     /// Size of the **full** enumerable universe (both stuck-at
     /// polarities of every cell, both dead-column polarities), across
@@ -265,37 +344,88 @@ pub fn synthesize_probes(len: usize, n: usize, seed: u64) -> Vec<BitPlane> {
 /// `candidates` with the clone-free journal path, then greedily covers.
 /// Detection is in the **digital limit** (the deterministic engine the
 /// fab tester replays), comparing labels and score bit patterns against
-/// the golden die.
+/// the golden die. The matrix is evaluated by the engine
+/// [`ScreeningConfig::engine`] selects — fault-cone delta by default,
+/// full forward as the oracle — with bit-identical results either way.
 ///
 /// Worker fan-out follows the robustness sweeps: each worker owns one
 /// model clone and one [`PatchJournal`], patching and reverting in
-/// place per fault class.
+/// place per fault class; the delta engine additionally shares one
+/// immutable [`ActivationCache`] across all workers.
 ///
-/// # Panics
-/// Panics if `candidates` is empty, the coverage target is outside
-/// `[0, 1]`, or `max_vectors` is 0.
+/// # Errors
+/// Returns a [`ScreeningError`] on degenerate inputs — an empty
+/// candidate pool, a coverage target outside `[0, 1]`, a zero vector
+/// budget, an empty (possibly subsampled-to-nothing) fault universe, or
+/// a universe the pool cannot detect any class of. Every one of these
+/// used to surface as a vacuous or undefined coverage ratio.
 pub fn generate_probes(
     model: &PackedModel,
     candidates: &[BitPlane],
     cfg: &ScreeningConfig,
-) -> ScreeningReport {
-    assert!(!candidates.is_empty(), "screening needs candidate vectors");
-    assert!(
-        (0.0..=1.0).contains(&cfg.target_coverage),
-        "coverage target must be in [0, 1]"
-    );
-    assert!(cfg.max_vectors > 0, "probe budget must be positive");
-    let golden = model.classify_planes(candidates);
+) -> Result<ScreeningReport, ScreeningError> {
+    if candidates.is_empty() {
+        return Err(ScreeningError::NoCandidates);
+    }
+    if !(0.0..=1.0).contains(&cfg.target_coverage) {
+        return Err(ScreeningError::InvalidCoverageTarget(cfg.target_coverage));
+    }
+    if cfg.max_vectors == 0 {
+        return Err(ScreeningError::ZeroVectorBudget);
+    }
     let universe = model_universe_size(model);
     let mut sites = fault_universe(model);
     if let Some(cap) = cfg.fault_classes {
         subsample(&mut sites, cap, cfg.seed);
     }
-    let detect = detection_matrix(model, &sites, candidates, &golden, cfg.workers);
+    if sites.is_empty() {
+        return Err(ScreeningError::EmptyFaultUniverse);
+    }
+    let cache = match cfg.engine {
+        ScreenEngine::Delta => Some(ActivationCache::new(model, candidates)),
+        ScreenEngine::Full => None,
+    };
+    let golden = match &cache {
+        Some(c) => c.golden().to_vec(),
+        None => model.classify_planes(candidates),
+    };
+    let detect = detection_matrix(
+        model,
+        &sites,
+        candidates,
+        &golden,
+        cache.as_ref(),
+        cfg.workers,
+    );
+    let detectable = detect.iter().filter(|m| m.iter().any(|&w| w != 0)).count();
+    if detectable == 0 {
+        return Err(ScreeningError::MaskedFaultUniverse);
+    }
 
-    // Greedy set cover over the targeted classes.
+    // Greedy set cover over the targeted classes, run on the transposed
+    // per-candidate site masks: each gain is then a masked popcount over
+    // the uncovered set instead of a walk over every class, which keeps
+    // the cover negligible next to the detection matrix even at large
+    // class counts. Selection order is unchanged (strict improvement,
+    // lowest candidate index wins ties), so reports are bit-identical to
+    // the per-class formulation.
     let words = candidates.len().div_ceil(64);
-    let mut covered = vec![false; sites.len()];
+    let site_words = sites.len().div_ceil(64);
+    let mut cand_sites: Vec<Vec<u64>> = vec![vec![0u64; site_words]; candidates.len()];
+    for (s, mask) in detect.iter().enumerate() {
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let c = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                cand_sites[c][s / 64] |= 1 << (s % 64);
+            }
+        }
+    }
+    let mut uncovered = vec![u64::MAX; site_words];
+    if !sites.len().is_multiple_of(64) {
+        uncovered[site_words - 1] = (1u64 << (sites.len() % 64)) - 1;
+    }
     let mut covered_count = 0usize;
     let mut chosen: Vec<usize> = Vec::new();
     let mut in_set = vec![false; candidates.len()];
@@ -306,11 +436,11 @@ pub fn generate_probes(
             if taken {
                 continue;
             }
-            let gain = covered
+            let gain: usize = cand_sites[c]
                 .iter()
-                .enumerate()
-                .filter(|&(s, &done)| !done && bit_set(&detect[s], c))
-                .count();
+                .zip(&uncovered)
+                .map(|(cand, open)| (cand & open).count_ones() as usize)
+                .sum();
             if gain > best.1 {
                 best = (c, gain);
             }
@@ -320,16 +450,16 @@ pub fn generate_probes(
         }
         in_set[best.0] = true;
         chosen.push(best.0);
-        for (s, done) in covered.iter_mut().enumerate() {
-            if !*done && bit_set(&detect[s], best.0) {
-                *done = true;
-                covered_count += 1;
-            }
+        covered_count += best.1;
+        for (open, &cand) in uncovered.iter_mut().zip(&cand_sites[best.0]) {
+            *open &= !cand;
         }
     }
+    let covered: Vec<bool> = (0..sites.len())
+        .map(|s| uncovered[s / 64] >> (s % 64) & 1 == 0)
+        .collect();
     debug_assert_eq!(words, detect.first().map_or(words, Vec::len));
 
-    let detectable = detect.iter().filter(|m| m.iter().any(|&w| w != 0)).count();
     let (detected, undetected): (Vec<FaultSite>, Vec<FaultSite>) = {
         let (yes, no): (Vec<_>, Vec<_>) = sites.iter().zip(&covered).partition(|&(_, &done)| done);
         (
@@ -337,17 +467,13 @@ pub fn generate_probes(
             no.into_iter().map(|(s, _)| *s).collect(),
         )
     };
-    let coverage = if sites.is_empty() {
-        1.0
-    } else {
-        covered_count as f64 / sites.len() as f64
-    };
+    let coverage = covered_count as f64 / sites.len() as f64;
     let probes = ProbeSet::new(
         model.input_shape(),
         chosen.iter().map(|&c| candidates[c].clone()).collect(),
         chosen.iter().map(|&c| golden[c].clone()).collect(),
     );
-    ScreeningReport {
+    Ok(ScreeningReport {
         universe,
         targeted: sites.len(),
         detectable,
@@ -357,17 +483,12 @@ pub fn generate_probes(
         detected,
         undetected,
         probes,
-    }
+    })
 }
 
 /// The packed matrix behind a weighted stage.
 fn layer_matrix(layer: &crate::deploy::PackedLayer) -> Option<&crate::deploy::PackedTiledMatrix> {
-    use crate::deploy::PackedLayer;
-    match layer {
-        PackedLayer::Conv(c) => Some(c.matrix()),
-        PackedLayer::Linear(l) => Some(l.matrix()),
-        PackedLayer::Pool(_) | PackedLayer::Flatten => None,
-    }
+    layer.matrix()
 }
 
 /// Seeded partial Fisher–Yates subsample: keeps the first `cap` entries
@@ -396,12 +517,17 @@ fn outputs_differ(a: &(usize, Vec<f32>), b: &(usize, Vec<f32>)) -> bool {
 
 /// Builds the fault × vector detection matrix: one candidate bitmask per
 /// fault site, fanned across `workers` threads (one clone + journal
-/// each).
+/// each). With a `cache`, each site is evaluated by the fault-cone delta
+/// engine — only samples whose final plane actually changed are diffed
+/// against the golden outputs (an unchanged plane cannot detect, and a
+/// changed one still might not: the popcount scores can coincide).
+/// Without one, each site pays a full `classify_planes` pass.
 fn detection_matrix(
     model: &PackedModel,
     sites: &[FaultSite],
     candidates: &[BitPlane],
     golden: &[(usize, Vec<f32>)],
+    cache: Option<&ActivationCache>,
     workers: usize,
 ) -> Vec<Vec<u64>> {
     let words = candidates.len().div_ceil(64);
@@ -426,26 +552,34 @@ fn detection_matrix(
                 for (j, slot) in slots.iter_mut().enumerate() {
                     let site = &sites[ci * chunk + j];
                     let draws: Vec<InjectedFaults> = site.fault.to_draws(layer_dies[site.layer]);
-                    m.apply_layer_faults_journaled(site.layer, &draws, &mut journal);
-                    let preds = m.classify_planes(candidates);
-                    m.revert_faults(&mut journal);
                     let mut mask = vec![0u64; words];
-                    for (i, (p, g)) in preds.iter().zip(golden).enumerate() {
-                        if outputs_differ(p, g) {
-                            mask[i / 64] |= 1 << (i % 64);
+                    m.apply_layer_faults_journaled(site.layer, &draws, &mut journal);
+                    match cache {
+                        Some(cache) => {
+                            let dirty = DirtyChannels::from_layer_draws(model, site.layer, &draws);
+                            for (i, p) in m.delta_changed(cache, &dirty) {
+                                if outputs_differ(&p, &golden[i]) {
+                                    mask[i / 64] |= 1 << (i % 64);
+                                }
+                            }
+                        }
+                        None => {
+                            for (i, (p, g)) in
+                                m.classify_planes(candidates).iter().zip(golden).enumerate()
+                            {
+                                if outputs_differ(p, g) {
+                                    mask[i / 64] |= 1 << (i % 64);
+                                }
+                            }
                         }
                     }
+                    m.revert_faults(&mut journal);
                     *slot = mask;
                 }
             });
         }
     });
     detect
-}
-
-#[inline]
-fn bit_set(mask: &[u64], i: usize) -> bool {
-    mask[i / 64] >> (i % 64) & 1 == 1
 }
 
 /// The outcome of replaying a [`ProbeSet`] against a die.
@@ -762,7 +896,7 @@ mod tests {
             .with_fault_classes(40)
             .with_max_vectors(16)
             .with_workers(2);
-        let report = generate_probes(&packed, &candidates, &cfg);
+        let report = generate_probes(&packed, &candidates, &cfg).unwrap();
         assert_eq!(report.targeted, 40);
         assert!(report.covered <= report.detectable);
         assert_eq!(report.targeted, report.covered + report.undetected.len());
@@ -799,7 +933,7 @@ mod tests {
         let cfg = ScreeningConfig::default()
             .with_fault_classes(12)
             .with_max_vectors(8);
-        let report = generate_probes(&packed, &planes, &cfg);
+        let report = generate_probes(&packed, &planes, &cfg).unwrap();
         let mut buf = Vec::new();
         report.probes.write(&mut buf).unwrap();
         let back = ProbeSet::read(&mut buf.as_slice()).unwrap();
@@ -814,6 +948,80 @@ mod tests {
         // A truncated stream errors instead of panicking.
         let cut = &buf[..buf.len() - 3];
         assert!(ProbeSet::read(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn delta_and_full_engines_build_identical_reports() {
+        let (packed, planes) = tiny_model();
+        let mut candidates = planes;
+        candidates.extend(synthesize_probes(
+            packed.input_shape().iter().product(),
+            16,
+            21,
+        ));
+        let cfg = ScreeningConfig::default()
+            .with_fault_classes(60)
+            .with_max_vectors(16)
+            .with_workers(2);
+        let full = generate_probes(&packed, &candidates, &cfg.with_engine(ScreenEngine::Full))
+            .expect("full engine report");
+        let delta = generate_probes(&packed, &candidates, &cfg.with_engine(ScreenEngine::Delta))
+            .expect("delta engine report");
+        assert_eq!(full.targeted, delta.targeted);
+        assert_eq!(full.detectable, delta.detectable);
+        assert_eq!(full.covered, delta.covered);
+        assert_eq!(full.chosen, delta.chosen);
+        assert_eq!(full.detected, delta.detected);
+        assert_eq!(full.undetected, delta.undetected);
+        assert_eq!(full.probes, delta.probes);
+    }
+
+    #[test]
+    fn degenerate_screening_inputs_return_typed_errors() {
+        let (packed, planes) = tiny_model();
+        let cfg = ScreeningConfig::default();
+        assert_eq!(
+            generate_probes(&packed, &[], &cfg).unwrap_err(),
+            ScreeningError::NoCandidates
+        );
+        assert_eq!(
+            generate_probes(&packed, &planes, &cfg.with_target_coverage(1.5)).unwrap_err(),
+            ScreeningError::InvalidCoverageTarget(1.5)
+        );
+        assert_eq!(
+            generate_probes(&packed, &planes, &cfg.with_max_vectors(0)).unwrap_err(),
+            ScreeningError::ZeroVectorBudget
+        );
+        // A subsample capped to zero classes empties the universe.
+        assert_eq!(
+            generate_probes(&packed, &planes, &cfg.with_fault_classes(0)).unwrap_err(),
+            ScreeningError::EmptyFaultUniverse
+        );
+        // Every variant renders a human-readable message.
+        for err in [
+            ScreeningError::NoCandidates,
+            ScreeningError::InvalidCoverageTarget(2.0),
+            ScreeningError::ZeroVectorBudget,
+            ScreeningError::EmptyFaultUniverse,
+            ScreeningError::MaskedFaultUniverse,
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn fully_masked_universe_is_a_typed_error() {
+        let (packed, planes) = tiny_model();
+        // Find a seeded 1-class subsample landing on a class the pool
+        // cannot detect; such classes exist on this operating point (the
+        // example's census reports them on every run).
+        let masked = (0..512).find_map(|seed| {
+            let cfg = ScreeningConfig::default()
+                .with_fault_classes(1)
+                .with_seed(seed);
+            generate_probes(&packed, &planes, &cfg).err()
+        });
+        assert_eq!(masked, Some(ScreeningError::MaskedFaultUniverse));
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! Run with:
 //! `cargo run --release --example screen -- [--fault-classes N]
 //! [--target-coverage F] [--max-vectors N] [--eval N] [--synth N]
-//! [--seed N] [--workers N]`
-//! (CI smoke runs `--fault-classes 32 --target-coverage 0.95`.)
+//! [--seed N] [--workers N] [--engine full|delta] [--verify]`
+//! (CI smoke runs `--fault-classes 32 --target-coverage 0.95 --verify`.)
+//!
+//! ATPG defaults to the event-driven **delta** engine (cached clean
+//! activations + fault-cone replay); `--engine full` forces the plain
+//! full-forward path, and `--verify` runs both, prints both timings, and
+//! asserts the reports are identical.
 //!
 //! Two coverage numbers print, matching ATPG convention: **fault
 //! coverage** is detected / targeted over the enumerated classes;
@@ -21,7 +26,9 @@ use bnn_datasets::{digits::generate_digits, SynthConfig};
 use std::time::Instant;
 use superbnn::config::HardwareConfig;
 use superbnn::deploy::{deploy, BitMap, PackedModel};
-use superbnn::screening::{generate_probes, synthesize_probes, ProbeSet, ScreeningConfig};
+use superbnn::screening::{
+    generate_probes, synthesize_probes, ProbeSet, ScreenEngine, ScreeningConfig,
+};
 use superbnn::spec::NetSpec;
 use superbnn::trainer::{TrainConfig, Trainer};
 
@@ -60,6 +67,16 @@ fn main() {
         "--workers",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
+    let engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map_or(ScreenEngine::Delta, |v| match v.as_str() {
+            "full" => ScreenEngine::Full,
+            "delta" => ScreenEngine::Delta,
+            other => panic!("--engine wants full|delta, got {other}"),
+        });
+    let verify = args.iter().any(|a| a == "--verify");
 
     // The digits MLP at the co-optimized 8×8 / L=32 operating point.
     println!("=== training the digits MLP ===");
@@ -102,18 +119,44 @@ fn main() {
         .with_max_vectors(max_vectors)
         .with_target_coverage(target)
         .with_seed(seed)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_engine(engine);
     if fault_classes > 0 {
         cfg = cfg.with_fault_classes(fault_classes);
     }
 
     println!(
-        "=== ATPG: {} candidate vectors, budget {max_vectors}, target {target:.2} ===",
+        "=== ATPG [{engine:?}]: {} candidate vectors, budget {max_vectors}, target {target:.2} ===",
         candidates.len()
     );
     let start = Instant::now();
-    let report = generate_probes(&packed, &candidates, &cfg);
+    let report = generate_probes(&packed, &candidates, &cfg).expect("screenable fault universe");
     let secs = start.elapsed().as_secs_f64();
+
+    if verify {
+        // Differential gate: the other engine must produce the identical
+        // report, and both timings print so the speedup is visible.
+        let other = match engine {
+            ScreenEngine::Delta => ScreenEngine::Full,
+            ScreenEngine::Full => ScreenEngine::Delta,
+        };
+        let start = Instant::now();
+        let cross = generate_probes(&packed, &candidates, &cfg.with_engine(other))
+            .expect("screenable fault universe");
+        let other_secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            report, cross,
+            "{engine:?} and {other:?} engines must build identical reports"
+        );
+        let (delta_s, full_s) = match engine {
+            ScreenEngine::Delta => (secs, other_secs),
+            ScreenEngine::Full => (other_secs, secs),
+        };
+        println!(
+            "verify: engines agree — delta {delta_s:.2}s vs full {full_s:.2}s ({:.1}x)",
+            full_s / delta_s
+        );
+    }
     println!(
         "fault universe: {} classes total, {} targeted ({} capped), {} detectable by the pool",
         report.universe,
@@ -171,11 +214,11 @@ fn main() {
     let covered_site = report.detected.first().expect("some class is covered");
     let mut defective = replica.clone();
     let mut journal = aqfp_crossbar::faults::PatchJournal::new();
-    let dies = match &defective.layers()[covered_site.layer] {
-        superbnn::deploy::PackedLayer::Linear(l) => l.matrix().tile_dims().len(),
-        superbnn::deploy::PackedLayer::Conv(c) => c.matrix().tile_dims().len(),
-        _ => unreachable!("faults target weighted stages"),
-    };
+    let dies = defective.layers()[covered_site.layer]
+        .matrix()
+        .expect("faults target weighted stages")
+        .tile_dims()
+        .len();
     defective.apply_layer_faults_journaled(
         covered_site.layer,
         &covered_site.fault.to_draws(dies),

@@ -1,0 +1,80 @@
+//! Differential smoke for the event-driven fault-cone engine, sized to
+//! run in release mode on CI: over a strided sample of the enumerated
+//! structural fault universe of an MLP and a conv pipeline, the delta
+//! engine's labels and scores must be bit-identical to the full packed
+//! forward of the patched model, and the undo journal must land the
+//! pristine model back bit-for-bit after every class.
+//!
+//! The exhaustive every-class sweep lives in the `deploy::delta` unit
+//! tests and the ragged-geometry property tests (`tests/props.rs`);
+//! this fixture is the fast, deterministic gate CI runs with
+//! `--release` next to the screening example smoke.
+
+use aqfp_crossbar::faults::PatchJournal;
+use superbnn::config::HardwareConfig;
+use superbnn::deploy::{deploy, ActivationCache, DirtyChannels, PackedModel};
+use superbnn::screening::{fault_universe, synthesize_probes};
+use superbnn::spec::NetSpec;
+
+/// Walks a strided sample of the fault universe: patch one class in
+/// through the journal, evaluate it with both engines, compare, revert.
+fn assert_delta_matches_full(spec: &NetSpec, hw: &HardwareConfig, seed: u64, classes: usize) {
+    let model = spec.build_software(hw, seed);
+    let pristine = deploy(spec, &model, hw).expect("deploys").to_packed();
+    let input_len: usize = pristine.input_shape().iter().product();
+    let planes = synthesize_probes(input_len, 8, seed ^ 0xDE17A);
+    let cache = ActivationCache::new(&pristine, &planes);
+
+    let universe = fault_universe(&pristine);
+    assert!(!universe.is_empty(), "model has weighted stages");
+    let stride = (universe.len() / classes).max(1);
+
+    let mut m = pristine.clone();
+    let mut journal = PatchJournal::new();
+    let mut checked = 0usize;
+    for site in universe.iter().step_by(stride) {
+        let dies = m.layers()[site.layer]
+            .matrix()
+            .expect("fault sites target weighted stages")
+            .tile_dims()
+            .len();
+        let draws = site.fault.to_draws(dies);
+        m.apply_layer_faults_journaled(site.layer, &draws, &mut journal);
+        let dirty = DirtyChannels::from_site(&m, site.layer, &site.fault);
+        assert_eq!(
+            m.delta_classify_planes(&cache, &dirty),
+            m.classify_planes(&planes),
+            "engine divergence on {site:?}"
+        );
+        m.revert_faults(&mut journal);
+        checked += 1;
+    }
+    assert_eq!(
+        m,
+        PackedModel::clone(&pristine),
+        "journal failed to restore the pristine model"
+    );
+    assert!(checked >= classes.min(universe.len()), "sample too small");
+}
+
+#[test]
+fn mlp_fault_cone_smoke() {
+    let hw = HardwareConfig {
+        crossbar_rows: 8,
+        crossbar_cols: 8,
+        ..Default::default()
+    };
+    let spec = NetSpec::mlp(&[1, 8, 8], &[16], 6);
+    assert_delta_matches_full(&spec, &hw, 11, 96);
+}
+
+#[test]
+fn conv_fault_cone_smoke() {
+    let hw = HardwareConfig {
+        crossbar_rows: 16,
+        crossbar_cols: 8,
+        ..Default::default()
+    };
+    let spec = NetSpec::vgg_small([1, 8, 8], 4, 6);
+    assert_delta_matches_full(&spec, &hw, 13, 64);
+}

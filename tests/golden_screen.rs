@@ -86,11 +86,11 @@ fn detection_mask(
     use aqfp_crossbar::faults::PatchJournal;
     let mut m = model.clone();
     let mut journal = PatchJournal::new();
-    let dies = match &m.layers()[site.layer] {
-        superbnn::deploy::PackedLayer::Linear(l) => l.matrix().tile_dims().len(),
-        superbnn::deploy::PackedLayer::Conv(c) => c.matrix().tile_dims().len(),
-        _ => panic!("fault on a weight-free stage"),
-    };
+    let dies = m.layers()[site.layer]
+        .matrix()
+        .expect("fault on a weight-free stage")
+        .tile_dims()
+        .len();
     m.apply_layer_faults_journaled(site.layer, &site.fault.to_draws(dies), &mut journal);
     let outcome = probes.screen(&m);
     outcome
@@ -109,7 +109,7 @@ fn probe_set_round_trips_through_snapshot_and_detects_the_fixture_faults() {
         .with_target_coverage(0.95)
         .with_seed(0x60D)
         .with_workers(2);
-    let report = generate_probes(&packed, &candidates, &cfg);
+    let report = generate_probes(&packed, &candidates, &cfg).expect("screenable fixture");
     let faults = seeded_faults(&report.detected);
 
     // Ship both artifacts as bytes and cold-start a replica from them —

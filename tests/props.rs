@@ -892,6 +892,90 @@ proptest! {
         }
     }
 
+    /// The event-driven delta engine screens bit-identically to the
+    /// full-forward engine on random ragged MLP and conv geometries:
+    /// the whole `ScreeningReport` — detection matrix, greedy cover,
+    /// coverage ratios, sealed probes — must match field for field over
+    /// every targeted fault class (or fail with the identical typed
+    /// error on degenerate universes).
+    #[test]
+    fn delta_screening_matches_full_on_ragged_geometries(
+        rows in 4usize..20,
+        cols in 2usize..10,
+        hidden in 4usize..16,
+        conv in prop::bool::ANY,
+        seed in 0u64..300,
+    ) {
+        use superbnn::screening::{generate_probes, synthesize_probes, ScreenEngine, ScreeningConfig};
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let spec = if conv {
+            NetSpec::vgg_small([1, 8, 8], 4, 5)
+        } else {
+            NetSpec::mlp(&[1, 6, 6], &[hidden], 5)
+        };
+        let model = spec.build_software(&hw, seed);
+        let packed = deploy(&spec, &model, &hw).unwrap().to_packed();
+        let input_len: usize = packed.input_shape().iter().product();
+        let candidates = synthesize_probes(input_len, 12, seed ^ 0xD17A);
+        let cfg = ScreeningConfig::default()
+            .with_fault_classes(48)
+            .with_max_vectors(8)
+            .with_seed(seed)
+            .with_workers(2);
+        let full = generate_probes(&packed, &candidates, &cfg.with_engine(ScreenEngine::Full));
+        let delta = generate_probes(&packed, &candidates, &cfg.with_engine(ScreenEngine::Delta));
+        prop_assert_eq!(full, delta);
+    }
+
+    /// Delta evaluation composes with the undo journal exactly like the
+    /// full engine: patch → fault-cone classify → revert leaves the
+    /// model bit-identical to pristine, the shared activation cache
+    /// stays valid across trials, and every trial's delta labels/scores
+    /// equal the patched model's full forward.
+    #[test]
+    fn delta_eval_commutes_with_the_fault_journal(
+        rows in 4usize..20,
+        cols in 2usize..10,
+        hidden in 4usize..16,
+        seed in 0u64..300,
+    ) {
+        use aqfp_crossbar::faults::PatchJournal;
+        use aqfp_device::{DeviceRng, SeedableRng};
+        use superbnn::deploy::{ActivationCache, DirtyChannels};
+        use superbnn::screening::synthesize_probes;
+        let hw = HardwareConfig {
+            crossbar_rows: rows,
+            crossbar_cols: cols,
+            ..Default::default()
+        };
+        let spec = NetSpec::mlp(&[1, 6, 6], &[hidden], 5);
+        let model = spec.build_software(&hw, seed);
+        let pristine = deploy(&spec, &model, &hw).unwrap().to_packed();
+        let planes = synthesize_probes(36, 6, seed ^ 0xCAFE);
+        let cache = ActivationCache::new(&pristine, &planes);
+        let fm = FaultModel::new(0.05, 0.02).unwrap();
+        let mut m = pristine.clone();
+        let mut journal = PatchJournal::new();
+        for trial in 0..3u64 {
+            let draws = m.draw_faults(&fm, &mut DeviceRng::seed_from_u64(seed ^ trial));
+            m.apply_draws_journaled(&draws, &mut journal);
+            let dirty = DirtyChannels::from_draws(&m, &draws);
+            let got = m.delta_classify_planes(&cache, &dirty);
+            let want = m.classify_planes(&planes);
+            prop_assert_eq!(got, want, "trial {}", trial);
+            m.revert_faults(&mut journal);
+            prop_assert_eq!(&m, &pristine, "reverted state, trial {}", trial);
+            prop_assert!(journal.is_empty(), "journal drained, trial {}", trial);
+        }
+        // The cache the trials shared is still the pristine model's
+        // trace — rebuilding it from scratch lands the identical bits.
+        prop_assert_eq!(&cache, &ActivationCache::new(&pristine, &planes));
+    }
+
     /// The Stanh FSM output is a valid stream whose value has the input's
     /// sign for clearly non-zero inputs.
     #[test]
